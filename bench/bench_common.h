@@ -1,0 +1,55 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/haven.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/suites.h"
+#include "util/table.h"
+
+namespace haven::bench {
+
+struct BenchArgs {
+  bool fast = false;  // --fast: n=4, single temperature (CI-friendly)
+  int n_samples = 10;
+  std::vector<double> temperatures = {0.2, 0.5, 0.8};
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fast") == 0) {
+        args.fast = true;
+        args.n_samples = 5;  // pass@5 needs k <= n
+        args.temperatures = {0.2};
+      }
+    }
+    return args;
+  }
+
+  eval::RunnerConfig runner_config() const {
+    eval::RunnerConfig rc;
+    rc.n_samples = n_samples;
+    rc.temperatures = temperatures;
+    return rc;
+  }
+};
+
+// "measured (paper X)" cell, or "n/a" passthrough.
+inline std::string vs_paper(const std::string& measured, const char* paper) {
+  if (std::strcmp(paper, "n/a") == 0) return measured + " (paper n/a)";
+  return measured + " (paper " + paper + ")";
+}
+
+// Build the three HaVen models via the full pipeline.
+inline HavenPipeline build_haven(const std::string& base) {
+  HavenConfig config;
+  config.base_model = base;
+  return HavenPipeline::build(config);
+}
+
+}  // namespace haven::bench

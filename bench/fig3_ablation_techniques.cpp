@@ -1,0 +1,70 @@
+// Fig 3 reproduction: ablation of the techniques in HaVen, evaluated on
+// VerilogEval(v1)-Human for the three base models, five arms each:
+//   Base            - pre-trained model, no modifications
+//   Vanilla         - fine-tuned on the vanilla dataset only
+//   Vanilla+CoT     - vanilla fine-tune + SI-CoT prompting
+//   Vanilla+KL      - fine-tuned on vanilla + KL dataset
+//   Vanilla+CoT+KL  - full HaVen
+// Reports pass@1 and pass@5 per arm, plus a CSV block for plotting.
+#include "bench_common.h"
+
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace haven;
+  using namespace haven::bench;
+
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const eval::Suite human = eval::build_verilogeval_human();
+
+  std::cout << "== Fig 3: Ablation of techniques (VerilogEval-human) ==\n\n";
+
+  util::TablePrinter table({"Model", "Arm", "pass@1", "pass@5"});
+  util::CsvWriter csv({"base_model", "arm", "pass1", "pass5"});
+
+  for (const char* base : {llm::kBaseCodeLlama, llm::kBaseDeepSeek, llm::kBaseCodeQwen}) {
+    // Arm configurations share one dataset-pipeline run per variant.
+    struct Arm {
+      const char* label;
+      bool vanilla, kl, cot;
+    };
+    const Arm arms[] = {
+        {"Base", false, false, false},
+        {"Vanilla", true, false, false},
+        {"Vanilla+CoT", true, false, true},
+        {"Vanilla+KL", true, true, false},
+        {"Vanilla+CoT+KL", true, true, true},
+    };
+
+    for (const Arm& arm : arms) {
+      llm::SimLlm model = llm::make_model(base);
+      llm::SimLlm cot_model = model;  // CoT prompting uses the same weights
+      if (arm.vanilla || arm.kl) {
+        HavenConfig config;
+        config.base_model = base;
+        config.train_vanilla = arm.vanilla;
+        config.k_fraction = arm.kl ? 1.0 : 0.0;
+        config.l_fraction = arm.kl ? 1.0 : 0.0;
+        const HavenPipeline pipe = HavenPipeline::build(config);
+        model = llm::SimLlm(std::string(base) + "+" + arm.label,
+                            pipe.report().tuned_profile, base);
+        cot_model = model;
+      }
+      eval::RunnerConfig rc = args.runner_config();
+      rc.use_sicot = arm.cot;
+      rc.cot_model = &cot_model;
+      const eval::SuiteResult r = eval::run_suite(model, human, rc);
+      table.add_row({base, arm.label, eval::pct(r.pass_at(1)), eval::pct(r.pass_at(5))});
+      csv.add_row({base, arm.label, eval::pct(r.pass_at(1)), eval::pct(r.pass_at(5))});
+      std::cout << "  done: " << base << " / " << arm.label << "\n" << std::flush;
+    }
+    table.add_separator();
+  }
+
+  std::cout << "\n" << table.to_string() << "\n";
+  std::cout << "CSV:\n" << csv.to_string() << "\n";
+  std::cout << "Expected shape (paper Fig 3): each arm improves on the previous;\n"
+               "KL-dataset contributes more than CoT alone (paper: avg +12.3/+8.7 p@1/p@5 vs\n"
+               "+3.6/+6.6); CoT and KL combine additively.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table VI reproduction: effect of SI-CoT on commercial LLMs over the 44
+// symbolic tasks. All models receive SI-CoT instructions produced by the
+// *base CodeQwen* model (the paper's protocol for fair comparison).
+//
+// Note on the paper's table: the printed Table VI appears to have its two
+// row labels swapped relative to the surrounding text ("SI-CoT directly
+// helps with CodeGen LLM even without fine-tuning" and Table V's w/o-SI-CoT
+// values match the row labelled "w SI-CoT"). We reproduce the *text's*
+// claim: pass@1 with SI-CoT > pass@1 without.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace haven;
+  using namespace haven::bench;
+
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const eval::Suite suite = eval::build_symbolic44();
+
+  std::cout << "== Table VI: Evaluation of SI-CoT on commercial LLMs ==\n";
+  std::cout << "(44 symbolic tasks; SI-CoT instructions produced by base CodeQwen;\n"
+               " cells measured [paper], paper rows read per the text, see header note)\n\n";
+
+  const llm::SimLlm cot_model = llm::make_model(llm::kBaseCodeQwen);
+
+  struct PaperCells {
+    const char* with_sicot;
+    const char* without;
+  };
+  const std::pair<const char*, PaperCells> kModels[] = {
+      {"GPT-4o-mini", {"31.8", "22.7"}},
+      {"GPT-4", {"34.1", "22.7"}},
+      {"DeepSeek-Coder-V2", {"45.5", "34.1"}},
+  };
+
+  util::TablePrinter table({"Model", "p@1 w/ SI-CoT", "p@1 w/o SI-CoT"});
+  for (const auto& [name, paper] : kModels) {
+    const llm::SimLlm model = llm::make_model(name);
+
+    eval::RunnerConfig with_rc = args.runner_config();
+    with_rc.use_sicot = true;
+    with_rc.cot_model = &cot_model;
+    const eval::SuiteResult with_result = eval::run_suite(model, suite, with_rc);
+
+    const eval::RunnerConfig without_rc = args.runner_config();
+    const eval::SuiteResult without_result = eval::run_suite(model, suite, without_rc);
+
+    table.add_row({name, eval::pct(with_result.pass_at(1)) + " [" + paper.with_sicot + "]",
+                   eval::pct(without_result.pass_at(1)) + " [" + paper.without + "]"});
+    std::cout << "  done: " << name << "\n" << std::flush;
+  }
+
+  std::cout << "\n" << table.to_string() << "\n";
+  std::cout << "Expected shape: SI-CoT improves every commercial model; DeepSeek-Coder-V2\n"
+               "matches or beats GPT-4; GPT-4o-mini comparable to GPT-4.\n";
+  return 0;
+}

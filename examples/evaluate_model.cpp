@@ -1,0 +1,43 @@
+// Evaluate two models from the zoo on the RTLLM-style suite and print
+// pass@k with the unbiased estimator — the same machinery the Table IV
+// bench uses, at inspectable scale.
+//
+//   $ ./build/examples/evaluate_model [model-name ...]
+#include <iostream>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/suites.h"
+#include "llm/model_zoo.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace haven;
+
+  std::vector<std::string> models;
+  for (int i = 1; i < argc; ++i) models.emplace_back(argv[i]);
+  if (models.empty()) models = {"GPT-4", "RTLCoder-DeepSeek", "OriGen-DeepSeek"};
+
+  const eval::Suite suite = eval::build_rtllm();
+  eval::RunnerConfig config;
+  config.n_samples = 10;
+  config.temperatures = {0.2, 0.5, 0.8};
+
+  util::TablePrinter table({"Model", "func p@1", "func p@5", "syntax p@5", "best T"});
+  for (const auto& name : models) {
+    if (llm::find_model_card(name) == nullptr) {
+      std::cerr << "unknown model '" << name << "'; available:\n";
+      for (const auto& card : llm::model_zoo()) std::cerr << "  " << card.name << "\n";
+      return 1;
+    }
+    const eval::SuiteResult result = eval::run_suite(llm::make_model(name), suite, config);
+    table.add_row({name, eval::pct(result.pass_at(1)), eval::pct(result.pass_at(5)),
+                   eval::pct(result.syntax_pass_at(5)),
+                   util::format("%.1f", result.temperature)});
+    std::cout << eval::summarize(result) << "\n";
+  }
+  std::cout << "\n" << suite.name << " (" << suite.tasks.size() << " tasks, n="
+            << config.n_samples << "):\n" << table.to_string();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Domain scenario: generate a Moore FSM from the paper's state-diagram
+// notation, watch SI-CoT translate the diagram into natural language, and
+// verify the generated module against a golden reference with the built-in
+// differential testbench.
+//
+//   $ ./build/examples/fsm_from_state_diagram
+#include <iostream>
+
+#include "core/haven.h"
+#include "llm/codegen.h"
+#include "llm/spec_parser.h"
+#include "sim/testbench.h"
+#include "verilog/analyzer.h"
+
+int main() {
+  using namespace haven;
+
+  const std::string prompt =
+      "Implement the Moore finite state machine given by the state diagram below.\n"
+      "A[out=0]-[x=0]->B\n"
+      "A[out=0]-[x=1]->A\n"
+      "B[out=1]-[x=0]->A\n"
+      "B[out=1]-[x=1]->B\n"
+      "The reset state is A.\n"
+      "Use synchronous active-high reset 'rst'.\n"
+      "module top_module(input clk, input rst, input x, output out);\n";
+
+  std::cout << "== User prompt (paper Table II notation) ==\n" << prompt << "\n";
+
+  HavenConfig config;
+  config.base_model = llm::kBaseCodeQwen;
+  const HavenPipeline haven = HavenPipeline::build(config);
+
+  // Step 1+2 of SI-CoT: identify the symbolic component and interpret it.
+  util::Rng rng(7);
+  const std::string refined = haven.refine_prompt(prompt, 0.2, rng);
+  std::cout << "== SI-CoT refined prompt ==\n" << refined << "\n";
+
+  // CodeGen-LLM inference.
+  const std::string candidate = haven.generate(prompt, 0.2, rng);
+  std::cout << "== Generated module ==\n" << candidate << "\n";
+
+  // Golden reference directly from the diagram semantics.
+  const llm::ParsedInstruction truth = llm::parse_instruction(prompt);
+  const std::string golden = llm::generate_source(*truth.spec);
+
+  sim::StimulusSpec stimulus;
+  stimulus.sequential = true;
+  stimulus.reset = "rst";
+  stimulus.cycles = 64;
+  util::Rng tb_rng(99);
+  const sim::DiffResult result = sim::run_diff_test(candidate, golden, stimulus, tb_rng);
+  std::cout << "== Differential testbench ==\n"
+            << "vectors compared: " << result.vectors << "\n"
+            << "functional match: " << (result.passed ? "PASS" : "FAIL") << "\n";
+  if (!result.passed) std::cout << "first divergence:  " << result.reason << "\n";
+  std::cout << "\n(A fallible model occasionally hallucinates the diagram - rerun with a\n"
+               "different seed to watch the taxonomy in action.)\n";
+  return 0;
+}

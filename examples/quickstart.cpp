@@ -1,0 +1,48 @@
+// Quickstart: build the full HaVen pipeline (synthetic corpus -> vanilla
+// pairs -> K/L datasets -> fine-tuning) and generate Verilog for a prompt,
+// end to end.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "core/haven.h"
+#include "verilog/analyzer.h"
+
+int main() {
+  using namespace haven;
+
+  // 1. Build HaVen on top of the CodeQwen base card. This runs the entire
+  //    Fig 2 data flow and the fine-tuning simulation; it takes well under a
+  //    second at the default miniature scale.
+  HavenConfig config;
+  config.base_model = llm::kBaseCodeQwen;
+  const HavenPipeline haven = HavenPipeline::build(config);
+
+  const HavenBuildReport& report = haven.report();
+  std::cout << "Built " << haven.codegen_model().name() << ":\n"
+            << "  corpus files:        " << report.corpus_files << "\n"
+            << "  valid vanilla pairs: " << report.vanilla_pairs << "\n"
+            << "  K-dataset samples:   " << report.k_samples << "\n"
+            << "  L-dataset samples:   " << report.l_samples << "\n"
+            << "  know_convention:     " << report.base_profile.know_convention << " -> "
+            << report.tuned_profile.know_convention << "\n"
+            << "  misalignment:        " << report.base_profile.misalignment << " -> "
+            << report.tuned_profile.misalignment << "\n\n";
+
+  // 2. Ask for a design the way an HDL engineer would.
+  const std::string prompt =
+      "Design a 4-bit up counter with output 'q'. Use asynchronous active-low reset 'rst_n' "
+      "and active-high enable 'en'.\n"
+      "module top_module(input clk, input rst_n, input en, output [3:0] q);\n";
+  std::cout << "Prompt:\n" << prompt << "\n";
+
+  // 3. Generate. The prompt goes through SI-CoT (a no-op here: no symbolic
+  //    payload) and then the fine-tuned CodeGen model.
+  util::Rng rng(2025);
+  const std::string verilog = haven.generate(prompt, /*temperature=*/0.2, rng);
+  std::cout << "Generated Verilog:\n" << verilog << "\n";
+
+  // 4. Check it with the built-in compiler substitute.
+  std::cout << "Compiles: " << (verilog::compile_ok(verilog) ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "core/haven.h"
+
+#include "dataset/corpus.h"
+#include "dataset/kdataset.h"
+#include "dataset/ldataset.h"
+#include "dataset/vanilla.h"
+
+namespace haven {
+
+HavenPipeline::HavenPipeline(HavenConfig config, llm::SimLlm codegen, llm::SimLlm cot,
+                             HavenBuildReport report)
+    : config_(std::move(config)),
+      codegen_(std::move(codegen)),
+      cot_model_(std::move(cot)),
+      report_(report) {}
+
+HavenPipeline HavenPipeline::build(const HavenConfig& config) {
+  const llm::ModelCard* card = llm::find_model_card(config.base_model);
+  if (card == nullptr) throw std::out_of_range("unknown base model '" + config.base_model + "'");
+
+  HavenBuildReport report;
+  report.base_profile = card->profile;
+
+  util::Rng rng(config.seed);
+
+  // Fig 2 upper path: corpus -> vanilla pairs.
+  const auto corpus = dataset::generate_corpus(config.corpus_size, rng);
+  report.corpus_files = corpus.size();
+  const auto vanilla_pairs = dataset::build_vanilla_pairs(corpus, rng);
+
+  // Vanilla dataset (weighted to paper scale).
+  dataset::Dataset vanilla_ds;
+  {
+    std::size_t compiling = 0;
+    for (const auto& p : vanilla_pairs) compiling += p.compiles;
+    report.vanilla_pairs = compiling;
+    const double w = compiling == 0 ? 0.0 : config.paper_vanilla / static_cast<double>(compiling);
+    vanilla_ds = dataset::build_vanilla_dataset(vanilla_pairs, w);
+  }
+
+  // K-dataset.
+  dataset::Dataset k_ds;
+  {
+    util::Rng k_rng = rng.fork();
+    auto k_result = dataset::build_k_dataset(vanilla_pairs, k_rng, 1.0);
+    const std::size_t n = k_result.dataset.samples.size();
+    const double w = n == 0 ? 0.0 : config.paper_k / static_cast<double>(n);
+    for (auto& s : k_result.dataset.samples) s.weight = w;
+    k_ds = std::move(k_result.dataset);
+    report.k_samples = n;
+  }
+
+  // L-dataset.
+  dataset::Dataset l_ds;
+  {
+    util::Rng l_rng = rng.fork();
+    dataset::LDatasetConfig l_config;
+    l_config.count = config.l_count;
+    l_ds = dataset::build_l_dataset(l_config, l_rng, 1.0);
+    const std::size_t n = l_ds.samples.size();
+    const double w = n == 0 ? 0.0 : config.paper_l / static_cast<double>(n);
+    for (auto& s : l_ds.samples) s.weight = w;
+    report.l_samples = n;
+  }
+
+  // Fig 4 composition knobs + Fig 2 shuffle-combine.
+  util::Rng mix_rng = rng.fork();
+  mix_rng.shuffle(k_ds.samples);
+  mix_rng.shuffle(l_ds.samples);
+  dataset::Dataset k_part = k_ds.subset(config.k_fraction);
+  dataset::Dataset l_part = l_ds.subset(config.l_fraction);
+  std::vector<dataset::Dataset> parts;
+  if (config.train_vanilla) parts.push_back(vanilla_ds);
+  parts.push_back(k_part);
+  parts.push_back(l_part);
+  const dataset::Dataset kl = dataset::mix(parts, mix_rng);
+  report.kl_samples = k_part.samples.size() + l_part.samples.size();
+
+  // Fine-tune. Base models differ in how far fine-tuning can push each axis
+  // (the irreducible floors): CodeQwen adapts best to engineer phrasing and
+  // logic exercises, DeepSeek-Coder to general comprehension and syntax,
+  // CodeLlama trails on everything — reproducing the per-base ordering the
+  // paper reports (CodeQwen best on human, DeepSeek best on machine,
+  // CodeLlama weakest, consistent with AutoVCoder's observation).
+  llm::FineTuneConstants constants = llm::FineTuneConstants::defaults();
+  auto scale_floor = [&](llm::HalluAxis a, double f) {
+    constants.floor[static_cast<std::size_t>(a)] *= f;
+  };
+  if (card->name == llm::kBaseCodeQwen) {
+    scale_floor(llm::HalluAxis::kMisalignment, 0.5);
+    scale_floor(llm::HalluAxis::kLogicExpression, 0.8);
+    scale_floor(llm::HalluAxis::kLogicCorner, 0.8);
+    scale_floor(llm::HalluAxis::kLogicInstruction, 0.8);
+  } else if (card->name == llm::kBaseDeepSeek) {
+    scale_floor(llm::HalluAxis::kComprehension, 0.5);
+    scale_floor(llm::HalluAxis::kKnowSyntax, 0.5);
+    scale_floor(llm::HalluAxis::kKnowConvention, 0.75);
+    scale_floor(llm::HalluAxis::kKnowAttribute, 0.75);
+  } else if (card->name == llm::kBaseCodeLlama) {
+    for (auto& f : constants.floor) f *= 1.9;
+  }
+  report.tuned_profile = llm::fine_tune(card->profile, kl.stats(), constants);
+
+  // Paper naming: "HaVen-DeepSeek" rather than "HaVen-DeepSeek-Coder".
+  const std::string base_short =
+      card->name == "DeepSeek-Coder" ? "DeepSeek" : card->name;
+  const std::string model_name = "HaVen-" + base_short;
+  llm::SimLlm codegen(model_name, report.tuned_profile, card->name);
+  // The CoT prompting model is the same fine-tuned model (the paper uses one
+  // model for SI-CoT, fine-tuning and code generation).
+  llm::SimLlm cot(model_name + "-CoT", report.tuned_profile, card->name);
+
+  return HavenPipeline(config, std::move(codegen), std::move(cot), report);
+}
+
+std::string HavenPipeline::refine_prompt(const std::string& prompt, double temperature,
+                                         util::Rng& rng) const {
+  if (!config_.use_sicot) return prompt;
+  cot::SiCotPipeline pipeline(&cot_model_);
+  return pipeline.refine(prompt, temperature, rng).prompt;
+}
+
+std::string HavenPipeline::generate(const std::string& prompt, double temperature,
+                                    util::Rng& rng) const {
+  const std::string refined = refine_prompt(prompt, temperature, rng);
+  llm::GenerationConfig gen;
+  gen.temperature = temperature;
+  return codegen_.generate(refined, gen, rng);
+}
+
+llm::SimLlm build_haven_model(const std::string& base_model) {
+  HavenConfig config;
+  config.base_model = base_model;
+  return HavenPipeline::build(config).codegen_model();
+}
+
+}  // namespace haven

@@ -1,0 +1,171 @@
+#include "cot/sicot.h"
+
+#include <algorithm>
+
+#include "llm/spec_parser.h"
+#include "symbolic/state_diagram.h"
+#include "symbolic/truth_table_text.h"
+#include "symbolic/waveform.h"
+#include "util/strings.h"
+
+namespace haven::cot {
+
+using symbolic::Modality;
+
+namespace {
+
+// Is this line part of a raw symbolic payload (to be replaced)?
+bool is_symbolic_payload_line(const std::string& line, Modality m) {
+  const std::string t(util::trim(line));
+  if (t.empty()) return false;
+  switch (m) {
+    case Modality::kStateDiagram:
+      return t.find("->") != std::string::npos && t.find('[') != std::string::npos;
+    case Modality::kWaveform: {
+      const std::size_t colon = t.find(':');
+      if (colon == std::string::npos) return false;
+      const auto vals = util::split_ws(t.substr(colon + 1));
+      return !vals.empty() && std::all_of(vals.begin(), vals.end(), [](const std::string& v) {
+        return std::all_of(v.begin(), v.end(),
+                           [](char c) { return c >= '0' && c <= '9'; });
+      });
+    }
+    case Modality::kTruthTable: {
+      const auto fields = util::split_ws(t);
+      if (fields.size() < 2) return false;
+      const bool all_bits = std::all_of(fields.begin(), fields.end(), [](const std::string& f) {
+        return f == "0" || f == "1" || f == "x" || f == "X" || f == "-";
+      });
+      if (all_bits) return true;
+      // Header row: short identifiers only, and not a sentence (no common
+      // English function words).
+      const bool all_idents =
+          std::all_of(fields.begin(), fields.end(), [](const std::string& f) {
+            return util::is_identifier(f) && f.size() <= 12;
+          });
+      if (!all_idents) return false;
+      for (const auto& f : fields) {
+        const std::string lower = util::to_lower(f);
+        if (lower == "the" || lower == "implement" || lower == "below" || lower == "module") {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Modality::kNone:
+      return false;
+  }
+  return false;
+}
+
+std::string strip_payload(const std::string& prompt, Modality m) {
+  std::string out;
+  bool in_payload = false;
+  for (const auto& line : util::split_lines(prompt)) {
+    if (is_symbolic_payload_line(line, m)) {
+      in_payload = true;
+      continue;
+    }
+    // time(ns) row of a waveform has "time" prefix — also payload.
+    if (m == Modality::kWaveform && util::starts_with(util::trim(line), "time")) continue;
+    (void)in_payload;
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+SiCotPipeline::SiCotPipeline(const llm::SimLlm* cot_model, double interpretation_scale)
+    : cot_model_(cot_model), interpretation_scale_(interpretation_scale) {}
+
+SiCotResult SiCotPipeline::refine(const std::string& prompt, double temperature,
+                                  util::Rng& rng) const {
+  SiCotResult result;
+  result.prompt = prompt;
+
+  // Step 1: identify symbolic components. Already-interpreted prompts pass
+  // through (they carry no raw payload to translate).
+  if (symbolic::is_interpreted(prompt)) return result;
+  result.modality = symbolic::detect_modality(prompt);
+
+  std::string interpreted_block;
+  switch (result.modality) {
+    case Modality::kTruthTable: {
+      // Step 2a: regular modality — external parser.
+      auto parsed = symbolic::parse_truth_table(prompt);
+      if (parsed.table) {
+        interpreted_block = symbolic::interpret_truth_table(*parsed.table);
+      }
+      break;
+    }
+    case Modality::kWaveform: {
+      auto parsed = symbolic::parse_waveform(prompt);
+      if (parsed.waveform) {
+        interpreted_block = symbolic::interpret_waveform(*parsed.waveform);
+      }
+      break;
+    }
+    case Modality::kStateDiagram: {
+      // Step 2b: the CoT prompting model interprets the diagram; it can
+      // misread it (reduced rate thanks to the structured template).
+      std::string block;
+      for (const auto& line : util::split_lines(prompt)) {
+        if (line.find("->") != std::string::npos && line.find('[') != std::string::npos) {
+          block += line + "\n";
+        }
+      }
+      auto parsed = symbolic::parse_state_diagram(block);
+      if (parsed.diagram) {
+        symbolic::StateDiagram sd = *parsed.diagram;
+        // The structured template reduces the CoT model's misread rate; how
+        // much also depends on its alignment with the rule format.
+        const double align =
+            cot_model_ == nullptr
+                ? 1.0
+                : std::clamp(0.3 + 2.2 * cot_model_->profile().misalignment, 0.45, 1.1);
+        if (cot_model_ != nullptr &&
+            cot_model_->draw_axis(llm::HalluAxis::kSymStateDiagram, prompt, 0.5, temperature,
+                                  rng, interpretation_scale_ * align)) {
+          sd = llm::corrupt_state_diagram(sd, rng);
+        }
+        interpreted_block = symbolic::interpret_state_diagram(sd);
+      }
+      break;
+    }
+    case Modality::kNone:
+      break;
+  }
+
+  std::string refined = prompt;
+  if (!interpreted_block.empty()) {
+    refined = strip_payload(prompt, result.modality);
+    // Insert the interpretation where the payload used to be (append keeps
+    // the leading task sentence first, trailing header last).
+    const auto header = llm::extract_header_line(refined);
+    if (header) {
+      const std::size_t pos = refined.find(*header);
+      refined = refined.substr(0, pos) + interpreted_block + refined.substr(pos);
+    } else {
+      refined += interpreted_block;
+    }
+    result.transformed = true;
+  }
+
+  // Step 3: add a module header when missing, derived from the (refined)
+  // instruction's semantics.
+  if (!llm::extract_header_line(refined)) {
+    llm::ParsedInstruction reparsed = llm::parse_instruction(refined);
+    if (reparsed.ok()) {
+      refined += reparsed.spec->header_line() + "\n";
+      result.header_added = true;
+      result.transformed = true;
+    }
+  }
+
+  result.prompt = std::move(refined);
+  return result;
+}
+
+}  // namespace haven::cot

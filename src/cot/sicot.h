@@ -1,0 +1,45 @@
+// SI-CoT: Symbolic-Interpretation Chain-of-Thought (Section III-B, Fig 1).
+//
+// Step 1  Identify symbolic components (structural detection).
+// Step 2  Parse regular modalities (truth tables, waveform charts) with an
+//         external parser; interpret state diagrams with the *CoT prompting
+//         model* (an LLM — in HaVen the same base model as the CodeGen-LLM),
+//         which can itself misinterpret the diagram, albeit at a reduced
+//         rate thanks to the structured prompt template.
+// Step 3  Add a module header if the instruction lacks one.
+//
+// The refined prompt replaces the raw symbolic payload with the Table III
+// natural-language interpretation, so the CodeGen-LLM's symbolic
+// hallucination axes never apply to it.
+#pragma once
+
+#include <string>
+
+#include "llm/simllm.h"
+#include "symbolic/modality.h"
+#include "util/rng.h"
+
+namespace haven::cot {
+
+struct SiCotResult {
+  std::string prompt;       // refined (or original) prompt
+  bool transformed = false; // any interpretation applied
+  bool header_added = false;
+  symbolic::Modality modality = symbolic::Modality::kNone;
+};
+
+class SiCotPipeline {
+ public:
+  // `cot_model` interprets state diagrams; it must outlive the pipeline.
+  // `interpretation_scale` is the factor applied to the CoT model's
+  // sym_state_diagram axis (structured prompting reduces misreads).
+  explicit SiCotPipeline(const llm::SimLlm* cot_model, double interpretation_scale = 0.35);
+
+  SiCotResult refine(const std::string& prompt, double temperature, util::Rng& rng) const;
+
+ private:
+  const llm::SimLlm* cot_model_;
+  double interpretation_scale_;
+};
+
+}  // namespace haven::cot

@@ -1,0 +1,33 @@
+// Synthetic open-source Verilog corpus (substitute for the paper's 550k
+// GitHub samples). Emits module files with realistic noise: clean modules in
+// varying styles, files with license headers and dead comments, broken files
+// that fail to compile, and non-synthesizable junk. Clean items carry their
+// hidden TaskSpec so the vanilla-instruction synthesizer (simulating GPT-3.5
+// reading the code) can describe them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/task_spec.h"
+#include "util/rng.h"
+
+namespace haven::dataset {
+
+struct CorpusItem {
+  std::string path;     // pseudo repository path
+  std::string content;  // file text
+  std::optional<llm::TaskSpec> spec;  // ground truth for clean modules
+};
+
+struct CorpusConfig {
+  double p_broken = 0.12;   // syntax-damaged files
+  double p_junk = 0.08;     // non-module junk
+  double p_decorated = 0.3; // clean modules with headers/comments
+};
+
+std::vector<CorpusItem> generate_corpus(std::size_t count, util::Rng& rng,
+                                        const CorpusConfig& config = {});
+
+}  // namespace haven::dataset

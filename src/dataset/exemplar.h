@@ -1,0 +1,34 @@
+// High-quality exemplars (Fig 2, step 4): instruction-code pairs that
+// reflect digital-design conventions and Verilog-specific attributes,
+// covering FSMs, clock dividers, counters, shift registers and ALUs (the
+// module families the paper lists), with systematic variation of reset
+// mechanism, clock edge, and enable polarity. Derived from TaskSpecs so the
+// instruction, the code, and the topic/attribute labels are consistent by
+// construction — the reproduction's equivalent of curating from textbooks.
+#pragma once
+
+#include <vector>
+
+#include "llm/task_spec.h"
+#include "verilog/analyzer.h"
+
+namespace haven::dataset {
+
+struct Exemplar {
+  std::string title;
+  verilog::Topic topic;
+  llm::TaskSpec spec;
+  std::string instruction;  // engineer-style phrasing
+  std::string code;         // conventional implementation
+  verilog::Attributes attributes;
+};
+
+// The curated library (built once, deterministic).
+const std::vector<Exemplar>& exemplar_library();
+
+// Exemplars matching a topic set / attributes (the "Parser for Topic
+// Matching" step consumes this). Returns indices into exemplar_library().
+std::vector<std::size_t> match_exemplars(const std::set<verilog::Topic>& topics,
+                                         const verilog::Attributes& attributes);
+
+}  // namespace haven::dataset

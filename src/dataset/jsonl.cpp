@@ -1,0 +1,48 @@
+#include "dataset/jsonl.h"
+
+#include "llm/hallucination.h"
+#include "util/strings.h"
+
+namespace haven::dataset {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string sample_to_json(const Sample& sample) {
+  std::string teaches;
+  for (std::size_t i = 0; i < sample.teaches.size(); ++i) {
+    if (i) teaches += ",";
+    teaches += "\"" + llm::hallu_axis_name(sample.teaches[i].first) + "\"";
+  }
+  return util::format(
+      "{\"instruction\":\"%s\",\"output\":\"%s\",\"origin\":\"%s\",\"weight\":%.3f,"
+      "\"teaches\":[%s]}",
+      json_escape(sample.instruction).c_str(), json_escape(sample.code).c_str(),
+      json_escape(sample.origin).c_str(), sample.weight, teaches.c_str());
+}
+
+void write_jsonl(const Dataset& dataset, std::ostream& os) {
+  for (const auto& sample : dataset.samples) {
+    os << sample_to_json(sample) << "\n";
+  }
+}
+
+}  // namespace haven::dataset

@@ -1,0 +1,23 @@
+// JSONL export of datasets: one {"instruction": ..., "output": ...,
+// "origin": ...} object per line — the standard fine-tuning data format, so
+// the K/L datasets this pipeline generates can be fed to a *real* LLM
+// trainer outside this repository.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "dataset/mix.h"
+
+namespace haven::dataset {
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+// Serialize one sample as a single-line JSON object.
+std::string sample_to_json(const Sample& sample);
+
+// Write the whole dataset, one sample per line.
+void write_jsonl(const Dataset& dataset, std::ostream& os);
+
+}  // namespace haven::dataset

@@ -1,0 +1,101 @@
+#include "dataset/kdataset.h"
+
+#include "dataset/exemplar.h"
+#include "llm/instruction.h"
+#include "nlp/evolution.h"
+#include "verilog/analyzer.h"
+
+namespace haven::dataset {
+
+namespace {
+
+// Axes a K-sample teaches. HDL-aligned pairs carry convention, attribute and
+// alignment signal; the code side also reinforces syntax.
+std::vector<std::pair<llm::HalluAxis, double>> k_sample_axes(const VanillaPair& pair) {
+  std::vector<std::pair<llm::HalluAxis, double>> axes = {
+      {llm::HalluAxis::kKnowConvention, 1.0},
+      {llm::HalluAxis::kMisalignment, 1.0},
+      {llm::HalluAxis::kKnowSyntax, 0.5},
+      {llm::HalluAxis::kComprehension, 0.5},
+  };
+  if (pair.attributes.has_clock || pair.attributes.sync_reset || pair.attributes.async_reset ||
+      pair.attributes.has_enable) {
+    axes.emplace_back(llm::HalluAxis::kKnowAttribute, 1.0);
+  }
+  if (pair.topics.contains(verilog::Topic::kFsm)) {
+    // FSM exemplars also expose the state-diagram vocabulary a little.
+    axes.emplace_back(llm::HalluAxis::kSymStateDiagram, 0.15);
+  }
+  return axes;
+}
+
+}  // namespace
+
+KDatasetResult build_k_dataset(const std::vector<VanillaPair>& vanilla, util::Rng& rng,
+                               double sample_weight) {
+  KDatasetResult result;
+  result.pairs_in = vanilla.size();
+  const auto& lib = exemplar_library();
+
+  for (const auto& pair : vanilla) {
+    const std::vector<std::size_t> matches = match_exemplars(pair.topics, pair.attributes);
+    if (matches.empty()) continue;
+    ++result.matched;
+
+    // Step 7: rewrite the vanilla instruction toward up to two exemplars.
+    const std::size_t limit = std::min<std::size_t>(matches.size(), 2);
+    for (std::size_t mi = 0; mi < limit; ++mi) {
+      const Exemplar& ex = lib[matches[mi]];
+      ++result.rewritten;
+
+      // Step 8: compile verification of the code side.
+      if (!pair.compiles) {
+        ++result.rejected;
+        continue;
+      }
+      ++result.verified;
+
+      Sample sample;
+      sample.origin = "k";
+      sample.weight = sample_weight;
+      sample.code = pair.code;
+      // The rewrite: engineer-style phrasing of the pair's task (the
+      // exemplar supplies the convention template; when the ground-truth
+      // spec is unknown we borrow the exemplar instruction skeleton).
+      if (pair.spec) {
+        llm::InstructionOptions opts;
+        opts.style = llm::PromptStyle::kEngineer;
+        sample.instruction = llm::render_instruction(*pair.spec, opts, rng);
+      } else {
+        sample.instruction = ex.instruction;
+      }
+      sample.instruction = nlp::evolve_instruction(sample.instruction, rng);
+      sample.teaches = k_sample_axes(pair);
+      result.dataset.samples.push_back(std::move(sample));
+    }
+  }
+  return result;
+}
+
+Dataset build_vanilla_dataset(const std::vector<VanillaPair>& vanilla, double sample_weight) {
+  Dataset out;
+  for (const auto& pair : vanilla) {
+    if (!pair.compiles) continue;  // the same compiler gate applies
+    Sample sample;
+    sample.origin = "vanilla";
+    sample.weight = sample_weight;
+    sample.instruction = pair.instruction;
+    sample.code = pair.code;
+    sample.teaches = {
+        {llm::HalluAxis::kKnowSyntax, 1.0},
+        {llm::HalluAxis::kComprehension, 1.0},
+        {llm::HalluAxis::kKnowConvention, 0.15},
+        {llm::HalluAxis::kKnowAttribute, 0.1},
+        {llm::HalluAxis::kMisalignment, 0.05},
+    };
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace haven::dataset

@@ -1,0 +1,32 @@
+// Knowledge-enhanced dataset generation (Fig 2, steps 6-8, blue path):
+// topic matching of vanilla pairs against the exemplar library, data
+// augmentation (rewriting the vanilla instruction toward the exemplar's
+// HDL-engineer phrasing), and compile verification.
+#pragma once
+
+#include "dataset/mix.h"
+#include "dataset/vanilla.h"
+
+namespace haven::dataset {
+
+struct KDatasetResult {
+  Dataset dataset;
+  // Pipeline accounting (reported by the dataset stats bench).
+  std::size_t pairs_in = 0;
+  std::size_t matched = 0;    // vanilla pairs with >= 1 exemplar match
+  std::size_t rewritten = 0;  // augmented instructions produced (<= 2/pair)
+  std::size_t verified = 0;   // survived compile verification
+  std::size_t rejected = 0;   // failed compile verification
+};
+
+// `sample_weight` scales each sample's DatasetStats contribution (to map the
+// materialized sample count to paper-scale coverage).
+KDatasetResult build_k_dataset(const std::vector<VanillaPair>& vanilla, util::Rng& rng,
+                               double sample_weight = 1.0);
+
+// The plain vanilla dataset (compile-verified pairs as-is), used by the
+// Fig 3 "Vanilla" ablation arm.
+Dataset build_vanilla_dataset(const std::vector<VanillaPair>& vanilla,
+                              double sample_weight = 1.0);
+
+}  // namespace haven::dataset

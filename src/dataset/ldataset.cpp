@@ -1,0 +1,79 @@
+#include "dataset/ldataset.h"
+
+#include "llm/codegen.h"
+#include "llm/instruction.h"
+#include "logic/exprgen.h"
+#include "logic/qm.h"
+#include "nlp/evolution.h"
+
+namespace haven::dataset {
+
+Dataset build_l_dataset(const LDatasetConfig& config, util::Rng& rng, double sample_weight) {
+  Dataset out;
+  out.samples.reserve(config.count);
+
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const bool concise = rng.chance(config.p_concise);
+
+    llm::TaskSpec spec;
+    spec.kind = llm::TaskKind::kCombExpr;
+    spec.module_name = "logic_unit";
+
+    Sample sample;
+    sample.origin = "l";
+    sample.weight = sample_weight;
+
+    if (concise) {
+      // Category 1: find the most concise expression. Pose a truth table or
+      // Karnaugh map (possibly with don't-cares); the code side is the
+      // QM-minimized implementation.
+      const std::size_t nvars = static_cast<std::size_t>(rng.uniform_int(3, 4));
+      logic::ExprGenConfig egc;
+      egc.num_vars = nvars;
+      logic::ExprGenerator gen(egc);
+      const double dc = rng.chance(config.p_dont_care) ? 0.2 : 0.0;
+      const logic::TruthTable tt = gen.generate_table(rng, dc);
+      spec.expr = tt.to_sum_of_minterms();  // semantic function (dc -> 0)
+      spec.comb_inputs = tt.inputs();
+      spec.comb_output = tt.output();
+      spec.want_minimal = true;
+      spec.presentation = rng.chance(config.p_kmap) ? llm::CombPresentation::kKarnaughMap
+                                                    : llm::CombPresentation::kTruthTable;
+      sample.teaches = {
+          {llm::HalluAxis::kLogicExpression, 1.0},
+          {llm::HalluAxis::kLogicCorner, dc > 0 ? 1.0 : 0.5},
+          {llm::HalluAxis::kSymTruthTable, 0.2},
+          {llm::HalluAxis::kComprehension, 0.3},
+      };
+    } else {
+      // Category 2: faithfully implement instruction logic (no concise form
+      // expected). Posed in English or expression text.
+      const std::size_t nvars = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      logic::ExprGenConfig egc;
+      egc.num_vars = nvars;
+      egc.max_depth = 5;
+      logic::ExprGenerator gen(egc);
+      spec.expr = gen.generate_nontrivial(rng);
+      spec.comb_inputs = logic::ExprGenerator::default_var_names(nvars);
+      spec.presentation = rng.chance(0.5) ? llm::CombPresentation::kEnglishText
+                                          : llm::CombPresentation::kExpressionText;
+      sample.teaches = {
+          {llm::HalluAxis::kLogicInstruction, 1.0},
+          {llm::HalluAxis::kLogicExpression, 0.6},
+          {llm::HalluAxis::kLogicCorner, 0.3},
+          {llm::HalluAxis::kComprehension, 0.3},
+      };
+    }
+
+    llm::InstructionOptions opts;
+    opts.style = llm::PromptStyle::kEngineer;
+    sample.instruction = llm::render_instruction(spec, opts, rng);
+    // Step 12: instruction evolution, bounded paraphrase.
+    sample.instruction = nlp::evolve_instruction(sample.instruction, rng);
+    sample.code = llm::generate_source(spec);
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace haven::dataset

@@ -1,0 +1,25 @@
+// Logical-enhanced dataset generation (Fig 2, steps 9-12, yellow path).
+// Two categories of logical reasoning (step 9): finding the most concise
+// expression (Karnaugh-map / truth-table exercises solved by the
+// Quine-McCluskey engine) and faithfully implementing logic with no concise
+// form (nested condition chains). Expressions and input-output mappings are
+// script-generated (step 10), embedded into code/instruction templates
+// (step 11), and diversified by instruction evolution (step 12).
+#pragma once
+
+#include "dataset/mix.h"
+#include "util/rng.h"
+
+namespace haven::dataset {
+
+struct LDatasetConfig {
+  std::size_t count = 500;
+  double p_concise = 0.5;   // fraction of "most concise expression" exercises
+  double p_kmap = 0.3;      // of the concise ones, fraction posed as K-maps
+  double p_dont_care = 0.3; // concise exercises with don't-care rows
+};
+
+Dataset build_l_dataset(const LDatasetConfig& config, util::Rng& rng,
+                        double sample_weight = 1.0);
+
+}  // namespace haven::dataset

@@ -1,0 +1,35 @@
+#include "dataset/mix.h"
+
+#include <algorithm>
+
+namespace haven::dataset {
+
+llm::DatasetStats Dataset::stats() const {
+  llm::DatasetStats s;
+  for (const auto& sample : samples) {
+    for (const auto& [axis, amount] : sample.teaches) {
+      s.axis(axis) += amount * sample.weight;
+    }
+  }
+  s.total_samples = samples.size();
+  return s;
+}
+
+Dataset Dataset::subset(double fraction) const {
+  Dataset out;
+  const std::size_t n = static_cast<std::size_t>(
+      std::clamp(fraction, 0.0, 1.0) * static_cast<double>(samples.size()) + 0.5);
+  out.samples.assign(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+Dataset mix(const std::vector<Dataset>& parts, util::Rng& rng) {
+  Dataset out;
+  for (const auto& part : parts) {
+    out.samples.insert(out.samples.end(), part.samples.begin(), part.samples.end());
+  }
+  rng.shuffle(out.samples);
+  return out;
+}
+
+}  // namespace haven::dataset

@@ -1,0 +1,38 @@
+// Dataset containers and mixing. A Sample is one instruction-code training
+// pair annotated with the hallucination axes it teaches (used by the
+// fine-tuning simulation); a Dataset aggregates samples and reports
+// DatasetStats. mix() shuffles datasets together (Fig 2: "K-dataset and
+// L-dataset are shuffled and combined as KL-dataset").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "llm/finetune.h"
+#include "util/rng.h"
+
+namespace haven::dataset {
+
+struct Sample {
+  std::string instruction;
+  std::string code;
+  std::string origin;  // "vanilla" | "k" | "l"
+  // Effective training weight. The reproduction materializes fewer samples
+  // than the paper's 43k/14k/5k; weight scales each sample's contribution to
+  // DatasetStats so fine-tuning sees paper-scale coverage.
+  double weight = 1.0;
+  std::vector<std::pair<llm::HalluAxis, double>> teaches;
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+
+  llm::DatasetStats stats() const;
+  // Keep only the first `fraction` of samples (after external shuffling);
+  // used by the Fig 4 composition sweep.
+  Dataset subset(double fraction) const;
+};
+
+Dataset mix(const std::vector<Dataset>& parts, util::Rng& rng);
+
+}  // namespace haven::dataset

@@ -1,0 +1,42 @@
+#include "dataset/vanilla.h"
+
+#include "llm/instruction.h"
+
+namespace haven::dataset {
+
+std::vector<VanillaPair> build_vanilla_pairs(const std::vector<CorpusItem>& corpus,
+                                             util::Rng& rng) {
+  std::vector<VanillaPair> pairs;
+  for (const auto& item : corpus) {
+    verilog::SourceAnalysis sa = verilog::analyze_source(item.content);
+    if (sa.modules.empty()) continue;  // junk: no module to describe
+
+    VanillaPair pair;
+    pair.code = item.content;
+    pair.spec = item.spec;
+    pair.compiles = sa.ok();
+    if (!sa.modules.empty()) {
+      pair.topics = sa.modules.front().topics;
+      pair.attributes = sa.modules.front().attributes;
+    }
+
+    // GPT-3.5-style description: verbose prose. When the ground-truth spec
+    // is known we can phrase the actual function; otherwise (noise files) a
+    // generic description — the "trivial and misaligned" failure mode the
+    // paper criticizes.
+    if (pair.spec) {
+      llm::InstructionOptions opts;
+      opts.style = llm::PromptStyle::kVanilla;
+      opts.include_header = false;  // vanilla pairs rarely pin the interface
+      pair.instruction = llm::render_instruction(*pair.spec, opts, rng);
+    } else {
+      pair.instruction =
+          "This Verilog file contains a hardware module. Implement a module with equivalent "
+          "behavior in synthesizable Verilog.";
+    }
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace haven::dataset

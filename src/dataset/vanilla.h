@@ -1,0 +1,32 @@
+// Vanilla instruction-code pairs (Fig 2, step 5): a GPT-3.5 stand-in writes
+// a basic, general-purpose instruction for each corpus code sample. Pairs
+// whose code does not contain a recognizable module are dropped; topics and
+// attributes are extracted with the analyzer (slang substitute, step 6).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "verilog/analyzer.h"
+
+namespace haven::dataset {
+
+struct VanillaPair {
+  std::string instruction;
+  std::string code;
+  std::optional<llm::TaskSpec> spec;   // ground truth when known
+  std::set<verilog::Topic> topics;     // analyzer-extracted
+  verilog::Attributes attributes;
+  bool compiles = false;
+};
+
+// Build vanilla pairs from the corpus. Items without a parseable module are
+// skipped (mirroring the paper's yield: ~550k samples -> ~43k valid pairs
+// after verification).
+std::vector<VanillaPair> build_vanilla_pairs(const std::vector<CorpusItem>& corpus,
+                                             util::Rng& rng);
+
+}  // namespace haven::dataset

@@ -1,0 +1,21 @@
+#include "eval/report.h"
+
+#include "util/strings.h"
+
+namespace haven::eval {
+
+std::string pct(double fraction) { return util::format("%.1f", fraction * 100.0); }
+
+std::string pass_total(std::pair<int, int> pt) {
+  const double rate = pt.second == 0 ? 0.0 : 100.0 * pt.first / pt.second;
+  return util::format("%d/%d(%.1f%%)", pt.first, pt.second, rate);
+}
+
+std::string summarize(const SuiteResult& result) {
+  return util::format("%s on %s: pass@1=%s pass@5=%s syntax@5=%s (T=%.1f)",
+                      result.model_name.c_str(), result.suite_name.c_str(),
+                      pct(result.pass_at(1)).c_str(), pct(result.pass_at(5)).c_str(),
+                      pct(result.syntax_pass_at(5)).c_str(), result.temperature);
+}
+
+}  // namespace haven::eval

@@ -1,0 +1,19 @@
+// Report formatting helpers shared by the benchmark binaries.
+#pragma once
+
+#include <string>
+
+#include "eval/runner.h"
+
+namespace haven::eval {
+
+// "78.8" style percentage (one decimal).
+std::string pct(double fraction);
+
+// "6/10(60.0%)" pass-cases/total style (Table V cells).
+std::string pass_total(std::pair<int, int> pt);
+
+// One-line summary of a suite result.
+std::string summarize(const SuiteResult& result);
+
+}  // namespace haven::eval

@@ -1,0 +1,65 @@
+// Evaluation runner: sample n candidates per task from a model (optionally
+// through the SI-CoT pipeline), check syntax (compiler substitute) and
+// functional correctness (differential simulation against the golden
+// module), and aggregate pass@k. Follows the paper's protocol: temperatures
+// {0.2, 0.5, 0.8}, n = 10, best temperature reported.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cot/sicot.h"
+#include "eval/passk.h"
+#include "eval/task.h"
+#include "llm/simllm.h"
+
+namespace haven::eval {
+
+struct RunnerConfig {
+  int n_samples = 10;
+  std::vector<double> temperatures = {0.2, 0.5, 0.8};
+  bool use_sicot = false;
+  // CoT prompting model for SI-CoT; nullptr = use the CodeGen model itself
+  // (the paper's default: "the same pre-trained models for both").
+  const llm::SimLlm* cot_model = nullptr;
+  std::uint64_t seed = 0x484156454eULL;  // "HAVEN"
+};
+
+struct TaskResult {
+  std::string task_id;
+  symbolic::Modality modality = symbolic::Modality::kNone;
+  int n = 0;
+  int syntax_pass = 0;  // candidates that compile
+  int func_pass = 0;    // candidates functionally equivalent to golden
+};
+
+struct SuiteResult {
+  std::string suite_name;
+  std::string model_name;
+  double temperature = 0.2;  // the reported (best) temperature
+  std::vector<TaskResult> per_task;
+
+  double pass_at(int k) const;         // functional
+  double syntax_pass_at(int k) const;  // syntax
+  // Per-modality pass counts (Table V rows): {passed, total} at pass@1
+  // semantics, counting a task as passed if >= 1 of n samples passed.
+  std::pair<int, int> modality_pass(symbolic::Modality m) const;
+};
+
+// Evaluate one (model, suite) pair. Runs every configured temperature and
+// returns the best by functional pass@1.
+SuiteResult run_suite(const llm::SimLlm& model, const Suite& suite, const RunnerConfig& config);
+
+// Single-candidate check, exposed for tests and examples: generate with the
+// given rng and report (syntax_ok, func_ok, candidate_source).
+struct CandidateOutcome {
+  bool syntax_ok = false;
+  bool func_ok = false;
+  std::string source;
+};
+CandidateOutcome check_candidate(const llm::SimLlm& model, const EvalTask& task,
+                                 double temperature, bool use_sicot,
+                                 const llm::SimLlm* cot_model, util::Rng& rng);
+
+}  // namespace haven::eval

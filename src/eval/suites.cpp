@@ -1,0 +1,187 @@
+#include "eval/suites.h"
+
+#include "logic/exprgen.h"
+#include "util/strings.h"
+
+namespace haven::eval {
+
+using llm::CombPresentation;
+using llm::PromptStyle;
+using llm::TaskGenConfig;
+using llm::TaskKind;
+using llm::TaskSpec;
+
+namespace {
+
+constexpr std::uint64_t kMachineSeed = 0x6d61'6368'696e'6531ULL;
+constexpr std::uint64_t kHumanSeed = 0x6875'6d61'6e20'2020ULL;
+constexpr std::uint64_t kRtllmSeed = 0x7274'6c6c'6d20'2020ULL;
+
+// Force a comb spec with the given presentation and variable count.
+TaskSpec make_comb(util::Rng& rng, std::size_t nvars, CombPresentation pres,
+                   bool want_minimal = false) {
+  TaskSpec spec;
+  spec.kind = TaskKind::kCombExpr;
+  logic::ExprGenConfig egc;
+  egc.num_vars = nvars;
+  egc.max_depth = nvars <= 2 ? 3 : 4;
+  logic::ExprGenerator gen(egc);
+  spec.expr = gen.generate_nontrivial(rng);
+  spec.comb_inputs = logic::ExprGenerator::default_var_names(nvars);
+  spec.presentation = pres;
+  spec.want_minimal = want_minimal;
+  return spec;
+}
+
+TaskSpec make_fsm(util::Rng& rng, int min_states, int max_states) {
+  TaskSpec spec;
+  spec.kind = TaskKind::kFsm;
+  symbolic::StateDiagramGenConfig cfg;
+  cfg.min_states = min_states;
+  cfg.max_states = max_states;
+  spec.diagram = symbolic::generate_state_diagram(rng, cfg);
+  spec.seq.reset = rng.chance(0.4) ? llm::ResetKind::kAsync : llm::ResetKind::kSync;
+  return spec;
+}
+
+}  // namespace
+
+Suite build_verilogeval_machine() {
+  Suite suite;
+  suite.name = "VerilogEval-machine";
+  util::Rng rng(kMachineSeed);
+
+  // GPT-generated tasks: prose only, simpler mix, verbose phrasing.
+  TaskGenConfig config;
+  config.p_truth_table = 0;
+  config.p_waveform = 0;
+  config.p_kmap = 0;
+  config.w_fsm = 0.4;           // machine set has few state machines
+  config.comb_max_vars = 3;
+  config.max_width = 8;
+  config.p_negedge = 0.05;
+  config.p_active_low = 0.15;
+
+  for (int i = 0; i < 143; ++i) {
+    TaskSpec spec = llm::generate_task(rng, config);
+    suite.tasks.push_back(make_task(util::format("machine_%03d", i), spec,
+                                    PromptStyle::kVanilla, rng));
+  }
+  return suite;
+}
+
+namespace {
+
+// The 156 human tasks: 44 symbolic + 112 engineer-style prose tasks, in a
+// deterministic interleaving. Built once; v1 and v2 share the specs.
+std::vector<TaskSpec> human_specs() {
+  std::vector<TaskSpec> specs;
+  util::Rng rng(kHumanSeed);
+
+  // 10 truth tables (2 of them posed as Karnaugh maps with "most concise").
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t nvars = 2 + static_cast<std::size_t>(i % 3);
+    const bool kmap = i >= 8;
+    specs.push_back(make_comb(rng, nvars,
+                              kmap ? CombPresentation::kKarnaughMap
+                                   : CombPresentation::kTruthTable,
+                              kmap || i % 3 == 0));
+  }
+  // 13 waveforms.
+  for (int i = 0; i < 13; ++i) {
+    specs.push_back(make_comb(rng, 2 + static_cast<std::size_t>(i % 3),
+                              CombPresentation::kWaveform));
+  }
+  // 21 state diagrams.
+  for (int i = 0; i < 21; ++i) {
+    specs.push_back(make_fsm(rng, 2 + i % 2, 3 + i % 3));
+  }
+  // 112 engineer-style prose tasks.
+  TaskGenConfig config;
+  config.p_truth_table = 0;
+  config.p_waveform = 0;
+  config.p_kmap = 0;
+  config.w_fsm = 0;  // FSMs in the human set come as diagrams above
+  for (int i = 0; i < 112; ++i) {
+    specs.push_back(llm::generate_task(rng, config));
+  }
+  // Deterministic interleave so symbolic tasks spread through the suite.
+  util::Rng shuffle_rng(kHumanSeed ^ 0xff);
+  shuffle_rng.shuffle(specs);
+  return specs;
+}
+
+}  // namespace
+
+Suite build_verilogeval_human() {
+  Suite suite;
+  suite.name = "VerilogEval-human";
+  util::Rng rng(kHumanSeed ^ 0x1);
+  const auto specs = human_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    suite.tasks.push_back(make_task(util::format("human_%03zu", i), specs[i],
+                                    PromptStyle::kEngineer, rng));
+  }
+  return suite;
+}
+
+Suite build_verilogeval_v2() {
+  Suite suite;
+  suite.name = "VerilogEval-v2";
+  util::Rng rng(kHumanSeed ^ 0x2);
+  const auto specs = human_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    suite.tasks.push_back(make_task(util::format("v2_%03zu", i), specs[i],
+                                    PromptStyle::kChat, rng));
+  }
+  return suite;
+}
+
+Suite build_symbolic44() {
+  Suite full = build_verilogeval_human();
+  Suite suite;
+  suite.name = "Symbolic-44";
+  for (const auto& task : full.tasks) {
+    if (task.modality != symbolic::Modality::kNone) suite.tasks.push_back(task);
+  }
+  return suite;
+}
+
+Suite build_rtllm() {
+  Suite suite;
+  suite.name = "RTLLM-v1.1";
+  util::Rng rng(kRtllmSeed);
+
+  // 29 larger designs: wide datapaths, dividers, FSMs with more states.
+  TaskGenConfig config;
+  config.w_comb = 0.6;
+  config.w_alu = 2.0;
+  config.w_counter = 1.5;
+  config.w_shift = 1.2;
+  config.w_clock_divider = 1.5;
+  config.w_fsm = 1.5;
+  config.w_edge_detector = 1.0;
+  config.w_mux = 0.8;
+  config.w_decoder = 0.8;
+  config.w_adder = 1.2;
+  config.max_width = 16;
+  config.fsm_min_states = 4;
+  config.fsm_max_states = 6;
+  config.p_truth_table = 0;
+  config.p_waveform = 0;
+  config.p_kmap = 0;
+
+  for (int i = 0; i < 29; ++i) {
+    TaskSpec spec = llm::generate_task(rng, config);
+    // RTLLM designs are bigger: widen datapaths beyond the default cap.
+    if (spec.kind == TaskKind::kAlu || spec.kind == TaskKind::kAdder ||
+        spec.kind == TaskKind::kRegister) {
+      spec.width = std::max(spec.width, 16);
+    }
+    suite.tasks.push_back(make_task(util::format("rtllm_%02d", i), spec,
+                                    PromptStyle::kEngineer, rng));
+  }
+  return suite;
+}
+
+}  // namespace haven::eval

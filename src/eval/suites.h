@@ -1,0 +1,29 @@
+// Benchmark suite builders. Sizes, category mixes and phrasing styles mirror
+// the paper's benchmarks:
+//
+//  * VerilogEval-machine: 143 tasks, GPT-generated verbose prose (vanilla
+//    style), simpler function mix, no symbolic payloads.
+//  * VerilogEval-human: 156 manually-crafted tasks, engineer phrasing,
+//    including exactly 44 symbolic tasks (10 truth tables, 13 waveforms,
+//    21 state diagrams) — the subset Table V evaluates.
+//  * VerilogEval v2: the human tasks re-phrased as specification-to-RTL chat
+//    ("Question:"/"Answer:").
+//  * RTLLM v1.1: 29 larger RTL designs (wide ALUs/counters/shifters, clock
+//    dividers), engineer phrasing.
+//
+// All builders are deterministic (fixed internal seeds).
+#pragma once
+
+#include "eval/task.h"
+
+namespace haven::eval {
+
+Suite build_verilogeval_machine();
+Suite build_verilogeval_human();
+Suite build_verilogeval_v2();
+Suite build_rtllm();
+
+// The 44 symbolic-modality tasks of VerilogEval-human (Table V / VI).
+Suite build_symbolic44();
+
+}  // namespace haven::eval

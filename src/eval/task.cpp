@@ -1,0 +1,57 @@
+#include "eval/task.h"
+
+#include "llm/codegen.h"
+#include "llm/instruction.h"
+
+namespace haven::eval {
+
+sim::StimulusSpec stimulus_for(const llm::TaskSpec& spec) {
+  sim::StimulusSpec stim;
+  stim.sequential = spec.sequential();
+  if (stim.sequential) {
+    stim.clock = "clk";
+    if (spec.seq.reset != llm::ResetKind::kNone) {
+      stim.reset = spec.seq.reset_name();
+      stim.reset_active_low = spec.seq.reset_active_low;
+    }
+    stim.cycles = 48;
+    if (spec.kind == llm::TaskKind::kClockDivider) stim.cycles = 64;
+    if (spec.kind == llm::TaskKind::kFsm) stim.cycles = 64;
+  } else {
+    stim.max_exhaustive_bits = 12;
+    stim.random_vectors = 192;
+  }
+  return stim;
+}
+
+EvalTask make_task(std::string id, const llm::TaskSpec& spec, llm::PromptStyle style,
+                   util::Rng& rng, bool include_header) {
+  EvalTask task;
+  task.id = std::move(id);
+  task.spec = spec;
+  llm::InstructionOptions opts;
+  opts.style = style;
+  opts.include_header = include_header;
+  task.prompt = llm::render_instruction(spec, opts, rng);
+  task.golden_source = llm::generate_source(spec);
+  task.stimulus = stimulus_for(spec);
+  if (spec.kind == llm::TaskKind::kFsm) {
+    task.modality = style == llm::PromptStyle::kVanilla ? symbolic::Modality::kNone
+                                                        : symbolic::Modality::kStateDiagram;
+  } else if (spec.kind == llm::TaskKind::kCombExpr) {
+    switch (spec.presentation) {
+      case llm::CombPresentation::kTruthTable:
+      case llm::CombPresentation::kKarnaughMap:
+        task.modality = symbolic::Modality::kTruthTable;
+        break;
+      case llm::CombPresentation::kWaveform:
+        task.modality = symbolic::Modality::kWaveform;
+        break;
+      default:
+        break;
+    }
+  }
+  return task;
+}
+
+}  // namespace haven::eval

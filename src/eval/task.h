@@ -1,0 +1,38 @@
+// Evaluation task: prompt + golden reference + stimulus protocol. Suites of
+// EvalTasks stand in for VerilogEval v1/v2 and RTLLM v1.1 (see DESIGN.md §1
+// for why the substitution preserves the comparisons).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "llm/instruction.h"
+#include "llm/task_spec.h"
+#include "sim/testbench.h"
+#include "symbolic/modality.h"
+
+namespace haven::eval {
+
+struct EvalTask {
+  std::string id;
+  llm::TaskSpec spec;            // golden semantics
+  std::string prompt;
+  std::string golden_source;
+  sim::StimulusSpec stimulus;
+  symbolic::Modality modality = symbolic::Modality::kNone;  // raw presentation
+};
+
+struct Suite {
+  std::string name;
+  std::vector<EvalTask> tasks;
+};
+
+// Derive the stimulus protocol from a spec (clock/reset names, polarity,
+// cycle count, exhaustive-vs-random vector policy).
+sim::StimulusSpec stimulus_for(const llm::TaskSpec& spec);
+
+// Build a full task from a spec (renders prompt + golden, derives stimulus).
+EvalTask make_task(std::string id, const llm::TaskSpec& spec, llm::PromptStyle style,
+                   util::Rng& rng, bool include_header = true);
+
+}  // namespace haven::eval

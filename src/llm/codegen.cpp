@@ -1,0 +1,496 @@
+#include "llm/codegen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "logic/qm.h"
+#include "logic/truth_table.h"
+#include "util/strings.h"
+#include "verilog/pretty.h"
+
+namespace haven::llm {
+
+using verilog::AlwaysBlock;
+using verilog::CaseItem;
+using verilog::CaseKind;
+using verilog::ContAssign;
+using verilog::Dir;
+using verilog::Edge;
+using verilog::Expr;
+using verilog::ExprPtr;
+using verilog::Module;
+using verilog::NetDecl;
+using verilog::NetType;
+using verilog::Port;
+using verilog::Range;
+using verilog::SensItem;
+using verilog::Stmt;
+using verilog::StmtPtr;
+
+namespace {
+
+ExprPtr num(std::uint64_t value, int width) { return Expr::make_number(value, width, true); }
+ExprPtr id(const std::string& name) { return Expr::make_ident(name); }
+
+Port make_port(const TaskSpec::PortInfo& info, bool as_reg) {
+  Port p;
+  p.name = info.name;
+  p.dir = info.is_input ? Dir::kInput : Dir::kOutput;
+  p.is_reg = !info.is_input && as_reg;
+  if (info.width > 1) p.range = Range{info.width - 1, 0};
+  return p;
+}
+
+// Lower a logic::Expr over 1-bit ports to a verilog::Expr.
+ExprPtr lower_logic(const logic::Expr& e) {
+  switch (e.op()) {
+    case logic::Op::kVar: return id(e.name());
+    case logic::Op::kConst: return num(e.value() ? 1 : 0, 1);
+    case logic::Op::kNot: return Expr::make_unary("~", lower_logic(*e.lhs()));
+    case logic::Op::kAnd:
+      return Expr::make_binary("&", lower_logic(*e.lhs()), lower_logic(*e.rhs()));
+    case logic::Op::kOr:
+      return Expr::make_binary("|", lower_logic(*e.lhs()), lower_logic(*e.rhs()));
+    case logic::Op::kXor:
+      return Expr::make_binary("^", lower_logic(*e.lhs()), lower_logic(*e.rhs()));
+    case logic::Op::kXnor:
+      return Expr::make_unary("~", Expr::make_binary("^", lower_logic(*e.lhs()),
+                                                     lower_logic(*e.rhs())));
+    case logic::Op::kNand:
+      return Expr::make_unary("~", Expr::make_binary("&", lower_logic(*e.lhs()),
+                                                     lower_logic(*e.rhs())));
+    case logic::Op::kNor:
+      return Expr::make_unary("~", Expr::make_binary("|", lower_logic(*e.lhs()),
+                                                     lower_logic(*e.rhs())));
+  }
+  throw std::logic_error("lower_logic: corrupt op");
+}
+
+// Condition testing the (possibly active-low) reset.
+ExprPtr reset_condition(const SeqAttributes& seq) {
+  ExprPtr r = id(seq.reset_name());
+  return seq.reset_active_low ? Expr::make_unary("!", r) : r;
+}
+
+ExprPtr enable_condition(const SeqAttributes& seq) {
+  ExprPtr e = id(seq.enable_name());
+  return seq.enable == EnableKind::kActiveLow ? Expr::make_unary("!", e) : e;
+}
+
+// Build the canonical clocked always block:
+//   always @(posedge clk [or posedge rst])
+//     if (reset_cond) <reset_stmt>
+//     else [if (enable_cond)] <body_stmt>
+AlwaysBlock clocked_always(const TaskSpec& spec, StmtPtr reset_stmt, StmtPtr body,
+                           const CodegenOptions& /*options*/) {
+  const SeqAttributes& seq = spec.seq;
+  AlwaysBlock ab;
+  ab.sens.push_back({seq.negedge_clock ? Edge::kNeg : Edge::kPos, "clk"});
+  if (seq.reset == ResetKind::kAsync) {
+    ab.sens.push_back({seq.reset_active_low ? Edge::kNeg : Edge::kPos, seq.reset_name()});
+  }
+
+  // Note: include_trailing_else only affects combinational logic; dropping
+  // the else of a reset-if would deadlock every register, which is not the
+  // corner-case failure mode the taxonomy describes.
+  StmtPtr inner = body;
+  if (seq.enable != EnableKind::kNone) {
+    inner = Stmt::make_if(enable_condition(seq), body, nullptr);
+  }
+  if (seq.reset != ResetKind::kNone && reset_stmt) {
+    inner = Stmt::make_if(reset_condition(seq), reset_stmt, inner);
+  }
+  ab.body = inner;
+  return ab;
+}
+
+StmtPtr assign_stmt(const CodegenOptions& options, ExprPtr lhs, ExprPtr rhs) {
+  return Stmt::make_assign(!options.nonblocking_in_clocked, std::move(lhs), std::move(rhs));
+}
+
+// Corner-case injection: drop one non-default item from a case body.
+void maybe_omit_case_item(std::vector<CaseItem>& items, const CodegenOptions& options) {
+  if (options.omit_case_item < 0 || items.size() <= 1) return;
+  items.erase(items.begin() +
+              static_cast<std::ptrdiff_t>(static_cast<std::size_t>(options.omit_case_item) %
+                                          items.size()));
+}
+
+// --- per-kind generators ----------------------------------------------------
+
+void gen_comb_expr(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  if (!spec.expr) throw std::invalid_argument("kCombExpr spec without expression");
+
+  if (options.comb_as_incomplete_case) {
+    // Taxonomy failure mode: enumerate only the '1' rows over {inputs...},
+    // no default (unlisted rows latch -> X mismatch in the testbench).
+    const logic::TruthTable tt =
+        logic::TruthTable::from_expr(*spec.expr, spec.comb_inputs, spec.comb_output);
+    const int n = static_cast<int>(spec.comb_inputs.size());
+    // Subject {d, c, b, a}: input i is bit i, so MSB-first in the concat.
+    std::vector<ExprPtr> parts;
+    for (int i = n - 1; i >= 0; --i) parts.push_back(id(spec.comb_inputs[static_cast<std::size_t>(i)]));
+    ExprPtr subject = n == 1 ? parts[0] : Expr::make_concat(std::move(parts));
+    std::vector<CaseItem> items;
+    for (std::uint32_t mt : tt.minterms()) {
+      CaseItem item;
+      item.labels.push_back(num(mt, n));
+      item.body = Stmt::make_assign(true, id(spec.comb_output), num(1, 1));
+      items.push_back(std::move(item));
+    }
+    if (items.empty()) {
+      CaseItem item;
+      item.labels.push_back(num(0, n));
+      item.body = Stmt::make_assign(true, id(spec.comb_output), num(0, 1));
+      items.push_back(std::move(item));
+    }
+    AlwaysBlock comb;
+    comb.star = true;
+    comb.body = Stmt::make_case(CaseKind::kCase, std::move(subject), std::move(items));
+    m.items.emplace_back(std::move(comb));
+    // The output must be reg for the procedural assignment.
+    for (auto& port : m.ports) {
+      if (port.name == spec.comb_output) port.is_reg = true;
+    }
+    return;
+  }
+
+  logic::ExprPtr semantic = spec.expr;
+  if (spec.want_minimal) {
+    const logic::TruthTable tt =
+        logic::TruthTable::from_expr(*spec.expr, spec.comb_inputs, spec.comb_output);
+    semantic = logic::minimize(tt).expr;
+  }
+  ContAssign ca;
+  ca.lhs = id(spec.comb_output);
+  ca.rhs = lower_logic(*semantic);
+  m.items.emplace_back(std::move(ca));
+}
+
+void gen_fsm(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  const symbolic::StateDiagram& sd = spec.diagram;
+  if (!sd.valid()) throw std::invalid_argument("kFsm spec with invalid diagram");
+  const int bits = sd.state_bits();
+
+  // State parameters.
+  for (std::size_t s = 0; s < sd.num_states(); ++s) {
+    verilog::ParameterDecl p;
+    p.name = "S_" + sd.states[s];
+    p.local = true;
+    p.value = num(s, bits);
+    m.items.emplace_back(std::move(p));
+  }
+  auto state_const = [&](int s) { return num(static_cast<std::uint64_t>(s), bits); };
+
+  NetDecl regs;
+  regs.type = NetType::kReg;
+  if (bits > 1) regs.range = Range{bits - 1, 0};
+  regs.names = {"state", "next_state"};
+  m.items.emplace_back(std::move(regs));
+
+  // 1. State register.
+  {
+    StmtPtr reset_stmt = Stmt::make_assign(false, id("state"), state_const(sd.reset_state));
+    StmtPtr step = Stmt::make_assign(!options.nonblocking_in_clocked, id("state"),
+                                     id("next_state"));
+    m.items.emplace_back(clocked_always(spec, reset_stmt, step, options));
+  }
+
+  const std::string comb_target = options.fsm_write_state_in_comb ? "state" : "next_state";
+
+  // 2. Next-state logic.
+  {
+    std::vector<CaseItem> items;
+    for (std::size_t s = 0; s < sd.num_states(); ++s) {
+      CaseItem item;
+      item.labels.push_back(state_const(static_cast<int>(s)));
+      // next = x ? next1 : next0
+      ExprPtr next = Expr::make_ternary(id(sd.input_name),
+                                        state_const(sd.step(static_cast<int>(s), 1)),
+                                        state_const(sd.step(static_cast<int>(s), 0)));
+      item.body = Stmt::make_assign(true, id(comb_target), std::move(next));
+      items.push_back(std::move(item));
+    }
+    maybe_omit_case_item(items, options);
+    if (options.include_default_case) {
+      CaseItem def;
+      def.body = Stmt::make_assign(true, id(comb_target), state_const(sd.reset_state));
+      items.push_back(std::move(def));
+    }
+    AlwaysBlock comb;
+    comb.star = true;
+    comb.body = Stmt::make_case(CaseKind::kCase, id("state"), std::move(items));
+    if (!options.fsm_separate_blocks) {
+      // Single-block style: fold next-state computation into the clocked
+      // block (drops the separate register; a structural convention
+      // violation that usually still simulates but diverges under reset or
+      // enable interplay). We keep it simple: next_state computed
+      // combinationally but output logic folded below.
+    }
+    m.items.emplace_back(std::move(comb));
+  }
+
+  // 3. Moore output logic.
+  {
+    std::vector<CaseItem> items;
+    for (std::size_t s = 0; s < sd.num_states(); ++s) {
+      CaseItem item;
+      item.labels.push_back(state_const(static_cast<int>(s)));
+      item.body = Stmt::make_assign(true, id(sd.output_name),
+                                    num(static_cast<std::uint64_t>(sd.outputs[s]), 1));
+      items.push_back(std::move(item));
+    }
+    if (options.include_default_case) {
+      CaseItem def;
+      def.body = Stmt::make_assign(true, id(sd.output_name), num(0, 1));
+      items.push_back(std::move(def));
+    }
+    AlwaysBlock comb;
+    comb.star = true;
+    comb.body = Stmt::make_case(CaseKind::kCase, id("state"), std::move(items));
+    m.items.emplace_back(std::move(comb));
+  }
+}
+
+void gen_counter(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  const int w = spec.width;
+  ExprPtr step;
+  if (spec.count_down) {
+    step = Expr::make_binary("-", id("q"), num(1, w));
+  } else {
+    step = Expr::make_binary("+", id("q"), num(1, w));
+  }
+  StmtPtr body;
+  if (spec.modulus > 0) {
+    const std::uint64_t top = static_cast<std::uint64_t>(spec.modulus - 1);
+    if (spec.count_down) {
+      // 0 wraps to modulus-1.
+      ExprPtr at_zero = Expr::make_binary("==", id("q"), num(0, w));
+      body = Stmt::make_if(at_zero, assign_stmt(options, id("q"), num(top, w)),
+                           assign_stmt(options, id("q"), step));
+    } else {
+      ExprPtr at_top = Expr::make_binary("==", id("q"), num(top, w));
+      body = Stmt::make_if(at_top, assign_stmt(options, id("q"), num(0, w)),
+                           assign_stmt(options, id("q"), step));
+    }
+  } else {
+    body = assign_stmt(options, id("q"), step);
+  }
+  StmtPtr reset_stmt = Stmt::make_assign(false, id("q"), num(0, w));
+  m.items.emplace_back(clocked_always(spec, reset_stmt, body, options));
+}
+
+void gen_shift_register(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  const int w = spec.width;
+  ExprPtr next;
+  if (spec.shift_left) {
+    // q <= {q[w-2:0], din}
+    ExprPtr upper = w >= 2 ? Expr::make_part_select("q", w - 2, 0) : nullptr;
+    next = upper ? Expr::make_concat({upper, id("din")}) : id("din");
+  } else {
+    // q <= {din, q[w-1:1]}
+    ExprPtr lower = w >= 2 ? Expr::make_part_select("q", w - 1, 1) : nullptr;
+    next = lower ? Expr::make_concat({id("din"), lower}) : id("din");
+  }
+  StmtPtr body = assign_stmt(options, id("q"), std::move(next));
+  StmtPtr reset_stmt = Stmt::make_assign(false, id("q"), num(0, w));
+  m.items.emplace_back(clocked_always(spec, reset_stmt, body, options));
+}
+
+void gen_register(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  StmtPtr body = assign_stmt(options, id("q"), id("d"));
+  StmtPtr reset_stmt = Stmt::make_assign(false, id("q"), num(0, spec.width));
+  m.items.emplace_back(clocked_always(spec, reset_stmt, body, options));
+}
+
+void gen_adder(const TaskSpec& /*spec*/, Module& m) {
+  // {cout, sum} = {1'b0, a} + b + cin; the widened first operand keeps the
+  // carry (binary ops evaluate at the max operand width).
+  ContAssign ca;
+  ca.lhs = Expr::make_concat({id("cout"), id("sum")});
+  ca.rhs = Expr::make_binary(
+      "+", Expr::make_binary("+", Expr::make_concat({num(0, 1), id("a")}), id("b")), id("cin"));
+  m.items.emplace_back(std::move(ca));
+}
+
+void gen_mux(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  if (spec.mux_inputs == 2) {
+    ContAssign ca;
+    ca.lhs = id("y");
+    ca.rhs = Expr::make_ternary(id("sel"), id("d1"), id("d0"));
+    m.items.emplace_back(std::move(ca));
+    return;
+  }
+  std::vector<CaseItem> items;
+  for (int i = 0; i < spec.mux_inputs; ++i) {
+    CaseItem item;
+    item.labels.push_back(num(static_cast<std::uint64_t>(i), 2));
+    item.body = Stmt::make_assign(true, id("y"), id(util::format("d%d", i)));
+    items.push_back(std::move(item));
+  }
+  maybe_omit_case_item(items, options);
+  if (options.include_default_case) {
+    CaseItem def;
+    def.body = Stmt::make_assign(true, id("y"), num(0, spec.width));
+    items.push_back(std::move(def));
+  }
+  AlwaysBlock comb;
+  comb.star = true;
+  comb.body = Stmt::make_case(CaseKind::kCase, id("sel"), std::move(items));
+  m.items.emplace_back(std::move(comb));
+}
+
+void gen_decoder(const TaskSpec& spec, Module& m, const CodegenOptions& /*options*/) {
+  const int out_w = 1 << spec.sel_width;
+  // always @(*) begin y = 0; y[sel] = 1'b1; end
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(Stmt::make_assign(true, id("y"), num(0, out_w)));
+  stmts.push_back(Stmt::make_assign(true, Expr::make_bit_select("y", id("sel")), num(1, 1)));
+  AlwaysBlock comb;
+  comb.star = true;
+  comb.body = Stmt::make_block(std::move(stmts));
+  m.items.emplace_back(std::move(comb));
+}
+
+void gen_comparator(const TaskSpec& /*spec*/, Module& m) {
+  auto emit = [&](const char* out_name, const char* op) {
+    ContAssign ca;
+    ca.lhs = id(out_name);
+    ca.rhs = Expr::make_binary(op, id("a"), id("b"));
+    m.items.emplace_back(std::move(ca));
+  };
+  emit("eq", "==");
+  emit("lt", "<");
+  emit("gt", ">");
+}
+
+void gen_parity(const TaskSpec& /*spec*/, Module& m) {
+  ContAssign ca;
+  ca.lhs = id("parity");
+  ca.rhs = Expr::make_unary("^", id("data"));
+  m.items.emplace_back(std::move(ca));
+}
+
+void gen_alu(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  std::vector<CaseItem> items;
+  const std::vector<std::pair<std::uint64_t, const char*>> ops = {
+      {0, "+"}, {1, "-"}, {2, "&"}, {3, "|"}};
+  for (const auto& [code, op] : ops) {
+    CaseItem item;
+    item.labels.push_back(num(code, 2));
+    item.body = Stmt::make_assign(true, id("y"), Expr::make_binary(op, id("a"), id("b")));
+    items.push_back(std::move(item));
+  }
+  maybe_omit_case_item(items, options);
+  if (options.include_default_case) {
+    CaseItem def;
+    def.body = Stmt::make_assign(true, id("y"), num(0, spec.width));
+    items.push_back(std::move(def));
+  }
+  AlwaysBlock comb;
+  comb.star = true;
+  comb.body = Stmt::make_case(CaseKind::kCase, id("op"), std::move(items));
+  m.items.emplace_back(std::move(comb));
+}
+
+void gen_clock_divider(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  // Counter 0..divide_by/2-1, toggling clk_out at wrap.
+  const int half = spec.divide_by / 2;
+  int cnt_w = 1;
+  while ((1 << cnt_w) < half) ++cnt_w;
+  cnt_w = std::max(cnt_w, 1);
+
+  NetDecl cnt;
+  cnt.type = NetType::kReg;
+  if (cnt_w > 1) cnt.range = Range{cnt_w - 1, 0};
+  cnt.names = {"cnt"};
+  m.items.emplace_back(std::move(cnt));
+
+  std::vector<StmtPtr> reset_stmts;
+  reset_stmts.push_back(Stmt::make_assign(false, id("cnt"), num(0, cnt_w)));
+  reset_stmts.push_back(Stmt::make_assign(false, id("clk_out"), num(0, 1)));
+
+  ExprPtr at_top =
+      Expr::make_binary("==", id("cnt"), num(static_cast<std::uint64_t>(half - 1), cnt_w));
+  std::vector<StmtPtr> wrap;
+  wrap.push_back(assign_stmt(options, id("cnt"), num(0, cnt_w)));
+  wrap.push_back(assign_stmt(options, id("clk_out"), Expr::make_unary("~", id("clk_out"))));
+  StmtPtr body =
+      Stmt::make_if(at_top, Stmt::make_block(std::move(wrap)),
+                    assign_stmt(options, id("cnt"),
+                                Expr::make_binary("+", id("cnt"), num(1, cnt_w))));
+  m.items.emplace_back(clocked_always(spec, Stmt::make_block(std::move(reset_stmts)), body,
+                                      options));
+}
+
+void gen_edge_detector(const TaskSpec& spec, Module& m, const CodegenOptions& options) {
+  NetDecl prev;
+  prev.type = NetType::kReg;
+  prev.names = {"sig_prev"};
+  m.items.emplace_back(std::move(prev));
+
+  StmtPtr body = assign_stmt(options, id("sig_prev"), id("sig"));
+  StmtPtr reset_stmt = Stmt::make_assign(false, id("sig_prev"), num(0, 1));
+  m.items.emplace_back(clocked_always(spec, reset_stmt, body, options));
+
+  ContAssign ca;
+  ca.lhs = id("pulse");
+  if (spec.detect_falling) {
+    ca.rhs = Expr::make_binary("&", Expr::make_unary("~", id("sig")), id("sig_prev"));
+  } else {
+    ca.rhs = Expr::make_binary("&", id("sig"), Expr::make_unary("~", id("sig_prev")));
+  }
+  m.items.emplace_back(std::move(ca));
+}
+
+// Which outputs must be declared reg for this kind?
+bool output_is_reg(const TaskSpec& spec, const std::string& name) {
+  switch (spec.kind) {
+    case TaskKind::kCombExpr:
+    case TaskKind::kAdder:
+    case TaskKind::kComparator:
+    case TaskKind::kParity:
+      return false;
+    case TaskKind::kMux:
+      return spec.mux_inputs != 2;
+    case TaskKind::kEdgeDetector:
+      return name != "pulse";  // pulse is a wire, sig_prev internal reg
+    case TaskKind::kFsm:
+      return name == spec.diagram.output_name;
+    default:
+      return true;  // counters, registers, shifters, decoders, alu, divider
+  }
+}
+
+}  // namespace
+
+Module generate_module(const TaskSpec& spec, const CodegenOptions& options) {
+  Module m;
+  m.name = spec.module_name;
+  for (const auto& info : spec.interface()) {
+    m.ports.push_back(make_port(info, !info.is_input && output_is_reg(spec, info.name)));
+  }
+
+  switch (spec.kind) {
+    case TaskKind::kCombExpr: gen_comb_expr(spec, m, options); break;
+    case TaskKind::kFsm: gen_fsm(spec, m, options); break;
+    case TaskKind::kCounter: gen_counter(spec, m, options); break;
+    case TaskKind::kShiftRegister: gen_shift_register(spec, m, options); break;
+    case TaskKind::kRegister: gen_register(spec, m, options); break;
+    case TaskKind::kAdder: gen_adder(spec, m); break;
+    case TaskKind::kMux: gen_mux(spec, m, options); break;
+    case TaskKind::kDecoder: gen_decoder(spec, m, options); break;
+    case TaskKind::kComparator: gen_comparator(spec, m); break;
+    case TaskKind::kParity: gen_parity(spec, m); break;
+    case TaskKind::kAlu: gen_alu(spec, m, options); break;
+    case TaskKind::kClockDivider: gen_clock_divider(spec, m, options); break;
+    case TaskKind::kEdgeDetector: gen_edge_detector(spec, m, options); break;
+  }
+  return m;
+}
+
+std::string generate_source(const TaskSpec& spec, const CodegenOptions& options) {
+  return verilog::print_module(generate_module(spec, options));
+}
+
+}  // namespace haven::llm

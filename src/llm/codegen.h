@@ -1,0 +1,50 @@
+// Spec-to-Verilog code generation: the "knows the correct answer" generator.
+// It produces the conventional, HDL-engineer-style implementation of a
+// TaskSpec (the style the paper's exemplars teach: three-block FSMs,
+// nonblocking clocked assignments, complete case statements).
+//
+// It serves three roles:
+//  * golden references for the evaluation suites,
+//  * exemplar code for the K-dataset,
+//  * the SimLlm's pre-corruption output (hallucination injectors then damage
+//    either the spec it generates from or the generated code).
+//
+// CodegenOptions expose the convention knobs the injectors turn: they exist
+// so that a *specific taxonomy failure* (Table II) can be produced
+// mechanically rather than by ad-hoc string surgery.
+#pragma once
+
+#include <string>
+
+#include "llm/task_spec.h"
+#include "verilog/ast.h"
+
+namespace haven::llm {
+
+struct CodegenOptions {
+  // FSM conventions (Table II, "Digital Design Convention Misapplication").
+  bool fsm_separate_blocks = true;     // false: single-block mess
+  bool fsm_write_state_in_comb = false;  // true: "state" instead of "next_state"
+  // Corner-case handling (Table II, "Incorrect Handling of Corner Cases").
+  bool include_default_case = true;
+  bool include_trailing_else = true;
+  // Render a kCombExpr as a case statement over the concatenated inputs that
+  // enumerates ONLY the true rows, with no default — the taxonomy's literal
+  // "case({a, b}) 2'b11: out = 1; endcase" failure. Unlisted rows latch.
+  bool comb_as_incomplete_case = false;
+  // Omit the (index mod #items)-th non-default case item from the FSM
+  // next-state / ALU / wide-mux case: that branch silently latches.
+  int omit_case_item = -1;
+  // Convention for clocked logic; false uses blocking assignments (lint
+  // violation that also breaks multi-register designs).
+  bool nonblocking_in_clocked = true;
+};
+
+// Build the module AST for a spec. Throws std::invalid_argument on malformed
+// specs (e.g. kCombExpr without an expression).
+verilog::Module generate_module(const TaskSpec& spec, const CodegenOptions& options = {});
+
+// Convenience: AST -> source text.
+std::string generate_source(const TaskSpec& spec, const CodegenOptions& options = {});
+
+}  // namespace haven::llm

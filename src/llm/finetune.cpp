@@ -1,0 +1,65 @@
+#include "llm/finetune.h"
+
+#include <cmath>
+
+namespace haven::llm {
+
+DatasetStats DatasetStats::operator+(const DatasetStats& o) const {
+  DatasetStats out = *this;
+  for (std::size_t i = 0; i < coverage.size(); ++i) out.coverage[i] += o.coverage[i];
+  out.total_samples += o.total_samples;
+  return out;
+}
+
+FineTuneConstants FineTuneConstants::defaults() {
+  FineTuneConstants c;
+  auto set = [&](HalluAxis a, double k, double floor) {
+    c.k[static_cast<std::size_t>(a)] = k;
+    c.floor[static_cast<std::size_t>(a)] = floor;
+  };
+  // Symbolic formats are hard to learn from text pairs alone: high K, high
+  // floor (SI-CoT, not fine-tuning, is the paper's cure for these — and
+  // even then Table V shows substantial residual failure).
+  set(HalluAxis::kSymTruthTable, 20000, 0.38);
+  set(HalluAxis::kSymWaveform, 25000, 0.52);
+  set(HalluAxis::kSymStateDiagram, 22000, 0.40);
+  // Knowledge axes respond well to HDL-aligned pairs (the K-dataset's job).
+  set(HalluAxis::kKnowConvention, 3500, 0.09);
+  set(HalluAxis::kKnowSyntax, 4000, 0.008);
+  set(HalluAxis::kKnowAttribute, 3500, 0.09);
+  // Logical axes respond to the L-dataset.
+  set(HalluAxis::kLogicExpression, 1200, 0.15);
+  set(HalluAxis::kLogicCorner, 1200, 0.11);
+  set(HalluAxis::kLogicInstruction, 1200, 0.15);
+  // Alignment needs engineer-style pairs; comprehension improves broadly.
+  set(HalluAxis::kMisalignment, 7000, 0.13);
+  set(HalluAxis::kComprehension, 12000, 0.06);
+  return c;
+}
+
+HallucinationProfile fine_tune(const HallucinationProfile& base, const DatasetStats& stats,
+                               const FineTuneConstants& constants) {
+  HallucinationProfile out = base;
+  auto apply = [&](double p, HalluAxis a) {
+    const std::size_t i = static_cast<std::size_t>(a);
+    const double n = stats.coverage[i];
+    if (n <= 0) return p;
+    const double floor = constants.floor[i];
+    if (p <= floor) return p;
+    return floor + (p - floor) * std::exp(-n / constants.k[i]);
+  };
+  out.sym_truth_table = apply(out.sym_truth_table, HalluAxis::kSymTruthTable);
+  out.sym_waveform = apply(out.sym_waveform, HalluAxis::kSymWaveform);
+  out.sym_state_diagram = apply(out.sym_state_diagram, HalluAxis::kSymStateDiagram);
+  out.know_convention = apply(out.know_convention, HalluAxis::kKnowConvention);
+  out.know_syntax = apply(out.know_syntax, HalluAxis::kKnowSyntax);
+  out.know_attribute = apply(out.know_attribute, HalluAxis::kKnowAttribute);
+  out.logic_expression = apply(out.logic_expression, HalluAxis::kLogicExpression);
+  out.logic_corner = apply(out.logic_corner, HalluAxis::kLogicCorner);
+  out.logic_instruction = apply(out.logic_instruction, HalluAxis::kLogicInstruction);
+  out.misalignment = apply(out.misalignment, HalluAxis::kMisalignment);
+  out.comprehension = apply(out.comprehension, HalluAxis::kComprehension);
+  return out;
+}
+
+}  // namespace haven::llm

@@ -1,0 +1,45 @@
+// Fine-tuning simulation. Consuming a dataset lowers the hallucination
+// probabilities whose taxonomy classes the dataset covers, with diminishing
+// returns: p' = floor + (p - floor) * exp(-n_axis / K_axis), where n_axis is
+// the effective number of training samples teaching that axis and K_axis is
+// the axis' sample-efficiency constant.
+//
+// This is the mechanism the paper posits (Section III-C/D): the K-dataset
+// mitigates knowledge hallucination, the L-dataset logical hallucination,
+// and the vanilla dataset mainly syntax; Fig 3 and Fig 4 then emerge from
+// running this function on real datasets produced by the dataset pipeline.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "llm/hallucination.h"
+
+namespace haven::llm {
+
+// Effective per-axis training coverage (sample counts, possibly fractional:
+// a sample can teach several axes with different weights).
+struct DatasetStats {
+  std::array<double, kNumHalluAxes> coverage{};
+  std::size_t total_samples = 0;
+
+  double& axis(HalluAxis a) { return coverage[static_cast<std::size_t>(a)]; }
+  double axis(HalluAxis a) const { return coverage[static_cast<std::size_t>(a)]; }
+
+  // Pointwise sum (training on the union of two datasets).
+  DatasetStats operator+(const DatasetStats& o) const;
+};
+
+struct FineTuneConstants {
+  // Sample efficiency per axis (samples for ~63% of the reducible gap).
+  std::array<double, kNumHalluAxes> k{};
+  // Irreducible floor per axis.
+  std::array<double, kNumHalluAxes> floor{};
+
+  static FineTuneConstants defaults();
+};
+
+HallucinationProfile fine_tune(const HallucinationProfile& base, const DatasetStats& stats,
+                               const FineTuneConstants& constants = FineTuneConstants::defaults());
+
+}  // namespace haven::llm

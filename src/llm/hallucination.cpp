@@ -1,0 +1,313 @@
+#include "llm/hallucination.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace haven::llm {
+
+HallucinationProfile HallucinationProfile::scaled(double factor) const {
+  HallucinationProfile p = *this;
+  auto s = [factor](double v) { return std::clamp(v * factor, 0.0, 1.0); };
+  p.sym_truth_table = s(p.sym_truth_table);
+  p.sym_waveform = s(p.sym_waveform);
+  p.sym_state_diagram = s(p.sym_state_diagram);
+  p.know_convention = s(p.know_convention);
+  p.know_syntax = s(p.know_syntax);
+  p.know_attribute = s(p.know_attribute);
+  p.logic_expression = s(p.logic_expression);
+  p.logic_corner = s(p.logic_corner);
+  p.logic_instruction = s(p.logic_instruction);
+  p.misalignment = s(p.misalignment);
+  p.comprehension = s(p.comprehension);
+  return p;
+}
+
+std::string hallu_axis_name(HalluAxis axis) {
+  switch (axis) {
+    case HalluAxis::kSymTruthTable: return "sym_truth_table";
+    case HalluAxis::kSymWaveform: return "sym_waveform";
+    case HalluAxis::kSymStateDiagram: return "sym_state_diagram";
+    case HalluAxis::kKnowConvention: return "know_convention";
+    case HalluAxis::kKnowSyntax: return "know_syntax";
+    case HalluAxis::kKnowAttribute: return "know_attribute";
+    case HalluAxis::kLogicExpression: return "logic_expression";
+    case HalluAxis::kLogicCorner: return "logic_corner";
+    case HalluAxis::kLogicInstruction: return "logic_instruction";
+    case HalluAxis::kMisalignment: return "misalignment";
+    case HalluAxis::kComprehension: return "comprehension";
+  }
+  return "?";
+}
+
+double profile_axis(const HallucinationProfile& p, HalluAxis axis) {
+  switch (axis) {
+    case HalluAxis::kSymTruthTable: return p.sym_truth_table;
+    case HalluAxis::kSymWaveform: return p.sym_waveform;
+    case HalluAxis::kSymStateDiagram: return p.sym_state_diagram;
+    case HalluAxis::kKnowConvention: return p.know_convention;
+    case HalluAxis::kKnowSyntax: return p.know_syntax;
+    case HalluAxis::kKnowAttribute: return p.know_attribute;
+    case HalluAxis::kLogicExpression: return p.logic_expression;
+    case HalluAxis::kLogicCorner: return p.logic_corner;
+    case HalluAxis::kLogicInstruction: return p.logic_instruction;
+    case HalluAxis::kMisalignment: return p.misalignment;
+    case HalluAxis::kComprehension: return p.comprehension;
+  }
+  return 0;
+}
+
+symbolic::StateDiagram corrupt_state_diagram(const symbolic::StateDiagram& sd, util::Rng& rng) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    symbolic::StateDiagram out = sd;
+    const int n = static_cast<int>(out.num_states());
+    const int mode = static_cast<int>(rng.uniform_int(0, 2));
+    if (mode == 0 && n >= 2) {
+      // The paper's canonical example: two states' roles reversed in the
+      // transition table.
+      const int a = static_cast<int>(rng.uniform_int(0, n - 1));
+      int b = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (a == b) b = (b + 1) % n;
+      for (auto& t : out.next_state) {
+        for (int v : {0, 1}) {
+          int& slot = t[static_cast<std::size_t>(v)];
+          if (slot == a) slot = b;
+          else if (slot == b) slot = a;
+        }
+      }
+    } else if (mode == 1) {
+      // Swap the outputs of two states (or invert one when outputs differ).
+      const int a = static_cast<int>(rng.uniform_int(0, n - 1));
+      out.outputs[static_cast<std::size_t>(a)] ^= 1;
+    } else {
+      // Redirect one transition.
+      const int s = static_cast<int>(rng.uniform_int(0, n - 1));
+      const int v = static_cast<int>(rng.uniform_int(0, 1));
+      int& slot = out.next_state[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)];
+      slot = static_cast<int>(rng.uniform_int(0, n - 1)) == slot && n >= 2
+                 ? (slot + 1) % n
+                 : static_cast<int>(rng.uniform_int(0, n - 1));
+    }
+    if (out.valid() && !out.equivalent(sd)) return out;
+  }
+  // Deterministic fallback: invert the reset state's output.
+  symbolic::StateDiagram out = sd;
+  out.outputs[static_cast<std::size_t>(out.reset_state)] ^= 1;
+  return out;
+}
+
+logic::TruthTable corrupt_truth_table(const logic::TruthTable& tt, util::Rng& rng) {
+  logic::TruthTable out = tt;
+  const int flips = rng.chance(0.3) ? 2 : 1;
+  std::int64_t first_flipped = -1;
+  for (int f = 0; f < flips; ++f) {
+    // Flip a random defined row, never the same row twice (that would undo
+    // the corruption).
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto row = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(tt.num_rows()) - 1));
+      if (static_cast<std::int64_t>(row) == first_flipped) continue;
+      const logic::Tri v = out.row(row);
+      if (v == logic::Tri::kDontCare) continue;
+      out.set_row(row, v == logic::Tri::kTrue ? logic::Tri::kFalse : logic::Tri::kTrue);
+      if (first_flipped < 0) first_flipped = row;
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+using logic::Expr;
+using logic::ExprPtr;
+using logic::Op;
+
+// Rebuild the tree, applying `mutate` at node index `target` (preorder).
+ExprPtr rewrite(const ExprPtr& e, int& counter, int target, util::Rng& rng) {
+  const int my_index = counter++;
+  if (my_index == target) {
+    switch (e->op()) {
+      case Op::kAnd: return Expr::binary(Op::kOr, e->lhs(), e->rhs());
+      case Op::kOr: return Expr::binary(Op::kAnd, e->lhs(), e->rhs());
+      case Op::kXor: return Expr::binary(rng.chance(0.5) ? Op::kOr : Op::kXnor, e->lhs(), e->rhs());
+      case Op::kXnor: return Expr::binary(Op::kXor, e->lhs(), e->rhs());
+      case Op::kNand: return Expr::binary(Op::kAnd, e->lhs(), e->rhs());
+      case Op::kNor: return Expr::binary(Op::kOr, e->lhs(), e->rhs());
+      case Op::kNot: return e->lhs();  // dropped negation
+      case Op::kVar: return Expr::not_(e);
+      case Op::kConst: return Expr::constant(!e->value());
+    }
+  }
+  switch (e->op()) {
+    case Op::kVar:
+    case Op::kConst:
+      return e;
+    case Op::kNot: {
+      ExprPtr inner = rewrite(e->lhs(), counter, target, rng);
+      return Expr::not_(inner);
+    }
+    default: {
+      ExprPtr l = rewrite(e->lhs(), counter, target, rng);
+      ExprPtr r = rewrite(e->rhs(), counter, target, rng);
+      return Expr::binary(e->op(), l, r);
+    }
+  }
+}
+
+}  // namespace
+
+logic::ExprPtr corrupt_expr(const logic::ExprPtr& expr, util::Rng& rng) {
+  const int size = static_cast<int>(expr->size());
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    const int target = static_cast<int>(rng.uniform_int(0, size - 1));
+    int counter = 0;
+    ExprPtr out = rewrite(expr, counter, target, rng);
+    if (!logic::exprs_equivalent(*out, *expr)) return out;
+  }
+  // Fallback: global negation is always inequivalent.
+  return Expr::not_(expr);
+}
+
+SeqAttributes corrupt_attributes(const SeqAttributes& seq, util::Rng& rng) {
+  SeqAttributes out = seq;
+  std::vector<int> knobs;
+  if (seq.reset != ResetKind::kNone) {
+    knobs.push_back(0);  // sync <-> async
+    knobs.push_back(1);  // polarity
+  }
+  knobs.push_back(2);  // clock edge
+  if (seq.enable != EnableKind::kNone) knobs.push_back(3);
+  switch (rng.choice(knobs)) {
+    case 0:
+      out.reset = seq.reset == ResetKind::kAsync ? ResetKind::kSync : ResetKind::kAsync;
+      break;
+    case 1:
+      // Polarity confusion: the reset *pin name* stays what the interface
+      // says, but the logic tests the wrong level. We model this by flipping
+      // the active level only (name derivation must not change, so callers
+      // restore the name via the interface; see SimLlm).
+      out.reset_active_low = !seq.reset_active_low;
+      break;
+    case 2:
+      out.negedge_clock = !seq.negedge_clock;
+      break;
+    case 3:
+      out.enable = seq.enable == EnableKind::kActiveLow ? EnableKind::kActiveHigh
+                                                        : EnableKind::kActiveLow;
+      break;
+  }
+  return out;
+}
+
+std::string corrupt_syntax(const std::string& source, util::Rng& rng) {
+  const int mode = static_cast<int>(rng.uniform_int(0, 4));
+  switch (mode) {
+    case 0: {
+      // Python-style definition (Table II example).
+      const std::size_t kw = source.find("module ");
+      if (kw != std::string::npos) {
+        std::string out = source;
+        out.replace(kw, 6, "def");
+        const std::size_t end = out.rfind("endmodule");
+        if (end != std::string::npos) out.erase(end, 9);
+        return out;
+      }
+      return "def " + source;
+    }
+    case 1: {
+      // Drop the final endmodule.
+      const std::size_t end = source.rfind("endmodule");
+      if (end != std::string::npos) return source.substr(0, end);
+      return source + "\n(";
+    }
+    case 2: {
+      // Remove a semicolon (the middle one).
+      std::vector<std::size_t> semis;
+      for (std::size_t i = 0; i < source.size(); ++i) {
+        if (source[i] == ';') semis.push_back(i);
+      }
+      if (!semis.empty()) {
+        std::string out = source;
+        out.erase(semis[semis.size() / 2], 1);
+        return out;
+      }
+      return source + ";;(";
+    }
+    case 3: {
+      // Misspell a keyword.
+      for (const char* kw : {"always", "assign", "endcase"}) {
+        const std::size_t pos = source.find(kw);
+        if (pos != std::string::npos) {
+          std::string out = source;
+          out.insert(pos + 3, "z");
+          return out;
+        }
+      }
+      std::string out = source;
+      const std::size_t kw = out.find("module");
+      if (kw != std::string::npos) out.insert(kw + 3, "z");
+      return out;
+    }
+    default: {
+      // Unbalanced begin/end.
+      const std::size_t pos = source.rfind("\n  end");
+      if (pos != std::string::npos) {
+        std::string out = source;
+        out.erase(pos + 1, 5);
+        return out;
+      }
+      return source + "\nbegin";
+    }
+  }
+}
+
+TaskSpec corrupt_alignment(const TaskSpec& spec, bool had_header, util::Rng& rng) {
+  TaskSpec out = spec;
+  std::vector<int> modes;
+  const bool parametric = spec.kind != TaskKind::kCombExpr && spec.kind != TaskKind::kFsm;
+  if (parametric) modes.push_back(0);                      // width off by one
+  if (spec.modulus > 0) modes.push_back(1);                // ignore modulus
+  if (spec.seq.enable != EnableKind::kNone) modes.push_back(2);  // ignore enable
+  if (!had_header && (spec.kind == TaskKind::kCombExpr || spec.kind == TaskKind::kFsm)) {
+    modes.push_back(3);  // guess a different output name -> interface mismatch
+  }
+  if (spec.kind == TaskKind::kCounter) modes.push_back(4); // up/down confusion
+  if (spec.kind == TaskKind::kCombExpr && spec.expr) modes.push_back(6);  // misread phrasing
+  if (spec.kind == TaskKind::kFsm) modes.push_back(7);     // wrong reset state
+  if (modes.empty()) modes.push_back(5);                   // generic: misread as register
+  switch (rng.choice(modes)) {
+    case 0:
+      out.width = spec.width > 2 && rng.chance(0.5) ? spec.width - 1 : spec.width + 1;
+      break;
+    case 1:
+      out.modulus = 0;
+      break;
+    case 2:
+      out.seq.enable = EnableKind::kNone;
+      break;
+    case 3:
+      if (out.kind == TaskKind::kCombExpr) out.comb_output = spec.comb_output == "y" ? "out" : "y";
+      else out.diagram.output_name = spec.diagram.output_name == "z" ? "out" : "z";
+      break;
+    case 4:
+      out.count_down = !spec.count_down;
+      break;
+    case 6:
+      // Engineer phrasing misread: the recovered function is subtly wrong.
+      out.expr = corrupt_expr(spec.expr, rng);
+      break;
+    case 7:
+      // Reset state misread (prose: "the initial state is ...").
+      out.diagram.reset_state =
+          (spec.diagram.reset_state + 1) % static_cast<int>(spec.diagram.num_states());
+      break;
+    default:
+      out.kind = TaskKind::kRegister;
+      out.width = std::max(2, spec.width);
+      break;
+  }
+  return out;
+}
+
+}  // namespace haven::llm

@@ -1,0 +1,98 @@
+// Hallucination model. Each sub-type of the paper's taxonomy (Table II) is
+// realized as a concrete *injector* that damages either the parsed TaskSpec
+// or the generated code in exactly the way the taxonomy describes:
+//
+//  Symbolic    - state-diagram misinterpretation: states swapped / transition
+//                redirected; waveform & truth-table misinterpretation: rows
+//                flipped (e.g. reading AND as OR).
+//  Knowledge   - convention misapplication: "state" written instead of
+//                "next_state", blocking assignments in clocked logic;
+//                syntax misapplication: def-instead-of-module, dropped
+//                semicolons/endmodule; attribute misunderstanding: sync/async
+//                reset, polarity, clock-edge flips.
+//  Logical     - incorrect expression: operator/operand perturbations;
+//                corner cases: dropped default/else; instructional logic:
+//                condition chain corrupted.
+//
+// A HallucinationProfile gives per-sub-type probabilities. Probabilities are
+// split into a *systematic* part (seeded by model+prompt: the model either
+// has or lacks the pattern for this task, constant across samples) and a
+// *stochastic* part (per-sample, scaled by temperature) — this split is what
+// produces realistic pass@1 vs pass@5 gaps.
+#pragma once
+
+#include <string>
+
+#include "llm/task_spec.h"
+#include "logic/truth_table.h"
+#include "symbolic/state_diagram.h"
+#include "util/rng.h"
+
+namespace haven::llm {
+
+struct HallucinationProfile {
+  // Symbolic hallucination.
+  double sym_truth_table = 0.3;
+  double sym_waveform = 0.35;
+  double sym_state_diagram = 0.35;
+  // Knowledge hallucination.
+  double know_convention = 0.25;
+  double know_syntax = 0.08;
+  double know_attribute = 0.25;
+  // Logical hallucination.
+  double logic_expression = 0.2;
+  double logic_corner = 0.2;
+  double logic_instruction = 0.18;
+  // Practice-of-engineers alignment (Table I) and general comprehension.
+  double misalignment = 0.2;
+  double comprehension = 0.08;
+
+  // Uniformly scale every axis (used by fine-tuning floors and tests).
+  HallucinationProfile scaled(double factor) const;
+};
+
+// Axis identifiers for seeding and dataset bookkeeping.
+enum class HalluAxis : int {
+  kSymTruthTable = 0,
+  kSymWaveform,
+  kSymStateDiagram,
+  kKnowConvention,
+  kKnowSyntax,
+  kKnowAttribute,
+  kLogicExpression,
+  kLogicCorner,
+  kLogicInstruction,
+  kMisalignment,
+  kComprehension,
+};
+constexpr int kNumHalluAxes = 11;
+
+std::string hallu_axis_name(HalluAxis axis);
+double profile_axis(const HallucinationProfile& p, HalluAxis axis);
+
+// --- injectors ------------------------------------------------------------
+
+// Swap two states' roles, swap outputs, or redirect one transition; always
+// returns a diagram NOT equivalent to the input (bounded retries).
+symbolic::StateDiagram corrupt_state_diagram(const symbolic::StateDiagram& sd, util::Rng& rng);
+
+// Flip one or two defined rows.
+logic::TruthTable corrupt_truth_table(const logic::TruthTable& tt, util::Rng& rng);
+
+// Perturb the expression tree (operator swap, literal negation, variable
+// substitution); guaranteed non-equivalent to the input.
+logic::ExprPtr corrupt_expr(const logic::ExprPtr& expr, util::Rng& rng);
+
+// Flip one sequential attribute that the spec actually uses.
+SeqAttributes corrupt_attributes(const SeqAttributes& seq, util::Rng& rng);
+
+// Textual syntax damage: Python-isms, dropped ';' / 'endmodule', misspelled
+// keyword, unbalanced begin/end. Result fails to parse (by construction for
+// every mode).
+std::string corrupt_syntax(const std::string& source, util::Rng& rng);
+
+// Misalignment damage to a parsed spec (wrong width, ignored modulus/enable,
+// renamed output when no header pinned the interface).
+TaskSpec corrupt_alignment(const TaskSpec& spec, bool had_header, util::Rng& rng);
+
+}  // namespace haven::llm

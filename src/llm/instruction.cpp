@@ -1,0 +1,228 @@
+#include "llm/instruction.h"
+
+#include "logic/kmap.h"
+#include "logic/truth_table.h"
+#include "symbolic/truth_table_text.h"
+#include "symbolic/waveform.h"
+#include "util/strings.h"
+
+namespace haven::llm {
+
+std::string prompt_style_name(PromptStyle s) {
+  switch (s) {
+    case PromptStyle::kEngineer: return "engineer";
+    case PromptStyle::kVanilla: return "vanilla";
+    case PromptStyle::kChat: return "chat";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string reset_phrase(const SeqAttributes& seq) {
+  if (seq.reset == ResetKind::kNone) return "";
+  std::string s = seq.reset == ResetKind::kAsync ? "asynchronous" : "synchronous";
+  s += seq.reset_active_low ? " active-low reset '" : " active-high reset '";
+  s += seq.reset_name() + "'";
+  return s;
+}
+
+std::string enable_phrase(const SeqAttributes& seq) {
+  if (seq.enable == EnableKind::kNone) return "";
+  std::string s = seq.enable == EnableKind::kActiveLow ? "active-low enable '"
+                                                       : "active-high enable '";
+  s += seq.enable_name() + "'";
+  return s;
+}
+
+std::string seq_attr_sentence(const SeqAttributes& seq) {
+  std::string s;
+  const std::string rp = reset_phrase(seq);
+  const std::string ep = enable_phrase(seq);
+  if (!rp.empty() && !ep.empty()) s = "Use " + rp + " and " + ep + ".";
+  else if (!rp.empty()) s = "Use " + rp + ".";
+  else if (!ep.empty()) s = "Use " + ep + ".";
+  if (seq.negedge_clock) {
+    if (!s.empty()) s += " ";
+    s += "The design is clocked on the negative edge of 'clk'.";
+  }
+  return s;
+}
+
+// English spelling of a boolean expression for prose-only instructions.
+std::string english_expr(const logic::Expr& e) { return e.to_english(); }
+
+// --- per-kind payload sentences (shared between styles) ----------------------
+
+std::string prose_task_sentence(const TaskSpec& spec) {
+  switch (spec.kind) {
+    case TaskKind::kCombExpr:
+      return "";  // handled by presentation
+    case TaskKind::kFsm:
+      return "";  // handled separately
+    case TaskKind::kCounter: {
+      std::string s = util::format("Design a %d-bit %s counter with output 'q'", spec.width,
+                                   spec.count_down ? "down" : "up");
+      if (spec.modulus > 0) s += util::format(" that wraps modulo-%d", spec.modulus);
+      s += ".";
+      return s;
+    }
+    case TaskKind::kShiftRegister:
+      return util::format(
+          "Design a %d-bit serial-in shift register with output 'q' shifting %s, serial input "
+          "'din' entering at the %s end.",
+          spec.width, spec.shift_left ? "left" : "right",
+          spec.shift_left ? "least significant" : "most significant");
+    case TaskKind::kRegister:
+      return util::format("Design a %d-bit D register: output 'q' follows input 'd' on each "
+                          "active clock edge.",
+                          spec.width);
+    case TaskKind::kAdder:
+      return util::format(
+          "Design a %d-bit adder: sum = a + b + cin, with carry-out 'cout'.", spec.width);
+    case TaskKind::kMux:
+      return util::format("Design a %d-to-1 multiplexer with %d-bit data inputs d0..d%d, "
+                          "select 'sel' and output 'y'.",
+                          spec.mux_inputs, spec.width, spec.mux_inputs - 1);
+    case TaskKind::kDecoder:
+      return util::format("Design a %d-to-%d one-hot decoder: output bit y[sel] is 1 and all "
+                          "other bits are 0.",
+                          spec.sel_width, 1 << spec.sel_width);
+    case TaskKind::kComparator:
+      return util::format("Design a %d-bit unsigned comparator with outputs 'eq' (a == b), "
+                          "'lt' (a < b) and 'gt' (a > b).",
+                          spec.width);
+    case TaskKind::kParity:
+      return util::format("Compute the even parity (XOR reduction) of the %d-bit input "
+                          "'data' on output 'parity'.",
+                          spec.width);
+    case TaskKind::kAlu:
+      return util::format("Design a %d-bit ALU with operation select 'op': op=00 add, op=01 "
+                          "subtract, op=10 bitwise AND, op=11 bitwise OR.",
+                          spec.width);
+    case TaskKind::kClockDivider:
+      return util::format("Design a clock divider that divides 'clk' by %d, producing "
+                          "'clk_out' with a 50 percent duty cycle.",
+                          spec.divide_by);
+    case TaskKind::kEdgeDetector:
+      return util::format("Design a %s-edge detector: output 'pulse' is high for one cycle "
+                          "when input 'sig' %s.",
+                          spec.detect_falling ? "falling" : "rising",
+                          spec.detect_falling ? "goes from 1 to 0" : "goes from 0 to 1");
+  }
+  return "";
+}
+
+std::string comb_payload(const TaskSpec& spec, util::Rng& rng) {
+  switch (spec.presentation) {
+    case CombPresentation::kExpressionText:
+      return "Implement the combinational logic: " + spec.comb_output + " = " +
+             spec.expr->to_verilog() + "\n";
+    case CombPresentation::kEnglishText:
+      return "Create a module where output '" + spec.comb_output + "' equals " +
+             english_expr(*spec.expr) + ".\n";
+    case CombPresentation::kTruthTable: {
+      const logic::TruthTable tt =
+          logic::TruthTable::from_expr(*spec.expr, spec.comb_inputs, spec.comb_output);
+      std::string s = spec.want_minimal
+                          ? "Implement the most concise logic for the truth table below.\n"
+                          : "Implement the truth table below.\n";
+      return s + symbolic::render_truth_table(tt);
+    }
+    case CombPresentation::kWaveform: {
+      const logic::TruthTable tt =
+          logic::TruthTable::from_expr(*spec.expr, spec.comb_inputs, spec.comb_output);
+      const symbolic::Waveform wf = symbolic::waveform_covering_table(tt, rng);
+      return "Implement the combinational function shown by the waveform below.\n" +
+             symbolic::render_waveform(wf);
+    }
+    case CombPresentation::kKarnaughMap: {
+      const logic::TruthTable tt =
+          logic::TruthTable::from_expr(*spec.expr, spec.comb_inputs, spec.comb_output);
+      const logic::KarnaughMap km(tt);
+      return "Derive the most concise expression from the Karnaugh map below and implement "
+             "it. Output is '" +
+             spec.comb_output + "'.\n" + km.render();
+    }
+  }
+  return "";
+}
+
+std::string fsm_engineer_payload(const TaskSpec& spec) {
+  std::string s = "Implement the Moore finite state machine given by the state diagram "
+                  "below.\n";
+  s += symbolic::render_state_diagram(spec.diagram);
+  s += "The reset state is " +
+       spec.diagram.states[static_cast<std::size_t>(spec.diagram.reset_state)] + ".\n";
+  return s;
+}
+
+std::string fsm_vanilla_payload(const TaskSpec& spec) {
+  // Table I left column: verbose prose, one sentence per transition.
+  const symbolic::StateDiagram& sd = spec.diagram;
+  std::string s = "Implement the state machine with a combinational always block, which is "
+                  "used to determine the next state based on the current state and the value "
+                  "of the " + sd.input_name + " port. ";
+  for (std::size_t st = 0; st < sd.num_states(); ++st) {
+    for (int v : {0, 1}) {
+      s += util::format(
+          "If the current state is %s and %s is %d, then the next state is %s and %s is %d. ",
+          sd.states[st].c_str(), sd.input_name.c_str(), v,
+          sd.states[static_cast<std::size_t>(sd.step(static_cast<int>(st), v))].c_str(),
+          sd.output_name.c_str(), sd.outputs[st]);
+    }
+  }
+  s += "The initial state is " + sd.states[static_cast<std::size_t>(sd.reset_state)] + ". ";
+  return s;
+}
+
+}  // namespace
+
+std::string render_instruction(const TaskSpec& spec, const InstructionOptions& options,
+                               util::Rng& rng) {
+  std::string body;
+
+  if (spec.kind == TaskKind::kCombExpr) {
+    body = comb_payload(spec, rng);
+  } else if (spec.kind == TaskKind::kFsm) {
+    body = options.style == PromptStyle::kVanilla ? fsm_vanilla_payload(spec)
+                                                  : fsm_engineer_payload(spec);
+    const std::string attrs = seq_attr_sentence(spec.seq);
+    if (!attrs.empty()) body += attrs + "\n";
+  } else {
+    body = prose_task_sentence(spec);
+    const std::string attrs = seq_attr_sentence(spec.seq);
+    if (!attrs.empty()) body += " " + attrs;
+    body += "\n";
+  }
+
+  if (options.style == PromptStyle::kVanilla && spec.kind != TaskKind::kFsm) {
+    // Verbose framing around the same payload.
+    body = "This Verilog module is part of a larger design. " + body +
+           "The implementation should be written in synthesizable Verilog-2001 and follow "
+           "good coding practice. Please provide the complete module.\n";
+  }
+
+  if (options.include_header) {
+    body += spec.header_line() + "\n";
+  } else if (spec.kind == TaskKind::kCombExpr &&
+             (spec.presentation == CombPresentation::kExpressionText ||
+              spec.presentation == CombPresentation::kEnglishText)) {
+    // Without a header the expression alone may not mention every input
+    // (engineers state the interface one way or another).
+    body += "The module inputs are " + util::join(spec.comb_inputs, ", ") +
+            " and the output is '" + spec.comb_output + "'.\n";
+  }
+
+  if (options.style == PromptStyle::kChat) {
+    return "Question: " + body + "Answer:\n";
+  }
+  return body;
+}
+
+std::string render_instruction(const TaskSpec& spec, const InstructionOptions& options) {
+  util::Rng rng(spec.fingerprint());
+  return render_instruction(spec, options, rng);
+}
+
+}  // namespace haven::llm

@@ -1,0 +1,43 @@
+// Instruction rendering: TaskSpec -> prompt text.
+//
+// Three phrasing styles model the gap the paper's Table I illustrates:
+//  * kEngineer — the formats HDL engineers actually use: terse imperative
+//    sentence plus the symbolic payload (truth table / waveform / state
+//    diagram) and the module header. VerilogEval-human-like.
+//  * kVanilla  — verbose LLM-synthesized prose describing the same task in
+//    natural language only (state machines described sentence by sentence,
+//    tables spelled out as words). VerilogEval-machine-like.
+//  * kChat     — VerilogEval v2 specification-to-RTL chat phrasing with
+//    explicit "Question:" / "Answer:" framing around engineer-style content.
+//
+// Every rendered instruction is recoverable by llm::parse_instruction; the
+// renderer and parser are co-designed, and a property test enforces the
+// round trip.
+#pragma once
+
+#include <string>
+
+#include "llm/task_spec.h"
+#include "util/rng.h"
+
+namespace haven::llm {
+
+enum class PromptStyle : std::uint8_t { kEngineer, kVanilla, kChat };
+
+std::string prompt_style_name(PromptStyle s);
+
+struct InstructionOptions {
+  PromptStyle style = PromptStyle::kEngineer;
+  bool include_header = true;  // append the "module ...(...);" line
+};
+
+// Render the instruction. `rng` varies only inessential phrasing (sentence
+// openers); passing the same spec always yields a semantically identical
+// prompt.
+std::string render_instruction(const TaskSpec& spec, const InstructionOptions& options,
+                               util::Rng& rng);
+
+// Deterministic convenience overload (fixed phrasing).
+std::string render_instruction(const TaskSpec& spec, const InstructionOptions& options = {});
+
+}  // namespace haven::llm

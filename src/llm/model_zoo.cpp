@@ -1,0 +1,104 @@
+#include "llm/model_zoo.h"
+
+#include <stdexcept>
+
+namespace haven::llm {
+
+namespace {
+
+// Helper to build a profile from the 11 axis values in declaration order:
+// sym_tt, sym_wf, sym_sd, conv, syntax, attr, l_expr, l_corner, l_instr,
+// misalignment, comprehension.
+HallucinationProfile prof(double tt, double wf, double sd, double conv, double syn, double attr,
+                          double lexpr, double lcorner, double linstr, double mis, double comp) {
+  HallucinationProfile p;
+  p.sym_truth_table = tt;
+  p.sym_waveform = wf;
+  p.sym_state_diagram = sd;
+  p.know_convention = conv;
+  p.know_syntax = syn;
+  p.know_attribute = attr;
+  p.logic_expression = lexpr;
+  p.logic_corner = lcorner;
+  p.logic_instruction = linstr;
+  p.misalignment = mis;
+  p.comprehension = comp;
+  return p;
+}
+
+std::vector<ModelCard> build_zoo() {
+  std::vector<ModelCard> zoo;
+  auto add = [&](const std::string& name, bool open, const std::string& size,
+                 HallucinationProfile p, const std::string& family = "") {
+    zoo.push_back({name, open, size, p, family});
+  };
+
+  // ---- General-purpose LLMs -------------------------------------------------
+  //                         tt    wf    sd    conv  syn   attr  lexp  lcor  lins  mis   comp
+  add("GPT-3.5", false, "n/a",
+      prof(0.72, 0.75, 0.72, 0.50, 0.080, 0.50, 0.40, 0.40, 0.40, 0.58, 0.23));
+  add("GPT-4", false, "n/a",
+      prof(0.68, 0.70, 0.68, 0.29, 0.020, 0.29, 0.21, 0.21, 0.21, 0.30, 0.095));
+  add("GPT-4o-mini", false, "n/a",
+      prof(0.69, 0.71, 0.69, 0.31, 0.025, 0.31, 0.22, 0.22, 0.22, 0.32, 0.10), "GPT-4");
+  add("DeepSeek-Coder-V2", true, "236B",
+      prof(0.50, 0.62, 0.30, 0.10, 0.015, 0.10, 0.11, 0.11, 0.11, 0.19, 0.040));
+
+  // ---- General code models ----------------------------------------------------
+  add("Starcoder", true, "15B",
+      prof(0.76, 0.78, 0.76, 0.60, 0.050, 0.60, 0.56, 0.56, 0.56, 0.75, 0.28));
+  add("CodeLlama", true, "7B",
+      prof(0.76, 0.78, 0.77, 0.62, 0.120, 0.62, 0.58, 0.58, 0.58, 0.75, 0.28));
+  add("DeepSeek-Coder", true, "6.7B",
+      prof(0.72, 0.74, 0.72, 0.40, 0.060, 0.40, 0.33, 0.33, 0.33, 0.43, 0.13));
+  add("CodeQwen", true, "7B",
+      prof(0.74, 0.76, 0.74, 0.42, 0.100, 0.42, 0.40, 0.40, 0.40, 0.58, 0.09));
+
+  // ---- Verilog CodeGen models ---------------------------------------------------
+  add("ChipNeMo", false, "13B",
+      prof(0.74, 0.76, 0.74, 0.44, 0.095, 0.44, 0.40, 0.40, 0.40, 0.62, 0.11));
+  add("Thakur et al.", true, "16B",
+      prof(0.73, 0.75, 0.73, 0.43, 0.130, 0.43, 0.35, 0.35, 0.35, 0.42, 0.16));
+  add("RTLCoder-Mistral", true, "7B",
+      prof(0.72, 0.74, 0.72, 0.38, 0.025, 0.38, 0.31, 0.31, 0.31, 0.47, 0.10));
+  add("RTLCoder-DeepSeek", true, "6.7B",
+      prof(0.70, 0.73, 0.71, 0.33, 0.040, 0.33, 0.27, 0.27, 0.27, 0.36, 0.135));
+  add("BetterV-CodeLlama", false, "7B",
+      prof(0.69, 0.72, 0.69, 0.275, 0.030, 0.275, 0.215, 0.215, 0.215, 0.27, 0.095));
+  add("BetterV-DeepSeek", false, "6.7B",
+      prof(0.68, 0.71, 0.68, 0.24, 0.025, 0.24, 0.185, 0.185, 0.185, 0.23, 0.080));
+  add("BetterV-CodeQwen", false, "7B",
+      prof(0.68, 0.71, 0.68, 0.27, 0.025, 0.27, 0.22, 0.22, 0.22, 0.28, 0.10));
+  add("AutoVCoder-CodeLlama", false, "7B",
+      prof(0.67, 0.70, 0.67, 0.25, 0.020, 0.25, 0.19, 0.19, 0.19, 0.245, 0.085));
+  add("AutoVCoder-DeepSeek", false, "6.7B",
+      prof(0.67, 0.70, 0.67, 0.23, 0.008, 0.23, 0.175, 0.175, 0.175, 0.225, 0.078));
+  add("AutoVCoder-CodeQwen", false, "7B",
+      prof(0.66, 0.69, 0.66, 0.26, 0.008, 0.26, 0.21, 0.21, 0.21, 0.27, 0.095));
+  add("OriGen-DeepSeek", true, "7B",
+      prof(0.64, 0.67, 0.64, 0.21, 0.012, 0.22, 0.17, 0.17, 0.17, 0.22, 0.075));
+
+  return zoo;
+}
+
+}  // namespace
+
+const std::vector<ModelCard>& model_zoo() {
+  static const std::vector<ModelCard> kZoo = build_zoo();
+  return kZoo;
+}
+
+const ModelCard* find_model_card(const std::string& name) {
+  for (const auto& card : model_zoo()) {
+    if (card.name == name) return &card;
+  }
+  return nullptr;
+}
+
+SimLlm make_model(const std::string& name) {
+  const ModelCard* card = find_model_card(name);
+  if (card == nullptr) throw std::out_of_range("unknown model '" + name + "'");
+  return SimLlm(card->name, card->profile, card->family);
+}
+
+}  // namespace haven::llm

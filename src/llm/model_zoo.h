@@ -1,0 +1,39 @@
+// Model zoo: calibrated HallucinationProfile cards for every baseline model
+// in Table IV / V / VI. Cards are data, hand-calibrated once so that the
+// *orderings* of the paper's tables emerge from the mechanistic evaluation
+// (see DESIGN.md §4). HaVen's own models are NOT carded: their profiles are
+// produced by running the dataset pipeline + fine_tune on a base card.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/simllm.h"
+
+namespace haven::llm {
+
+struct ModelCard {
+  std::string name;
+  bool open_source = true;
+  std::string param_size = "7B";  // "n/a" for closed API models
+  HallucinationProfile profile;
+  // Draw-family for systematic seeding; empty = own name. Sibling models
+  // (GPT-4o-mini vs GPT-4) share a family: they find the same tasks hard.
+  std::string family;
+};
+
+const std::vector<ModelCard>& model_zoo();
+
+// Null if unknown.
+const ModelCard* find_model_card(const std::string& name);
+
+// Construct the SimLlm for a card; throws std::out_of_range for unknown names.
+SimLlm make_model(const std::string& name);
+
+// The three HaVen base models.
+inline const char* kBaseCodeLlama = "CodeLlama";
+inline const char* kBaseDeepSeek = "DeepSeek-Coder";
+inline const char* kBaseCodeQwen = "CodeQwen";
+
+}  // namespace haven::llm

@@ -1,0 +1,39 @@
+// Instruction parsing: prompt text -> TaskSpec. This is the mechanistic
+// "language understanding" of the SimLlm (and of SI-CoT's regular-modality
+// parser, Fig 1 step 2). It recovers the semantic task from any phrasing the
+// instruction renderer can produce: engineer/vanilla/chat styles, raw
+// symbolic payloads (truth table / waveform / state diagram / Karnaugh map),
+// SI-CoT interpreted payloads, and FSM-as-prose.
+//
+// parse_instruction itself is *reliable*; hallucination is injected
+// afterwards by corrupting the parsed spec or the generated code, so each
+// failure is a deliberate, taxonomy-classified fault rather than a parser
+// accident. Prompts outside the co-designed grammar return an error, which
+// the SimLlm maps to a comprehension failure.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "llm/task_spec.h"
+#include "symbolic/modality.h"
+
+namespace haven::llm {
+
+struct ParsedInstruction {
+  std::optional<TaskSpec> spec;
+  symbolic::Modality raw_modality = symbolic::Modality::kNone;  // raw block present
+  bool was_interpreted = false;  // SI-CoT structured payload present
+  bool had_header = false;       // "module ...;" line present
+  std::string error;             // non-empty iff !spec
+
+  bool ok() const { return spec.has_value(); }
+};
+
+ParsedInstruction parse_instruction(const std::string& prompt);
+
+// Extract just the "module name(ports);" header from a prompt, if present.
+// Returns the header source text (without body) suitable for re-parsing.
+std::optional<std::string> extract_header_line(const std::string& prompt);
+
+}  // namespace haven::llm

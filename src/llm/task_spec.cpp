@@ -1,0 +1,292 @@
+#include "llm/task_spec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "logic/exprgen.h"
+#include "util/strings.h"
+
+namespace haven::llm {
+
+std::string task_kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kCombExpr: return "comb_expr";
+    case TaskKind::kFsm: return "fsm";
+    case TaskKind::kCounter: return "counter";
+    case TaskKind::kShiftRegister: return "shift_register";
+    case TaskKind::kRegister: return "register";
+    case TaskKind::kAdder: return "adder";
+    case TaskKind::kMux: return "mux";
+    case TaskKind::kDecoder: return "decoder";
+    case TaskKind::kComparator: return "comparator";
+    case TaskKind::kParity: return "parity";
+    case TaskKind::kAlu: return "alu";
+    case TaskKind::kClockDivider: return "clock_divider";
+    case TaskKind::kEdgeDetector: return "edge_detector";
+  }
+  return "?";
+}
+
+bool task_kind_sequential(TaskKind k) {
+  switch (k) {
+    case TaskKind::kFsm:
+    case TaskKind::kCounter:
+    case TaskKind::kShiftRegister:
+    case TaskKind::kRegister:
+    case TaskKind::kClockDivider:
+    case TaskKind::kEdgeDetector:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<TaskSpec::PortInfo> TaskSpec::interface() const {
+  std::vector<PortInfo> ports;
+  auto in = [&](const std::string& n, int w = 1) { ports.push_back({n, w, true}); };
+  auto out = [&](const std::string& n, int w = 1) { ports.push_back({n, w, false}); };
+
+  if (sequential()) {
+    in("clk");
+    if (seq.reset != ResetKind::kNone) in(seq.reset_name());
+    if (seq.enable != EnableKind::kNone) in(seq.enable_name());
+  }
+
+  switch (kind) {
+    case TaskKind::kCombExpr:
+      for (const auto& name : comb_inputs) in(name);
+      out(comb_output);
+      break;
+    case TaskKind::kFsm:
+      in(diagram.input_name);
+      out(diagram.output_name);
+      break;
+    case TaskKind::kCounter:
+      out("q", width);
+      break;
+    case TaskKind::kShiftRegister:
+      in("din");
+      out("q", width);
+      break;
+    case TaskKind::kRegister:
+      in("d", width);
+      out("q", width);
+      break;
+    case TaskKind::kAdder:
+      in("a", width);
+      in("b", width);
+      in("cin");
+      out("sum", width);
+      out("cout");
+      break;
+    case TaskKind::kMux:
+      in("sel", mux_inputs == 2 ? 1 : 2);
+      for (int i = 0; i < mux_inputs; ++i) in(util::format("d%d", i), width);
+      out("y", width);
+      break;
+    case TaskKind::kDecoder:
+      in("sel", sel_width);
+      out("y", 1 << sel_width);
+      break;
+    case TaskKind::kComparator:
+      in("a", width);
+      in("b", width);
+      out("eq");
+      out("lt");
+      out("gt");
+      break;
+    case TaskKind::kParity:
+      in("data", width);
+      out("parity");
+      break;
+    case TaskKind::kAlu:
+      in("op", 2);
+      in("a", width);
+      in("b", width);
+      out("y", width);
+      break;
+    case TaskKind::kClockDivider:
+      out("clk_out");
+      break;
+    case TaskKind::kEdgeDetector:
+      in("sig");
+      out("pulse");
+      break;
+  }
+  return ports;
+}
+
+std::string TaskSpec::header_line() const {
+  std::string line = "module " + module_name + "(";
+  const auto ports = interface();
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const auto& p = ports[i];
+    line += p.is_input ? "input " : "output ";
+    if (p.width > 1) line += util::format("[%d:0] ", p.width - 1);
+    line += p.name;
+    if (i + 1 < ports.size()) line += ", ";
+  }
+  line += ");";
+  return line;
+}
+
+double TaskSpec::difficulty() const {
+  double d = 0.2;
+  switch (kind) {
+    case TaskKind::kCombExpr: {
+      // Scale with the input count (the specification size), NOT the
+      // expression tree size: a truth table parsed into a sum of minterms
+      // describes the same task regardless of its internal representation.
+      const std::size_t nvars = comb_inputs.empty() ? 3 : comb_inputs.size();
+      d = 0.12 + 0.07 * static_cast<double>(std::min<std::size_t>(nvars, 6));
+      if (presentation == CombPresentation::kTruthTable) d += 0.15;
+      if (presentation == CombPresentation::kWaveform) d += 0.2;
+      if (presentation == CombPresentation::kKarnaughMap) d += 0.2;
+      if (want_minimal) d += 0.05;
+      break;
+    }
+    case TaskKind::kFsm:
+      d = 0.25 + 0.06 * static_cast<double>(diagram.num_states());
+      break;
+    case TaskKind::kAlu:
+      d = 0.45;
+      break;
+    case TaskKind::kClockDivider:
+      d = 0.5;
+      break;
+    case TaskKind::kCounter:
+      d = 0.3 + (modulus != 0 ? 0.1 : 0.0);
+      break;
+    case TaskKind::kShiftRegister:
+    case TaskKind::kEdgeDetector:
+      d = 0.35;
+      break;
+    case TaskKind::kRegister:
+      d = 0.2;
+      break;
+    case TaskKind::kAdder:
+    case TaskKind::kMux:
+    case TaskKind::kDecoder:
+    case TaskKind::kComparator:
+    case TaskKind::kParity:
+      d = 0.25;
+      break;
+  }
+  // Wider datapaths are harder to get fully right (RTLLM-scale designs).
+  if (kind != TaskKind::kCombExpr && kind != TaskKind::kFsm) {
+    d += 0.012 * static_cast<double>(std::min(width, 32));
+  }
+  if (seq.reset == ResetKind::kAsync) d += 0.05;
+  if (seq.reset_active_low) d += 0.04;
+  if (seq.negedge_clock) d += 0.05;
+  if (seq.enable != EnableKind::kNone) d += 0.05;
+  return std::clamp(d, 0.05, 1.0);
+}
+
+std::uint64_t TaskSpec::fingerprint() const {
+  // FNV-1a over the structural description.
+  std::string desc = task_kind_name(kind) + "|" + module_name + "|" + header_line();
+  if (expr) desc += expr->to_verilog();
+  if (kind == TaskKind::kFsm) desc += symbolic::render_state_diagram(diagram);
+  desc += util::format("|w%d m%d d%d", width, modulus, static_cast<int>(presentation));
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : desc) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TaskSpec generate_task(util::Rng& rng, const TaskGenConfig& config) {
+  const std::vector<std::pair<TaskKind, double>> weights = {
+      {TaskKind::kCombExpr, config.w_comb},
+      {TaskKind::kFsm, config.w_fsm},
+      {TaskKind::kCounter, config.w_counter},
+      {TaskKind::kShiftRegister, config.w_shift},
+      {TaskKind::kRegister, config.w_register},
+      {TaskKind::kAdder, config.w_adder},
+      {TaskKind::kMux, config.w_mux},
+      {TaskKind::kDecoder, config.w_decoder},
+      {TaskKind::kComparator, config.w_comparator},
+      {TaskKind::kParity, config.w_parity},
+      {TaskKind::kAlu, config.w_alu},
+      {TaskKind::kClockDivider, config.w_clock_divider},
+      {TaskKind::kEdgeDetector, config.w_edge_detector},
+  };
+  double total = 0;
+  for (const auto& [k, w] : weights) total += w;
+  if (total <= 0) throw std::invalid_argument("generate_task: all weights zero");
+  double pick = rng.uniform(0, total);
+  TaskKind kind = TaskKind::kCombExpr;
+  for (const auto& [k, w] : weights) {
+    if (pick < w) {
+      kind = k;
+      break;
+    }
+    pick -= w;
+  }
+
+  TaskSpec spec;
+  spec.kind = kind;
+  spec.module_name = "top_module";
+
+  if (kind == TaskKind::kCombExpr) {
+    const std::size_t nvars = static_cast<std::size_t>(
+        rng.uniform_int(config.comb_min_vars, config.comb_max_vars));
+    logic::ExprGenConfig egc;
+    egc.num_vars = nvars;
+    egc.max_depth = nvars <= 2 ? 3 : 4;
+    logic::ExprGenerator gen(egc);
+    spec.expr = gen.generate_nontrivial(rng);
+    spec.comb_inputs = logic::ExprGenerator::default_var_names(nvars);
+    spec.comb_output = "out";
+    const double r = rng.uniform01();
+    if (r < config.p_truth_table) spec.presentation = CombPresentation::kTruthTable;
+    else if (r < config.p_truth_table + config.p_waveform)
+      spec.presentation = CombPresentation::kWaveform;
+    else if (r < config.p_truth_table + config.p_waveform + config.p_kmap)
+      spec.presentation = CombPresentation::kKarnaughMap;
+    else
+      spec.presentation = rng.chance(0.5) ? CombPresentation::kExpressionText
+                                          : CombPresentation::kEnglishText;
+    spec.want_minimal = spec.presentation == CombPresentation::kKarnaughMap ||
+                        (spec.presentation == CombPresentation::kTruthTable && rng.chance(0.4));
+  } else if (kind == TaskKind::kFsm) {
+    symbolic::StateDiagramGenConfig sgc;
+    sgc.min_states = config.fsm_min_states;
+    sgc.max_states = config.fsm_max_states;
+    spec.diagram = symbolic::generate_state_diagram(rng, sgc);
+  } else {
+    spec.width = static_cast<int>(rng.uniform_int(2, config.max_width));
+    if (kind == TaskKind::kCounter) {
+      spec.count_down = rng.chance(0.25);
+      if (rng.chance(0.3)) {
+        spec.modulus = static_cast<int>(rng.uniform_int(3, (1 << std::min(spec.width, 4)) - 1));
+      }
+    }
+    if (kind == TaskKind::kShiftRegister) spec.shift_left = rng.chance(0.6);
+    if (kind == TaskKind::kMux) {
+      spec.mux_inputs = rng.chance(0.5) ? 2 : 4;
+      spec.width = static_cast<int>(rng.uniform_int(1, 4));
+    }
+    if (kind == TaskKind::kDecoder) spec.sel_width = static_cast<int>(rng.uniform_int(2, 3));
+    if (kind == TaskKind::kClockDivider) {
+      spec.divide_by = 2 * static_cast<int>(rng.uniform_int(1, 5));
+    }
+    if (kind == TaskKind::kEdgeDetector) spec.detect_falling = rng.chance(0.3);
+  }
+
+  if (spec.sequential()) {
+    spec.seq.reset = rng.chance(config.p_async_reset) ? ResetKind::kAsync : ResetKind::kSync;
+    spec.seq.reset_active_low = rng.chance(config.p_active_low);
+    spec.seq.negedge_clock = rng.chance(config.p_negedge);
+    const bool enable_ok = kind == TaskKind::kCounter || kind == TaskKind::kRegister ||
+                           kind == TaskKind::kShiftRegister;
+    if (enable_ok && rng.chance(config.p_enable)) {
+      spec.seq.enable = rng.chance(0.3) ? EnableKind::kActiveLow : EnableKind::kActiveHigh;
+    }
+  }
+  return spec;
+}
+
+}  // namespace haven::llm

@@ -1,0 +1,167 @@
+// TaskSpec: the semantic intermediate representation of a Verilog design
+// task. Everything in the HaVen reproduction round-trips through it:
+//
+//   suite builders  ->  TaskSpec  ->  instruction renderer  -> prompt text
+//                            |                                      |
+//                            v                                      v
+//                      golden codegen                       SimLlm spec parser
+//                            |                                      |
+//                            v                                      v
+//                      golden Verilog  <--- diff testbench ---  candidate Verilog
+//
+// A TaskSpec fully determines the golden module, the stimulus protocol, and
+// the instruction text (in any of several phrasing styles).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/expr.h"
+#include "symbolic/state_diagram.h"
+#include "util/rng.h"
+
+namespace haven::llm {
+
+enum class TaskKind : std::uint8_t {
+  kCombExpr,      // 1-bit boolean function of 1-bit inputs
+  kFsm,           // Moore FSM from a state diagram
+  kCounter,       // up/down, optional modulus
+  kShiftRegister,
+  kRegister,      // D register / pipeline stage
+  kAdder,
+  kMux,
+  kDecoder,
+  kComparator,
+  kParity,
+  kAlu,
+  kClockDivider,
+  kEdgeDetector,
+};
+
+std::string task_kind_name(TaskKind k);
+bool task_kind_sequential(TaskKind k);
+
+// How a combinational function is presented in the instruction (the paper's
+// symbolic modalities plus plain expression text).
+enum class CombPresentation : std::uint8_t {
+  kExpressionText,  // "out = (a & b) | c"
+  kEnglishText,     // "out equals a AND b, then OR c"
+  kTruthTable,      // symbolic block
+  kWaveform,        // symbolic block
+  kKarnaughMap,     // rendered as a truth-table-equivalent map exercise
+};
+
+enum class ResetKind : std::uint8_t { kNone, kSync, kAsync };
+enum class EnableKind : std::uint8_t { kNone, kActiveHigh, kActiveLow };
+
+// Verilog-specific attributes (Section III-C): reset mechanism, clock edge,
+// enable polarity. Names are derived ("rst" / "rst_n", "en" / "en_n").
+struct SeqAttributes {
+  ResetKind reset = ResetKind::kSync;
+  bool reset_active_low = false;
+  bool negedge_clock = false;
+  EnableKind enable = EnableKind::kNone;
+
+  // Pin-name overrides: normally the names derive from polarity ("rst" vs
+  // "rst_n"), but a model that misreads polarity keeps the declared pin name
+  // while testing the wrong level — the override pins the name.
+  std::string reset_port;
+  std::string enable_port;
+
+  std::string reset_name() const {
+    return !reset_port.empty() ? reset_port : (reset_active_low ? "rst_n" : "rst");
+  }
+  std::string enable_name() const {
+    return !enable_port.empty() ? enable_port
+                                : (enable == EnableKind::kActiveLow ? "en_n" : "en");
+  }
+};
+
+struct TaskSpec {
+  TaskKind kind = TaskKind::kCombExpr;
+  std::string module_name = "top_module";
+
+  // kCombExpr ------------------------------------------------------------
+  logic::ExprPtr expr;                    // semantic function
+  std::vector<std::string> comb_inputs;   // port names, LSB-first
+  std::string comb_output = "out";
+  CombPresentation presentation = CombPresentation::kExpressionText;
+  bool want_minimal = false;              // "most concise expression" flavour
+
+  // kFsm ------------------------------------------------------------------
+  symbolic::StateDiagram diagram;
+
+  // Parametric kinds -------------------------------------------------------
+  int width = 4;          // data width (counter/shift/reg/adder/alu/...)
+  int modulus = 0;        // counter: wrap at modulus (0 = natural wrap)
+  bool count_down = false;
+  bool shift_left = true;
+  int mux_inputs = 4;     // kMux: 2 or 4
+  int sel_width = 2;      // kDecoder
+  int divide_by = 4;      // kClockDivider (even)
+  bool detect_falling = false;  // kEdgeDetector
+
+  SeqAttributes seq;
+
+  // --- derived -------------------------------------------------------------
+  bool sequential() const { return task_kind_sequential(kind); }
+
+  // Port list of the golden interface: (name, width, is_input).
+  struct PortInfo {
+    std::string name;
+    int width = 1;
+    bool is_input = true;
+  };
+  std::vector<PortInfo> interface() const;
+
+  // Canonical "module name(...);" header line used in prompts.
+  std::string header_line() const;
+
+  // Rough difficulty in [0,1] used to scale systematic hallucination draws.
+  double difficulty() const;
+
+  // A short structural fingerprint (stable across runs) for seeding.
+  std::uint64_t fingerprint() const;
+};
+
+// --- random generation ----------------------------------------------------
+
+struct TaskGenConfig {
+  // Relative weights per kind; zero removes the kind.
+  double w_comb = 3.0;
+  double w_fsm = 1.0;
+  double w_counter = 1.0;
+  double w_shift = 0.7;
+  double w_register = 0.7;
+  double w_adder = 0.6;
+  double w_mux = 0.6;
+  double w_decoder = 0.5;
+  double w_comparator = 0.5;
+  double w_parity = 0.4;
+  double w_alu = 0.5;
+  double w_clock_divider = 0.4;
+  double w_edge_detector = 0.4;
+
+  int comb_min_vars = 2;
+  int comb_max_vars = 4;
+  int fsm_min_states = 2;
+  int fsm_max_states = 5;
+  int max_width = 8;
+  // Probability a comb task is presented as each symbolic modality (the rest
+  // split between expression/english text).
+  double p_truth_table = 0.15;
+  double p_waveform = 0.1;
+  double p_kmap = 0.05;
+  // Probability of non-default sequential attributes.
+  double p_async_reset = 0.35;
+  double p_active_low = 0.25;
+  double p_negedge = 0.1;
+  double p_enable = 0.3;
+};
+
+TaskSpec generate_task(util::Rng& rng, const TaskGenConfig& config = {});
+
+}  // namespace haven::llm

@@ -1,0 +1,164 @@
+#include "logic/expr.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace haven::logic {
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kVar: return "var";
+    case Op::kConst: return "const";
+    case Op::kNot: return "~";
+    case Op::kAnd: return "&";
+    case Op::kOr: return "|";
+    case Op::kXor: return "^";
+    case Op::kXnor: return "~^";
+    case Op::kNand: return "~&";
+    case Op::kNor: return "~|";
+  }
+  return "?";
+}
+
+ExprPtr Expr::var(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = Op::kVar;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::constant(bool value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = Op::kConst;
+  e->value_ = value;
+  return e;
+}
+
+ExprPtr Expr::not_(ExprPtr a) {
+  if (!a) throw std::invalid_argument("Expr::not_: null operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = Op::kNot;
+  e->lhs_ = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::binary(Op op, ExprPtr a, ExprPtr b) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kXnor:
+    case Op::kNand:
+    case Op::kNor:
+      break;
+    default:
+      throw std::invalid_argument("Expr::binary: not a binary op");
+  }
+  if (!a || !b) throw std::invalid_argument("Expr::binary: null operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = op;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+bool Expr::eval(const std::vector<std::string>& inputs, std::uint32_t assignment) const {
+  switch (op_) {
+    case Op::kVar: {
+      const auto it = std::find(inputs.begin(), inputs.end(), name_);
+      if (it == inputs.end()) throw std::out_of_range("Expr::eval: unbound variable " + name_);
+      const auto idx = static_cast<std::size_t>(it - inputs.begin());
+      return ((assignment >> idx) & 1u) != 0;
+    }
+    case Op::kConst: return value_;
+    case Op::kNot: return !lhs_->eval(inputs, assignment);
+    case Op::kAnd: return lhs_->eval(inputs, assignment) && rhs_->eval(inputs, assignment);
+    case Op::kOr: return lhs_->eval(inputs, assignment) || rhs_->eval(inputs, assignment);
+    case Op::kXor: return lhs_->eval(inputs, assignment) != rhs_->eval(inputs, assignment);
+    case Op::kXnor: return lhs_->eval(inputs, assignment) == rhs_->eval(inputs, assignment);
+    case Op::kNand: return !(lhs_->eval(inputs, assignment) && rhs_->eval(inputs, assignment));
+    case Op::kNor: return !(lhs_->eval(inputs, assignment) || rhs_->eval(inputs, assignment));
+  }
+  throw std::logic_error("Expr::eval: corrupt op");
+}
+
+namespace {
+
+void collect_rec(const Expr& e, std::vector<std::string>& out,
+                 std::unordered_set<std::string>& seen) {
+  switch (e.op()) {
+    case Op::kVar:
+      if (seen.insert(e.name()).second) out.push_back(e.name());
+      return;
+    case Op::kConst:
+      return;
+    case Op::kNot:
+      collect_rec(*e.lhs(), out, seen);
+      return;
+    default:
+      collect_rec(*e.lhs(), out, seen);
+      collect_rec(*e.rhs(), out, seen);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Expr::collect_vars() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  collect_rec(*this, out, seen);
+  return out;
+}
+
+std::size_t Expr::size() const {
+  switch (op_) {
+    case Op::kVar:
+    case Op::kConst: return 1;
+    case Op::kNot: return 1 + lhs_->size();
+    default: return 1 + lhs_->size() + rhs_->size();
+  }
+}
+
+std::size_t Expr::depth() const {
+  switch (op_) {
+    case Op::kVar:
+    case Op::kConst: return 1;
+    case Op::kNot: return 1 + lhs_->depth();
+    default: return 1 + std::max(lhs_->depth(), rhs_->depth());
+  }
+}
+
+std::string Expr::to_verilog() const {
+  switch (op_) {
+    case Op::kVar: return name_;
+    case Op::kConst: return value_ ? "1'b1" : "1'b0";
+    case Op::kNot: return "(~" + lhs_->to_verilog() + ")";
+    case Op::kAnd: return "(" + lhs_->to_verilog() + " & " + rhs_->to_verilog() + ")";
+    case Op::kOr: return "(" + lhs_->to_verilog() + " | " + rhs_->to_verilog() + ")";
+    case Op::kXor: return "(" + lhs_->to_verilog() + " ^ " + rhs_->to_verilog() + ")";
+    case Op::kXnor: return "(~(" + lhs_->to_verilog() + " ^ " + rhs_->to_verilog() + "))";
+    case Op::kNand: return "(~(" + lhs_->to_verilog() + " & " + rhs_->to_verilog() + "))";
+    case Op::kNor: return "(~(" + lhs_->to_verilog() + " | " + rhs_->to_verilog() + "))";
+  }
+  throw std::logic_error("Expr::to_verilog: corrupt op");
+}
+
+std::string Expr::to_english() const {
+  switch (op_) {
+    case Op::kVar: return name_;
+    case Op::kConst: return value_ ? "1" : "0";
+    case Op::kNot: return "(NOT " + lhs_->to_english() + ")";
+    case Op::kAnd: return "(" + lhs_->to_english() + " AND " + rhs_->to_english() + ")";
+    case Op::kOr: return "(" + lhs_->to_english() + " OR " + rhs_->to_english() + ")";
+    case Op::kXor: return "(" + lhs_->to_english() + " XOR " + rhs_->to_english() + ")";
+    case Op::kXnor: return "(" + lhs_->to_english() + " XNOR " + rhs_->to_english() + ")";
+    case Op::kNand: return "(" + lhs_->to_english() + " NAND " + rhs_->to_english() + ")";
+    case Op::kNor: return "(" + lhs_->to_english() + " NOR " + rhs_->to_english() + ")";
+  }
+  throw std::logic_error("Expr::to_english: corrupt op");
+}
+
+}  // namespace haven::logic

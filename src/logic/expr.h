@@ -1,0 +1,82 @@
+// Boolean expression AST used throughout HaVen: the L-dataset generator emits
+// random expressions from it, the truth-table module tabulates it, the
+// Quine-McCluskey minimizer returns minimized forms as it, and the SimLLM
+// code generator lowers it to Verilog `assign` statements.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace haven::logic {
+
+enum class Op : std::uint8_t {
+  kVar,    // leaf: named variable
+  kConst,  // leaf: 0 or 1
+  kNot,    // unary
+  kAnd,
+  kOr,
+  kXor,
+  kXnor,
+  kNand,
+  kNor,
+};
+
+// Returns the Verilog operator spelling for a binary/unary op ("&", "|", ...).
+// kNand/kNor/kXnor have no single Verilog operator and are printed as a
+// negated form by Expr::to_verilog.
+std::string op_name(Op op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Immutable expression node. Shared subtrees are allowed (DAG), which the
+// random generator exploits to produce realistic repeated-subterm logic.
+class Expr {
+ public:
+  // Factory functions (the only way to construct nodes).
+  static ExprPtr var(std::string name);
+  static ExprPtr constant(bool value);
+  static ExprPtr not_(ExprPtr a);
+  static ExprPtr binary(Op op, ExprPtr a, ExprPtr b);
+  static ExprPtr and_(ExprPtr a, ExprPtr b) { return binary(Op::kAnd, std::move(a), std::move(b)); }
+  static ExprPtr or_(ExprPtr a, ExprPtr b) { return binary(Op::kOr, std::move(a), std::move(b)); }
+  static ExprPtr xor_(ExprPtr a, ExprPtr b) { return binary(Op::kXor, std::move(a), std::move(b)); }
+
+  Op op() const { return op_; }
+  const std::string& name() const { return name_; }  // valid when op == kVar
+  bool value() const { return value_; }              // valid when op == kConst
+  const ExprPtr& lhs() const { return lhs_; }        // valid for unary/binary
+  const ExprPtr& rhs() const { return rhs_; }        // valid for binary
+
+  // Evaluate under an assignment; `inputs` maps variable order (see
+  // collect_vars) to bit positions of `assignment`, LSB = inputs[0].
+  bool eval(const std::vector<std::string>& inputs, std::uint32_t assignment) const;
+
+  // All distinct variable names, in first-appearance (DFS) order.
+  std::vector<std::string> collect_vars() const;
+
+  // Node count (shared nodes counted once per occurrence) and tree depth.
+  std::size_t size() const;
+  std::size_t depth() const;
+
+  // Verilog expression text, fully parenthesized except leaves, e.g.
+  // "(a & (~b | c))". NAND/NOR/XNOR are emitted as ~(a op b).
+  std::string to_verilog() const;
+
+  // English rendering used in generated instructions, e.g.
+  // "(a AND (NOT b OR c))".
+  std::string to_english() const;
+
+ private:
+  Expr() = default;
+
+  Op op_ = Op::kConst;
+  std::string name_;
+  bool value_ = false;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+}  // namespace haven::logic

@@ -1,0 +1,168 @@
+#include "logic/expr_parser.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace haven::logic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    try {
+      result.expr = parse_or();
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing characters");
+    } catch (const std::runtime_error& e) {
+      result.expr = nullptr;
+      result.error = e.what();
+    }
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::runtime_error(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Try to consume a two-character operator like "~|"; single '~' followed by
+  // an operand must not be consumed here.
+  bool eat2(char a, char b) {
+    skip_ws();
+    if (pos_ + 1 < text_.size() && text_[pos_] == a && text_[pos_ + 1] == b) {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_xor();
+    while (true) {
+      if (eat2('~', '|')) lhs = Expr::binary(Op::kNor, lhs, parse_xor());
+      else if (peek_is('|')) {
+        eat('|');
+        if (eat('|')) {}  // accept "||" as "|" (boolean context)
+        lhs = Expr::binary(Op::kOr, lhs, parse_xor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_xor() {
+    ExprPtr lhs = parse_and();
+    while (true) {
+      if (eat2('~', '^')) lhs = Expr::binary(Op::kXnor, lhs, parse_and());
+      else if (eat2('^', '~')) lhs = Expr::binary(Op::kXnor, lhs, parse_and());
+      else if (peek_is('^')) {
+        eat('^');
+        lhs = Expr::binary(Op::kXor, lhs, parse_and());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      if (eat2('~', '&')) lhs = Expr::binary(Op::kNand, lhs, parse_unary());
+      else if (peek_is('&')) {
+        eat('&');
+        if (eat('&')) {}  // accept "&&" as "&"
+        lhs = Expr::binary(Op::kAnd, lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    // '~' that begins "~|", "~^", "~&" is an operator, handled by callers; a
+    // bare peek on those composites must not match.
+    return true;
+  }
+
+  ExprPtr parse_unary() {
+    skip_ws();
+    if (pos_ < text_.size() && (text_[pos_] == '~' || text_[pos_] == '!')) {
+      // Only unary if not a two-char operator start that callers handle; at
+      // unary position "~|x" would be malformed anyway, so always unary here.
+      ++pos_;
+      return Expr::not_(parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of expression");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      ExprPtr inner = parse_or();
+      if (!eat(')')) fail("expected ')'");
+      return inner;
+    }
+    if (c == '0' || c == '1') {
+      // Accept bare 0/1 and sized literals 1'b0 / 1'b1.
+      if (text_.substr(pos_).size() >= 4 && text_.substr(pos_, 1) == "1" &&
+          text_[pos_ + 1] == '\'' &&
+          (text_[pos_ + 2] == 'b' || text_[pos_ + 2] == 'B') &&
+          (text_[pos_ + 3] == '0' || text_[pos_ + 3] == '1')) {
+        const bool v = text_[pos_ + 3] == '1';
+        pos_ += 4;
+        return Expr::constant(v);
+      }
+      ++pos_;
+      return Expr::constant(c == '1');
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+              text_[pos_] == '$')) {
+        ++pos_;
+      }
+      return Expr::var(std::string(text_.substr(start, pos_ - start)));
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse_expr(std::string_view text) { return Parser(text).run(); }
+
+ExprPtr parse_expr_or_throw(std::string_view text) {
+  ParseResult r = parse_expr(text);
+  if (!r.expr) throw std::runtime_error("parse_expr: " + r.error);
+  return r.expr;
+}
+
+}  // namespace haven::logic

@@ -1,0 +1,31 @@
+// Parser for textual boolean expressions in Verilog operator syntax:
+//
+//   expr   := xor ( ('|' | '~|') xor )*
+//   xor    := and ( ('^' | '~^') and )*
+//   and    := unary ( ('&' | '~&') unary )*
+//   unary  := '~' unary | '!' unary | primary
+//   primary:= identifier | '0' | '1' | "1'b0" | "1'b1" | '(' expr ')'
+//
+// Used by tests (round-tripping) and by the SimLLM instruction parser when an
+// instruction embeds an explicit expression ("implement out = a & ~b | c").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "logic/expr.h"
+
+namespace haven::logic {
+
+struct ParseResult {
+  ExprPtr expr;        // null on failure
+  std::string error;   // non-empty on failure, includes character offset
+};
+
+ParseResult parse_expr(std::string_view text);
+
+// Convenience: parse-or-throw.
+ExprPtr parse_expr_or_throw(std::string_view text);
+
+}  // namespace haven::logic

@@ -1,0 +1,85 @@
+#include "logic/exprgen.h"
+
+#include <stdexcept>
+
+namespace haven::logic {
+
+std::vector<std::string> ExprGenerator::default_var_names(std::size_t n) {
+  static const char* kNames[] = {"a", "b", "c", "d", "e", "f", "g", "h",
+                                 "i", "j", "k", "m", "n", "p", "q", "r"};
+  if (n > 16) throw std::invalid_argument("ExprGenerator: at most 16 variables");
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.emplace_back(kNames[i]);
+  return out;
+}
+
+ExprGenerator::ExprGenerator(ExprGenConfig config)
+    : config_(config), vars_(default_var_names(config.num_vars)) {
+  if (config_.num_vars == 0) throw std::invalid_argument("ExprGenerator: num_vars == 0");
+  if (config_.max_depth == 0) throw std::invalid_argument("ExprGenerator: max_depth == 0");
+}
+
+ExprPtr ExprGenerator::gen_rec(util::Rng& rng, std::size_t depth) const {
+  const bool must_leaf = depth >= config_.max_depth;
+  if (must_leaf || rng.chance(config_.leaf_probability)) {
+    ExprPtr leaf = rng.chance(config_.const_probability)
+                       ? Expr::constant(rng.chance(0.5))
+                       : Expr::var(rng.choice(vars_));
+    if (rng.chance(config_.not_probability)) leaf = Expr::not_(leaf);
+    return leaf;
+  }
+
+  std::vector<Op> ops = {Op::kAnd, Op::kOr};
+  if (config_.allow_xor) {
+    ops.push_back(Op::kXor);
+    ops.push_back(Op::kXnor);
+  }
+  if (config_.allow_nand_nor) {
+    ops.push_back(Op::kNand);
+    ops.push_back(Op::kNor);
+  }
+  const Op op = rng.choice(ops);
+  ExprPtr node = Expr::binary(op, gen_rec(rng, depth + 1), gen_rec(rng, depth + 1));
+  if (rng.chance(config_.not_probability * 0.5)) node = Expr::not_(node);
+  return node;
+}
+
+ExprPtr ExprGenerator::generate(util::Rng& rng) const { return gen_rec(rng, 1); }
+
+ExprPtr ExprGenerator::generate_nontrivial(util::Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ExprPtr e = generate(rng);
+    const auto vars = e->collect_vars();
+    if (vars.size() < 2) continue;
+    // Reject tautologies/contradictions: they make degenerate exercises.
+    const TruthTable tt = TruthTable::from_expr(*e);
+    const std::size_t ones = tt.count_true();
+    if (ones == 0 || ones == tt.num_rows()) continue;
+    return e;
+  }
+  return Expr::and_(Expr::var("a"), Expr::var("b"));
+}
+
+TruthTable ExprGenerator::generate_table(util::Rng& rng, double dont_care_fraction) const {
+  TruthTable tt(vars_);
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) {
+    if (dont_care_fraction > 0.0 && rng.chance(dont_care_fraction)) {
+      tt.set_row(a, Tri::kDontCare);
+    } else {
+      tt.set_row(a, rng.chance(0.5));
+    }
+  }
+  // Ensure at least one defined true and one defined false row so that the
+  // exercise is non-degenerate.
+  bool has_true = false, has_false = false;
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) {
+    has_true |= tt.row(a) == Tri::kTrue;
+    has_false |= tt.row(a) == Tri::kFalse;
+  }
+  if (!has_true) tt.set_row(0, Tri::kTrue);
+  if (!has_false) tt.set_row(static_cast<std::uint32_t>(tt.num_rows() - 1), Tri::kFalse);
+  return tt;
+}
+
+}  // namespace haven::logic

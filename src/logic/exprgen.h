@@ -1,0 +1,51 @@
+// Random boolean expression generation for the L-dataset (Section III-D,
+// step 10: "scripts that produce a wide range of logical expressions and
+// their associated input-output mappings").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/expr.h"
+#include "logic/truth_table.h"
+#include "util/rng.h"
+
+namespace haven::logic {
+
+struct ExprGenConfig {
+  std::size_t num_vars = 3;       // distinct variables available (a, b, c, ...)
+  std::size_t max_depth = 4;      // maximum tree depth
+  double not_probability = 0.25;  // chance of wrapping a subterm in NOT
+  bool allow_xor = true;          // include XOR/XNOR operators
+  bool allow_nand_nor = false;    // include NAND/NOR (less common in specs)
+  double leaf_probability = 0.35; // chance an interior position becomes a leaf
+  double const_probability = 0.03;// chance a leaf is a constant instead of var
+};
+
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(ExprGenConfig config = {});
+
+  // Generate one expression; variable names are a,b,c,... (up to 16).
+  ExprPtr generate(util::Rng& rng) const;
+
+  // Generate an expression that is non-degenerate: uses at least two distinct
+  // variables and is neither a tautology nor a contradiction. Retries
+  // internally (bounded), falling back to (a & b) if unlucky.
+  ExprPtr generate_nontrivial(util::Rng& rng) const;
+
+  // Generate a random truth table directly (each row true with prob 0.5,
+  // optional don't-care fraction) — used for Karnaugh-map style tasks where
+  // the function is given extensionally rather than as an expression.
+  TruthTable generate_table(util::Rng& rng, double dont_care_fraction = 0.0) const;
+
+  static std::vector<std::string> default_var_names(std::size_t n);
+
+ private:
+  ExprPtr gen_rec(util::Rng& rng, std::size_t depth) const;
+
+  ExprGenConfig config_;
+  std::vector<std::string> vars_;
+};
+
+}  // namespace haven::logic

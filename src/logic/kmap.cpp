@@ -1,0 +1,104 @@
+#include "logic/kmap.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace haven::logic {
+
+std::vector<std::uint32_t> gray_sequence(std::size_t bits) {
+  if (bits == 0) return {0};
+  std::vector<std::uint32_t> out(std::size_t{1} << bits);
+  for (std::uint32_t i = 0; i < out.size(); ++i) out[i] = i ^ (i >> 1);
+  return out;
+}
+
+namespace {
+
+std::string bits_label(std::uint32_t value, std::size_t bits) {
+  std::string s(bits, '0');
+  for (std::size_t i = 0; i < bits; ++i) {
+    if ((value >> (bits - 1 - i)) & 1u) s[i] = '1';
+  }
+  return s;
+}
+
+}  // namespace
+
+KarnaughMap::KarnaughMap(const TruthTable& tt) {
+  const std::size_t n = tt.num_inputs();
+  if (n < 2 || n > 4) throw std::invalid_argument("KarnaughMap: supports 2..4 inputs");
+
+  // Split variables: first half on rows (MSB side), rest on columns. With the
+  // LSB-first convention of TruthTable, inputs()[0] is bit 0.
+  const std::size_t row_bits = n / 2;        // 2->1, 3->1, 4->2
+  const std::size_t col_bits = n - row_bits; // 2->1, 3->2, 4->2
+
+  // Row variables are the high-order inputs, columns the low-order ones, so
+  // that a 4-var map over (a,b,c,d) reads ab on rows, cd on columns when the
+  // table was built with inputs in MSB-to-LSB order d,c,b,a... To keep the
+  // common textbook appearance we treat inputs() as listed a,b,c,d and put
+  // the *first* variables on rows.
+  for (std::size_t i = 0; i < row_bits; ++i) row_vars_.push_back(tt.inputs()[i]);
+  for (std::size_t i = row_bits; i < n; ++i) col_vars_.push_back(tt.inputs()[i]);
+
+  const auto row_gray = gray_sequence(row_bits);
+  const auto col_gray = gray_sequence(col_bits);
+  for (std::uint32_t g : row_gray) row_labels_.push_back(bits_label(g, row_bits));
+  for (std::uint32_t g : col_gray) col_labels_.push_back(bits_label(g, col_bits));
+
+  grid_.assign(row_gray.size(), std::vector<Tri>(col_gray.size(), Tri::kFalse));
+  minterm_.assign(row_gray.size(), std::vector<std::uint32_t>(col_gray.size(), 0));
+  for (std::size_t r = 0; r < row_gray.size(); ++r) {
+    for (std::size_t c = 0; c < col_gray.size(); ++c) {
+      // Assemble the assignment: row vars are inputs()[0..row_bits), LSB-first
+      // in the truth table. Row label bit j (MSB-first in the label) belongs
+      // to row var j, i.e. table bit j.
+      std::uint32_t assignment = 0;
+      for (std::size_t j = 0; j < row_bits; ++j) {
+        const bool bit = ((row_gray[r] >> (row_bits - 1 - j)) & 1u) != 0;
+        if (bit) assignment |= (1u << j);
+      }
+      for (std::size_t j = 0; j < col_bits; ++j) {
+        const bool bit = ((col_gray[c] >> (col_bits - 1 - j)) & 1u) != 0;
+        if (bit) assignment |= (1u << (row_bits + j));
+      }
+      grid_[r][c] = tt.row(assignment);
+      minterm_[r][c] = assignment;
+    }
+  }
+}
+
+Tri KarnaughMap::cell(std::size_t r, std::size_t c) const {
+  if (r >= rows() || c >= cols()) throw std::out_of_range("KarnaughMap::cell");
+  return grid_[r][c];
+}
+
+std::uint32_t KarnaughMap::cell_minterm(std::size_t r, std::size_t c) const {
+  if (r >= rows() || c >= cols()) throw std::out_of_range("KarnaughMap::cell_minterm");
+  return minterm_[r][c];
+}
+
+std::string KarnaughMap::render() const {
+  const std::string rv = util::join(row_vars_, "");
+  const std::string cv = util::join(col_vars_, "");
+  std::string out;
+  // Header line.
+  out += std::string(rv.size() + 4, ' ');
+  for (const auto& cl : col_labels_) out += " " + cv + "=" + cl;
+  out += "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out += " " + rv + "=" + row_labels_[r] + " ";
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const char v = grid_[r][c] == Tri::kTrue ? '1' : (grid_[r][c] == Tri::kFalse ? '0' : 'x');
+      const std::size_t width = cv.size() + 1 + col_labels_[c].size() + 1;
+      std::string cellstr(width, ' ');
+      cellstr[width / 2] = v;
+      out += cellstr;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace haven::logic

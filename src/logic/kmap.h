@@ -1,0 +1,52 @@
+// Karnaugh map model and renderer for 2-4 variable functions. The L-dataset
+// generator (Section III-D, step 10) uses Karnaugh maps as one of its
+// "typical logic problems encountered in Verilog"; the symbolic renderer also
+// emits them as instruction text for benchmark tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.h"
+
+namespace haven::logic {
+
+class KarnaughMap {
+ public:
+  // Builds the map from a truth table with 2..4 inputs.
+  explicit KarnaughMap(const TruthTable& tt);
+
+  std::size_t rows() const { return row_labels_.size(); }
+  std::size_t cols() const { return col_labels_.size(); }
+
+  // Cell value at (row, col) in Gray-code layout.
+  Tri cell(std::size_t r, std::size_t c) const;
+
+  // Gray-code labels, e.g. {"00","01","11","10"}.
+  const std::vector<std::string>& row_labels() const { return row_labels_; }
+  const std::vector<std::string>& col_labels() const { return col_labels_; }
+  // Which input names label rows/columns, e.g. "ab" over rows, "cd" columns.
+  const std::vector<std::string>& row_vars() const { return row_vars_; }
+  const std::vector<std::string>& col_vars() const { return col_vars_; }
+
+  // Minterm index for a (row, col) cell, consistent with the source table.
+  std::uint32_t cell_minterm(std::size_t r, std::size_t c) const;
+
+  // ASCII rendering, e.g.
+  //        cd=00 cd=01 cd=11 cd=10
+  //  ab=00   0     1     1     0
+  //  ...
+  std::string render() const;
+
+ private:
+  std::vector<std::string> row_vars_, col_vars_;
+  std::vector<std::string> row_labels_, col_labels_;
+  std::vector<std::vector<Tri>> grid_;
+  std::vector<std::vector<std::uint32_t>> minterm_;
+};
+
+// Standard 2-bit Gray sequence used for map layout: 00,01,11,10.
+std::vector<std::uint32_t> gray_sequence(std::size_t bits);
+
+}  // namespace haven::logic

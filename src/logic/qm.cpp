@@ -1,0 +1,189 @@
+#include "logic/qm.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace haven::logic {
+
+namespace {
+
+// Key for dedup: (bits & mask, mask).
+struct ImpKey {
+  std::uint32_t bits;
+  std::uint32_t mask;
+  auto operator<=>(const ImpKey&) const = default;
+};
+
+}  // namespace
+
+std::vector<Implicant> prime_implicants(const TruthTable& tt) {
+  const std::uint32_t n = static_cast<std::uint32_t>(tt.num_inputs());
+  const std::uint32_t full_mask = n >= 32 ? ~0u : ((1u << n) - 1u);
+
+  // Terms that may participate in merging: minterms plus don't-cares.
+  std::set<ImpKey> current;
+  for (std::uint32_t m : tt.minterms()) current.insert({m, full_mask});
+  for (std::uint32_t d : tt.dont_cares()) current.insert({d, full_mask});
+  if (current.empty()) return {};
+
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::set<ImpKey> next;
+    std::set<ImpKey> merged;
+    std::vector<ImpKey> items(current.begin(), current.end());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i].mask != items[j].mask) continue;
+        const std::uint32_t diff = (items[i].bits ^ items[j].bits) & items[i].mask;
+        if (__builtin_popcount(diff) != 1) continue;
+        const std::uint32_t new_mask = items[i].mask & ~diff;
+        next.insert({items[i].bits & new_mask, new_mask});
+        merged.insert(items[i]);
+        merged.insert(items[j]);
+      }
+    }
+    for (const auto& it : items) {
+      if (!merged.contains(it)) primes.push_back({it.bits & it.mask, it.mask});
+    }
+    current = std::move(next);
+  }
+
+  // Deduplicate (different merge orders can produce the same cube).
+  std::sort(primes.begin(), primes.end(), [](const Implicant& a, const Implicant& b) {
+    return std::pair{a.mask, a.bits} < std::pair{b.mask, b.bits};
+  });
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  return primes;
+}
+
+MinimizeResult minimize(const TruthTable& tt) {
+  MinimizeResult result;
+  const std::vector<std::uint32_t> minterms = tt.minterms();
+  if (minterms.empty()) {
+    result.expr = Expr::constant(false);
+    return result;
+  }
+
+  std::vector<Implicant> primes = prime_implicants(tt);
+
+  // Special case: a single prime with empty mask covers everything -> const 1.
+  if (primes.size() == 1 && primes[0].mask == 0) {
+    result.is_constant_one = true;
+    result.cover = primes;
+    result.expr = Expr::constant(true);
+    return result;
+  }
+
+  // Coverage matrix: which primes cover each required minterm.
+  std::vector<std::vector<std::size_t>> covers_of(minterms.size());
+  for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (primes[pi].covers(minterms[mi])) covers_of[mi].push_back(pi);
+    }
+    if (covers_of[mi].empty())
+      throw std::logic_error("minimize: minterm not covered by any prime implicant");
+  }
+
+  std::vector<bool> chosen(primes.size(), false);
+  std::vector<bool> satisfied(minterms.size(), false);
+
+  // Essential primes: a minterm covered by exactly one prime forces it.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+      if (satisfied[mi]) continue;
+      std::size_t only = primes.size();
+      int alive = 0;
+      for (std::size_t pi : covers_of[mi]) {
+        ++alive;
+        only = pi;
+      }
+      if (alive == 1 && !chosen[only]) {
+        chosen[only] = true;
+        changed = true;
+        for (std::size_t mj = 0; mj < minterms.size(); ++mj) {
+          if (!satisfied[mj] && primes[only].covers(minterms[mj])) satisfied[mj] = true;
+        }
+      } else if (alive == 1 && chosen[only]) {
+        satisfied[mi] = true;
+      }
+    }
+    // Re-derive satisfaction from chosen set (covers the alive==1 && chosen case).
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+      if (satisfied[mi]) continue;
+      for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+        if (chosen[pi] && primes[pi].covers(minterms[mi])) {
+          satisfied[mi] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Greedy cover for the cyclic remainder: pick the prime covering the most
+  // unsatisfied minterms; tie-break on fewer literals.
+  while (true) {
+    std::size_t best = primes.size();
+    int best_gain = 0;
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (chosen[pi]) continue;
+      int gain = 0;
+      for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+        if (!satisfied[mi] && primes[pi].covers(minterms[mi])) ++gain;
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best < primes.size() &&
+           primes[pi].literal_count() < primes[best].literal_count())) {
+        best = pi;
+        best_gain = gain;
+      }
+    }
+    if (best_gain == 0) break;
+    chosen[best] = true;
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+      if (!satisfied[mi] && primes[best].covers(minterms[mi])) satisfied[mi] = true;
+    }
+  }
+
+  for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+    if (chosen[pi]) result.cover.push_back(primes[pi]);
+  }
+
+  // Build the SOP expression.
+  const std::vector<std::string>& inputs = tt.inputs();
+  ExprPtr sum;
+  for (const Implicant& imp : result.cover) {
+    ExprPtr term;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (((imp.mask >> i) & 1u) == 0) continue;
+      ExprPtr lit = Expr::var(inputs[i]);
+      if (((imp.bits >> i) & 1u) == 0) lit = Expr::not_(lit);
+      term = term ? Expr::and_(term, lit) : lit;
+    }
+    if (!term) term = Expr::constant(true);  // empty-mask implicant
+    sum = sum ? Expr::or_(sum, term) : term;
+    result.literal_count += imp.literal_count();
+  }
+  result.expr = sum ? sum : Expr::constant(false);
+  return result;
+}
+
+std::string implicant_to_verilog(const Implicant& imp,
+                                 const std::vector<std::string>& inputs) {
+  if (imp.mask == 0) return "1'b1";
+  std::string out;
+  bool first = true;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (((imp.mask >> i) & 1u) == 0) continue;
+    if (!first) out += " & ";
+    if (((imp.bits >> i) & 1u) == 0) out += "~";
+    out += inputs[i];
+    first = false;
+  }
+  return "(" + out + ")";
+}
+
+}  // namespace haven::logic

@@ -1,0 +1,51 @@
+// Quine-McCluskey two-level minimization. Implements the paper's first
+// category of "logical reasoning in Verilog": finding the most concise
+// logical expression for a given truth table (Section III-D, step 9).
+//
+// Exact prime-implicant generation plus essential-prime extraction and a
+// greedy set cover for the cyclic remainder; exact enough for the <=8-input
+// functions that appear in the generated L-dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/expr.h"
+#include "logic/truth_table.h"
+
+namespace haven::logic {
+
+// A product term over n variables: for bit i, (mask>>i)&1 says variable i is
+// present, and then (bits>>i)&1 gives its required polarity.
+struct Implicant {
+  std::uint32_t bits = 0;
+  std::uint32_t mask = 0;
+
+  bool covers(std::uint32_t minterm) const { return (minterm & mask) == (bits & mask); }
+  // Number of literals in the term.
+  int literal_count() const { return __builtin_popcount(mask); }
+  bool operator==(const Implicant&) const = default;
+};
+
+struct MinimizeResult {
+  std::vector<Implicant> cover;  // chosen implicants (possibly empty = constant 0)
+  bool is_constant_one = false;  // cover == single all-dont-care implicant
+  ExprPtr expr;                  // minimized sum-of-products expression
+  int literal_count = 0;         // total literals in the cover
+};
+
+// Minimize the function described by `tt` (don't-cares used to enlarge
+// implicants but never required to be covered).
+MinimizeResult minimize(const TruthTable& tt);
+
+// All prime implicants of the function (exposed for tests and the Karnaugh
+// map renderer, which draws prime-implicant groups).
+std::vector<Implicant> prime_implicants(const TruthTable& tt);
+
+// Render an implicant as a Verilog product term over the given inputs, e.g.
+// "(a & ~b)". An empty-mask implicant renders as "1'b1".
+std::string implicant_to_verilog(const Implicant& imp,
+                                 const std::vector<std::string>& inputs);
+
+}  // namespace haven::logic

@@ -1,0 +1,104 @@
+#include "logic/truth_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace haven::logic {
+
+TruthTable::TruthTable(std::vector<std::string> inputs, std::string output)
+    : inputs_(std::move(inputs)), output_(std::move(output)) {
+  if (inputs_.empty()) throw std::invalid_argument("TruthTable: needs at least one input");
+  if (inputs_.size() > 16) throw std::invalid_argument("TruthTable: more than 16 inputs");
+  rows_.assign(std::size_t{1} << inputs_.size(), Tri::kFalse);
+}
+
+TruthTable TruthTable::from_expr(const Expr& e, std::string output) {
+  return from_expr(e, e.collect_vars(), std::move(output));
+}
+
+TruthTable TruthTable::from_expr(const Expr& e, std::vector<std::string> inputs,
+                                 std::string output) {
+  if (inputs.empty()) inputs = {"_unused"};
+  TruthTable tt(std::move(inputs), std::move(output));
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) {
+    tt.set_row(a, e.eval(tt.inputs_, a));
+  }
+  return tt;
+}
+
+Tri TruthTable::row(std::uint32_t assignment) const {
+  if (assignment >= rows_.size()) throw std::out_of_range("TruthTable::row");
+  return rows_[assignment];
+}
+
+void TruthTable::set_row(std::uint32_t assignment, Tri value) {
+  if (assignment >= rows_.size()) throw std::out_of_range("TruthTable::set_row");
+  rows_[assignment] = value;
+}
+
+std::vector<std::uint32_t> TruthTable::minterms() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t a = 0; a < rows_.size(); ++a) {
+    if (rows_[a] == Tri::kTrue) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> TruthTable::dont_cares() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t a = 0; a < rows_.size(); ++a) {
+    if (rows_[a] == Tri::kDontCare) out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t TruthTable::count_true() const {
+  return static_cast<std::size_t>(std::count(rows_.begin(), rows_.end(), Tri::kTrue));
+}
+
+bool TruthTable::matches(const Expr& e) const {
+  for (std::uint32_t a = 0; a < rows_.size(); ++a) {
+    if (rows_[a] == Tri::kDontCare) continue;
+    if (e.eval(inputs_, a) != (rows_[a] == Tri::kTrue)) return false;
+  }
+  return true;
+}
+
+bool TruthTable::equivalent(const TruthTable& other) const {
+  if (inputs_ != other.inputs_) return false;
+  for (std::uint32_t a = 0; a < rows_.size(); ++a) {
+    if (rows_[a] == Tri::kDontCare || other.rows_[a] == Tri::kDontCare) continue;
+    if (rows_[a] != other.rows_[a]) return false;
+  }
+  return true;
+}
+
+ExprPtr TruthTable::to_sum_of_minterms() const {
+  ExprPtr sum;
+  for (std::uint32_t m : minterms()) {
+    ExprPtr term;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      ExprPtr lit = Expr::var(inputs_[i]);
+      if (((m >> i) & 1u) == 0) lit = Expr::not_(lit);
+      term = term ? Expr::and_(term, lit) : lit;
+    }
+    sum = sum ? Expr::or_(sum, term) : term;
+  }
+  return sum ? sum : Expr::constant(false);
+}
+
+bool exprs_equivalent(const Expr& a, const Expr& b) {
+  std::vector<std::string> vars = a.collect_vars();
+  for (const auto& v : b.collect_vars()) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) vars.push_back(v);
+  }
+  if (vars.size() > 16) throw std::invalid_argument("exprs_equivalent: more than 16 variables");
+  const std::uint32_t rows = vars.empty() ? 1 : (1u << vars.size());
+  const std::vector<std::string> bind = vars.empty() ? std::vector<std::string>{"_u"} : vars;
+  for (std::uint32_t m = 0; m < rows; ++m) {
+    if (a.eval(bind, m) != b.eval(bind, m)) return false;
+  }
+  return true;
+}
+
+}  // namespace haven::logic

@@ -1,0 +1,68 @@
+// Truth table object: the canonical semantic form for single-output
+// combinational functions. Supports don't-care entries so Karnaugh-map
+// exercises with undefined rows (a paper taxonomy corner-case trigger) can be
+// represented faithfully.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/expr.h"
+
+namespace haven::logic {
+
+// Value of one output row: false, true, or don't-care.
+enum class Tri : std::uint8_t { kFalse = 0, kTrue = 1, kDontCare = 2 };
+
+class TruthTable {
+ public:
+  // Constructs an all-false table over the given input names (LSB-first:
+  // inputs()[0] is bit 0 of the row index). At most 16 inputs.
+  explicit TruthTable(std::vector<std::string> inputs, std::string output = "out");
+
+  // Tabulate an expression; inputs are the expression's variables in
+  // first-appearance order unless explicitly given.
+  static TruthTable from_expr(const Expr& e, std::string output = "out");
+  static TruthTable from_expr(const Expr& e, std::vector<std::string> inputs,
+                              std::string output);
+
+  const std::vector<std::string>& inputs() const { return inputs_; }
+  const std::string& output() const { return output_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  Tri row(std::uint32_t assignment) const;
+  void set_row(std::uint32_t assignment, Tri value);
+  void set_row(std::uint32_t assignment, bool value) {
+    set_row(assignment, value ? Tri::kTrue : Tri::kFalse);
+  }
+
+  // Minterm / don't-care index lists (ascending).
+  std::vector<std::uint32_t> minterms() const;
+  std::vector<std::uint32_t> dont_cares() const;
+
+  std::size_t count_true() const;
+
+  // True if the expression matches this table on every defined row.
+  bool matches(const Expr& e) const;
+
+  // Two tables over the same inputs agree on all rows defined in both.
+  bool equivalent(const TruthTable& other) const;
+
+  // Canonical sum-of-minterms expression (don't-cares treated as false).
+  // For the all-false table returns constant 0.
+  ExprPtr to_sum_of_minterms() const;
+
+ private:
+  std::vector<std::string> inputs_;
+  std::string output_;
+  std::vector<Tri> rows_;
+};
+
+// Exhaustive equivalence of two expressions over the union of their variable
+// sets (up to 16 variables; throws beyond that).
+bool exprs_equivalent(const Expr& a, const Expr& b);
+
+}  // namespace haven::logic

@@ -1,0 +1,145 @@
+#include "nlp/evolution.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "nlp/text.h"
+#include "util/strings.h"
+
+namespace haven::nlp {
+
+bool is_protected_line(const std::string& line) {
+  const std::string t(util::trim(line));
+  if (t.empty()) return false;
+  // Code / module headers.
+  if (util::starts_with(t, "module") || util::starts_with(t, "endmodule") ||
+      t.find(";") != std::string::npos) {
+    return true;
+  }
+  // State diagram transitions.
+  if (t.find("->") != std::string::npos) return true;
+  // Waveform / interpreted rows.
+  if (t.find(':') != std::string::npos) return true;
+  // Truth-table rows: line of only 0/1/x fields.
+  const auto fields = util::split_ws(t);
+  if (!fields.empty() && std::all_of(fields.begin(), fields.end(), [](const std::string& f) {
+        return f == "0" || f == "1" || f == "x";
+      })) {
+    return true;
+  }
+  // Truth-table headers: two or more short signal names, no English filler
+  // words (prose sentences are fair game for paraphrasing).
+  static const std::set<std::string> kProseWords = {
+      "the",  "a",    "an",     "and",   "or",     "of",     "to",    "is",
+      "with", "for",  "design", "below", "module", "output", "input", "implement",
+      "this", "that", "when",   "then",  "make",   "use",    "carefully", "following",
+      "machine", "table", "diagram", "logic", "code"};
+  if (fields.size() >= 2 && std::all_of(fields.begin(), fields.end(), [](const std::string& f) {
+        return util::is_identifier(f) && f.size() <= 12;
+      })) {
+    for (const auto& f : fields) {
+      if (kProseWords.contains(util::to_lower(f))) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Replace words with synonyms in-place, preserving capitalization of the
+// first letter.
+std::string synonym_pass(const std::string& line, util::Rng& rng, double rate) {
+  std::string out;
+  std::string word;
+  auto flush = [&]() {
+    if (word.empty()) return;
+    const std::string lower = util::to_lower(word);
+    const auto& group = synonyms_of(lower);
+    if (!group.empty() && rng.chance(rate)) {
+      std::string repl = rng.choice(group);
+      if (std::isupper(static_cast<unsigned char>(word[0])) && !repl.empty()) {
+        repl[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(repl[0])));
+      }
+      out += repl;
+    } else {
+      out += word;
+    }
+    word.clear();
+  };
+  for (char c : line) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      word += c;
+    } else {
+      flush();
+      out += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace
+
+std::string evolve_instruction(const std::string& instruction, util::Rng& rng,
+                               const EvolutionConfig& config) {
+  static const std::vector<std::string> kPreambles = {
+      "As an HDL engineer,",
+      "For this design task,",
+      "In Verilog,",
+      "Using synthesizable Verilog,",
+  };
+  static const std::vector<std::string> kSuffixes = {
+      "Make sure the code is synthesizable.",
+      "Follow standard RTL conventions.",
+      "Keep the implementation clean.",
+  };
+
+  const std::size_t before_words = util::word_count(instruction);
+
+  std::vector<std::string> lines = util::split_lines(instruction);
+  for (auto& line : lines) {
+    if (is_protected_line(line)) continue;
+    line = synonym_pass(line, rng, config.synonym_rate);
+  }
+  std::string out = util::join(lines, "\n");
+
+  // Optionally prepend a short preamble and/or append a suffix sentence,
+  // within the word budget.
+  int budget = config.max_word_delta;
+  if (rng.chance(config.preamble_rate)) {
+    const std::string& pre = rng.choice(kPreambles);
+    const int cost = static_cast<int>(util::word_count(pre));
+    if (cost <= budget) {
+      // Attach to the first unprotected line.
+      for (auto& line : lines) {
+        if (!is_protected_line(line) && !util::trim(line).empty()) {
+          std::string body(util::trim(line));
+          if (!body.empty()) body[0] = static_cast<char>(std::tolower(static_cast<unsigned char>(body[0])));
+          line = pre + " " + body;
+          budget -= cost;
+          break;
+        }
+      }
+      out = util::join(lines, "\n");
+    }
+  }
+  if (budget >= 4 && rng.chance(config.preamble_rate * 0.6)) {
+    const std::string& suf = rng.choice(kSuffixes);
+    if (static_cast<int>(util::word_count(suf)) <= budget) {
+      out += "\n" + suf;
+    }
+  }
+
+  // Enforce the hard bound defensively (synonyms are 1:1, so only the
+  // preamble/suffix can change counts; this is a safety net).
+  const std::size_t after_words = util::word_count(out);
+  const long delta = static_cast<long>(after_words) - static_cast<long>(before_words);
+  if (delta > config.max_word_delta || -delta > config.max_word_delta) {
+    return instruction;  // fall back to the original rather than violate
+  }
+  return out;
+}
+
+}  // namespace haven::nlp

@@ -1,0 +1,28 @@
+// Instruction evolution (Section III-D, step 12): rewrite an instruction for
+// linguistic variety while preserving its semantic core. The paper constrains
+// the rewrite to "adding or removing no more than ten words"; we enforce the
+// same bound and never touch lines that carry symbolic payloads (tables,
+// diagrams, module headers), since mutating those would change semantics.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace haven::nlp {
+
+struct EvolutionConfig {
+  int max_word_delta = 10;      // paper's constraint
+  double synonym_rate = 0.35;   // chance of swapping each eligible word
+  double preamble_rate = 0.5;   // chance of adding a politeness/context preamble
+};
+
+// Returns a paraphrased instruction. Deterministic given the rng state.
+// Guarantees |words(out) - words(in)| <= config.max_word_delta.
+std::string evolve_instruction(const std::string& instruction, util::Rng& rng,
+                               const EvolutionConfig& config = {});
+
+// True if a line must not be mutated (symbolic payload or code).
+bool is_protected_line(const std::string& line);
+
+}  // namespace haven::nlp

@@ -1,0 +1,107 @@
+#include "nlp/text.h"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "util/strings.h"
+
+namespace haven::nlp {
+
+std::vector<std::string> tokenize_words(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      out.push_back(util::to_lower(cur));
+      cur.clear();
+    }
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'') {
+      cur += c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+double jaccard_similarity(std::string_view a, std::string_view b) {
+  const auto wa = tokenize_words(a);
+  const auto wb = tokenize_words(b);
+  const std::set<std::string> sa(wa.begin(), wa.end());
+  const std::set<std::string> sb(wb.begin(), wb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (const auto& w : sa) inter += sb.contains(w);
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double bow_cosine(std::string_view a, std::string_view b) {
+  std::map<std::string, int> ca, cb;
+  for (const auto& w : tokenize_words(a)) ++ca[w];
+  for (const auto& w : tokenize_words(b)) ++cb[w];
+  if (ca.empty() || cb.empty()) return ca.empty() && cb.empty() ? 1.0 : 0.0;
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& [w, n] : ca) {
+    na += static_cast<double>(n) * n;
+    const auto it = cb.find(w);
+    if (it != cb.end()) dot += static_cast<double>(n) * it->second;
+  }
+  for (const auto& [w, n] : cb) nb += static_cast<double>(n) * n;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::string expand_template(std::string_view tmpl,
+                            const std::map<std::string, std::string>& values) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < tmpl.size()) {
+    const std::size_t lb = tmpl.find('{', pos);
+    if (lb == std::string_view::npos) {
+      out.append(tmpl.substr(pos));
+      break;
+    }
+    const std::size_t rb = tmpl.find('}', lb);
+    if (rb == std::string_view::npos) {
+      out.append(tmpl.substr(pos));
+      break;
+    }
+    out.append(tmpl.substr(pos, lb - pos));
+    const std::string key(tmpl.substr(lb + 1, rb - lb - 1));
+    const auto it = values.find(key);
+    if (it != values.end()) {
+      out.append(it->second);
+    } else {
+      out.append(tmpl.substr(lb, rb - lb + 1));  // leave unknown placeholder
+    }
+    pos = rb + 1;
+  }
+  return out;
+}
+
+const std::vector<std::string>& synonyms_of(const std::string& word) {
+  static const std::vector<std::vector<std::string>> kGroups = {
+      {"implement", "design", "create", "build", "write", "develop"},
+      {"module", "circuit", "block", "component"},
+      {"output", "result"},
+      {"signal", "port", "line"},
+      {"equals", "is", "becomes"},
+      {"when", "if", "whenever"},
+      {"below", "following", "given"},
+      {"please", "kindly"},
+      {"verilog", "rtl", "hdl"},
+  };
+  static const std::vector<std::string> kEmpty;
+  for (const auto& group : kGroups) {
+    for (const auto& w : group) {
+      if (w == word) return group;
+    }
+  }
+  return kEmpty;
+}
+
+}  // namespace haven::nlp

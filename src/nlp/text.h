@@ -1,0 +1,31 @@
+// Lightweight text utilities standing in for the natural-language machinery
+// the paper gets from GPT-3.5: word tokenization, bag-of-words similarity
+// (used by topic matching to pair vanilla instructions with exemplars), and
+// a template expander used by the instruction synthesizers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace haven::nlp {
+
+// Lowercased word tokens; punctuation separated out, numbers kept.
+std::vector<std::string> tokenize_words(std::string_view text);
+
+// Jaccard similarity of the two texts' word sets in [0, 1].
+double jaccard_similarity(std::string_view a, std::string_view b);
+
+// Cosine similarity over word-count vectors in [0, 1].
+double bow_cosine(std::string_view a, std::string_view b);
+
+// Expand "{key}" placeholders from the map; unknown keys are left verbatim.
+std::string expand_template(std::string_view tmpl,
+                            const std::map<std::string, std::string>& values);
+
+// Small domain synonym dictionary (implement/design/create/build/write, ...).
+// Returns the synonym group for a word, or an empty vector.
+const std::vector<std::string>& synonyms_of(const std::string& word);
+
+}  // namespace haven::nlp

@@ -1,0 +1,83 @@
+// Event-driven interpreter over an ElabDesign.
+//
+// Scheduling model (a faithful miniature of the stratified event queue of
+// IEEE 1364 for the synthesizable subset):
+//  * poke() on an input records the change, then update() runs to quiescence:
+//      1. combinational processes and continuous assigns whose read sets
+//         intersect the changed-signal set re-execute (active region) until
+//         fixpoint (delta cycles, bounded to detect zero-delay oscillation);
+//      2. clocked processes whose edge expressions fired execute, with
+//         nonblocking assignments accumulated in an NBA queue;
+//      3. the NBA queue commits (NBA region), possibly waking combinational
+//         processes again -> back to 1.
+//  * Registers power up as X; initial blocks run once at construction.
+//
+// A design that fails to converge (combinational loop) sets converged() =
+// false instead of throwing, so the testbench can count it as a functional
+// failure — exactly how a hallucinated `assign a = ~a;` should score.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/elaborate.h"
+#include "sim/value.h"
+
+namespace haven::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(ElabDesign design);
+
+  // Drive a top-level input. Throws ElabError for unknown/non-input names.
+  void poke(const std::string& input, std::uint64_t value);
+  void poke_x(const std::string& input);
+
+  // Observe any signal.
+  Value peek(const std::string& signal) const;
+
+  // Convenience: full clock cycle on `clk` (0 then 1, settling after each).
+  void clock_cycle(const std::string& clk = "clk");
+
+  // False once a zero-delay oscillation was detected; sticky.
+  bool converged() const { return converged_; }
+
+  const ElabDesign& design() const { return design_; }
+
+  // Total process executions so far (microbenchmark instrumentation).
+  std::uint64_t activations() const { return activations_; }
+
+ private:
+  std::size_t id_of(const std::string& name) const;
+  void run_initial_blocks();
+  void update(std::set<std::size_t>& dirty);
+  void execute_process(const ElabProcess& proc, bool clocked, std::set<std::size_t>& dirty);
+
+  Value eval(const verilog::ExprPtr& e) const;
+  void exec_stmt(const verilog::StmtPtr& s, bool clocked, std::set<std::size_t>& dirty);
+  void assign_lvalue(const verilog::ExprPtr& lhs, const Value& v, bool nonblocking,
+                     std::set<std::size_t>& dirty);
+  void write_signal(std::size_t id, int hi, int lo, const Value& v, std::set<std::size_t>& dirty);
+
+  ElabDesign design_;
+  std::vector<Value> state_;
+  std::vector<Value> prev_edge_state_;  // last seen value of every signal, for edges
+  // For each signal: combinational processes reading it / clocked processes
+  // edge-sensitive to it.
+  std::vector<std::vector<std::size_t>> comb_watchers_;
+  std::vector<std::vector<std::size_t>> edge_watchers_;
+  struct NbaEntry {
+    std::size_t id;
+    int hi, lo;
+    Value value;
+  };
+  std::vector<NbaEntry> nba_queue_;
+  bool converged_ = true;
+  std::uint64_t activations_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace haven::sim

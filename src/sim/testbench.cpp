@@ -1,0 +1,258 @@
+#include "sim/testbench.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+#include "verilog/parser.h"
+
+namespace haven::sim {
+
+using verilog::Dir;
+using verilog::Module;
+using verilog::SourceFile;
+
+namespace {
+
+// Compare one output: where the golden value is defined, the DUT must match
+// exactly; golden X bits are unconstrained (the specification leaves them
+// free, so any DUT value is acceptable there).
+bool outputs_match(const Value& golden, const Value& dut, std::string* why,
+                   const std::string& name) {
+  if (golden.width() != dut.width()) {
+    *why = util::format("output '%s' width mismatch (golden %d, dut %d)", name.c_str(),
+                        golden.width(), dut.width());
+    return false;
+  }
+  const std::uint64_t care = ~golden.xz() & golden.mask();
+  const bool bits_ok = ((golden.bits() ^ dut.bits()) & care) == 0;
+  const bool defined_ok = (dut.xz() & care) == 0;
+  if (bits_ok && defined_ok) return true;
+  *why = util::format("output '%s': golden=%s dut=%s", name.c_str(),
+                      golden.to_string().c_str(), dut.to_string().c_str());
+  return false;
+}
+
+struct Harness {
+  Simulator golden;
+  Simulator dut;
+  std::vector<std::string> data_inputs;  // inputs except clock/reset
+  std::vector<int> data_widths;
+  std::vector<std::string> outputs;
+};
+
+DiffResult interface_check(const Module& dut, const Module& golden) {
+  DiffResult r;
+  for (const auto& gp : golden.ports) {
+    const verilog::Port* dp = dut.find_port(gp.name);
+    if (dp == nullptr) {
+      r.reason = "missing port '" + gp.name + "'";
+      return r;
+    }
+    if (dp->dir != gp.dir) {
+      r.reason = "port '" + gp.name + "' direction mismatch";
+      return r;
+    }
+    if (dp->width() != gp.width()) {
+      r.reason = util::format("port '%s' width mismatch (golden %d, dut %d)", gp.name.c_str(),
+                              gp.width(), dp->width());
+      return r;
+    }
+  }
+  for (const auto& dp : dut.ports) {
+    if (golden.find_port(dp.name) == nullptr) {
+      r.reason = "extra port '" + dp.name + "'";
+      return r;
+    }
+  }
+  r.passed = true;
+  return r;
+}
+
+}  // namespace
+
+DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
+                         const Module& golden_mod, const SourceFile* golden_file,
+                         const StimulusSpec& spec, util::Rng& rng) {
+  DiffResult iface = interface_check(dut_mod, golden_mod);
+  if (!iface.passed) return iface;
+
+  DiffResult result;
+  try {
+    ElabDesign golden_design = elaborate(golden_mod, golden_file);
+    ElabDesign dut_design;
+    try {
+      dut_design = elaborate(dut_mod, dut_file);
+    } catch (const ElabError& e) {
+      result.reason = std::string("dut elaboration failed: ") + e.what();
+      return result;
+    }
+
+    Harness h{Simulator(std::move(golden_design)), Simulator(std::move(dut_design)), {}, {}, {}};
+    for (const auto& p : golden_mod.ports) {
+      if (p.dir == Dir::kOutput) {
+        h.outputs.push_back(p.name);
+      } else if (p.name != spec.clock && p.name != spec.reset) {
+        h.data_inputs.push_back(p.name);
+        h.data_widths.push_back(p.width());
+      }
+    }
+
+    auto drive_both = [&](const std::string& name, std::uint64_t v) {
+      h.golden.poke(name, v);
+      h.dut.poke(name, v);
+    };
+    // Strict comparison: DUT must match every golden-defined bit.
+    auto compare_outputs = [&](const char* when) -> bool {
+      if (!h.dut.converged()) {
+        result.reason = util::format("dut failed to converge (%s)", when);
+        return false;
+      }
+      if (!h.golden.converged()) {
+        // A golden oscillation is a harness bug, not a DUT failure.
+        throw std::logic_error("golden model failed to converge");
+      }
+      for (const auto& out : h.outputs) {
+        std::string why;
+        if (!outputs_match(h.golden.peek(out), h.dut.peek(out), &why, out)) {
+          result.reason = util::format("%s: %s", when, why.c_str());
+          return false;
+        }
+      }
+      return true;
+    };
+    auto randomize_inputs = [&]() {
+      for (std::size_t i = 0; i < h.data_inputs.size(); ++i) {
+        const int w = h.data_widths[i];
+        const std::uint64_t mask = w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+        drive_both(h.data_inputs[i], rng.next() & mask);
+      }
+    };
+
+    if (!spec.sequential) {
+      int total_bits = 0;
+      for (int w : h.data_widths) total_bits += w;
+      if (total_bits <= spec.max_exhaustive_bits && total_bits <= 20) {
+        const std::uint64_t limit = std::uint64_t{1} << total_bits;
+        for (std::uint64_t vec = 0; vec < limit; ++vec) {
+          std::uint64_t rest = vec;
+          for (std::size_t i = 0; i < h.data_inputs.size(); ++i) {
+            const int w = h.data_widths[i];
+            const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+            drive_both(h.data_inputs[i], rest & mask);
+            rest >>= w;
+          }
+          ++result.vectors;
+          if (!compare_outputs(util::format("vector %llu",
+                                            static_cast<unsigned long long>(vec))
+                                   .c_str())) {
+            return result;
+          }
+        }
+      } else {
+        for (int v = 0; v < spec.random_vectors; ++v) {
+          randomize_inputs();
+          ++result.vectors;
+          if (!compare_outputs(util::format("random vector %d", v).c_str())) return result;
+        }
+      }
+      result.passed = true;
+      return result;
+    }
+
+    // Sequential protocol: hold reset asserted for two cycles, release, then
+    // drive random data each cycle; optionally re-assert mid-run.
+    const std::uint64_t reset_on = spec.reset_active_low ? 0 : 1;
+    const std::uint64_t reset_off = spec.reset_active_low ? 1 : 0;
+    drive_both(spec.clock, 0);
+    for (std::size_t i = 0; i < h.data_inputs.size(); ++i) drive_both(h.data_inputs[i], 0);
+    // Lenient comparison for the pre-reset window: power-on X in the DUT is
+    // not a functional error (real testbenches only sample after reset), but
+    // *defined* disagreement — an async golden already reset while the DUT
+    // holds a defined stale value — is.
+    auto compare_defined_only = [&](const char* when) -> bool {
+      if (!h.dut.converged()) {
+        result.reason = util::format("dut failed to converge (%s)", when);
+        return false;
+      }
+      for (const auto& out : h.outputs) {
+        const Value g = h.golden.peek(out);
+        const Value d = h.dut.peek(out);
+        if (!g.is_fully_defined() || !d.is_fully_defined()) continue;
+        std::string why;
+        if (!outputs_match(g, d, &why, out)) {
+          result.reason = util::format("%s: %s", when, why.c_str());
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (!spec.reset.empty()) {
+      drive_both(spec.reset, reset_on);
+      ++result.vectors;
+      if (!compare_defined_only("initial reset assertion")) return result;
+      for (int c = 0; c < 2; ++c) {
+        drive_both(spec.clock, 0);
+        drive_both(spec.clock, 1);
+      }
+      drive_both(spec.clock, 0);
+      drive_both(spec.reset, reset_off);
+      ++result.vectors;
+      if (!compare_outputs("after reset")) return result;
+    }
+
+    // Two mid-run reset pulses: comparing immediately after assertion (before
+    // any clock edge) is the window where an asynchronous golden and a
+    // hallucinated synchronous DUT are distinguishable. Two pulses at
+    // different machine states make the defined-value divergence likely even
+    // for 1-bit outputs.
+    const int reassert_a = spec.mid_test_reset && !spec.reset.empty() ? spec.cycles / 3 : -1;
+    const int reassert_b = spec.mid_test_reset && !spec.reset.empty() ? spec.cycles * 2 / 3 : -1;
+    for (int cycle = 0; cycle < spec.cycles; ++cycle) {
+      if (cycle == reassert_a || cycle == reassert_b) {
+        drive_both(spec.reset, reset_on);
+        ++result.vectors;
+        if (!compare_outputs("mid-test reset assertion")) return result;
+      } else if ((cycle == reassert_a + 1 && reassert_a >= 0) ||
+                 (cycle == reassert_b + 1 && reassert_b >= 0)) {
+        drive_both(spec.reset, reset_off);
+      }
+      randomize_inputs();
+      drive_both(spec.clock, 0);
+      // Half-cycle comparison: a design hallucinated onto the wrong clock
+      // edge updates here while the golden design does not.
+      ++result.vectors;
+      if (!compare_outputs(util::format("cycle %d (half)", cycle).c_str())) return result;
+      drive_both(spec.clock, 1);
+      ++result.vectors;
+      if (!compare_outputs(util::format("cycle %d", cycle).c_str())) return result;
+    }
+    result.passed = true;
+    return result;
+  } catch (const ElabError& e) {
+    // Golden-side elaboration errors indicate a broken task definition.
+    throw std::logic_error(std::string("golden elaboration failed: ") + e.what());
+  }
+}
+
+DiffResult run_diff_test(const std::string& dut_source, const std::string& golden_source,
+                         const StimulusSpec& spec, util::Rng& rng) {
+  DiffResult result;
+  verilog::ParseOutput dut_parsed = verilog::parse_source(dut_source);
+  if (!dut_parsed.ok() || dut_parsed.file.modules.empty()) {
+    result.reason = "dut parse failed";
+    if (!dut_parsed.diagnostics.empty()) {
+      result.reason += ": " + dut_parsed.diagnostics.front().to_string();
+    }
+    return result;
+  }
+  verilog::ParseOutput golden_parsed = verilog::parse_source(golden_source);
+  if (!golden_parsed.ok() || golden_parsed.file.modules.empty()) {
+    throw std::invalid_argument("golden source does not parse");
+  }
+  return run_diff_test(dut_parsed.file.modules.front(), &dut_parsed.file,
+                       golden_parsed.file.modules.front(), &golden_parsed.file, spec, rng);
+}
+
+}  // namespace haven::sim

@@ -1,0 +1,46 @@
+// Differential functional checking: run a candidate DUT and a golden
+// reference module side by side under identical stimulus and compare their
+// outputs. This is HaVen's substitute for the VerilogEval / RTLLM testbench
+// infrastructure: a candidate passes functionally iff it matches the golden
+// module on every driven vector/cycle.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "verilog/ast.h"
+
+namespace haven::sim {
+
+struct StimulusSpec {
+  bool sequential = false;
+  std::string clock = "clk";
+  std::string reset;               // empty => no reset signal
+  bool reset_active_low = false;
+  int cycles = 48;                 // sequential test length
+  int max_exhaustive_bits = 12;    // comb: exhaustive when total input bits fit
+  int random_vectors = 256;        // comb fallback vector count
+  bool mid_test_reset = true;      // re-assert reset mid-run (corner case)
+};
+
+struct DiffResult {
+  bool passed = false;
+  std::string reason;  // first mismatch / failure description
+  int vectors = 0;     // vectors or cycles actually compared
+};
+
+// Compare candidate `dut` against `golden`. The respective SourceFiles
+// provide instance definitions (may be null). Any elaboration failure,
+// interface mismatch, non-convergence, or output divergence fails the test
+// with a human-readable reason.
+DiffResult run_diff_test(const verilog::Module& dut, const verilog::SourceFile* dut_file,
+                         const verilog::Module& golden, const verilog::SourceFile* golden_file,
+                         const StimulusSpec& spec, util::Rng& rng);
+
+// Convenience overload working on source text; parse failures of the DUT
+// fail the test (the golden source must be valid — throws otherwise).
+DiffResult run_diff_test(const std::string& dut_source, const std::string& golden_source,
+                         const StimulusSpec& spec, util::Rng& rng);
+
+}  // namespace haven::sim

@@ -1,0 +1,94 @@
+// Four-state logic values for vectors up to 64 bits, with Verilog-faithful
+// operator semantics (pessimistic X propagation for arithmetic, per-bit
+// short-circuit for & and |, 1-bit unknown results for comparisons touching
+// X). The simulator, the differential testbench, and the hallucination
+// injector's behavioural checks all operate on this type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haven::sim {
+
+class Value {
+ public:
+  // All-X value of the given width.
+  explicit Value(int width = 1);
+
+  // Fully-defined value (truncated to width).
+  static Value of(std::uint64_t bits, int width);
+  // Value with explicit unknown mask.
+  static Value with_xz(std::uint64_t bits, std::uint64_t xz, int width);
+  static Value all_x(int width) { return Value(width); }
+
+  int width() const { return width_; }
+  std::uint64_t bits() const { return bits_; }
+  std::uint64_t xz() const { return xz_; }
+
+  bool is_fully_defined() const { return xz_ == 0; }
+  bool is_all_x() const { return xz_ == mask(); }
+
+  // Defined-and-nonzero (Verilog truthiness for if/ternary conditions; an
+  // unknown condition behaves as false in our simulator, matching common
+  // event-driven simulator behaviour for 2-valued branching).
+  bool truthy() const { return xz_ == 0 && bits_ != 0; }
+
+  // Exact state equality (like ===): same width after normalization, same
+  // bits, same unknowns.
+  bool identical(const Value& o) const;
+
+  // Zero-extend or truncate to a new width.
+  Value resized(int new_width) const;
+
+  std::uint64_t mask() const;
+
+  // Verilog string like 4'b10x1 (binary always, for test legibility).
+  std::string to_string() const;
+
+  // --- operators (widths: result max(w1,w2) unless stated) ---
+  friend Value v_and(const Value& a, const Value& b);
+  friend Value v_or(const Value& a, const Value& b);
+  friend Value v_xor(const Value& a, const Value& b);
+  friend Value v_not(const Value& a);
+
+  friend Value v_add(const Value& a, const Value& b);
+  friend Value v_sub(const Value& a, const Value& b);
+  friend Value v_mul(const Value& a, const Value& b);
+  friend Value v_div(const Value& a, const Value& b);
+  friend Value v_mod(const Value& a, const Value& b);
+  friend Value v_neg(const Value& a);
+
+  friend Value v_shl(const Value& a, const Value& b);  // width of a
+  friend Value v_shr(const Value& a, const Value& b);  // width of a
+
+  // Relational/equality: 1-bit result, X if any participating bit unknown
+  // (except == where mismatching defined bits give a definite 0).
+  friend Value v_eq(const Value& a, const Value& b);
+  friend Value v_neq(const Value& a, const Value& b);
+  friend Value v_lt(const Value& a, const Value& b);
+  friend Value v_le(const Value& a, const Value& b);
+  friend Value v_gt(const Value& a, const Value& b);
+  friend Value v_ge(const Value& a, const Value& b);
+  friend Value v_case_eq(const Value& a, const Value& b);  // === (always defined)
+
+  // Logical: 1-bit.
+  friend Value v_logical_not(const Value& a);
+  friend Value v_logical_and(const Value& a, const Value& b);
+  friend Value v_logical_or(const Value& a, const Value& b);
+
+  // Reductions: 1-bit.
+  friend Value v_red_and(const Value& a);
+  friend Value v_red_or(const Value& a);
+  friend Value v_red_xor(const Value& a);
+
+  friend Value v_concat(const Value& hi, const Value& lo);
+
+ private:
+  int width_ = 1;
+  std::uint64_t bits_ = 0;
+  std::uint64_t xz_ = 0;
+
+  void normalize();
+};
+
+}  // namespace haven::sim

@@ -1,0 +1,53 @@
+// VCD (Value Change Dump, IEEE 1364 §18) trace writer. Lets library users
+// inspect simulations with standard waveform viewers (GTKWave etc.) — the
+// debugging companion to the differential testbench: when a candidate
+// diverges from the golden module, dump both and diff the waves.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace haven::sim {
+
+class VcdTrace {
+ public:
+  // Trace the given signals of `sim` (empty = all signals). The simulator
+  // must outlive the trace.
+  VcdTrace(const Simulator& sim, std::vector<std::string> signals = {},
+           std::string top_name = "top");
+
+  // Record the current values at the given timestamp (monotonically
+  // increasing; equal timestamps collapse onto the same #time).
+  void sample(std::uint64_t time);
+
+  // Full VCD file contents.
+  std::string to_string() const;
+
+  std::size_t num_samples() const { return samples_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string id;   // VCD short identifier
+    int width = 1;
+    Value last;
+    bool has_last = false;
+  };
+
+  static std::string make_id(std::size_t index);
+  static std::string value_text(const Value& v, const std::string& id);
+
+  const Simulator& sim_;
+  std::string top_name_;
+  std::vector<Entry> entries_;
+  std::string body_;
+  std::uint64_t last_time_ = 0;
+  bool time_emitted_ = false;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace haven::sim

@@ -1,0 +1,89 @@
+#include "symbolic/modality.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace haven::symbolic {
+
+std::string modality_name(Modality m) {
+  switch (m) {
+    case Modality::kNone: return "none";
+    case Modality::kTruthTable: return "truth_table";
+    case Modality::kWaveform: return "waveform";
+    case Modality::kStateDiagram: return "state_diagram";
+  }
+  return "?";
+}
+
+Modality detect_modality(const std::string& prompt) {
+  int diagram_lines = 0, waveform_lines = 0;
+  bool saw_time_row = false;
+
+  const auto lines = util::split_lines(prompt);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string line(util::trim(lines[li]));
+    if (line.empty()) continue;
+    // State diagram: FROM[..]-[..]->TO
+    if (line.find("->") != std::string::npos && line.find('[') != std::string::npos &&
+        line.find(']') != std::string::npos) {
+      ++diagram_lines;
+      continue;
+    }
+    // Waveform: "name: v v v ..." with >= 2 numeric samples.
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && colon > 0) {
+      const std::string name(util::trim(line.substr(0, colon)));
+      const auto vals = util::split_ws(line.substr(colon + 1));
+      const bool numeric = vals.size() >= 2 &&
+                           std::all_of(vals.begin(), vals.end(), [](const std::string& v) {
+                             return std::all_of(v.begin(), v.end(), [](char c) {
+                               return c >= '0' && c <= '9';
+                             });
+                           });
+      if (numeric && util::starts_with(name, "time")) {
+        saw_time_row = true;
+        ++waveform_lines;
+        continue;
+      }
+      if (numeric && util::is_identifier(name)) {
+        ++waveform_lines;
+        continue;
+      }
+    }
+  }
+  if (diagram_lines >= 2) return Modality::kStateDiagram;
+  if (waveform_lines >= 2 && (saw_time_row || waveform_lines >= 3)) return Modality::kWaveform;
+
+  // Truth table: a header of >=2 identifiers followed directly by a 0/1 row
+  // of the same arity.
+  for (std::size_t li = 0; li + 1 < lines.size(); ++li) {
+    const auto header = util::split_ws(lines[li]);
+    if (header.size() < 2) continue;
+    if (!std::all_of(header.begin(), header.end(),
+                     [](const std::string& f) { return util::is_identifier(f); })) {
+      continue;
+    }
+    // Reject lines that are prose: all fields must be short names.
+    if (!std::all_of(header.begin(), header.end(),
+                     [](const std::string& f) { return f.size() <= 12; })) {
+      continue;
+    }
+    const auto row = util::split_ws(lines[li + 1]);
+    if (row.size() != header.size()) continue;
+    if (std::all_of(row.begin(), row.end(), [](const std::string& f) {
+          return f == "0" || f == "1" || f == "x" || f == "X" || f == "-";
+        })) {
+      return Modality::kTruthTable;
+    }
+  }
+  return Modality::kNone;
+}
+
+bool is_interpreted(const std::string& prompt) {
+  return (prompt.find("Rules:") != std::string::npos &&
+          prompt.find("Variables:") != std::string::npos) ||
+         prompt.find("State transition:") != std::string::npos;
+}
+
+}  // namespace haven::symbolic

@@ -1,0 +1,30 @@
+// Modality detection: SI-CoT step 1 ("Identify Symbolic Components").
+// Given an instruction text, decide whether it embeds a state diagram,
+// truth table, or waveform chart, and locate the symbolic block.
+#pragma once
+
+#include <string>
+
+namespace haven::symbolic {
+
+enum class Modality : int {
+  kNone = 0,
+  kTruthTable,
+  kWaveform,
+  kStateDiagram,
+};
+
+std::string modality_name(Modality m);
+
+// Detect the dominant symbolic modality in a prompt. Detection is purely
+// structural (no task-spec knowledge): "->" transition arrows with bracketed
+// bindings mean state diagram; "name: 0 1 ..." rows mean waveform; a header
+// of identifiers followed by 0/1 rows means truth table.
+Modality detect_modality(const std::string& prompt);
+
+// True if the text already looks like an SI-CoT interpretation (contains the
+// "Rules:" / "State transition:" structured sections) — interpreted prompts
+// are not re-interpreted.
+bool is_interpreted(const std::string& prompt);
+
+}  // namespace haven::symbolic

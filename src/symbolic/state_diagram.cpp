@@ -1,0 +1,328 @@
+#include "symbolic/state_diagram.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace haven::symbolic {
+
+int StateDiagram::state_index(const std::string& name) const {
+  const auto it = std::find(states.begin(), states.end(), name);
+  return it == states.end() ? -1 : static_cast<int>(it - states.begin());
+}
+
+int StateDiagram::state_bits() const {
+  int bits = 1;
+  while ((std::size_t{1} << bits) < states.size()) ++bits;
+  return bits;
+}
+
+bool StateDiagram::valid() const {
+  const std::size_t n = states.size();
+  if (n == 0 || outputs.size() != n || next_state.size() != n) return false;
+  if (reset_state < 0 || static_cast<std::size_t>(reset_state) >= n) return false;
+  std::set<std::string> seen;
+  for (const auto& s : states) {
+    if (!util::is_identifier(s) || !seen.insert(s).second) return false;
+  }
+  for (int o : outputs) {
+    if (o != 0 && o != 1) return false;
+  }
+  for (const auto& t : next_state) {
+    for (int v : {0, 1}) {
+      if (t[static_cast<std::size_t>(v)] < 0 ||
+          static_cast<std::size_t>(t[static_cast<std::size_t>(v)]) >= n) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool StateDiagram::equivalent(const StateDiagram& other) const {
+  if (!valid() || !other.valid()) return false;
+  // BFS over reachable state pairs from the two reset states.
+  std::set<std::pair<int, int>> visited;
+  std::vector<std::pair<int, int>> queue = {{reset_state, other.reset_state}};
+  while (!queue.empty()) {
+    const auto [a, b] = queue.back();
+    queue.pop_back();
+    if (!visited.insert({a, b}).second) continue;
+    if (output_of(a) != other.output_of(b)) return false;
+    for (int v : {0, 1}) {
+      queue.emplace_back(step(a, v), other.step(b, v));
+    }
+  }
+  return true;
+}
+
+std::string render_state_diagram(const StateDiagram& sd) {
+  std::string out;
+  for (std::size_t s = 0; s < sd.states.size(); ++s) {
+    for (int v : {0, 1}) {
+      out += util::format("%s[%s=%d]-[%s=%d]->%s\n", sd.states[s].c_str(),
+                          sd.output_name.c_str(), sd.outputs[s], sd.input_name.c_str(), v,
+                          sd.states[static_cast<std::size_t>(sd.step(static_cast<int>(s), v))].c_str());
+    }
+  }
+  return out;
+}
+
+StateDiagramParseResult parse_state_diagram(const std::string& text) {
+  StateDiagramParseResult result;
+  StateDiagram sd;
+  sd.input_name.clear();
+  sd.output_name.clear();
+
+  struct RawTransition {
+    std::string from, to;
+    int out_value = 0, in_value = 0;
+  };
+  std::vector<RawTransition> raw;
+
+  for (const std::string& line_str : util::split_lines(text)) {
+    const std::string line(util::trim(line_str));
+    if (line.empty()) continue;
+    // FROM[out=V]-[in=V]->TO
+    const std::size_t lb1 = line.find('[');
+    const std::size_t rb1 = line.find(']', lb1);
+    const std::size_t dash = line.find("-[", rb1);
+    const std::size_t rb2 = line.find(']', dash);
+    const std::size_t arrow = line.find("->", rb2);
+    if (lb1 == std::string::npos || rb1 == std::string::npos || dash == std::string::npos ||
+        rb2 == std::string::npos || arrow == std::string::npos) {
+      result.error = "malformed transition line: " + line;
+      return result;
+    }
+    RawTransition t;
+    t.from = std::string(util::trim(line.substr(0, lb1)));
+    t.to = std::string(util::trim(line.substr(arrow + 2)));
+    auto parse_binding = [&](std::string_view binding, std::string* name, int* value) {
+      const std::size_t eq = binding.find('=');
+      if (eq == std::string_view::npos) return false;
+      *name = std::string(util::trim(binding.substr(0, eq)));
+      const std::string_view v = util::trim(binding.substr(eq + 1));
+      if (v == "0") *value = 0;
+      else if (v == "1") *value = 1;
+      else return false;
+      return true;
+    };
+    std::string out_name, in_name;
+    if (!parse_binding(line.substr(lb1 + 1, rb1 - lb1 - 1), &out_name, &t.out_value) ||
+        !parse_binding(line.substr(dash + 2, rb2 - dash - 2), &in_name, &t.in_value)) {
+      result.error = "malformed binding in line: " + line;
+      return result;
+    }
+    if (!util::is_identifier(t.from) || !util::is_identifier(t.to)) {
+      result.error = "bad state name in line: " + line;
+      return result;
+    }
+    if (sd.output_name.empty()) sd.output_name = out_name;
+    if (sd.input_name.empty()) sd.input_name = in_name;
+    if (out_name != sd.output_name || in_name != sd.input_name) {
+      result.error = "inconsistent signal names in line: " + line;
+      return result;
+    }
+    raw.push_back(std::move(t));
+  }
+  if (raw.empty()) {
+    result.error = "no transitions found";
+    return result;
+  }
+
+  // Collect states in first-appearance order.
+  auto intern = [&](const std::string& name) {
+    int idx = sd.state_index(name);
+    if (idx < 0) {
+      idx = static_cast<int>(sd.states.size());
+      sd.states.push_back(name);
+      sd.outputs.push_back(0);
+      sd.next_state.push_back({-1, -1});
+    }
+    return idx;
+  };
+  std::vector<bool> out_known;
+  for (const auto& t : raw) {
+    const int from = intern(t.from);
+    const int to = intern(t.to);
+    out_known.resize(sd.states.size(), false);
+    if (out_known[static_cast<std::size_t>(from)] &&
+        sd.outputs[static_cast<std::size_t>(from)] != t.out_value) {
+      result.error = "conflicting outputs for state " + t.from;
+      return result;
+    }
+    sd.outputs[static_cast<std::size_t>(from)] = t.out_value;
+    out_known[static_cast<std::size_t>(from)] = true;
+    int& slot = sd.next_state[static_cast<std::size_t>(from)][static_cast<std::size_t>(t.in_value)];
+    if (slot >= 0 && slot != to) {
+      result.error = util::format("duplicate transition from %s on %s=%d", t.from.c_str(),
+                                  sd.input_name.c_str(), t.in_value);
+      return result;
+    }
+    slot = to;
+  }
+  for (std::size_t s = 0; s < sd.states.size(); ++s) {
+    for (int v : {0, 1}) {
+      if (sd.next_state[s][static_cast<std::size_t>(v)] < 0) {
+        result.error = util::format("state %s has no transition for %s=%d",
+                                    sd.states[s].c_str(), sd.input_name.c_str(), v);
+        return result;
+      }
+    }
+  }
+  sd.reset_state = 0;
+  result.diagram = std::move(sd);
+  return result;
+}
+
+std::string interpret_state_diagram(const StateDiagram& sd) {
+  std::string out = "States&Outputs: ";
+  for (std::size_t s = 0; s < sd.states.size(); ++s) {
+    out += util::format("%zu. state %s(%s=%d)", s + 1, sd.states[s].c_str(),
+                        sd.output_name.c_str(), sd.outputs[s]);
+    out += s + 1 < sd.states.size() ? "; " : "\n";
+  }
+  out += "State transition:\n";
+  for (std::size_t s = 0; s < sd.states.size(); ++s) {
+    out += util::format("%zu. From state %s: ", s + 1, sd.states[s].c_str());
+    for (int v : {0, 1}) {
+      out += util::format("If %s = %d, then transit to state %s", sd.input_name.c_str(), v,
+                          sd.states[static_cast<std::size_t>(sd.step(static_cast<int>(s), v))].c_str());
+      out += v == 0 ? "; " : "\n";
+    }
+  }
+  out += util::format("The reset state is %s.\n", sd.states[static_cast<std::size_t>(sd.reset_state)].c_str());
+  return out;
+}
+
+StateDiagramParseResult parse_interpreted_state_diagram(const std::string& text) {
+  StateDiagramParseResult result;
+  StateDiagram sd;
+  sd.output_name.clear();
+  sd.input_name.clear();
+
+  const auto lines = util::split_lines(text);
+  // Pass 1: the States&Outputs line.
+  for (const auto& raw_line : lines) {
+    const std::string line(util::trim(raw_line));
+    if (!util::starts_with(line, "States&Outputs:")) continue;
+    std::string rest = line.substr(std::string("States&Outputs:").size());
+    for (const std::string& part : util::split(rest, ';')) {
+      // "1. state A(out=0)"
+      const std::size_t state_kw = part.find("state ");
+      const std::size_t lp = part.find('(', state_kw);
+      const std::size_t eq = part.find('=', lp);
+      const std::size_t rp = part.find(')', eq);
+      if (state_kw == std::string::npos || lp == std::string::npos ||
+          eq == std::string::npos || rp == std::string::npos) {
+        result.error = "malformed state entry: " + part;
+        return result;
+      }
+      const std::string name(util::trim(part.substr(state_kw + 6, lp - state_kw - 6)));
+      const std::string out_name(util::trim(part.substr(lp + 1, eq - lp - 1)));
+      const std::string out_val(util::trim(part.substr(eq + 1, rp - eq - 1)));
+      if (sd.output_name.empty()) sd.output_name = out_name;
+      sd.states.push_back(name);
+      sd.outputs.push_back(out_val == "1" ? 1 : 0);
+      sd.next_state.push_back({-1, -1});
+    }
+  }
+  if (sd.states.empty()) {
+    result.error = "no States&Outputs line";
+    return result;
+  }
+
+  // Pass 2: transition lines "N. From state A: If x = 0, then transit to
+  // state B; If x = 1, then transit to state A".
+  for (const auto& raw_line : lines) {
+    const std::string line(util::trim(raw_line));
+    const std::size_t from_kw = line.find("From state ");
+    if (from_kw == std::string::npos) continue;
+    const std::size_t colon = line.find(':', from_kw);
+    if (colon == std::string::npos) continue;
+    const std::string from_name(
+        util::trim(line.substr(from_kw + 11, colon - from_kw - 11)));
+    const int from = sd.state_index(from_name);
+    if (from < 0) {
+      result.error = "transition from unknown state " + from_name;
+      return result;
+    }
+    std::size_t pos = colon;
+    while (true) {
+      const std::size_t if_kw = line.find("If ", pos);
+      if (if_kw == std::string::npos) break;
+      const std::size_t eq = line.find('=', if_kw);
+      const std::size_t comma = line.find(',', eq);
+      const std::size_t to_kw = line.find("state ", comma);
+      if (eq == std::string::npos || comma == std::string::npos || to_kw == std::string::npos)
+        break;
+      const std::string in_name(util::trim(line.substr(if_kw + 3, eq - if_kw - 3)));
+      if (sd.input_name.empty()) sd.input_name = in_name;
+      const std::string val_str(util::trim(line.substr(eq + 1, comma - eq - 1)));
+      std::size_t to_end = to_kw + 6;
+      while (to_end < line.size() && line[to_end] != ';' && line[to_end] != '.' &&
+             line[to_end] != ',') {
+        ++to_end;
+      }
+      const std::string to_name(util::trim(line.substr(to_kw + 6, to_end - to_kw - 6)));
+      const int to = sd.state_index(to_name);
+      const int v = val_str == "1" ? 1 : 0;
+      if (to < 0) {
+        result.error = "transition to unknown state " + to_name;
+        return result;
+      }
+      sd.next_state[static_cast<std::size_t>(from)][static_cast<std::size_t>(v)] = to;
+      pos = to_end;
+    }
+  }
+
+  // Pass 3: reset state if declared.
+  for (const auto& raw_line : lines) {
+    const std::string line(util::trim(raw_line));
+    const std::size_t kw = line.find("reset state is ");
+    if (kw == std::string::npos) continue;
+    std::size_t end = kw + 15;
+    while (end < line.size() && line[end] != '.' && line[end] != ';') ++end;
+    const int idx = sd.state_index(std::string(util::trim(line.substr(kw + 15, end - kw - 15))));
+    if (idx >= 0) sd.reset_state = idx;
+  }
+
+  if (!sd.valid()) {
+    result.error = "incomplete interpreted diagram";
+    return result;
+  }
+  result.diagram = std::move(sd);
+  return result;
+}
+
+StateDiagram generate_state_diagram(util::Rng& rng, const StateDiagramGenConfig& config) {
+  StateDiagram sd;
+  sd.input_name = config.input_name;
+  sd.output_name = config.output_name;
+  const int n = static_cast<int>(rng.uniform_int(config.min_states, config.max_states));
+  static const char* kNames[] = {"A", "B", "C", "D", "E", "F", "G", "H"};
+  for (int i = 0; i < n; ++i) {
+    sd.states.emplace_back(kNames[i]);
+    sd.outputs.push_back(static_cast<int>(rng.uniform_int(0, 1)));
+    sd.next_state.push_back({0, 0});
+  }
+  // Guarantee reachability: state i+1 reachable from i on a random input
+  // value; the other transition is uniform.
+  for (int i = 0; i < n; ++i) {
+    const int chain_v = static_cast<int>(rng.uniform_int(0, 1));
+    const int chain_to = i + 1 < n ? i + 1 : static_cast<int>(rng.uniform_int(0, n - 1));
+    sd.next_state[static_cast<std::size_t>(i)][static_cast<std::size_t>(chain_v)] = chain_to;
+    sd.next_state[static_cast<std::size_t>(i)][static_cast<std::size_t>(1 - chain_v)] =
+        static_cast<int>(rng.uniform_int(0, n - 1));
+  }
+  // Avoid the degenerate all-same-output machine (output would be constant).
+  bool has0 = false, has1 = false;
+  for (int o : sd.outputs) (o ? has1 : has0) = true;
+  if (!has0) sd.outputs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] = 0;
+  if (!has1) sd.outputs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] = 1;
+  sd.reset_state = 0;
+  return sd;
+}
+
+}  // namespace haven::symbolic

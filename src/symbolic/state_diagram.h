@@ -1,0 +1,92 @@
+// Moore state-diagram model with the textual notation used throughout the
+// paper (Table II / Table III):
+//
+//   A[out=0]-[x=0]->B
+//   A[out=0]-[x=1]->A
+//   B[out=1]-[x=0]->A
+//   B[out=1]-[x=1]->B
+//
+// Each line: FROM[out=V]-[IN=V]->TO. One 1-bit input variable and one 1-bit
+// Moore output. The model supports parsing the notation, rendering it,
+// producing the SI-CoT natural-language interpretation (Table III), random
+// generation for task/dataset synthesis, and reference simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace haven::symbolic {
+
+struct StateDiagram {
+  // State names in declaration order; index is the encoding used by the
+  // generated Verilog.
+  std::vector<std::string> states;
+  // Moore output per state (parallel to `states`).
+  std::vector<int> outputs;
+  // next_state[s][v] = state index after reading input value v in state s.
+  std::vector<std::array<int, 2>> next_state;
+  std::string input_name = "x";
+  std::string output_name = "out";
+  int reset_state = 0;
+
+  std::size_t num_states() const { return states.size(); }
+  int state_index(const std::string& name) const;  // -1 if unknown
+
+  // Minimum register width to hold all states.
+  int state_bits() const;
+
+  // Reference semantics: next state / output.
+  int step(int state, int input_value) const { return next_state[static_cast<std::size_t>(state)][input_value]; }
+  int output_of(int state) const { return outputs[static_cast<std::size_t>(state)]; }
+
+  // Structural validity: nonempty, all transitions in range, outputs 0/1.
+  bool valid() const;
+
+  // Behavioural equivalence from the reset states (product construction over
+  // reachable pairs). Diagrams may have different state names/encodings.
+  bool equivalent(const StateDiagram& other) const;
+};
+
+// --- notation ----------------------------------------------------------------
+
+// Render to the paper's notation, one transition per line.
+std::string render_state_diagram(const StateDiagram& sd);
+
+struct StateDiagramParseResult {
+  std::optional<StateDiagram> diagram;
+  std::string error;
+};
+
+// Parse the notation. Tolerates whitespace; requires every state to have a
+// transition for both input values.
+StateDiagramParseResult parse_state_diagram(const std::string& text);
+
+// SI-CoT interpretation (Table III right column):
+//   States&Outputs: 1. state A(out=0); 2. state B(out=1)
+//   State transition:
+//   1. From state A: If x = 0, then transit to state B; If x = 1, ...
+std::string interpret_state_diagram(const StateDiagram& sd);
+
+// Parse the *interpreted* form back into a diagram (the CodeGen-LLM's view
+// of a SI-CoT refined prompt).
+StateDiagramParseResult parse_interpreted_state_diagram(const std::string& text);
+
+// --- generation ----------------------------------------------------------------
+
+struct StateDiagramGenConfig {
+  int min_states = 2;
+  int max_states = 5;
+  std::string input_name = "x";
+  std::string output_name = "out";
+};
+
+// Random strongly-connected-ish diagram: every state reachable from reset.
+StateDiagram generate_state_diagram(util::Rng& rng, const StateDiagramGenConfig& config = {});
+
+}  // namespace haven::symbolic

@@ -1,0 +1,216 @@
+#include "symbolic/truth_table_text.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace haven::symbolic {
+
+using logic::Tri;
+using logic::TruthTable;
+
+std::string render_truth_table(const TruthTable& tt) {
+  std::string out = util::join(tt.inputs(), " ") + " " + tt.output() + "\n";
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) {
+    // Display convention: the leftmost column is the first input; row bits
+    // are LSB-first internally, so bit i belongs to column i.
+    for (std::size_t i = 0; i < tt.num_inputs(); ++i) {
+      out += ((a >> i) & 1u) ? "1 " : "0 ";
+    }
+    const Tri v = tt.row(a);
+    out += v == Tri::kTrue ? "1" : (v == Tri::kFalse ? "0" : "x");
+    out += "\n";
+  }
+  return out;
+}
+
+TruthTableParseResult parse_truth_table(const std::string& text) {
+  TruthTableParseResult result;
+  std::vector<std::string> header;
+  std::vector<std::pair<std::uint32_t, Tri>> rows;
+  bool in_table = false;
+
+  for (const auto& raw_line : util::split_lines(text)) {
+    const auto fields = util::split_ws(raw_line);
+    if (fields.empty()) {
+      if (in_table) break;  // blank line after the table ends it
+      continue;
+    }
+    const bool all_bits = std::all_of(fields.begin(), fields.end(), [](const std::string& f) {
+      return f == "0" || f == "1" || f == "x" || f == "X" || f == "-";
+    });
+    if (!in_table) {
+      // Header: two or more identifiers.
+      if (fields.size() >= 2 && std::all_of(fields.begin(), fields.end(), [](const std::string& f) {
+            return util::is_identifier(f);
+          })) {
+        header = fields;
+        in_table = true;
+      }
+      continue;
+    }
+    if (!all_bits || fields.size() != header.size()) {
+      if (rows.empty()) {
+        result.error = "row arity mismatch after header";
+        return result;
+      }
+      break;  // trailing prose after the table
+    }
+    std::uint32_t assignment = 0;
+    for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
+      if (fields[i] == "x" || fields[i] == "X" || fields[i] == "-") {
+        result.error = "don't-care input bits are not supported";
+        return result;
+      }
+      if (fields[i] == "1") assignment |= (1u << i);
+    }
+    const std::string& out_field = fields.back();
+    const Tri v = out_field == "1" ? Tri::kTrue
+                  : (out_field == "0" ? Tri::kFalse : Tri::kDontCare);
+    rows.emplace_back(assignment, v);
+  }
+
+  if (header.size() < 2) {
+    result.error = "no truth table header found";
+    return result;
+  }
+  if (rows.empty()) {
+    result.error = "header without any value rows";
+    return result;
+  }
+  if (header.size() > 17) {
+    result.error = "too many columns";
+    return result;
+  }
+  std::vector<std::string> inputs(header.begin(), header.end() - 1);
+  TruthTable tt(inputs, header.back());
+  // Unlisted rows are don't-care (partially specified tables are common in
+  // exercises, cf. the "partially omitted" note in Table II).
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) tt.set_row(a, Tri::kDontCare);
+  for (const auto& [assignment, v] : rows) {
+    if (assignment >= tt.num_rows()) {
+      result.error = "row out of range";
+      return result;
+    }
+    tt.set_row(assignment, v);
+  }
+  result.table = std::move(tt);
+  return result;
+}
+
+std::string interpret_truth_table(const TruthTable& tt) {
+  std::string out = "Variables: ";
+  for (std::size_t i = 0; i < tt.num_inputs(); ++i) {
+    out += util::format("%zu. %s(input); ", i + 1, tt.inputs()[i].c_str());
+  }
+  out += util::format("%zu. %s(output)\n", tt.num_inputs() + 1, tt.output().c_str());
+  out += "Rules: ";
+  std::size_t rule = 0;
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) {
+    if (tt.row(a) == logic::Tri::kDontCare) continue;
+    ++rule;
+    out += util::format("%zu. If ", rule);
+    for (std::size_t i = 0; i < tt.num_inputs(); ++i) {
+      out += util::format("%s=%u, ", tt.inputs()[i].c_str(), (a >> i) & 1u);
+    }
+    out += util::format("then %s=%d; ", tt.output().c_str(),
+                        tt.row(a) == logic::Tri::kTrue ? 1 : 0);
+  }
+  out += "\n";
+  return out;
+}
+
+TruthTableParseResult parse_interpreted_truth_table(const std::string& text) {
+  TruthTableParseResult result;
+  std::vector<std::string> inputs;
+  std::string output;
+
+  // Variables line.
+  const std::size_t vars_kw = text.find("Variables:");
+  if (vars_kw == std::string::npos) {
+    result.error = "no Variables line";
+    return result;
+  }
+  const std::size_t vars_end = text.find('\n', vars_kw);
+  const std::string vars_line =
+      text.substr(vars_kw, (vars_end == std::string::npos ? text.size() : vars_end) - vars_kw);
+  for (const std::string& entry : util::split(vars_line, ';')) {
+    const std::size_t lp = entry.find('(');
+    const std::size_t rp = entry.find(')', lp);
+    if (lp == std::string::npos || rp == std::string::npos) continue;
+    // Name is the last word before '('.
+    const std::string before = entry.substr(0, lp);
+    const auto words = util::split_ws(before);
+    if (words.empty()) continue;
+    std::string name = words.back();
+    // Strip a leading "N." ordinal glued to the name if present.
+    const std::size_t dot = name.rfind('.');
+    if (dot != std::string::npos) name = name.substr(dot + 1);
+    const std::string role = entry.substr(lp + 1, rp - lp - 1);
+    if (role == "input") inputs.push_back(name);
+    else if (role == "output") output = name;
+  }
+  if (inputs.empty() || output.empty()) {
+    result.error = "could not extract variables";
+    return result;
+  }
+  if (inputs.size() > 16) {
+    result.error = "too many inputs";
+    return result;
+  }
+
+  logic::TruthTable tt(inputs, output);
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) tt.set_row(a, Tri::kDontCare);
+
+  // Rules: "If a=0, b=1, then out=0;" possibly many per line.
+  std::size_t pos = text.find("Rules:");
+  if (pos == std::string::npos) {
+    result.error = "no Rules section";
+    return result;
+  }
+  while (true) {
+    const std::size_t if_kw = text.find("If ", pos);
+    if (if_kw == std::string::npos) break;
+    const std::size_t then_kw = text.find("then", if_kw);
+    if (then_kw == std::string::npos) break;
+    // Input bindings between If and then.
+    std::uint32_t assignment = 0;
+    bool bad = false;
+    std::vector<bool> bound(inputs.size(), false);
+    for (const std::string& binding :
+         util::split(text.substr(if_kw + 3, then_kw - if_kw - 3), ',')) {
+      const std::size_t eq = binding.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string name(util::trim(binding.substr(0, eq)));
+      const std::string val(util::trim(binding.substr(eq + 1)));
+      const auto it = std::find(inputs.begin(), inputs.end(), name);
+      if (it == inputs.end()) {
+        bad = true;
+        break;
+      }
+      const std::size_t idx = static_cast<std::size_t>(it - inputs.begin());
+      bound[idx] = true;
+      if (val == "1") assignment |= (1u << idx);
+    }
+    // Output binding after then: "out=V".
+    const std::size_t eq = text.find('=', then_kw);
+    std::size_t end = eq + 1;
+    while (end < text.size() && (text[end] == ' ')) ++end;
+    const char out_ch = end < text.size() ? text[end] : '?';
+    if (!bad && eq != std::string::npos && (out_ch == '0' || out_ch == '1') &&
+        std::all_of(bound.begin(), bound.end(), [](bool b) { return b; })) {
+      tt.set_row(assignment, out_ch == '1');
+    }
+    pos = then_kw + 4;
+  }
+
+  // Require at least one defined row.
+  if (tt.minterms().empty() && tt.dont_cares().size() == tt.num_rows()) {
+    result.error = "no rules parsed";
+    return result;
+  }
+  result.table = std::move(tt);
+  return result;
+}
+
+}  // namespace haven::symbolic

@@ -1,0 +1,41 @@
+// Textual truth-table modality (Table I / Table III):
+//
+//   a b out
+//   0 0 0
+//   0 1 0
+//   1 0 0
+//   1 1 1
+//
+// Rendering, parsing, and the SI-CoT interpretation ("Variables: ... Rules:
+// ...") over the semantic logic::TruthTable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "logic/truth_table.h"
+
+namespace haven::symbolic {
+
+// Render with rows in ascending assignment order. Columns are the table's
+// inputs followed by its output name; don't-care rows render as 'x'.
+std::string render_truth_table(const logic::TruthTable& tt);
+
+struct TruthTableParseResult {
+  std::optional<logic::TruthTable> table;
+  std::string error;
+};
+
+// Parse the textual format. Rows may appear in any order; missing rows become
+// don't-cares; 'x'/'-' output marks a don't-care.
+TruthTableParseResult parse_truth_table(const std::string& text);
+
+// SI-CoT interpretation (Table III):
+//   Variables: 1. a(input); 2. b(input); 3. out(output)
+//   Rules: 1. If a=0, b=0, then out=0; 2. ...
+std::string interpret_truth_table(const logic::TruthTable& tt);
+
+// Parse the interpreted "Rules:" form back into a table.
+TruthTableParseResult parse_interpreted_truth_table(const std::string& text);
+
+}  // namespace haven::symbolic

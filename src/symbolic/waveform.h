@@ -1,0 +1,63 @@
+// Waveform-chart modality (Table II / Table III):
+//
+//   a: 0 1 1 0
+//   b: 1 0 1 0
+//   out: 1 0 0 1
+//   time(ns): 0 10 20 30
+//
+// For combinational specifications each column is an observation
+// out[t] = f(inputs[t]). The model stores named sample rows; conversion
+// to/from a (partial) logic::TruthTable gives the underlying function.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.h"
+#include "util/rng.h"
+
+namespace haven::symbolic {
+
+struct Waveform {
+  std::vector<std::string> inputs;
+  std::string output = "out";
+  // samples[i][t]: value of inputs[i] at column t.
+  std::vector<std::vector<int>> input_samples;
+  std::vector<int> output_samples;
+  int time_step_ns = 10;
+
+  std::size_t num_columns() const { return output_samples.size(); }
+  bool valid() const;
+
+  // Partial truth table defined only on observed assignments. Columns that
+  // disagree (same inputs, different output) make the result nullopt.
+  std::optional<logic::TruthTable> to_truth_table() const;
+};
+
+// Build a waveform observing `tt` on the given assignment sequence.
+Waveform waveform_from_table(const logic::TruthTable& tt,
+                             const std::vector<std::uint32_t>& columns, int time_step_ns = 10);
+
+// Build a waveform whose columns exhaustively cover every defined row of `tt`
+// in a shuffled order (the usual benchmark presentation).
+Waveform waveform_covering_table(const logic::TruthTable& tt, util::Rng& rng,
+                                 int time_step_ns = 10);
+
+std::string render_waveform(const Waveform& wf);
+
+struct WaveformParseResult {
+  std::optional<Waveform> waveform;
+  std::string error;
+};
+
+WaveformParseResult parse_waveform(const std::string& text);
+
+// SI-CoT interpretation (Table III):
+//   Variables: 1. a(input); 2. b(input); 3. out(output)
+//   Rules: When time is 0ns, a=0, b=1, out=1; When time is 10ns, ...
+std::string interpret_waveform(const Waveform& wf);
+
+WaveformParseResult parse_interpreted_waveform(const std::string& text);
+
+}  // namespace haven::symbolic

@@ -1,0 +1,48 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace haven::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("CsvWriter: cell count != header count");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::string escape(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string emit(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += escape(cells[i]);
+  }
+  return line + "\n";
+}
+
+}  // namespace
+
+std::string CsvWriter::to_string() const {
+  std::string out = emit(headers_);
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+void CsvWriter::write(std::ostream& os) const { os << to_string(); }
+
+}  // namespace haven::util

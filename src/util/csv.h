@@ -1,0 +1,29 @@
+// Minimal CSV emission so benchmark harnesses can dump machine-readable
+// series (e.g. the Fig 3 / Fig 4 sweeps) next to the human-readable tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace haven::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // RFC-4180-style quoting: fields with comma, quote, or newline get quoted,
+  // embedded quotes doubled.
+  std::string to_string() const;
+  void write(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace haven::util

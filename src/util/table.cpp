@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace haven::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  aligns_.assign(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TablePrinter::set_alignments(std::vector<Align> aligns) {
+  if (aligns.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: alignment count != header count");
+  aligns_ = std::move(aligns);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: cell count != header count");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align a) {
+  if (s.size() >= width) return s;
+  const std::size_t space = width - s.size();
+  switch (a) {
+    case Align::kLeft:
+      return s + std::string(space, ' ');
+    case Align::kRight:
+      return std::string(space, ' ') + s;
+    case Align::kCenter: {
+      const std::size_t left = space / 2;
+      return std::string(left, ' ') + s + std::string(space - left, ' ');
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + pad(cells[c], widths[c], aligns_[c]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += emit_row(headers_);
+  out += rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : emit_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace haven::util

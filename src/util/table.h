@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark reports. The bench binaries print
+// paper-style tables (Table IV/V/VI rows) with this printer so results are
+// directly comparable with the figures in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace haven::util {
+
+// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight, kCenter };
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Optional per-column alignment; defaults to left for the first column and
+  // right for the rest (the common numeric layout).
+  void set_alignments(std::vector<Align> aligns);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Insert a horizontal rule before the next added row (section separator).
+  void add_separator();
+
+  // Render the table with box-drawing ASCII. Always ends with '\n'.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  // Row of cells, or empty vector encoding a separator line.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace haven::util

@@ -1,0 +1,189 @@
+#include "verilog/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace haven::verilog {
+
+bool is_verilog_keyword(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "module", "endmodule", "input", "output", "inout", "wire", "reg",
+      "assign", "always", "initial", "begin", "end", "if", "else", "case",
+      "casez", "casex", "endcase", "default", "posedge", "negedge", "or",
+      "and", "not", "nand", "nor", "xor", "xnor", "buf", "parameter",
+      "localparam", "integer", "genvar", "generate", "endgenerate", "for",
+      "while", "function", "endfunction", "task", "endtask", "signed",
+      "wait", "forever", "repeat",
+  };
+  return kKeywords.contains(word);
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::skip_ws_and_comments(std::vector<std::string>* /*errors*/) {
+  while (!at_end()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (!at_end()) {
+        advance();
+        advance();
+      }
+      // An unterminated block comment simply consumes to EOF; the parser will
+      // then see kEof and report the missing endmodule, which is the useful
+      // diagnostic for generated code.
+    } else if (c == '`') {
+      // Compiler directives (`timescale, `define usage) — skip to end of line.
+      while (!at_end() && peek() != '\n') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind kind, std::string text, int line, int col) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = line;
+  t.column = col;
+  return t;
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments(nullptr);
+  const int line = line_;
+  const int col = column_;
+  if (at_end()) return make(TokenKind::kEof, "", line, col);
+
+  const char c = peek();
+
+  // Identifier or keyword.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+                         peek() == '$')) {
+      word += advance();
+    }
+    const TokenKind kind =
+        is_verilog_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    return make(kind, std::move(word), line, col);
+  }
+
+  // Escaped identifier: \name... up to whitespace.
+  if (c == '\\') {
+    std::string word;
+    advance();
+    while (!at_end() && !std::isspace(static_cast<unsigned char>(peek()))) word += advance();
+    if (word.empty()) return make(TokenKind::kError, "empty escaped identifier", line, col);
+    return make(TokenKind::kIdentifier, std::move(word), line, col);
+  }
+
+  // Number: [size]'[sbodh]digits or plain decimal. An apostrophe can also
+  // start an unsized based literal ('b0).
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+    std::string num;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      num += advance();
+    }
+    if (!at_end() && peek() == '\'') {
+      num += advance();
+      if (!at_end() && (peek() == 's' || peek() == 'S')) num += advance();
+      if (at_end()) return make(TokenKind::kError, "truncated based literal", line, col);
+      const char base = static_cast<char>(std::tolower(static_cast<unsigned char>(peek())));
+      if (base != 'b' && base != 'o' && base != 'd' && base != 'h') {
+        return make(TokenKind::kError, std::string("bad number base '") + peek() + "'", line, col);
+      }
+      num += advance();
+      bool any_digit = false;
+      while (!at_end()) {
+        const char d = static_cast<char>(std::tolower(static_cast<unsigned char>(peek())));
+        const bool ok = d == '_' || d == 'x' || d == 'z' || d == '?' ||
+                        (base == 'b' && (d == '0' || d == '1')) ||
+                        (base == 'o' && d >= '0' && d <= '7') ||
+                        (base == 'd' && std::isdigit(static_cast<unsigned char>(d))) ||
+                        (base == 'h' && std::isxdigit(static_cast<unsigned char>(d)));
+        if (!ok) break;
+        any_digit = any_digit || d != '_';
+        num += advance();
+      }
+      if (!any_digit) return make(TokenKind::kError, "based literal with no digits", line, col);
+    } else if (num.empty() || num == "'") {
+      return make(TokenKind::kError, "stray apostrophe", line, col);
+    }
+    return make(TokenKind::kNumber, std::move(num), line, col);
+  }
+
+  // String literal.
+  if (c == '"') {
+    std::string text;
+    advance();
+    while (!at_end() && peek() != '"') {
+      if (peek() == '\\' && pos_ + 1 < src_.size()) text += advance();
+      text += advance();
+    }
+    if (at_end()) return make(TokenKind::kError, "unterminated string", line, col);
+    advance();  // closing quote
+    return make(TokenKind::kString, std::move(text), line, col);
+  }
+
+  // Operators / punctuation: longest match first.
+  static constexpr std::array<const char*, 26> kMulti = {
+      "<<<", ">>>", "===", "!==",            // 3-char
+      "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+      "~&", "~|", "~^", "^~", "**", "+:", "-:",
+      // remaining single chars are handled below; pad list with 1-char strings
+      "&", "|", "^", "~", "!", "<", ">",
+  };
+  for (const char* op : kMulti) {
+    const std::size_t len = std::char_traits<char>::length(op);
+    if (src_.compare(pos_, len, op) == 0) {
+      for (std::size_t i = 0; i < len; ++i) advance();
+      return make(TokenKind::kPunct, op, line, col);
+    }
+  }
+
+  static const std::string kSingle = "+-*/%=?:;,.()[]{}#@";
+  if (kSingle.find(c) != std::string::npos) {
+    advance();
+    return make(TokenKind::kPunct, std::string(1, c), line, col);
+  }
+
+  advance();
+  return make(TokenKind::kError, std::string("unexpected character '") + c + "'", line, col);
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view source) {
+  Lexer lex(source);
+  std::vector<Token> out;
+  while (true) {
+    Token t = lex.next();
+    if (t.kind == TokenKind::kEof) break;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace haven::verilog

@@ -1,0 +1,44 @@
+// Recursive-descent parser for the Verilog subset. Plays the role of the
+// paper's syntax-verification compiler (Fig 2, step 8): generated code that
+// fails to parse is counted as a syntax failure by the evaluation harness,
+// and vanilla instruction-code pairs that fail to parse are filtered out of
+// the K-dataset.
+//
+// The parser never throws on user input; all problems are reported as
+// Diagnostics with line/column. Recovery: on an unrecoverable error inside a
+// module the parser skips ahead to the next `module` keyword so later
+// modules in a file are still seen.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verilog/ast.h"
+#include "verilog/token.h"
+
+namespace haven::verilog {
+
+struct Diagnostic {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  std::string to_string() const;
+};
+
+struct ParseOutput {
+  SourceFile file;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return diagnostics.empty(); }
+};
+
+// Parse a full source file (any number of modules).
+ParseOutput parse_source(std::string_view source);
+
+// Convenience used everywhere in the pipeline: does this text parse cleanly
+// and contain at least one module?
+bool syntax_ok(std::string_view source);
+
+}  // namespace haven::verilog

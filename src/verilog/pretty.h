@@ -1,0 +1,18 @@
+// Pretty-printer: AST -> canonical Verilog source. Used by the SimLLM code
+// generator (emitting modules it constructed programmatically), by the
+// dataset pipeline (serializing exemplars), and by tests (parse/print
+// round-trips).
+#pragma once
+
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace haven::verilog {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_module(const Module& m);
+std::string print_source(const SourceFile& f);
+
+}  // namespace haven::verilog

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "cot/sicot.h"
+
+#include "eval/task.h"
+#include "llm/codegen.h"
+#include "llm/instruction.h"
+#include "llm/model_zoo.h"
+#include "llm/spec_parser.h"
+#include "sim/testbench.h"
+
+namespace haven::cot {
+namespace {
+
+llm::SimLlm perfect_model() {
+  llm::HallucinationProfile zero;
+  return llm::SimLlm("PerfectCoT", zero.scaled(0.0));
+}
+
+TEST(SiCot, TruthTableGetsParserInterpretation) {
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(1);
+  const std::string prompt =
+      "Implement the truth table below.\n"
+      "a b out\n"
+      "0 0 0\n"
+      "0 1 0\n"
+      "1 0 0\n"
+      "1 1 1\n"
+      "module top_module(input a, input b, output out);\n";
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  EXPECT_TRUE(result.transformed);
+  EXPECT_EQ(result.modality, symbolic::Modality::kTruthTable);
+  EXPECT_NE(result.prompt.find("Rules:"), std::string::npos);
+  EXPECT_EQ(result.prompt.find("0 0 0"), std::string::npos);  // payload replaced
+  EXPECT_NE(result.prompt.find("module top_module"), std::string::npos);
+}
+
+TEST(SiCot, WaveformGetsParserInterpretation) {
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(2);
+  const std::string prompt =
+      "Implement the combinational function shown by the waveform below.\n"
+      "a: 0 1 0 1\n"
+      "b: 0 0 1 1\n"
+      "out: 0 0 0 1\n"
+      "time(ns): 0 10 20 30\n"
+      "module top_module(input a, input b, output out);\n";
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  EXPECT_TRUE(result.transformed);
+  EXPECT_NE(result.prompt.find("When time is 0ns"), std::string::npos);
+  EXPECT_EQ(result.prompt.find("time(ns):"), std::string::npos);
+}
+
+TEST(SiCot, StateDiagramInterpretedByModel) {
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(3);
+  const std::string prompt =
+      "Implement the Moore finite state machine given by the state diagram below.\n"
+      "A[out=0]-[x=0]->B\n"
+      "A[out=0]-[x=1]->A\n"
+      "B[out=1]-[x=0]->A\n"
+      "B[out=1]-[x=1]->B\n"
+      "The reset state is A.\n"
+      "module top_module(input clk, input rst, input x, output out);\n";
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  EXPECT_TRUE(result.transformed);
+  EXPECT_NE(result.prompt.find("State transition:"), std::string::npos);
+  EXPECT_EQ(result.prompt.find("->"), std::string::npos);  // raw payload gone
+  // A perfect CoT model's interpretation is faithful: the parsed diagram is
+  // equivalent to the original.
+  const auto parsed = llm::parse_instruction(result.prompt);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  auto original = symbolic::parse_state_diagram(
+      "A[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\n");
+  EXPECT_TRUE(parsed.spec->diagram.equivalent(*original.diagram));
+}
+
+TEST(SiCot, FallibleCotModelCorruptsSometimes) {
+  llm::HallucinationProfile bad;
+  bad = bad.scaled(0.0);
+  bad.sym_state_diagram = 1.0;
+  bad.misalignment = 1.0;  // align factor maxes the interpretation scale
+  const llm::SimLlm cot("BadCoT", bad);
+  SiCotPipeline pipeline(&cot, /*interpretation_scale=*/1.0);
+  const std::string prompt =
+      "Implement the FSM.\n"
+      "A[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\n"
+      "module top_module(input clk, input rst, input x, output out);\n";
+  auto original = symbolic::parse_state_diagram(
+      "A[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\nB[out=1]-[x=0]->A\nB[out=1]-[x=1]->B\n");
+  util::Rng rng(4);
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  const auto parsed = llm::parse_instruction(result.prompt);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.spec->diagram.equivalent(*original.diagram));
+}
+
+TEST(SiCot, AddsMissingHeader) {
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(5);
+  const std::string prompt = "Design a 4-bit up counter with output 'q'. Use synchronous "
+                             "active-high reset 'rst'.\n";
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  EXPECT_TRUE(result.header_added);
+  EXPECT_NE(result.prompt.find("module top_module(input clk, input rst, output [3:0] q);"),
+            std::string::npos);
+}
+
+TEST(SiCot, InterpretedPromptsPassThrough) {
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(6);
+  const std::string prompt =
+      "Variables: 1. a(input); 2. out(output)\nRules: 1. If a=0, then out=1;\n"
+      "module top_module(input a, output out);\n";
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  EXPECT_FALSE(result.transformed);
+  EXPECT_EQ(result.prompt, prompt);
+}
+
+TEST(SiCot, ProseOnlyPromptsUntouchedExceptHeader) {
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(7);
+  const std::string prompt =
+      "Design an 8-bit D register: output 'q' follows input 'd' on each active clock edge. "
+      "Use synchronous active-high reset 'rst'.\n"
+      "module top_module(input clk, input rst, input [7:0] d, output [7:0] q);\n";
+  const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+  EXPECT_FALSE(result.transformed);
+  EXPECT_EQ(result.prompt, prompt);
+}
+
+TEST(SiCot, RefinedPromptsRemainFunctionallyFaithful) {
+  // Property: for a perfect CoT model, refine + parse + regenerate must be
+  // functionally identical to the original spec, for every modality.
+  const llm::SimLlm cot = perfect_model();
+  SiCotPipeline pipeline(&cot);
+  util::Rng rng(8);
+  llm::TaskGenConfig config;
+  config.p_truth_table = 0.35;
+  config.p_waveform = 0.3;
+  config.w_fsm = 3.0;
+  int refined_count = 0;
+  for (int i = 0; i < 40; ++i) {
+    const llm::TaskSpec spec = llm::generate_task(rng, config);
+    const std::string prompt = llm::render_instruction(spec, {}, rng);
+    const SiCotResult result = pipeline.refine(prompt, 0.2, rng);
+    if (!result.transformed) continue;
+    ++refined_count;
+    const auto parsed = llm::parse_instruction(result.prompt);
+    ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << result.prompt;
+    util::Rng tb(100 + i);
+    const auto diff = sim::run_diff_test(
+        llm::generate_source(*parsed.spec), llm::generate_source(spec),
+        eval::stimulus_for(spec), tb);
+    EXPECT_TRUE(diff.passed) << diff.reason << "\n" << result.prompt;
+  }
+  EXPECT_GT(refined_count, 10);
+}
+
+}  // namespace
+}  // namespace haven::cot

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/corpus.h"
+#include "dataset/exemplar.h"
+#include "dataset/kdataset.h"
+#include "dataset/ldataset.h"
+#include "dataset/jsonl.h"
+#include "dataset/mix.h"
+#include "dataset/vanilla.h"
+#include "util/strings.h"
+#include "verilog/analyzer.h"
+
+namespace haven::dataset {
+namespace {
+
+// --- exemplars ---------------------------------------------------------------
+
+TEST(Exemplars, LibraryIsNonEmptyAndCompiles) {
+  const auto& lib = exemplar_library();
+  EXPECT_GE(lib.size(), 25u);
+  for (const auto& ex : lib) {
+    EXPECT_TRUE(verilog::compile_ok(ex.code)) << ex.title << "\n" << ex.code;
+    EXPECT_FALSE(ex.instruction.empty());
+  }
+}
+
+TEST(Exemplars, CoverPaperModuleFamilies) {
+  // Section III-C: FSMs, clock dividers, counters, shift registers, ALUs.
+  std::set<verilog::Topic> topics;
+  for (const auto& ex : exemplar_library()) topics.insert(ex.topic);
+  EXPECT_TRUE(topics.contains(verilog::Topic::kFsm));
+  EXPECT_TRUE(topics.contains(verilog::Topic::kClockDivider));
+  EXPECT_TRUE(topics.contains(verilog::Topic::kCounter));
+  EXPECT_TRUE(topics.contains(verilog::Topic::kShiftRegister));
+  EXPECT_TRUE(topics.contains(verilog::Topic::kAlu));
+}
+
+TEST(Exemplars, CoverResetMechanismVariants) {
+  bool sync_seen = false, async_seen = false, low_seen = false, enable_seen = false;
+  for (const auto& ex : exemplar_library()) {
+    sync_seen |= ex.attributes.sync_reset;
+    async_seen |= ex.attributes.async_reset;
+    low_seen |= ex.attributes.active_low_reset;
+    enable_seen |= ex.attributes.has_enable;
+  }
+  EXPECT_TRUE(sync_seen);
+  EXPECT_TRUE(async_seen);
+  EXPECT_TRUE(low_seen);
+  EXPECT_TRUE(enable_seen);
+}
+
+TEST(Exemplars, MatchingPrefersCompatibleAttributes) {
+  verilog::Attributes async_attr;
+  async_attr.has_clock = true;
+  async_attr.async_reset = true;
+  const auto hits = match_exemplars({verilog::Topic::kCounter}, async_attr);
+  ASSERT_FALSE(hits.empty());
+  for (std::size_t i : hits) {
+    EXPECT_EQ(exemplar_library()[i].topic, verilog::Topic::kCounter);
+    EXPECT_TRUE(exemplar_library()[i].attributes.async_reset);
+  }
+}
+
+TEST(Exemplars, MatchingFallsBackToTopicOnly) {
+  verilog::Attributes weird;
+  weird.has_clock = true;
+  weird.async_reset = true;
+  weird.active_low_reset = true;
+  weird.negedge_clock = true;
+  const auto hits = match_exemplars({verilog::Topic::kAlu}, weird);
+  EXPECT_FALSE(hits.empty());  // topic-only fallback (ALUs are combinational)
+}
+
+TEST(Exemplars, NoMatchForAbsentTopic) {
+  EXPECT_TRUE(match_exemplars({}, verilog::Attributes{}).empty());
+}
+
+// --- corpus -------------------------------------------------------------------
+
+TEST(Corpus, GeneratesRequestedMixAtScale) {
+  util::Rng rng(51);
+  const auto corpus = generate_corpus(600, rng);
+  EXPECT_EQ(corpus.size(), 600u);
+  int with_spec = 0, parse_fail = 0;
+  for (const auto& item : corpus) {
+    with_spec += item.spec.has_value();
+    parse_fail += !verilog::syntax_ok(item.content);
+    EXPECT_FALSE(item.path.empty());
+  }
+  // Clean modules dominate; a realistic noise floor exists.
+  EXPECT_GT(with_spec, 400);
+  EXPECT_GT(parse_fail, 50);
+  EXPECT_LT(parse_fail, 250);
+}
+
+TEST(Corpus, CleanItemsCompileAndMatchTheirSpec) {
+  util::Rng rng(52);
+  const auto corpus = generate_corpus(200, rng);
+  for (const auto& item : corpus) {
+    if (!item.spec) continue;
+    EXPECT_TRUE(verilog::compile_ok(item.content)) << item.content;
+  }
+}
+
+// --- vanilla pairs --------------------------------------------------------------
+
+TEST(Vanilla, PairsOnlyFromModuleFiles) {
+  util::Rng rng(53);
+  const auto corpus = generate_corpus(400, rng);
+  const auto pairs = build_vanilla_pairs(corpus, rng);
+  EXPECT_LT(pairs.size(), corpus.size());  // junk dropped
+  EXPECT_GT(pairs.size(), corpus.size() / 2);
+  for (const auto& pair : pairs) {
+    EXPECT_FALSE(pair.instruction.empty());
+    EXPECT_FALSE(pair.topics.empty());
+  }
+}
+
+TEST(Vanilla, InstructionsAreVanillaStyle) {
+  util::Rng rng(54);
+  const auto corpus = generate_corpus(150, rng);
+  const auto pairs = build_vanilla_pairs(corpus, rng);
+  int vanilla_styled = 0;
+  for (const auto& pair : pairs) {
+    vanilla_styled += pair.instruction.find("part of a larger design") != std::string::npos ||
+                      pair.instruction.find("equivalent behavior") != std::string::npos ||
+                      pair.instruction.find("current state is") != std::string::npos;
+  }
+  EXPECT_GT(vanilla_styled, static_cast<int>(pairs.size() * 3 / 4));
+}
+
+// --- K-dataset ------------------------------------------------------------------
+
+TEST(KDataset, PipelineAccountingIsConsistent) {
+  util::Rng rng(55);
+  const auto corpus = generate_corpus(500, rng);
+  const auto pairs = build_vanilla_pairs(corpus, rng);
+  const KDatasetResult result = build_k_dataset(pairs, rng);
+  EXPECT_EQ(result.pairs_in, pairs.size());
+  EXPECT_GT(result.matched, 0u);
+  EXPECT_GE(result.rewritten, result.matched);          // up to 2 rewrites per pair
+  EXPECT_EQ(result.verified + result.rejected, result.rewritten);
+  EXPECT_EQ(result.dataset.samples.size(), result.verified);
+}
+
+TEST(KDataset, SamplesAreEngineerAlignedAndCompile) {
+  util::Rng rng(56);
+  const auto corpus = generate_corpus(300, rng);
+  const auto pairs = build_vanilla_pairs(corpus, rng);
+  const KDatasetResult result = build_k_dataset(pairs, rng);
+  ASSERT_GT(result.dataset.samples.size(), 10u);
+  for (const auto& sample : result.dataset.samples) {
+    EXPECT_EQ(sample.origin, "k");
+    EXPECT_TRUE(verilog::compile_ok(sample.code));
+    EXPECT_FALSE(sample.teaches.empty());
+  }
+  const llm::DatasetStats stats = result.dataset.stats();
+  EXPECT_GT(stats.axis(llm::HalluAxis::kKnowConvention), 0.0);
+  EXPECT_GT(stats.axis(llm::HalluAxis::kMisalignment), 0.0);
+}
+
+TEST(KDataset, BrokenCodeIsRejectedByVerification) {
+  // Construct a pair whose code does not compile: it must be rejected.
+  VanillaPair pair;
+  pair.instruction = "whatever";
+  pair.code = "module broken(input a";
+  pair.compiles = false;
+  pair.topics = {verilog::Topic::kCounter};
+  util::Rng rng(57);
+  const KDatasetResult result = build_k_dataset({pair}, rng);
+  EXPECT_EQ(result.verified, 0u);
+  EXPECT_GT(result.rejected, 0u);
+}
+
+// --- L-dataset -------------------------------------------------------------------
+
+TEST(LDataset, GeneratesBothReasoningCategories) {
+  util::Rng rng(58);
+  LDatasetConfig config;
+  config.count = 200;
+  const Dataset ds = build_l_dataset(config, rng);
+  EXPECT_EQ(ds.samples.size(), 200u);
+  int concise = 0, faithful = 0;
+  for (const auto& sample : ds.samples) {
+    EXPECT_EQ(sample.origin, "l");
+    EXPECT_TRUE(verilog::compile_ok(sample.code)) << sample.code;
+    bool teaches_instruction = false;
+    for (const auto& [axis, w] : sample.teaches) {
+      teaches_instruction |= axis == llm::HalluAxis::kLogicInstruction && w >= 0.9;
+    }
+    if (teaches_instruction) ++faithful;
+    else ++concise;
+  }
+  EXPECT_GT(concise, 50);
+  EXPECT_GT(faithful, 50);
+}
+
+TEST(LDataset, ConciseSamplesUseMinimizedImplementations) {
+  util::Rng rng(59);
+  LDatasetConfig config;
+  config.count = 60;
+  config.p_concise = 1.0;
+  const Dataset ds = build_l_dataset(config, rng);
+  for (const auto& sample : ds.samples) {
+    EXPECT_TRUE(sample.instruction.find("concise") != std::string::npos ||
+                sample.instruction.find("Karnaugh") != std::string::npos ||
+                sample.instruction.find("truth table") != std::string::npos)
+        << sample.instruction;
+  }
+}
+
+
+// --- JSONL export -----------------------------------------------------------------
+
+TEST(Jsonl, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(Jsonl, SampleSerializesToSingleLine) {
+  Sample s;
+  s.instruction = "Design a thing.\nWith a newline.";
+  s.code = "module m(); endmodule";
+  s.origin = "k";
+  s.weight = 2.5;
+  s.teaches = {{llm::HalluAxis::kKnowConvention, 1.0}};
+  const std::string json = sample_to_json(s);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"origin\":\"k\""), std::string::npos);
+  EXPECT_NE(json.find("know_convention"), std::string::npos);
+  EXPECT_NE(json.find("\"weight\":2.500"), std::string::npos);
+}
+
+TEST(Jsonl, WritesOneLinePerSample) {
+  util::Rng rng(61);
+  LDatasetConfig config;
+  config.count = 25;
+  const Dataset ds = build_l_dataset(config, rng);
+  std::ostringstream os;
+  write_jsonl(ds, os);
+  const auto lines = util::split_lines(os.str());
+  EXPECT_EQ(lines.size(), 25u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(util::starts_with(line, "{\"instruction\":"));
+    EXPECT_TRUE(util::ends_with(line, "}"));
+  }
+}
+
+// --- mixing ---------------------------------------------------------------------
+
+TEST(Mix, CombinesAndShuffles) {
+  Dataset a, b;
+  for (int i = 0; i < 50; ++i) {
+    Sample s;
+    s.origin = "k";
+    s.instruction = "k" + std::to_string(i);
+    a.samples.push_back(s);
+    s.origin = "l";
+    s.instruction = "l" + std::to_string(i);
+    b.samples.push_back(s);
+  }
+  util::Rng rng(60);
+  const Dataset kl = mix({a, b}, rng);
+  EXPECT_EQ(kl.samples.size(), 100u);
+  // Shuffled: the first 50 are not all from `a`.
+  int k_in_front = 0;
+  for (int i = 0; i < 50; ++i) k_in_front += kl.samples[static_cast<std::size_t>(i)].origin == "k";
+  EXPECT_GT(k_in_front, 10);
+  EXPECT_LT(k_in_front, 40);
+}
+
+TEST(Mix, StatsScaleWithWeights) {
+  Dataset ds;
+  Sample s;
+  s.weight = 10.0;
+  s.teaches = {{llm::HalluAxis::kLogicCorner, 0.5}};
+  ds.samples.push_back(s);
+  const llm::DatasetStats stats = ds.stats();
+  EXPECT_DOUBLE_EQ(stats.axis(llm::HalluAxis::kLogicCorner), 5.0);
+}
+
+TEST(Mix, SubsetTakesFraction) {
+  Dataset ds;
+  for (int i = 0; i < 100; ++i) ds.samples.emplace_back();
+  EXPECT_EQ(ds.subset(0.5).samples.size(), 50u);
+  EXPECT_EQ(ds.subset(0.0).samples.size(), 0u);
+  EXPECT_EQ(ds.subset(1.0).samples.size(), 100u);
+  EXPECT_EQ(ds.subset(2.0).samples.size(), 100u);  // clamped
+}
+
+}  // namespace
+}  // namespace haven::dataset

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/suites.h"
+#include "llm/model_zoo.h"
+#include "verilog/analyzer.h"
+
+namespace haven::eval {
+namespace {
+
+// --- pass@k estimator -----------------------------------------------------------
+
+TEST(PassK, MatchesClosedFormCases) {
+  EXPECT_DOUBLE_EQ(pass_at_k(10, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(pass_at_k(10, 10, 1), 1.0);
+  EXPECT_DOUBLE_EQ(pass_at_k(10, 10, 5), 1.0);
+  EXPECT_NEAR(pass_at_k(10, 1, 1), 0.1, 1e-12);
+  EXPECT_NEAR(pass_at_k(10, 5, 1), 0.5, 1e-12);
+  // n=10, c=6, k=5: all 5 chosen from the 4 failures is impossible -> 1.0.
+  EXPECT_DOUBLE_EQ(pass_at_k(10, 6, 5), 1.0);
+  // n=10, c=1, k=5: 1 - C(9,5)/C(10,5) = 1 - 126/252 = 0.5.
+  EXPECT_NEAR(pass_at_k(10, 1, 5), 0.5, 1e-12);
+  // n=10, c=2, k=5: 1 - C(8,5)/C(10,5) = 1 - 56/252.
+  EXPECT_NEAR(pass_at_k(10, 2, 5), 1.0 - 56.0 / 252.0, 1e-12);
+}
+
+TEST(PassK, InvalidArgumentsThrow) {
+  EXPECT_THROW(pass_at_k(5, 0, 6), std::invalid_argument);
+  EXPECT_THROW(pass_at_k(5, 6, 1), std::invalid_argument);
+  EXPECT_THROW(pass_at_k(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(pass_at_k(5, -1, 1), std::invalid_argument);
+}
+
+TEST(PassK, MonotoneInKAndC) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_LE(pass_at_k(10, c, 1), pass_at_k(10, c, 5) + 1e-12);
+  }
+  for (int c = 1; c <= 10; ++c) {
+    EXPECT_LE(pass_at_k(10, c - 1, 3), pass_at_k(10, c, 3) + 1e-12);
+  }
+}
+
+TEST(PassK, MeanAveragesOverTasks) {
+  EXPECT_NEAR(mean_pass_at_k({{10, 10}, {10, 0}}, 1), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_pass_at_k({}, 1), 0.0);
+}
+
+// --- suites -----------------------------------------------------------------------
+
+TEST(Suites, SizesMatchPaperBenchmarks) {
+  EXPECT_EQ(build_verilogeval_machine().tasks.size(), 143u);
+  EXPECT_EQ(build_verilogeval_human().tasks.size(), 156u);
+  EXPECT_EQ(build_verilogeval_v2().tasks.size(), 156u);
+  EXPECT_EQ(build_rtllm().tasks.size(), 29u);
+  EXPECT_EQ(build_symbolic44().tasks.size(), 44u);
+}
+
+TEST(Suites, Symbolic44HasPaperModalityCounts) {
+  const Suite suite = build_symbolic44();
+  int tt = 0, wf = 0, sd = 0;
+  for (const auto& task : suite.tasks) {
+    tt += task.modality == symbolic::Modality::kTruthTable;
+    wf += task.modality == symbolic::Modality::kWaveform;
+    sd += task.modality == symbolic::Modality::kStateDiagram;
+  }
+  EXPECT_EQ(tt, 10);
+  EXPECT_EQ(wf, 13);
+  EXPECT_EQ(sd, 21);
+}
+
+TEST(Suites, BuildersAreDeterministic) {
+  const Suite a = build_verilogeval_human();
+  const Suite b = build_verilogeval_human();
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].prompt, b.tasks[i].prompt);
+    EXPECT_EQ(a.tasks[i].golden_source, b.tasks[i].golden_source);
+  }
+}
+
+TEST(Suites, GoldenSourcesCompile) {
+  for (const Suite& suite : {build_verilogeval_machine(), build_verilogeval_human(),
+                             build_rtllm()}) {
+    for (const auto& task : suite.tasks) {
+      EXPECT_TRUE(verilog::compile_ok(task.golden_source)) << suite.name << "/" << task.id;
+    }
+  }
+}
+
+TEST(Suites, MachineIsProseOnly) {
+  for (const auto& task : build_verilogeval_machine().tasks) {
+    EXPECT_EQ(task.modality, symbolic::Modality::kNone) << task.id;
+  }
+}
+
+TEST(Suites, V2UsesChatFraming) {
+  for (const auto& task : build_verilogeval_v2().tasks) {
+    EXPECT_NE(task.prompt.find("Question:"), std::string::npos);
+    EXPECT_NE(task.prompt.find("Answer:"), std::string::npos);
+  }
+}
+
+TEST(Suites, SequentialTasksCarryResetProtocol) {
+  for (const auto& task : build_verilogeval_human().tasks) {
+    if (!task.spec.sequential()) continue;
+    EXPECT_TRUE(task.stimulus.sequential);
+    EXPECT_FALSE(task.stimulus.reset.empty()) << task.id;
+  }
+}
+
+// --- runner -----------------------------------------------------------------------
+
+TEST(Runner, PerfectModelScoresFullMarks) {
+  llm::HallucinationProfile zero;
+  const llm::SimLlm model("Perfect", zero.scaled(0.0));
+  RunnerConfig config;
+  config.n_samples = 2;
+  config.temperatures = {0.2};
+  const SuiteResult result = run_suite(model, build_rtllm(), config);
+  EXPECT_DOUBLE_EQ(result.pass_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(result.syntax_pass_at(1), 1.0);
+}
+
+TEST(Runner, IsDeterministicAcrossRuns) {
+  const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
+  RunnerConfig config;
+  config.n_samples = 3;
+  config.temperatures = {0.2};
+  const Suite suite = build_rtllm();
+  const SuiteResult a = run_suite(model, suite, config);
+  const SuiteResult b = run_suite(model, suite, config);
+  ASSERT_EQ(a.per_task.size(), b.per_task.size());
+  for (std::size_t i = 0; i < a.per_task.size(); ++i) {
+    EXPECT_EQ(a.per_task[i].func_pass, b.per_task[i].func_pass);
+    EXPECT_EQ(a.per_task[i].syntax_pass, b.per_task[i].syntax_pass);
+  }
+}
+
+TEST(Runner, FuncPassImpliesSyntaxPass) {
+  const llm::SimLlm model = llm::make_model("GPT-3.5");
+  RunnerConfig config;
+  config.n_samples = 4;
+  config.temperatures = {0.2};
+  const SuiteResult result = run_suite(model, build_rtllm(), config);
+  for (const auto& task : result.per_task) {
+    EXPECT_LE(task.func_pass, task.syntax_pass);
+    EXPECT_LE(task.syntax_pass, task.n);
+  }
+}
+
+TEST(Runner, StrongerModelBeatsWeakerOnAverage) {
+  RunnerConfig config;
+  config.n_samples = 4;
+  config.temperatures = {0.2};
+  const Suite human = build_verilogeval_human();
+  const SuiteResult strong = run_suite(llm::make_model("OriGen-DeepSeek"), human, config);
+  const SuiteResult weak = run_suite(llm::make_model("CodeLlama"), human, config);
+  EXPECT_GT(strong.pass_at(1), weak.pass_at(1));
+}
+
+TEST(Runner, CheckCandidateReportsSource) {
+  const llm::SimLlm model = llm::make_model("GPT-4");
+  const Suite suite = build_rtllm();
+  util::Rng rng(1);
+  const CandidateOutcome outcome =
+      check_candidate(model, suite.tasks.front(), 0.2, false, nullptr, rng);
+  EXPECT_FALSE(outcome.source.empty());
+  if (outcome.func_ok) {
+    EXPECT_TRUE(outcome.syntax_ok);
+  }
+}
+
+// --- report helpers ------------------------------------------------------------------
+
+TEST(Report, FormatsPercentagesAndPassTotals) {
+  EXPECT_EQ(pct(0.7731), "77.3");
+  EXPECT_EQ(pct(0.0), "0.0");
+  EXPECT_EQ(pass_total({6, 10}), "6/10(60.0%)");
+  EXPECT_EQ(pass_total({0, 0}), "0/0(0.0%)");
+}
+
+}  // namespace
+}  // namespace haven::eval

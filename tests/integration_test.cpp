@@ -1,0 +1,138 @@
+// Cross-module property tests: the simulator against the boolean-logic
+// engine, the parser against the pretty-printer, and the evaluation stack
+// against hand-computable scenarios. These are the invariants that keep the
+// whole reproduction honest.
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "eval/suites.h"
+#include "llm/codegen.h"
+#include "llm/model_zoo.h"
+#include "logic/exprgen.h"
+#include "logic/qm.h"
+#include "logic/truth_table.h"
+#include "sim/simulator.h"
+#include "verilog/parser.h"
+#include "verilog/pretty.h"
+
+namespace haven {
+namespace {
+
+// Property: for a random boolean expression, the event-driven simulator and
+// the direct logic evaluator agree on every input assignment.
+TEST(CrossValidation, SimulatorMatchesLogicEvaluator) {
+  util::Rng rng(0x51);
+  logic::ExprGenConfig config;
+  config.num_vars = 4;
+  config.max_depth = 5;
+  config.allow_nand_nor = true;
+  logic::ExprGenerator gen(config);
+  for (int trial = 0; trial < 30; ++trial) {
+    const logic::ExprPtr expr = gen.generate_nontrivial(rng);
+    llm::TaskSpec spec;
+    spec.kind = llm::TaskKind::kCombExpr;
+    spec.expr = expr;
+    spec.comb_inputs = logic::ExprGenerator::default_var_names(4);
+    const std::string source = llm::generate_source(spec);
+
+    verilog::ParseOutput parsed = verilog::parse_source(source);
+    ASSERT_TRUE(parsed.ok());
+    sim::Simulator simulator(sim::elaborate(parsed.file.modules.front(), &parsed.file));
+    for (std::uint32_t assignment = 0; assignment < 16; ++assignment) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        simulator.poke(spec.comb_inputs[i], (assignment >> i) & 1u);
+      }
+      const bool expected = expr->eval(spec.comb_inputs, assignment);
+      EXPECT_EQ(simulator.peek("out").bits(), expected ? 1u : 0u)
+          << source << " at assignment " << assignment;
+    }
+  }
+}
+
+// Property: QM-minimized implementations simulate identically to
+// sum-of-minterms implementations.
+TEST(CrossValidation, MinimizedAndCanonicalFormsSimulateIdentically) {
+  util::Rng rng(0x52);
+  logic::ExprGenConfig config;
+  config.num_vars = 3;
+  logic::ExprGenerator gen(config);
+  for (int trial = 0; trial < 20; ++trial) {
+    const logic::TruthTable tt = gen.generate_table(rng);
+    const logic::ExprPtr canonical = tt.to_sum_of_minterms();
+    const logic::ExprPtr minimal = logic::minimize(tt).expr;
+    EXPECT_TRUE(logic::exprs_equivalent(*canonical, *minimal));
+  }
+}
+
+// Property: pretty-print -> parse -> pretty-print is a fixpoint for every
+// module the golden generator can produce.
+TEST(CrossValidation, PrettyPrintParseFixpoint) {
+  util::Rng rng(0x53);
+  for (int trial = 0; trial < 120; ++trial) {
+    const llm::TaskSpec spec = llm::generate_task(rng);
+    const std::string first = llm::generate_source(spec);
+    verilog::ParseOutput parsed = verilog::parse_source(first);
+    ASSERT_TRUE(parsed.ok()) << first;
+    const std::string second = verilog::print_module(parsed.file.modules.front());
+    EXPECT_EQ(first, second) << task_kind_name(spec.kind);
+  }
+}
+
+// The evaluation stack end to end on a hand-computable scenario: a model
+// whose ONLY fault is syntax errors at a fixed (full) rate scores zero on
+// syntax and functional metrics alike, while its sibling without the fault
+// scores 100%.
+TEST(CrossValidation, SyntaxAxisDrivesSyntaxMetric) {
+  llm::HallucinationProfile broken;
+  broken = broken.scaled(0.0);
+  broken.know_syntax = 1.0;
+  const llm::SimLlm bad("SyntaxBreaker", broken);
+  const llm::SimLlm good("Clean", broken.scaled(0.0));
+
+  eval::Suite suite = eval::build_rtllm();
+  suite.tasks.resize(8);
+  eval::RunnerConfig rc;
+  rc.n_samples = 3;
+  rc.temperatures = {1.0};  // full stochastic strength: axis fires always
+
+  const eval::SuiteResult bad_result = eval::run_suite(bad, suite, rc);
+  EXPECT_DOUBLE_EQ(bad_result.syntax_pass_at(1), 0.0);
+  EXPECT_DOUBLE_EQ(bad_result.pass_at(1), 0.0);
+
+  const eval::SuiteResult good_result = eval::run_suite(good, suite, rc);
+  EXPECT_DOUBLE_EQ(good_result.syntax_pass_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(good_result.pass_at(1), 1.0);
+}
+
+// Fine-tuning + SI-CoT interventions are monotone per task thanks to the
+// paired systematic draws: on every task, the fine-tuned model's functional
+// pass count is >= the base model's... statistically. We assert the
+// aggregate, which must hold deterministically for the fixed seeds.
+TEST(CrossValidation, SuiteLevelMonotonicityOfFineTuning) {
+  const auto* card = llm::find_model_card("CodeQwen");
+  ASSERT_NE(card, nullptr);
+  llm::HallucinationProfile half = card->profile;
+  // Halve every non-symbolic axis, as a KL-style fine-tune would.
+  half.know_convention /= 2;
+  half.know_attribute /= 2;
+  half.know_syntax /= 2;
+  half.logic_expression /= 2;
+  half.logic_corner /= 2;
+  half.logic_instruction /= 2;
+  half.misalignment /= 2;
+  half.comprehension /= 2;
+  const llm::SimLlm base(card->name, card->profile, card->name);
+  const llm::SimLlm tuned("CodeQwen-tuned", half, card->name);
+
+  eval::Suite suite = eval::build_verilogeval_human();
+  suite.tasks.resize(60);
+  eval::RunnerConfig rc;
+  rc.n_samples = 3;
+  rc.temperatures = {0.2};
+  const double base_pass = eval::run_suite(base, suite, rc).pass_at(1);
+  const double tuned_pass = eval::run_suite(tuned, suite, rc).pass_at(1);
+  EXPECT_GT(tuned_pass, base_pass);
+}
+
+}  // namespace
+}  // namespace haven

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "llm/finetune.h"
+
+namespace haven::llm {
+namespace {
+
+DatasetStats stats_for(HalluAxis axis, double n) {
+  DatasetStats s;
+  s.axis(axis) = n;
+  s.total_samples = static_cast<std::size_t>(n);
+  return s;
+}
+
+TEST(FineTune, NoDataChangesNothing) {
+  HallucinationProfile base;
+  const HallucinationProfile out = fine_tune(base, DatasetStats{});
+  EXPECT_DOUBLE_EQ(out.know_convention, base.know_convention);
+  EXPECT_DOUBLE_EQ(out.sym_waveform, base.sym_waveform);
+}
+
+TEST(FineTune, CoverageReducesTargetAxisOnly) {
+  HallucinationProfile base;
+  base.know_convention = 0.4;
+  base.logic_corner = 0.3;
+  const HallucinationProfile out =
+      fine_tune(base, stats_for(HalluAxis::kKnowConvention, 10000));
+  EXPECT_LT(out.know_convention, base.know_convention);
+  EXPECT_DOUBLE_EQ(out.logic_corner, base.logic_corner);
+}
+
+TEST(FineTune, DiminishingReturns) {
+  HallucinationProfile base;
+  base.logic_expression = 0.4;
+  const double gain1 =
+      base.logic_expression -
+      fine_tune(base, stats_for(HalluAxis::kLogicExpression, 2000)).logic_expression;
+  const double total4 =
+      base.logic_expression -
+      fine_tune(base, stats_for(HalluAxis::kLogicExpression, 8000)).logic_expression;
+  EXPECT_GT(gain1, 0);
+  EXPECT_GT(total4, gain1);
+  EXPECT_LT(total4, 4 * gain1);  // concave
+}
+
+TEST(FineTune, NeverGoesBelowFloor) {
+  HallucinationProfile base;
+  base.know_syntax = 0.2;
+  const FineTuneConstants constants = FineTuneConstants::defaults();
+  const double floor = constants.floor[static_cast<std::size_t>(HalluAxis::kKnowSyntax)];
+  const HallucinationProfile out =
+      fine_tune(base, stats_for(HalluAxis::kKnowSyntax, 1e9));
+  EXPECT_NEAR(out.know_syntax, floor, 1e-6);
+  // A base already below the floor is left alone.
+  HallucinationProfile tiny;
+  tiny.know_syntax = floor / 2;
+  EXPECT_DOUBLE_EQ(fine_tune(tiny, stats_for(HalluAxis::kKnowSyntax, 1e9)).know_syntax,
+                   floor / 2);
+}
+
+TEST(FineTune, SymbolicAxesBarelyRespond) {
+  // The paper's central premise: fine-tuning cannot fix symbolic
+  // hallucination (SI-CoT can). Even massive coverage leaves high residual.
+  HallucinationProfile base;
+  base.sym_state_diagram = 0.8;
+  const HallucinationProfile out =
+      fine_tune(base, stats_for(HalluAxis::kSymStateDiagram, 14000));
+  EXPECT_GT(out.sym_state_diagram, 0.55);
+}
+
+TEST(FineTune, StatsAdditionIsPointwise) {
+  DatasetStats a = stats_for(HalluAxis::kLogicCorner, 100);
+  DatasetStats b = stats_for(HalluAxis::kLogicCorner, 50);
+  b.axis(HalluAxis::kKnowSyntax) = 25;
+  const DatasetStats sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.axis(HalluAxis::kLogicCorner), 150);
+  EXPECT_DOUBLE_EQ(sum.axis(HalluAxis::kKnowSyntax), 25);
+  EXPECT_EQ(sum.total_samples, 150u);
+}
+
+TEST(FineTune, MoreDataNeverHurts) {
+  HallucinationProfile base;
+  base.misalignment = 0.5;
+  double prev = base.misalignment;
+  for (double n : {500.0, 2000.0, 8000.0, 32000.0}) {
+    const double cur = fine_tune(base, stats_for(HalluAxis::kMisalignment, n)).misalignment;
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace haven::llm

@@ -1,0 +1,159 @@
+// Injector contract: every corruption must (a) remain structurally sane and
+// (b) be semantically different from the original — a hallucination that
+// accidentally produces equivalent code is not a hallucination.
+#include <gtest/gtest.h>
+
+#include "llm/hallucination.h"
+#include "logic/expr_parser.h"
+#include "verilog/parser.h"
+
+namespace haven::llm {
+namespace {
+
+TEST(Profile, ScaledClampsToUnitInterval) {
+  HallucinationProfile p;
+  p.sym_waveform = 0.9;
+  const HallucinationProfile doubled = p.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.sym_waveform, 1.0);
+  const HallucinationProfile zero = p.scaled(0.0);
+  EXPECT_DOUBLE_EQ(zero.know_convention, 0.0);
+  EXPECT_DOUBLE_EQ(zero.misalignment, 0.0);
+}
+
+TEST(Profile, AxisAccessorsConsistent) {
+  HallucinationProfile p;
+  p.logic_corner = 0.42;
+  EXPECT_DOUBLE_EQ(profile_axis(p, HalluAxis::kLogicCorner), 0.42);
+  EXPECT_EQ(hallu_axis_name(HalluAxis::kLogicCorner), "logic_corner");
+  for (int i = 0; i < kNumHalluAxes; ++i) {
+    EXPECT_NE(hallu_axis_name(static_cast<HalluAxis>(i)), "?");
+  }
+}
+
+TEST(Injectors, StateDiagramCorruptionIsInequivalent) {
+  util::Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    const symbolic::StateDiagram sd = symbolic::generate_state_diagram(rng);
+    const symbolic::StateDiagram bad = corrupt_state_diagram(sd, rng);
+    EXPECT_TRUE(bad.valid());
+    EXPECT_FALSE(bad.equivalent(sd));
+    EXPECT_EQ(bad.num_states(), sd.num_states());
+  }
+}
+
+TEST(Injectors, TruthTableCorruptionFlipsDefinedRows) {
+  util::Rng rng(42);
+  logic::TruthTable tt(std::vector<std::string>{"a", "b", "c"});
+  for (std::uint32_t m : {1u, 3u, 6u}) tt.set_row(m, true);
+  int differing_runs = 0;
+  for (int i = 0; i < 30; ++i) {
+    const logic::TruthTable bad = corrupt_truth_table(tt, rng);
+    int diffs = 0;
+    for (std::uint32_t r = 0; r < tt.num_rows(); ++r) diffs += bad.row(r) != tt.row(r);
+    EXPECT_GE(diffs, 1);
+    EXPECT_LE(diffs, 2);
+    differing_runs += diffs > 0;
+  }
+  EXPECT_EQ(differing_runs, 30);
+}
+
+TEST(Injectors, ExprCorruptionIsInequivalent) {
+  util::Rng rng(43);
+  for (const char* text : {"a & b", "a | b & c", "~(a ^ b) | c", "a", "(a & ~b) | (c & d)"}) {
+    const logic::ExprPtr original = logic::parse_expr_or_throw(text);
+    for (int i = 0; i < 10; ++i) {
+      const logic::ExprPtr bad = corrupt_expr(original, rng);
+      EXPECT_FALSE(logic::exprs_equivalent(*original, *bad)) << text;
+    }
+  }
+}
+
+TEST(Injectors, AttributeCorruptionChangesExactlyOneKnob) {
+  util::Rng rng(44);
+  SeqAttributes seq;
+  seq.reset = ResetKind::kAsync;
+  seq.reset_active_low = true;
+  seq.enable = EnableKind::kActiveHigh;
+  seq.negedge_clock = false;
+  for (int i = 0; i < 50; ++i) {
+    const SeqAttributes bad = corrupt_attributes(seq, rng);
+    int changes = 0;
+    changes += bad.reset != seq.reset;
+    changes += bad.reset_active_low != seq.reset_active_low;
+    changes += bad.enable != seq.enable;
+    changes += bad.negedge_clock != seq.negedge_clock;
+    EXPECT_EQ(changes, 1);
+  }
+}
+
+TEST(Injectors, AttributeCorruptionWithoutEnableNeverTouchesEnable) {
+  util::Rng rng(45);
+  SeqAttributes seq;
+  seq.enable = EnableKind::kNone;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(corrupt_attributes(seq, rng).enable, EnableKind::kNone);
+  }
+}
+
+TEST(Injectors, SyntaxCorruptionBreaksParsing) {
+  util::Rng rng(46);
+  const std::string good =
+      "module m(input a, input b, output reg y);\n"
+      "  always @(*) begin\n"
+      "    y = a & b;\n"
+      "  end\n"
+      "endmodule\n";
+  ASSERT_TRUE(verilog::syntax_ok(good));
+  int broken = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string bad = corrupt_syntax(good, rng);
+    if (!verilog::syntax_ok(bad)) ++broken;
+  }
+  // Every corruption mode must produce a parse failure on this input.
+  EXPECT_EQ(broken, 40);
+}
+
+TEST(Injectors, SyntaxCorruptionProducesPaperDefExample) {
+  util::Rng rng(1);
+  const std::string good = "module adder_4bit(input [3:0] a, output [3:0] y);\n"
+                           "  assign y = a;\nendmodule\n";
+  bool saw_def = false;
+  for (int i = 0; i < 60; ++i) {
+    const std::string bad = corrupt_syntax(good, rng);
+    saw_def = saw_def || bad.find("def") == 0 || bad.find("def ") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_def);
+}
+
+TEST(Injectors, AlignmentCorruptionChangesBehaviourRelevantFields) {
+  util::Rng rng(47);
+  TaskSpec spec;
+  spec.kind = TaskKind::kCounter;
+  spec.width = 5;
+  spec.modulus = 9;
+  spec.seq.enable = EnableKind::kActiveHigh;
+  for (int i = 0; i < 50; ++i) {
+    const TaskSpec bad = corrupt_alignment(spec, /*had_header=*/true, rng);
+    const bool changed = bad.width != spec.width || bad.modulus != spec.modulus ||
+                         bad.seq.enable != spec.seq.enable ||
+                         bad.count_down != spec.count_down || bad.kind != spec.kind;
+    EXPECT_TRUE(changed);
+  }
+}
+
+TEST(Injectors, AlignmentOnHeaderlessCombCanRenameOutput) {
+  util::Rng rng(48);
+  TaskSpec spec;
+  spec.kind = TaskKind::kCombExpr;
+  spec.expr = logic::parse_expr_or_throw("a & b");
+  spec.comb_inputs = {"a", "b"};
+  spec.comb_output = "out";
+  bool renamed = false;
+  for (int i = 0; i < 60; ++i) {
+    renamed = renamed || corrupt_alignment(spec, /*had_header=*/false, rng).comb_output != "out";
+  }
+  EXPECT_TRUE(renamed);
+}
+
+}  // namespace
+}  // namespace haven::llm

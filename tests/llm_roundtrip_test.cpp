@@ -1,0 +1,163 @@
+// The renderer/parser contract: every instruction the renderer can produce
+// must be recovered by parse_instruction into a spec whose golden
+// implementation is functionally equivalent to the original's. This is the
+// central property that makes the SimLlm honest — parameterized across all
+// phrasing styles.
+#include <gtest/gtest.h>
+
+#include "eval/task.h"
+#include "llm/codegen.h"
+#include "llm/instruction.h"
+#include "llm/spec_parser.h"
+#include "logic/expr_parser.h"
+#include "logic/truth_table.h"
+#include "sim/testbench.h"
+
+namespace haven::llm {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<std::tuple<PromptStyle, bool>> {};
+
+TEST_P(RoundTrip, RandomSpecsSurviveRenderParseRegenerate) {
+  const auto [style, include_header] = GetParam();
+  util::Rng rng(0xabc0 + static_cast<int>(style) * 2 + include_header);
+  int checked = 0;
+  for (int i = 0; i < 60; ++i) {
+    const TaskSpec spec = generate_task(rng);
+    InstructionOptions options;
+    options.style = style;
+    options.include_header = include_header;
+    const std::string prompt = render_instruction(spec, options, rng);
+
+    const ParsedInstruction parsed = parse_instruction(prompt);
+    ASSERT_TRUE(parsed.ok()) << parsed.error << "\nPROMPT:\n" << prompt;
+    EXPECT_EQ(parsed.had_header, include_header);
+
+    const std::string regen = generate_source(*parsed.spec);
+    const std::string golden = generate_source(spec);
+    util::Rng tb_rng(1000 + i);
+    const auto diff =
+        sim::run_diff_test(regen, golden, eval::stimulus_for(spec), tb_rng);
+    EXPECT_TRUE(diff.passed) << diff.reason << "\nPROMPT:\n" << prompt << "\nREGEN:\n"
+                             << regen << "\nGOLDEN:\n" << golden;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, RoundTrip,
+    ::testing::Combine(::testing::Values(PromptStyle::kEngineer, PromptStyle::kVanilla,
+                                         PromptStyle::kChat),
+                       ::testing::Values(true, false)),
+    [](const ::testing::TestParamInfo<RoundTrip::ParamType>& info) {
+      return prompt_style_name(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? std::string("_header") : std::string("_noheader"));
+    });
+
+TEST(RoundTripDetail, ModalityIsDetectedInEngineerPrompts) {
+  util::Rng rng(5);
+  int symbolic_seen = 0;
+  TaskGenConfig config;
+  config.p_truth_table = 0.4;
+  config.p_waveform = 0.3;
+  config.w_fsm = 3.0;
+  for (int i = 0; i < 60; ++i) {
+    const TaskSpec spec = generate_task(rng, config);
+    InstructionOptions options;
+    const std::string prompt = render_instruction(spec, options, rng);
+    const ParsedInstruction parsed = parse_instruction(prompt);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    if (spec.kind == TaskKind::kFsm) {
+      EXPECT_EQ(parsed.raw_modality, symbolic::Modality::kStateDiagram);
+      ++symbolic_seen;
+    } else if (spec.kind == TaskKind::kCombExpr &&
+               spec.presentation == CombPresentation::kTruthTable) {
+      EXPECT_EQ(parsed.raw_modality, symbolic::Modality::kTruthTable) << prompt;
+      ++symbolic_seen;
+    } else if (spec.kind == TaskKind::kCombExpr &&
+               spec.presentation == CombPresentation::kWaveform) {
+      EXPECT_EQ(parsed.raw_modality, symbolic::Modality::kWaveform) << prompt;
+      ++symbolic_seen;
+    }
+  }
+  EXPECT_GT(symbolic_seen, 20);
+}
+
+TEST(RoundTripDetail, AttributesSurviveAllStyles) {
+  for (PromptStyle style : {PromptStyle::kEngineer, PromptStyle::kVanilla, PromptStyle::kChat}) {
+    TaskSpec spec;
+    spec.kind = TaskKind::kCounter;
+    spec.width = 6;
+    spec.count_down = true;
+    spec.modulus = 10;
+    spec.seq.reset = ResetKind::kAsync;
+    spec.seq.reset_active_low = true;
+    spec.seq.enable = EnableKind::kActiveLow;
+    spec.seq.negedge_clock = true;
+    InstructionOptions options;
+    options.style = style;
+    const ParsedInstruction parsed = parse_instruction(render_instruction(spec, options));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.spec->kind, TaskKind::kCounter);
+    EXPECT_EQ(parsed.spec->width, 6);
+    EXPECT_TRUE(parsed.spec->count_down);
+    EXPECT_EQ(parsed.spec->modulus, 10);
+    EXPECT_EQ(parsed.spec->seq.reset, ResetKind::kAsync);
+    EXPECT_TRUE(parsed.spec->seq.reset_active_low);
+    EXPECT_EQ(parsed.spec->seq.enable, EnableKind::kActiveLow);
+    EXPECT_TRUE(parsed.spec->seq.negedge_clock);
+  }
+}
+
+TEST(RoundTripDetail, HeaderInterfaceOverridesExpressionVariables) {
+  // Expression mentions only a and c; the declared interface adds b.
+  const char* prompt =
+      "Implement the combinational logic: out = a & c\n"
+      "module top_module(input a, input b, input c, output out);\n";
+  const ParsedInstruction parsed = parse_instruction(prompt);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.spec->comb_inputs, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RoundTripDetail, UnknownPromptsFailGracefully) {
+  EXPECT_FALSE(parse_instruction("").ok());
+  EXPECT_FALSE(parse_instruction("Write a Python script that sorts a list.").ok());
+  const ParsedInstruction p = parse_instruction("Implement something cool in Verilog.");
+  EXPECT_FALSE(p.ok());
+  EXPECT_FALSE(p.error.empty());
+}
+
+TEST(RoundTripDetail, KarnaughMapPromptRecovered) {
+  util::Rng rng(6);
+  TaskSpec spec;
+  spec.kind = TaskKind::kCombExpr;
+  spec.expr = logic::parse_expr_or_throw("a & b | c & d");
+  spec.comb_inputs = {"a", "b", "c", "d"};
+  spec.presentation = CombPresentation::kKarnaughMap;
+  spec.want_minimal = true;
+  InstructionOptions options;
+  const std::string prompt = render_instruction(spec, options, rng);
+  ASSERT_NE(prompt.find("Karnaugh"), std::string::npos);
+  const ParsedInstruction parsed = parse_instruction(prompt);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << prompt;
+  EXPECT_TRUE(parsed.spec->want_minimal);
+  EXPECT_TRUE(logic::exprs_equivalent(*parsed.spec->expr, *spec.expr));
+}
+
+TEST(RoundTripDetail, ChatStyleStripsQuestionFraming) {
+  TaskSpec spec;
+  spec.kind = TaskKind::kParity;
+  spec.width = 8;
+  InstructionOptions options;
+  options.style = PromptStyle::kChat;
+  const std::string prompt = render_instruction(spec, options);
+  EXPECT_NE(prompt.find("Question:"), std::string::npos);
+  EXPECT_NE(prompt.find("Answer:"), std::string::npos);
+  const ParsedInstruction parsed = parse_instruction(prompt);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.spec->kind, TaskKind::kParity);
+}
+
+}  // namespace
+}  // namespace haven::llm

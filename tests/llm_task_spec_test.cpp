@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "llm/task_spec.h"
+
+namespace haven::llm {
+namespace {
+
+TEST(TaskSpec, InterfaceForCounterIncludesClockResetEnable) {
+  TaskSpec spec;
+  spec.kind = TaskKind::kCounter;
+  spec.width = 4;
+  spec.seq.reset = ResetKind::kAsync;
+  spec.seq.reset_active_low = true;
+  spec.seq.enable = EnableKind::kActiveHigh;
+  const auto ports = spec.interface();
+  ASSERT_EQ(ports.size(), 4u);
+  EXPECT_EQ(ports[0].name, "clk");
+  EXPECT_EQ(ports[1].name, "rst_n");
+  EXPECT_EQ(ports[2].name, "en");
+  EXPECT_EQ(ports[3].name, "q");
+  EXPECT_EQ(ports[3].width, 4);
+  EXPECT_FALSE(ports[3].is_input);
+}
+
+TEST(TaskSpec, CombinationalInterfaceUsesDeclaredNames) {
+  TaskSpec spec;
+  spec.kind = TaskKind::kCombExpr;
+  spec.comb_inputs = {"p", "q"};
+  spec.comb_output = "z";
+  const auto ports = spec.interface();
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0].name, "p");
+  EXPECT_EQ(ports[2].name, "z");
+}
+
+TEST(TaskSpec, HeaderLineIsValidVerilog) {
+  TaskSpec spec;
+  spec.kind = TaskKind::kAlu;
+  spec.width = 8;
+  const std::string header = spec.header_line();
+  EXPECT_EQ(header, "module top_module(input [1:0] op, input [7:0] a, input [7:0] b, "
+                    "output [7:0] y);");
+}
+
+TEST(TaskSpec, SequentialClassification) {
+  EXPECT_TRUE(task_kind_sequential(TaskKind::kFsm));
+  EXPECT_TRUE(task_kind_sequential(TaskKind::kClockDivider));
+  EXPECT_FALSE(task_kind_sequential(TaskKind::kAdder));
+  EXPECT_FALSE(task_kind_sequential(TaskKind::kCombExpr));
+}
+
+TEST(TaskSpec, ResetAndEnableNamesFollowPolarity) {
+  SeqAttributes seq;
+  EXPECT_EQ(seq.reset_name(), "rst");
+  seq.reset_active_low = true;
+  EXPECT_EQ(seq.reset_name(), "rst_n");
+  seq.reset_port = "clear";
+  EXPECT_EQ(seq.reset_name(), "clear");  // override wins
+  seq.enable = EnableKind::kActiveLow;
+  EXPECT_EQ(seq.enable_name(), "en_n");
+}
+
+TEST(TaskSpec, DifficultyOrdering) {
+  TaskSpec reg;
+  reg.kind = TaskKind::kRegister;
+  reg.width = 4;
+  TaskSpec fsm;
+  fsm.kind = TaskKind::kFsm;
+  util::Rng rng(1);
+  fsm.diagram = symbolic::generate_state_diagram(rng);
+  TaskSpec divider;
+  divider.kind = TaskKind::kClockDivider;
+  EXPECT_LT(reg.difficulty(), fsm.difficulty());
+  EXPECT_LT(reg.difficulty(), divider.difficulty());
+  EXPECT_GE(fsm.difficulty(), 0.05);
+  EXPECT_LE(fsm.difficulty(), 1.0);
+}
+
+TEST(TaskSpec, DifficultyGrowsWithWidthAndAttributes) {
+  TaskSpec narrow;
+  narrow.kind = TaskKind::kCounter;
+  narrow.width = 2;
+  TaskSpec wide = narrow;
+  wide.width = 16;
+  EXPECT_LT(narrow.difficulty(), wide.difficulty());
+  TaskSpec async_low = narrow;
+  async_low.seq.reset = ResetKind::kAsync;
+  async_low.seq.reset_active_low = true;
+  EXPECT_LT(narrow.difficulty(), async_low.difficulty());
+}
+
+TEST(TaskSpec, FingerprintIsStableAndDiscriminating) {
+  TaskSpec a;
+  a.kind = TaskKind::kCounter;
+  a.width = 4;
+  TaskSpec b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.width = 5;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  TaskSpec c = a;
+  c.kind = TaskKind::kRegister;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(GenerateTask, RespectsKindWeights) {
+  util::Rng rng(42);
+  TaskGenConfig config;
+  config.w_comb = 0;
+  config.w_fsm = 1.0;
+  // Zero out everything else.
+  config.w_counter = config.w_shift = config.w_register = config.w_adder = config.w_mux =
+      config.w_decoder = config.w_comparator = config.w_parity = config.w_alu =
+          config.w_clock_divider = config.w_edge_detector = 0;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(generate_task(rng, config).kind, TaskKind::kFsm);
+  }
+}
+
+TEST(GenerateTask, AllWeightsZeroThrows) {
+  util::Rng rng(42);
+  TaskGenConfig config;
+  config.w_comb = config.w_fsm = config.w_counter = config.w_shift = config.w_register =
+      config.w_adder = config.w_mux = config.w_decoder = config.w_comparator =
+          config.w_parity = config.w_alu = config.w_clock_divider = config.w_edge_detector = 0;
+  EXPECT_THROW(generate_task(rng, config), std::invalid_argument);
+}
+
+TEST(GenerateTask, SequentialTasksAlwaysHaveReset) {
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const TaskSpec spec = generate_task(rng);
+    if (spec.sequential()) {
+      EXPECT_NE(spec.seq.reset, ResetKind::kNone) << task_kind_name(spec.kind);
+    }
+  }
+}
+
+TEST(GenerateTask, CombTasksAreNontrivial) {
+  util::Rng rng(78);
+  TaskGenConfig config;
+  for (int i = 0; i < 100; ++i) {
+    const TaskSpec spec = generate_task(rng, config);
+    if (spec.kind != TaskKind::kCombExpr) continue;
+    ASSERT_TRUE(spec.expr != nullptr);
+    EXPECT_GE(spec.expr->collect_vars().size(), 2u);
+    EXPECT_GE(spec.comb_inputs.size(), spec.expr->collect_vars().size());
+  }
+}
+
+}  // namespace
+}  // namespace haven::llm

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include "logic/expr.h"
+#include "logic/expr_parser.h"
+#include "logic/exprgen.h"
+#include "logic/kmap.h"
+#include "logic/qm.h"
+#include "logic/truth_table.h"
+#include "util/rng.h"
+
+namespace haven::logic {
+namespace {
+
+ExprPtr ab_and() { return Expr::and_(Expr::var("a"), Expr::var("b")); }
+
+// --- Expr --------------------------------------------------------------------
+
+TEST(Expr, EvalBasicOps) {
+  const std::vector<std::string> vars = {"a", "b"};
+  const ExprPtr e_and = ab_and();
+  EXPECT_FALSE(e_and->eval(vars, 0b00));
+  EXPECT_FALSE(e_and->eval(vars, 0b01));
+  EXPECT_FALSE(e_and->eval(vars, 0b10));
+  EXPECT_TRUE(e_and->eval(vars, 0b11));
+
+  const ExprPtr e_xor = Expr::xor_(Expr::var("a"), Expr::var("b"));
+  EXPECT_TRUE(e_xor->eval(vars, 0b01));
+  EXPECT_FALSE(e_xor->eval(vars, 0b11));
+
+  const ExprPtr e_nor = Expr::binary(Op::kNor, Expr::var("a"), Expr::var("b"));
+  EXPECT_TRUE(e_nor->eval(vars, 0b00));
+  EXPECT_FALSE(e_nor->eval(vars, 0b10));
+}
+
+TEST(Expr, EvalUnboundVariableThrows) {
+  const ExprPtr e = Expr::var("q");
+  EXPECT_THROW(e->eval({"a"}, 0), std::out_of_range);
+}
+
+TEST(Expr, CollectVarsFirstAppearanceOrder) {
+  const ExprPtr e = Expr::or_(Expr::and_(Expr::var("b"), Expr::var("a")), Expr::var("b"));
+  const auto vars = e->collect_vars();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "b");
+  EXPECT_EQ(vars[1], "a");
+}
+
+TEST(Expr, SizeAndDepth) {
+  const ExprPtr e = Expr::not_(ab_and());
+  EXPECT_EQ(e->size(), 4u);
+  EXPECT_EQ(e->depth(), 3u);
+}
+
+TEST(Expr, ToVerilogSpellings) {
+  EXPECT_EQ(ab_and()->to_verilog(), "(a & b)");
+  EXPECT_EQ(Expr::not_(Expr::var("a"))->to_verilog(), "(~a)");
+  EXPECT_EQ(Expr::binary(Op::kNand, Expr::var("a"), Expr::var("b"))->to_verilog(),
+            "(~(a & b))");
+  EXPECT_EQ(Expr::constant(true)->to_verilog(), "1'b1");
+}
+
+TEST(Expr, ToEnglishSpellings) {
+  EXPECT_EQ(ab_and()->to_english(), "(a AND b)");
+  EXPECT_EQ(Expr::binary(Op::kXnor, Expr::var("x"), Expr::var("y"))->to_english(),
+            "(x XNOR y)");
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(ExprParser, ParsesPrecedenceCorrectly) {
+  // a | b & c == a | (b & c)
+  const ExprPtr e = parse_expr_or_throw("a | b & c");
+  const ExprPtr want = Expr::or_(Expr::var("a"), Expr::and_(Expr::var("b"), Expr::var("c")));
+  EXPECT_TRUE(exprs_equivalent(*e, *want));
+  EXPECT_EQ(e->op(), Op::kOr);
+}
+
+TEST(ExprParser, ParsesParensAndNot) {
+  const ExprPtr e = parse_expr_or_throw("~(a | b) & c");
+  const std::vector<std::string> vars = {"a", "b", "c"};
+  EXPECT_TRUE(e->eval(vars, 0b100));
+  EXPECT_FALSE(e->eval(vars, 0b101));
+}
+
+TEST(ExprParser, ParsesXnorNandNor) {
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a ~^ b"),
+                               *Expr::binary(Op::kXnor, Expr::var("a"), Expr::var("b"))));
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a ~& b"),
+                               *Expr::binary(Op::kNand, Expr::var("a"), Expr::var("b"))));
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a ~| b"),
+                               *Expr::binary(Op::kNor, Expr::var("a"), Expr::var("b"))));
+}
+
+TEST(ExprParser, AcceptsDoubleOperatorsAsBitwise) {
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a && b"), *ab_and()));
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a || b"),
+                               *Expr::or_(Expr::var("a"), Expr::var("b"))));
+}
+
+TEST(ExprParser, ParsesConstants) {
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("1'b1"), *Expr::constant(true)));
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("0"), *Expr::constant(false)));
+}
+
+TEST(ExprParser, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_expr("a &").expr);
+  EXPECT_FALSE(parse_expr("(a").expr);
+  EXPECT_FALSE(parse_expr("a b").expr);
+  EXPECT_FALSE(parse_expr("").expr);
+  EXPECT_FALSE(parse_expr("a @ b").expr);
+}
+
+TEST(ExprParser, RoundTripThroughVerilogPrinting) {
+  util::Rng rng(101);
+  ExprGenerator gen({.num_vars = 4, .max_depth = 5});
+  for (int i = 0; i < 50; ++i) {
+    const ExprPtr e = gen.generate(rng);
+    const ExprPtr back = parse_expr_or_throw(e->to_verilog());
+    EXPECT_TRUE(exprs_equivalent(*e, *back)) << e->to_verilog();
+  }
+}
+
+// --- truth table ---------------------------------------------------------------
+
+TEST(TruthTable, FromExprTabulates) {
+  const TruthTable tt = TruthTable::from_expr(*ab_and());
+  EXPECT_EQ(tt.num_rows(), 4u);
+  EXPECT_EQ(tt.count_true(), 1u);
+  EXPECT_EQ(tt.row(0b11), Tri::kTrue);
+  EXPECT_EQ(tt.minterms(), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(TruthTable, MatchesRespectsDontCares) {
+  TruthTable tt({"a", "b"});
+  tt.set_row(0b11, true);
+  tt.set_row(0b01, Tri::kDontCare);
+  // a&b matches: row 01 is don't-care so its disagreement is fine.
+  EXPECT_TRUE(tt.matches(*ab_and()));
+  // a|b does not: row 10 defined false but a|b gives true.
+  EXPECT_FALSE(tt.matches(*Expr::or_(Expr::var("a"), Expr::var("b"))));
+}
+
+TEST(TruthTable, SumOfMintermsReconstructs) {
+  util::Rng rng(7);
+  ExprGenerator gen({.num_vars = 3, .max_depth = 4});
+  for (int i = 0; i < 25; ++i) {
+    const ExprPtr e = gen.generate_nontrivial(rng);
+    const TruthTable tt = TruthTable::from_expr(*e);
+    EXPECT_TRUE(tt.matches(*tt.to_sum_of_minterms()));
+  }
+}
+
+TEST(TruthTable, SumOfMintermsOfEmptyIsConstZero) {
+  TruthTable tt({"a"});
+  const ExprPtr e = tt.to_sum_of_minterms();
+  EXPECT_EQ(e->op(), Op::kConst);
+  EXPECT_FALSE(e->value());
+}
+
+TEST(TruthTable, RejectsTooManyInputs) {
+  std::vector<std::string> many(17, "v");
+  for (std::size_t i = 0; i < many.size(); ++i) many[i] += std::to_string(i);
+  EXPECT_THROW(TruthTable tt(many), std::invalid_argument);
+}
+
+TEST(TruthTable, ExprsEquivalentOnDifferentVarSets) {
+  // a & b  vs  b & a (common vars) -> equivalent.
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a & b"), *parse_expr_or_throw("b & a")));
+  // a  vs  a | (b & ~b) -> equivalent despite extra var.
+  EXPECT_TRUE(exprs_equivalent(*parse_expr_or_throw("a"),
+                               *parse_expr_or_throw("a | (b & ~b)")));
+  EXPECT_FALSE(exprs_equivalent(*parse_expr_or_throw("a"), *parse_expr_or_throw("b")));
+}
+
+// --- Quine-McCluskey ------------------------------------------------------------
+
+TEST(QuineMcCluskey, MinimizesClassicExample) {
+  // f(a,b,c) = sum m(3,5,6,7): minimal SOP = ab + ac + bc (6 literals).
+  TruthTable tt({"a", "b", "c"});
+  for (std::uint32_t m : {3u, 5u, 6u, 7u}) tt.set_row(m, true);
+  const MinimizeResult r = minimize(tt);
+  EXPECT_TRUE(tt.matches(*r.expr));
+  EXPECT_EQ(r.cover.size(), 3u);
+  EXPECT_EQ(r.literal_count, 6);
+}
+
+TEST(QuineMcCluskey, HandlesConstantZeroAndOne) {
+  TruthTable zero({"a", "b"});
+  const MinimizeResult rz = minimize(zero);
+  EXPECT_TRUE(rz.cover.empty());
+  EXPECT_TRUE(zero.matches(*rz.expr));
+
+  TruthTable one({"a", "b"});
+  for (std::uint32_t m = 0; m < 4; ++m) one.set_row(m, true);
+  const MinimizeResult ro = minimize(one);
+  EXPECT_TRUE(ro.is_constant_one);
+  EXPECT_TRUE(one.matches(*ro.expr));
+}
+
+TEST(QuineMcCluskey, UsesDontCaresToSimplify) {
+  // f = m(1) with don't-cares on 3: minimal cover is just "b" (with inputs
+  // b,a ordering: minterm 1 = b=1,a=0; dc 3 = b=1,a=1) -> single literal.
+  TruthTable tt({"b", "a"});
+  tt.set_row(1, Tri::kTrue);
+  tt.set_row(3, Tri::kDontCare);
+  const MinimizeResult r = minimize(tt);
+  EXPECT_EQ(r.literal_count, 1);
+  EXPECT_TRUE(tt.matches(*r.expr));
+}
+
+TEST(QuineMcCluskey, PrimeImplicantsOfXor) {
+  // XOR has no merging: primes are the two minterms themselves.
+  TruthTable tt({"a", "b"});
+  tt.set_row(0b01, true);
+  tt.set_row(0b10, true);
+  const auto primes = prime_implicants(tt);
+  EXPECT_EQ(primes.size(), 2u);
+  const MinimizeResult r = minimize(tt);
+  EXPECT_EQ(r.cover.size(), 2u);
+  EXPECT_EQ(r.literal_count, 4);
+}
+
+TEST(QuineMcCluskey, RandomFunctionsAlwaysCovered) {
+  util::Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprGenerator gen({.num_vars = 4, .max_depth = 5});
+    const TruthTable tt = gen.generate_table(rng, trial % 2 ? 0.2 : 0.0);
+    const MinimizeResult r = minimize(tt);
+    EXPECT_TRUE(tt.matches(*r.expr)) << "trial " << trial;
+  }
+}
+
+TEST(QuineMcCluskey, MinimizedNeverLargerThanSumOfMinterms) {
+  util::Rng rng(66);
+  ExprGenerator gen({.num_vars = 4, .max_depth = 5});
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable tt = gen.generate_table(rng);
+    const MinimizeResult r = minimize(tt);
+    const std::size_t som_size = tt.to_sum_of_minterms()->size();
+    EXPECT_LE(r.expr->size(), som_size == 0 ? 1 : som_size);
+  }
+}
+
+
+TEST(QuineMcCluskey, LiteralCountIsExactForThreeVariables) {
+  // Brute-force check: for every 3-variable function, no sum-of-products
+  // cover built from prime implicants uses fewer literals than minimize()'s
+  // (exhaustive subset search over the prime implicants).
+  for (std::uint32_t truth = 1; truth < 255; truth += 7) {  // sampled functions
+    TruthTable tt({"a", "b", "c"});
+    for (std::uint32_t row = 0; row < 8; ++row) {
+      tt.set_row(row, ((truth >> row) & 1u) != 0);
+    }
+    const MinimizeResult result = minimize(tt);
+    const auto primes = prime_implicants(tt);
+    ASSERT_LE(primes.size(), 16u);
+    int best = result.literal_count;
+    const auto minterms = tt.minterms();
+    for (std::uint32_t subset = 1; subset < (1u << primes.size()); ++subset) {
+      int literals = 0;
+      bool covers_all = true;
+      for (std::uint32_t m : minterms) {
+        bool covered = false;
+        for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+          if ((subset >> pi) & 1u) covered = covered || primes[pi].covers(m);
+        }
+        covers_all = covers_all && covered;
+      }
+      if (!covers_all) continue;
+      for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+        if ((subset >> pi) & 1u) literals += primes[pi].literal_count();
+      }
+      best = std::min(best, literals);
+    }
+    EXPECT_EQ(result.literal_count, best) << "function mask " << truth;
+  }
+}
+
+TEST(QuineMcCluskey, ImplicantToVerilog) {
+  Implicant imp;
+  imp.mask = 0b101;
+  imp.bits = 0b001;
+  EXPECT_EQ(implicant_to_verilog(imp, {"a", "b", "c"}), "(a & ~c)");
+  Implicant full;
+  EXPECT_EQ(implicant_to_verilog(full, {"a"}), "1'b1");
+}
+
+// --- Karnaugh map ----------------------------------------------------------------
+
+TEST(KarnaughMap, GraySequence) {
+  EXPECT_EQ(gray_sequence(2), (std::vector<std::uint32_t>{0, 1, 3, 2}));
+  EXPECT_EQ(gray_sequence(1), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(KarnaughMap, LayoutMatchesTruthTable) {
+  const TruthTable tt = TruthTable::from_expr(
+      *parse_expr_or_throw("a & b | c & d"), {"a", "b", "c", "d"}, "out");
+  const KarnaughMap km(tt);
+  EXPECT_EQ(km.rows(), 4u);
+  EXPECT_EQ(km.cols(), 4u);
+  for (std::size_t r = 0; r < km.rows(); ++r) {
+    for (std::size_t c = 0; c < km.cols(); ++c) {
+      EXPECT_EQ(km.cell(r, c), tt.row(km.cell_minterm(r, c)));
+    }
+  }
+}
+
+TEST(KarnaughMap, AdjacentCellsDifferInOneBit) {
+  const TruthTable tt = TruthTable::from_expr(*parse_expr_or_throw("a ^ b ^ c"),
+                                              {"a", "b", "c"}, "out");
+  const KarnaughMap km(tt);
+  for (std::size_t r = 0; r < km.rows(); ++r) {
+    for (std::size_t c = 0; c + 1 < km.cols(); ++c) {
+      const auto diff = km.cell_minterm(r, c) ^ km.cell_minterm(r, c + 1);
+      EXPECT_EQ(__builtin_popcount(diff), 1);
+    }
+  }
+}
+
+TEST(KarnaughMap, RendersCellValues) {
+  TruthTable tt({"a", "b"});
+  tt.set_row(0b11, true);
+  tt.set_row(0b01, Tri::kDontCare);
+  const std::string out = KarnaughMap(tt).render();
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(KarnaughMap, RejectsUnsupportedSizes) {
+  TruthTable tt({"a"});
+  EXPECT_THROW(KarnaughMap km(tt), std::invalid_argument);
+}
+
+// --- generator -------------------------------------------------------------------
+
+TEST(ExprGenerator, RespectsDepthBound) {
+  util::Rng rng(77);
+  ExprGenerator gen({.num_vars = 3, .max_depth = 3});
+  for (int i = 0; i < 100; ++i) {
+    // NOT wrapping can add at most 2 to depth beyond bound in pathological
+    // nesting; enforce a loose but meaningful bound.
+    EXPECT_LE(gen.generate(rng)->depth(), 6u);
+  }
+}
+
+TEST(ExprGenerator, NontrivialHasTwoVarsAndMixedRows) {
+  util::Rng rng(88);
+  ExprGenerator gen({.num_vars = 3, .max_depth = 4});
+  for (int i = 0; i < 30; ++i) {
+    const ExprPtr e = gen.generate_nontrivial(rng);
+    EXPECT_GE(e->collect_vars().size(), 2u);
+    const TruthTable tt = TruthTable::from_expr(*e);
+    EXPECT_GT(tt.count_true(), 0u);
+    EXPECT_LT(tt.count_true(), tt.num_rows());
+  }
+}
+
+TEST(ExprGenerator, GeneratedTableHasDefinedExtremes) {
+  util::Rng rng(99);
+  ExprGenerator gen({.num_vars = 4, .max_depth = 3});
+  const TruthTable tt = gen.generate_table(rng, 0.5);
+  bool has_true = false, has_false = false;
+  for (std::uint32_t a = 0; a < tt.num_rows(); ++a) {
+    has_true |= tt.row(a) == Tri::kTrue;
+    has_false |= tt.row(a) == Tri::kFalse;
+  }
+  EXPECT_TRUE(has_true);
+  EXPECT_TRUE(has_false);
+}
+
+}  // namespace
+}  // namespace haven::logic

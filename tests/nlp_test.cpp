@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "nlp/evolution.h"
+#include "nlp/text.h"
+#include "util/strings.h"
+
+namespace haven::nlp {
+namespace {
+
+TEST(Text, TokenizeWordsLowercasesAndSplits) {
+  const auto words = tokenize_words("Implement a 4-bit FSM, please!");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], "implement");
+  EXPECT_EQ(words[2], "4");
+  EXPECT_EQ(words[4], "fsm");
+}
+
+TEST(Text, JaccardSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity("a b", "c d"), 0.0);
+  const double mid = jaccard_similarity("design a counter", "design a register");
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity("", ""), 1.0);
+}
+
+TEST(Text, BowCosineRespectsCounts) {
+  EXPECT_NEAR(bow_cosine("a a b", "a a b"), 1.0, 1e-9);
+  EXPECT_NEAR(bow_cosine("a", "b"), 0.0, 1e-9);
+  EXPECT_GT(bow_cosine("counter with reset", "counter with enable"),
+            bow_cosine("counter with reset", "multiplexer of inputs"));
+}
+
+TEST(Text, ExpandTemplate) {
+  EXPECT_EQ(expand_template("Design a {w}-bit {kind}.", {{"w", "4"}, {"kind", "counter"}}),
+            "Design a 4-bit counter.");
+  EXPECT_EQ(expand_template("keep {unknown} as-is", {}), "keep {unknown} as-is");
+  EXPECT_EQ(expand_template("unterminated {brace", {{"brace", "x"}}), "unterminated {brace");
+}
+
+TEST(Text, SynonymGroups) {
+  const auto& group = synonyms_of("implement");
+  EXPECT_FALSE(group.empty());
+  EXPECT_NE(std::find(group.begin(), group.end(), "design"), group.end());
+  EXPECT_TRUE(synonyms_of("zzznotaword").empty());
+}
+
+// --- instruction evolution --------------------------------------------------------
+
+TEST(Evolution, RespectsWordDeltaBound) {
+  util::Rng rng(11);
+  const std::string original =
+      "Implement the module described below. The output signal equals a plus b.";
+  for (int i = 0; i < 100; ++i) {
+    const std::string evolved = evolve_instruction(original, rng);
+    const long delta = static_cast<long>(util::word_count(evolved)) -
+                       static_cast<long>(util::word_count(original));
+    EXPECT_LE(std::labs(delta), 10);
+  }
+}
+
+TEST(Evolution, ProtectsSymbolicPayloads) {
+  util::Rng rng(12);
+  const std::string original =
+      "Implement the truth table below.\n"
+      "a b out\n"
+      "0 0 0\n"
+      "1 1 1\n"
+      "module top_module(input a, input b, output out);\n";
+  for (int i = 0; i < 50; ++i) {
+    const std::string evolved = evolve_instruction(original, rng);
+    EXPECT_NE(evolved.find("a b out"), std::string::npos);
+    EXPECT_NE(evolved.find("0 0 0"), std::string::npos);
+    EXPECT_NE(evolved.find("module top_module(input a, input b, output out);"),
+              std::string::npos);
+  }
+}
+
+TEST(Evolution, ProtectsStateDiagramLines) {
+  EXPECT_TRUE(is_protected_line("A[out=0]-[x=0]->B"));
+  EXPECT_TRUE(is_protected_line("module m(input a);"));
+  EXPECT_TRUE(is_protected_line("a: 0 1 0 1"));
+  EXPECT_TRUE(is_protected_line("0 1 0"));
+  EXPECT_FALSE(is_protected_line("Implement the following machine carefully"));
+}
+
+TEST(Evolution, ProducesVariety) {
+  util::Rng rng(13);
+  const std::string original = "Implement a module where the output equals a AND b.";
+  std::set<std::string> variants;
+  for (int i = 0; i < 60; ++i) variants.insert(evolve_instruction(original, rng));
+  EXPECT_GT(variants.size(), 5u);
+}
+
+TEST(Evolution, PreservesSemanticCoreKeywords) {
+  util::Rng rng(14);
+  const std::string original = "Design a 6-bit down counter that wraps modulo-10.";
+  for (int i = 0; i < 50; ++i) {
+    const std::string evolved = evolve_instruction(original, rng);
+    // Numbers and domain keywords must survive (only openers/synonyms vary).
+    EXPECT_NE(evolved.find("6-bit"), std::string::npos) << evolved;
+    EXPECT_NE(evolved.find("modulo-10"), std::string::npos) << evolved;
+    EXPECT_NE(util::to_lower(evolved).find("counter"), std::string::npos) << evolved;
+  }
+}
+
+}  // namespace
+}  // namespace haven::nlp

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "sim/testbench.h"
+
+namespace haven::sim {
+namespace {
+
+const char* kGoldenAnd = "module m(input a, input b, output y); assign y = a & b; endmodule";
+
+TEST(Testbench, IdenticalCombinationalPasses) {
+  util::Rng rng(1);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(kGoldenAnd, kGoldenAnd, spec, rng);
+  EXPECT_TRUE(r.passed) << r.reason;
+  EXPECT_EQ(r.vectors, 4);  // exhaustive over 2 bits
+}
+
+TEST(Testbench, EquivalentButDifferentFormPasses) {
+  util::Rng rng(2);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(
+      "module m(input a, input b, output y); assign y = ~(~a | ~b); endmodule", kGoldenAnd,
+      spec, rng);
+  EXPECT_TRUE(r.passed) << r.reason;
+}
+
+TEST(Testbench, WrongOperatorFails) {
+  // The paper's symbolic hallucination example: + instead of &.
+  util::Rng rng(3);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(
+      "module m(input a, input b, output y); assign y = a | b; endmodule", kGoldenAnd, spec,
+      rng);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.reason.find("output 'y'"), std::string::npos);
+}
+
+TEST(Testbench, ParseFailureFails) {
+  util::Rng rng(4);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test("def adder(): pass", kGoldenAnd, spec, rng);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.reason.find("parse"), std::string::npos);
+}
+
+TEST(Testbench, MissingPortFails) {
+  util::Rng rng(5);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(
+      "module m(input a, output y); assign y = a; endmodule", kGoldenAnd, spec, rng);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.reason.find("missing port"), std::string::npos);
+}
+
+TEST(Testbench, ExtraPortFails) {
+  util::Rng rng(6);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(
+      "module m(input a, input b, input c, output y); assign y = a & b & c; endmodule",
+      kGoldenAnd, spec, rng);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.reason.find("extra port"), std::string::npos);
+}
+
+TEST(Testbench, WidthMismatchFails) {
+  util::Rng rng(7);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(
+      "module m(input a, input b, output [1:0] y); assign y = a & b; endmodule", kGoldenAnd,
+      spec, rng);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.reason.find("width"), std::string::npos);
+}
+
+TEST(Testbench, CombinationalLoopFails) {
+  util::Rng rng(8);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(
+      "module m(input a, input b, output y); assign y = ~y | (a & b & ~y); endmodule",
+      kGoldenAnd, spec, rng);
+  EXPECT_FALSE(r.passed);
+}
+
+const char* kGoldenCounter = R"(
+module cnt(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk)
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd1;
+endmodule
+)";
+
+TEST(Testbench, SequentialIdenticalPasses) {
+  util::Rng rng(9);
+  StimulusSpec spec;
+  spec.sequential = true;
+  spec.reset = "rst";
+  const DiffResult r = run_diff_test(kGoldenCounter, kGoldenCounter, spec, rng);
+  EXPECT_TRUE(r.passed) << r.reason;
+  EXPECT_GT(r.vectors, 10);
+}
+
+TEST(Testbench, SequentialWrongStepFails) {
+  util::Rng rng(10);
+  StimulusSpec spec;
+  spec.sequential = true;
+  spec.reset = "rst";
+  const DiffResult r = run_diff_test(R"(
+module cnt(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk)
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd2;
+endmodule
+)",
+                                     kGoldenCounter, spec, rng);
+  EXPECT_FALSE(r.passed);
+}
+
+TEST(Testbench, SyncVsAsyncResetDetectedByMidTestReset) {
+  // DUT uses synchronous reset while the golden is asynchronous: outputs
+  // diverge in the window where reset is asserted without a clock edge.
+  const char* golden_async = R"(
+module d(input clk, input rst, input din, output reg q);
+  always @(posedge clk or posedge rst)
+    if (rst) q <= 1'b0;
+    else q <= din;
+endmodule
+)";
+  const char* dut_sync = R"(
+module d(input clk, input rst, input din, output reg q);
+  always @(posedge clk)
+    if (rst) q <= 1'b0;
+    else q <= din;
+endmodule
+)";
+  util::Rng rng(11);
+  StimulusSpec spec;
+  spec.sequential = true;
+  spec.reset = "rst";
+  spec.cycles = 64;
+  const DiffResult r = run_diff_test(dut_sync, golden_async, spec, rng);
+  EXPECT_FALSE(r.passed);
+}
+
+TEST(Testbench, ActiveLowResetProtocol) {
+  const char* golden = R"(
+module d(input clk, input rst_n, input din, output reg q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 1'b0;
+    else q <= din;
+endmodule
+)";
+  util::Rng rng(12);
+  StimulusSpec spec;
+  spec.sequential = true;
+  spec.reset = "rst_n";
+  spec.reset_active_low = true;
+  const DiffResult r = run_diff_test(golden, golden, spec, rng);
+  EXPECT_TRUE(r.passed) << r.reason;
+}
+
+TEST(Testbench, MissingDefaultCaseCaughtByXCheck) {
+  // Golden drives y for every select value; DUT leaves a latch/X hole on the
+  // missing branch. The golden-defined-bits comparison flags it.
+  const char* golden = R"(
+module m(input [1:0] s, output reg y);
+  always @(*)
+    case (s)
+      2'b00: y = 1'b0;
+      2'b01: y = 1'b1;
+      2'b10: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+endmodule
+)";
+  const char* dut = R"(
+module m(input [1:0] s, output reg y);
+  always @(*)
+    case (s)
+      2'b00: y = 1'b0;
+      2'b01: y = 1'b1;
+      2'b10: y = 1'b1;
+    endcase
+endmodule
+)";
+  util::Rng rng(13);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(dut, golden, spec, rng);
+  EXPECT_FALSE(r.passed);
+}
+
+TEST(Testbench, GoldenXBitsAreUnconstrained) {
+  // Golden itself leaves s==2'b11 undefined: any DUT value passes there.
+  const char* golden = R"(
+module m(input [1:0] s, output reg y);
+  always @(*)
+    case (s)
+      2'b00: y = 1'b0;
+      2'b01: y = 1'b1;
+      2'b10: y = 1'b1;
+      default: y = 1'bx;
+    endcase
+endmodule
+)";
+  const char* dut = R"(
+module m(input [1:0] s, output reg y);
+  always @(*)
+    case (s)
+      2'b00: y = 1'b0;
+      2'b01: y = 1'b1;
+      default: y = 1'b1;
+    endcase
+endmodule
+)";
+  util::Rng rng(14);
+  StimulusSpec spec;
+  const DiffResult r = run_diff_test(dut, golden, spec, rng);
+  EXPECT_TRUE(r.passed) << r.reason;
+}
+
+TEST(Testbench, RandomVectorsForWideInputs) {
+  const char* golden = R"(
+module m(input [15:0] a, input [15:0] b, output [16:0] s);
+  assign s = a + b;
+endmodule
+)";
+  util::Rng rng(15);
+  StimulusSpec spec;
+  spec.random_vectors = 64;
+  const DiffResult r = run_diff_test(golden, golden, spec, rng);
+  EXPECT_TRUE(r.passed) << r.reason;
+  EXPECT_EQ(r.vectors, 64);
+}
+
+TEST(Testbench, GoldenParseFailureThrows) {
+  util::Rng rng(16);
+  StimulusSpec spec;
+  EXPECT_THROW(run_diff_test(kGoldenAnd, "garbage", spec, rng), std::invalid_argument);
+}
+
+TEST(Testbench, FsmSequenceDetector) {
+  // 101 overlapping sequence detector, Mealy. Golden vs a re-implementation
+  // with renamed states must pass; with swapped transition must fail.
+  const char* golden = R"(
+module det(input clk, input rst, input x, output reg z);
+  localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2;
+  reg [1:0] state, nstate;
+  always @(posedge clk)
+    if (rst) state <= S0;
+    else state <= nstate;
+  always @(*) begin
+    nstate = S0;
+    z = 1'b0;
+    case (state)
+      S0: nstate = x ? S1 : S0;
+      S1: nstate = x ? S1 : S2;
+      S2: begin nstate = x ? S1 : S0; z = x; end
+      default: nstate = S0;
+    endcase
+  end
+endmodule
+)";
+  const char* renamed = R"(
+module det(input clk, input rst, input x, output reg z);
+  localparam IDLE = 2'd2, GOT1 = 2'd0, GOT10 = 2'd1;
+  reg [1:0] s, ns;
+  always @(posedge clk)
+    if (rst) s <= IDLE;
+    else s <= ns;
+  always @(*) begin
+    ns = IDLE;
+    z = 1'b0;
+    case (s)
+      IDLE: ns = x ? GOT1 : IDLE;
+      GOT1: ns = x ? GOT1 : GOT10;
+      GOT10: begin ns = x ? GOT1 : IDLE; z = x; end
+      default: ns = IDLE;
+    endcase
+  end
+endmodule
+)";
+  const char* swapped = R"(
+module det(input clk, input rst, input x, output reg z);
+  localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2;
+  reg [1:0] state, nstate;
+  always @(posedge clk)
+    if (rst) state <= S0;
+    else state <= nstate;
+  always @(*) begin
+    nstate = S0;
+    z = 1'b0;
+    case (state)
+      S0: nstate = x ? S0 : S1;
+      S1: nstate = x ? S2 : S1;
+      S2: begin nstate = x ? S1 : S0; z = x; end
+      default: nstate = S0;
+    endcase
+  end
+endmodule
+)";
+  util::Rng rng(17);
+  StimulusSpec spec;
+  spec.sequential = true;
+  spec.reset = "rst";
+  spec.cycles = 96;
+  DiffResult r1 = run_diff_test(renamed, golden, spec, rng);
+  EXPECT_TRUE(r1.passed) << r1.reason;
+  DiffResult r2 = run_diff_test(swapped, golden, spec, rng);
+  EXPECT_FALSE(r2.passed);
+}
+
+}  // namespace
+}  // namespace haven::sim

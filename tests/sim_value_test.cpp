@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "sim/value.h"
+
+namespace haven::sim {
+namespace {
+
+TEST(Value, ConstructionAndMask) {
+  const Value x(4);
+  EXPECT_TRUE(x.is_all_x());
+  EXPECT_EQ(x.mask(), 0xFu);
+  const Value v = Value::of(0xAB, 8);
+  EXPECT_TRUE(v.is_fully_defined());
+  EXPECT_EQ(v.bits(), 0xABu);
+}
+
+TEST(Value, WidthOutOfRangeThrows) {
+  EXPECT_THROW(Value v(0), std::invalid_argument);
+  EXPECT_THROW(Value v(65), std::invalid_argument);
+}
+
+TEST(Value, TruncationOnConstruction) {
+  EXPECT_EQ(Value::of(0x1FF, 8).bits(), 0xFFu);
+}
+
+TEST(Value, UnknownBitsCarryNoValue) {
+  const Value v = Value::with_xz(0b1111, 0b0101, 4);
+  EXPECT_EQ(v.bits(), 0b1010u);  // masked off under xz
+  EXPECT_EQ(v.xz(), 0b0101u);
+}
+
+TEST(Value, ResizeExtendAndTruncate) {
+  const Value v = Value::with_xz(0b10, 0b01, 2);
+  const Value w = v.resized(4);
+  EXPECT_EQ(w.bits(), 0b0010u);
+  EXPECT_EQ(w.xz(), 0b0001u);
+  const Value t = w.resized(1);
+  EXPECT_EQ(t.xz(), 1u);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::with_xz(0b100, 0b010, 3).to_string(), "3'b1x0");
+  EXPECT_EQ(Value::of(5, 3).to_string(), "3'b101");
+}
+
+TEST(Value, AndWithXSemantics) {
+  const Value zero = Value::of(0, 1);
+  const Value one = Value::of(1, 1);
+  const Value x = Value::all_x(1);
+  EXPECT_TRUE(v_and(zero, x).identical(zero));  // 0 & x = 0
+  EXPECT_TRUE(v_and(x, zero).identical(zero));
+  EXPECT_TRUE(v_and(one, x).is_all_x());        // 1 & x = x
+  EXPECT_TRUE(v_and(one, one).identical(one));
+}
+
+TEST(Value, OrWithXSemantics) {
+  const Value zero = Value::of(0, 1);
+  const Value one = Value::of(1, 1);
+  const Value x = Value::all_x(1);
+  EXPECT_TRUE(v_or(one, x).identical(one));  // 1 | x = 1
+  EXPECT_TRUE(v_or(zero, x).is_all_x());     // 0 | x = x
+}
+
+TEST(Value, XorPropagatesX) {
+  const Value one = Value::of(1, 1);
+  EXPECT_TRUE(v_xor(one, Value::all_x(1)).is_all_x());
+  EXPECT_TRUE(v_xor(one, one).identical(Value::of(0, 1)));
+}
+
+TEST(Value, NotPreservesXMask) {
+  const Value v = Value::with_xz(0b10, 0b01, 2);
+  const Value n = v_not(v);
+  EXPECT_EQ(n.xz(), 0b01u);
+  EXPECT_EQ(n.bits(), 0b00u);  // bit1: ~1=0; bit0 unknown
+}
+
+TEST(Value, ArithmeticWrapsAtWidth) {
+  const Value a = Value::of(0xF, 4);
+  const Value b = Value::of(1, 4);
+  EXPECT_EQ(v_add(a, b).bits(), 0u);
+  EXPECT_EQ(v_sub(Value::of(0, 4), b).bits(), 0xFu);
+  EXPECT_EQ(v_mul(Value::of(5, 4), Value::of(5, 4)).bits(), 9u);  // 25 mod 16
+}
+
+TEST(Value, ArithmeticAllXOnUnknown) {
+  EXPECT_TRUE(v_add(Value::all_x(4), Value::of(1, 4)).is_all_x());
+  EXPECT_TRUE(v_mul(Value::of(2, 4), Value::all_x(4)).is_all_x());
+}
+
+TEST(Value, DivisionByZeroIsX) {
+  EXPECT_TRUE(v_div(Value::of(4, 4), Value::of(0, 4)).is_all_x());
+  EXPECT_TRUE(v_mod(Value::of(4, 4), Value::of(0, 4)).is_all_x());
+  EXPECT_EQ(v_div(Value::of(9, 4), Value::of(2, 4)).bits(), 4u);
+  EXPECT_EQ(v_mod(Value::of(9, 4), Value::of(2, 4)).bits(), 1u);
+}
+
+TEST(Value, Shifts) {
+  const Value v = Value::of(0b0110, 4);
+  EXPECT_EQ(v_shl(v, Value::of(1, 4)).bits(), 0b1100u);
+  EXPECT_EQ(v_shr(v, Value::of(2, 4)).bits(), 0b0001u);
+  EXPECT_EQ(v_shl(v, Value::of(64, 8)).bits(), 0u);
+  EXPECT_TRUE(v_shl(v, Value::all_x(2)).is_all_x());
+}
+
+TEST(Value, ShiftMovesXBits) {
+  const Value v = Value::with_xz(0, 0b0001, 4);
+  EXPECT_EQ(v_shl(v, Value::of(2, 4)).xz(), 0b0100u);
+}
+
+TEST(Value, EqualityThreeValued) {
+  const Value a = Value::of(0b10, 2);
+  EXPECT_TRUE(v_eq(a, Value::of(0b10, 2)).identical(Value::of(1, 1)));
+  EXPECT_TRUE(v_eq(a, Value::of(0b11, 2)).identical(Value::of(0, 1)));
+  // Defined mismatch dominates unknown bits: 2'b1x != 2'b0x is definite 0.
+  const Value m1 = Value::with_xz(0b10, 0b01, 2);
+  const Value m2 = Value::with_xz(0b00, 0b01, 2);
+  EXPECT_TRUE(v_eq(m1, m2).identical(Value::of(0, 1)));
+  // Same defined bits with unknowns -> X.
+  EXPECT_TRUE(v_eq(m1, m1).is_all_x());
+}
+
+TEST(Value, CaseEqualityIsExact) {
+  const Value m = Value::with_xz(0b10, 0b01, 2);
+  EXPECT_TRUE(v_case_eq(m, m).identical(Value::of(1, 1)));
+  EXPECT_TRUE(v_case_eq(m, Value::of(0b10, 2)).identical(Value::of(0, 1)));
+}
+
+TEST(Value, RelationalOperators) {
+  const Value a = Value::of(3, 4), b = Value::of(5, 4);
+  EXPECT_EQ(v_lt(a, b).bits(), 1u);
+  EXPECT_EQ(v_ge(a, b).bits(), 0u);
+  EXPECT_EQ(v_le(a, a).bits(), 1u);
+  EXPECT_TRUE(v_gt(a, Value::all_x(4)).is_all_x());
+}
+
+TEST(Value, LogicalOperators) {
+  const Value t = Value::of(2, 2);  // nonzero -> true
+  const Value f = Value::of(0, 2);
+  const Value x = Value::all_x(2);
+  EXPECT_EQ(v_logical_and(t, t).bits(), 1u);
+  EXPECT_EQ(v_logical_and(t, f).bits(), 0u);
+  EXPECT_EQ(v_logical_and(f, x).bits(), 0u);   // false && x = false
+  EXPECT_TRUE(v_logical_and(t, x).is_all_x());
+  EXPECT_EQ(v_logical_or(t, x).bits(), 1u);    // true || x = true
+  EXPECT_TRUE(v_logical_or(f, x).is_all_x());
+  EXPECT_EQ(v_logical_not(t).bits(), 0u);
+  EXPECT_EQ(v_logical_not(f).bits(), 1u);
+  // Partially-known-but-nonzero value is definitely true.
+  const Value part = Value::with_xz(0b10, 0b01, 2);
+  EXPECT_EQ(v_logical_not(part).bits(), 0u);
+}
+
+TEST(Value, Reductions) {
+  EXPECT_EQ(v_red_and(Value::of(0b111, 3)).bits(), 1u);
+  EXPECT_EQ(v_red_and(Value::of(0b101, 3)).bits(), 0u);
+  EXPECT_EQ(v_red_or(Value::of(0, 3)).bits(), 0u);
+  EXPECT_EQ(v_red_or(Value::of(0b010, 3)).bits(), 1u);
+  EXPECT_EQ(v_red_xor(Value::of(0b110, 3)).bits(), 0u);
+  EXPECT_EQ(v_red_xor(Value::of(0b100, 3)).bits(), 1u);
+  // X handling: defined 0 makes &-reduction definite 0 even with X elsewhere.
+  const Value vx = Value::with_xz(0b00, 0b10, 2);
+  EXPECT_EQ(v_red_and(vx).bits(), 0u);
+  EXPECT_TRUE(v_red_xor(vx).is_all_x());
+  // 1 bit present makes |-reduction definite 1.
+  const Value v1 = Value::with_xz(0b01, 0b10, 2);
+  EXPECT_EQ(v_red_or(v1).bits(), 1u);
+}
+
+TEST(Value, ConcatOrdering) {
+  const Value hi = Value::of(0b10, 2);
+  const Value lo = Value::of(0b01, 2);
+  const Value c = v_concat(hi, lo);
+  EXPECT_EQ(c.width(), 4);
+  EXPECT_EQ(c.bits(), 0b1001u);
+}
+
+TEST(Value, ConcatOverflowThrows) {
+  EXPECT_THROW(v_concat(Value::of(0, 40), Value::of(0, 40)), std::invalid_argument);
+}
+
+TEST(Value, TruthyRequiresDefinedNonzero) {
+  EXPECT_TRUE(Value::of(2, 2).truthy());
+  EXPECT_FALSE(Value::of(0, 2).truthy());
+  EXPECT_FALSE(Value::all_x(2).truthy());
+}
+
+TEST(Value, WidthExtensionInBinaryOps) {
+  const Value narrow = Value::of(0b1, 1);
+  const Value wide = Value::of(0b1000, 4);
+  const Value sum = v_add(narrow, wide);
+  EXPECT_EQ(sum.width(), 4);
+  EXPECT_EQ(sum.bits(), 0b1001u);
+}
+
+}  // namespace
+}  // namespace haven::sim

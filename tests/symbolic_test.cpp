@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "logic/expr_parser.h"
+#include "symbolic/modality.h"
+#include "symbolic/state_diagram.h"
+#include "symbolic/truth_table_text.h"
+#include "symbolic/waveform.h"
+
+namespace haven::symbolic {
+namespace {
+
+StateDiagram paper_diagram() {
+  // The diagram from Table II / Table III of the paper.
+  auto parsed = parse_state_diagram(
+      "A[out=0]-[x=0]->B\n"
+      "A[out=0]-[x=1]->A\n"
+      "B[out=1]-[x=0]->A\n"
+      "B[out=1]-[x=1]->B\n");
+  EXPECT_TRUE(parsed.diagram.has_value()) << parsed.error;
+  return *parsed.diagram;
+}
+
+// --- state diagram -------------------------------------------------------------
+
+TEST(StateDiagram, ParsesPaperNotation) {
+  const StateDiagram sd = paper_diagram();
+  ASSERT_EQ(sd.num_states(), 2u);
+  EXPECT_EQ(sd.states[0], "A");
+  EXPECT_EQ(sd.output_of(0), 0);
+  EXPECT_EQ(sd.output_of(1), 1);
+  EXPECT_EQ(sd.step(0, 0), 1);  // A --x=0--> B
+  EXPECT_EQ(sd.step(0, 1), 0);
+  EXPECT_EQ(sd.step(1, 0), 0);
+  EXPECT_EQ(sd.step(1, 1), 1);
+  EXPECT_EQ(sd.input_name, "x");
+  EXPECT_EQ(sd.output_name, "out");
+  EXPECT_TRUE(sd.valid());
+}
+
+TEST(StateDiagram, RenderParseRoundTrip) {
+  util::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const StateDiagram sd = generate_state_diagram(rng);
+    const auto back = parse_state_diagram(render_state_diagram(sd));
+    ASSERT_TRUE(back.diagram.has_value()) << back.error;
+    EXPECT_TRUE(sd.equivalent(*back.diagram));
+  }
+}
+
+TEST(StateDiagram, InterpretationMatchesTableIII) {
+  const std::string text = interpret_state_diagram(paper_diagram());
+  EXPECT_NE(text.find("States&Outputs: 1. state A(out=0); 2. state B(out=1)"),
+            std::string::npos);
+  EXPECT_NE(text.find("From state A: If x = 0, then transit to state B"), std::string::npos);
+  EXPECT_NE(text.find("The reset state is A."), std::string::npos);
+}
+
+TEST(StateDiagram, InterpretedRoundTrip) {
+  util::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const StateDiagram sd = generate_state_diagram(rng);
+    const auto back = parse_interpreted_state_diagram(interpret_state_diagram(sd));
+    ASSERT_TRUE(back.diagram.has_value()) << back.error << "\n"
+                                          << interpret_state_diagram(sd);
+    EXPECT_TRUE(sd.equivalent(*back.diagram));
+  }
+}
+
+TEST(StateDiagram, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_state_diagram("").diagram.has_value());
+  EXPECT_FALSE(parse_state_diagram("A-[x=0]->B\n").diagram.has_value());  // missing output
+  EXPECT_FALSE(parse_state_diagram("A[out=0]-[x=0]->B\n").diagram.has_value());  // B incomplete
+  // Conflicting duplicate transition.
+  EXPECT_FALSE(parse_state_diagram("A[out=0]-[x=0]->A\n"
+                                   "A[out=0]-[x=0]->B\n"
+                                   "A[out=0]-[x=1]->A\n"
+                                   "B[out=1]-[x=0]->A\n"
+                                   "B[out=1]-[x=1]->B\n")
+                   .diagram.has_value());
+}
+
+TEST(StateDiagram, EquivalenceUpToRenaming) {
+  const StateDiagram sd = paper_diagram();
+  auto renamed = parse_state_diagram(
+      "IDLE[out=0]-[x=0]->BUSY\n"
+      "IDLE[out=0]-[x=1]->IDLE\n"
+      "BUSY[out=1]-[x=0]->IDLE\n"
+      "BUSY[out=1]-[x=1]->BUSY\n");
+  ASSERT_TRUE(renamed.diagram.has_value());
+  EXPECT_TRUE(sd.equivalent(*renamed.diagram));
+}
+
+TEST(StateDiagram, EquivalenceDetectsSwappedStates) {
+  // The paper's hallucination example: "A" and "B" reversed.
+  const StateDiagram sd = paper_diagram();
+  auto swapped = parse_state_diagram(
+      "A[out=0]-[x=0]->A\n"
+      "A[out=0]-[x=1]->B\n"
+      "B[out=1]-[x=0]->B\n"
+      "B[out=1]-[x=1]->A\n");
+  ASSERT_TRUE(swapped.diagram.has_value());
+  EXPECT_FALSE(sd.equivalent(*swapped.diagram));
+}
+
+TEST(StateDiagram, GeneratorProducesValidReachableMachines) {
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const StateDiagram sd = generate_state_diagram(rng);
+    EXPECT_TRUE(sd.valid());
+    // Outputs not constant.
+    bool has0 = false, has1 = false;
+    for (std::size_t s = 0; s < sd.num_states(); ++s) {
+      (sd.output_of(static_cast<int>(s)) ? has1 : has0) = true;
+    }
+    EXPECT_TRUE(has0 && has1);
+  }
+}
+
+TEST(StateDiagram, StateBits) {
+  StateDiagramGenConfig config;
+  config.min_states = config.max_states = 5;
+  util::Rng rng(6);
+  const StateDiagram sd = generate_state_diagram(rng, config);
+  EXPECT_EQ(sd.state_bits(), 3);
+}
+
+// --- truth table text ------------------------------------------------------------
+
+TEST(TruthTableText, RenderParseRoundTrip) {
+  const logic::TruthTable tt =
+      logic::TruthTable::from_expr(*logic::parse_expr_or_throw("a & b | c"),
+                                   {"a", "b", "c"}, "out");
+  const auto back = parse_truth_table(render_truth_table(tt));
+  ASSERT_TRUE(back.table.has_value()) << back.error;
+  EXPECT_TRUE(tt.equivalent(*back.table));
+}
+
+TEST(TruthTableText, ParsesPaperExample) {
+  const auto parsed = parse_truth_table(
+      "a b out\n"
+      "0 0 0\n"
+      "0 1 0\n"
+      "1 0 0\n"
+      "1 1 1\n");
+  ASSERT_TRUE(parsed.table.has_value()) << parsed.error;
+  EXPECT_TRUE(parsed.table->matches(*logic::parse_expr_or_throw("a & b")));
+}
+
+TEST(TruthTableText, MissingRowsBecomeDontCares) {
+  const auto parsed = parse_truth_table("a b out\n1 1 1\n");
+  ASSERT_TRUE(parsed.table.has_value());
+  EXPECT_EQ(parsed.table->row(0b11), logic::Tri::kTrue);
+  EXPECT_EQ(parsed.table->row(0b00), logic::Tri::kDontCare);
+}
+
+TEST(TruthTableText, TolerantOfSurroundingProse) {
+  const auto parsed = parse_truth_table(
+      "Implement the truth table below.\n"
+      "a b out\n"
+      "0 0 1\n"
+      "1 1 0\n"
+      "Make sure the code is synthesizable.\n");
+  ASSERT_TRUE(parsed.table.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.table->row(0b00), logic::Tri::kTrue);
+}
+
+TEST(TruthTableText, InterpretedRoundTrip) {
+  const logic::TruthTable tt = logic::TruthTable::from_expr(
+      *logic::parse_expr_or_throw("a ^ b"), {"a", "b"}, "out");
+  const auto back = parse_interpreted_truth_table(interpret_truth_table(tt));
+  ASSERT_TRUE(back.table.has_value()) << back.error;
+  EXPECT_TRUE(tt.equivalent(*back.table));
+}
+
+TEST(TruthTableText, InterpretationMatchesTableIII) {
+  const logic::TruthTable tt = logic::TruthTable::from_expr(
+      *logic::parse_expr_or_throw("a & b"), {"a", "b"}, "out");
+  const std::string text = interpret_truth_table(tt);
+  EXPECT_NE(text.find("Variables: 1. a(input); 2. b(input); 3. out(output)"),
+            std::string::npos);
+  EXPECT_NE(text.find("If a=0, b=0, then out=0;"), std::string::npos);
+  EXPECT_NE(text.find("If a=1, b=1, then out=1;"), std::string::npos);
+}
+
+TEST(TruthTableText, RejectsArityMismatch) {
+  EXPECT_FALSE(parse_truth_table("a b out\n0 0\n").table.has_value());
+  EXPECT_FALSE(parse_truth_table("no table here at all").table.has_value());
+}
+
+// --- waveform ----------------------------------------------------------------------
+
+TEST(Waveform, RenderParseRoundTrip) {
+  util::Rng rng(7);
+  const logic::TruthTable tt = logic::TruthTable::from_expr(
+      *logic::parse_expr_or_throw("a & b | ~c"), {"a", "b", "c"}, "out");
+  const Waveform wf = waveform_covering_table(tt, rng);
+  const auto back = parse_waveform(render_waveform(wf));
+  ASSERT_TRUE(back.waveform.has_value()) << back.error;
+  const auto tt2 = back.waveform->to_truth_table();
+  ASSERT_TRUE(tt2.has_value());
+  EXPECT_TRUE(tt.equivalent(*tt2));
+}
+
+TEST(Waveform, ParsesPaperExample) {
+  const auto parsed = parse_waveform(
+      "a: 0 1 1 0\n"
+      "b: 1 0 1 0\n"
+      "out: 1 0 0 1\n"
+      "time(ns): 0 10 20 30\n");
+  ASSERT_TRUE(parsed.waveform.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.waveform->num_columns(), 4u);
+  EXPECT_EQ(parsed.waveform->time_step_ns, 10);
+  // On the observed points the function is out = ~a (column-wise check).
+  const auto tt = parsed.waveform->to_truth_table();
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_TRUE(tt->matches(*logic::parse_expr_or_throw("~a")));
+}
+
+TEST(Waveform, ContradictoryChartYieldsNoTable) {
+  const auto parsed = parse_waveform(
+      "a: 0 0\n"
+      "out: 0 1\n"
+      "time(ns): 0 10\n");
+  ASSERT_TRUE(parsed.waveform.has_value());
+  EXPECT_FALSE(parsed.waveform->to_truth_table().has_value());
+}
+
+TEST(Waveform, InterpretedRoundTrip) {
+  util::Rng rng(8);
+  const logic::TruthTable tt = logic::TruthTable::from_expr(
+      *logic::parse_expr_or_throw("a | b"), {"a", "b"}, "out");
+  const Waveform wf = waveform_covering_table(tt, rng);
+  const auto back = parse_interpreted_waveform(interpret_waveform(wf));
+  ASSERT_TRUE(back.waveform.has_value()) << back.error;
+  const auto tt2 = back.waveform->to_truth_table();
+  ASSERT_TRUE(tt2.has_value());
+  EXPECT_TRUE(tt.equivalent(*tt2));
+}
+
+TEST(Waveform, CoveringTableCoversEveryDefinedRow) {
+  util::Rng rng(9);
+  logic::TruthTable tt(std::vector<std::string>{"a", "b", "c"});
+  tt.set_row(3, logic::Tri::kTrue);
+  tt.set_row(5, logic::Tri::kDontCare);
+  const Waveform wf = waveform_covering_table(tt, rng);
+  EXPECT_EQ(wf.num_columns(), 7u);  // 8 rows - 1 don't-care
+}
+
+// --- modality detection --------------------------------------------------------------
+
+TEST(Modality, DetectsStateDiagram) {
+  EXPECT_EQ(detect_modality("Implement this FSM\nA[out=0]-[x=0]->B\nA[out=0]-[x=1]->A\n"),
+            Modality::kStateDiagram);
+}
+
+TEST(Modality, DetectsWaveform) {
+  EXPECT_EQ(detect_modality("a: 0 1\nb: 1 0\nout: 1 1\ntime(ns): 0 10\n"),
+            Modality::kWaveform);
+}
+
+TEST(Modality, DetectsTruthTable) {
+  EXPECT_EQ(detect_modality("Implement the truth table below\na b out\n0 0 0\n1 1 1\n"),
+            Modality::kTruthTable);
+}
+
+TEST(Modality, ProseIsNone) {
+  EXPECT_EQ(detect_modality("Design a 4-bit up counter with synchronous reset."),
+            Modality::kNone);
+  EXPECT_EQ(detect_modality(""), Modality::kNone);
+}
+
+TEST(Modality, InterpretedTextIsRecognized) {
+  EXPECT_TRUE(is_interpreted("Variables: 1. a(input)\nRules: 1. If a=0, then out=0;\n"));
+  EXPECT_TRUE(is_interpreted("State transition:\n1. From state A: ...\n"));
+  EXPECT_FALSE(is_interpreted("Just design a counter."));
+}
+
+TEST(Modality, NamesAreStable) {
+  EXPECT_EQ(modality_name(Modality::kTruthTable), "truth_table");
+  EXPECT_EQ(modality_name(Modality::kStateDiagram), "state_diagram");
+}
+
+}  // namespace
+}  // namespace haven::symbolic

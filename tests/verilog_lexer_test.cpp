@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "verilog/ast.h"
+#include "verilog/lexer.h"
+
+namespace haven::verilog {
+namespace {
+
+std::vector<Token> lex(const std::string& s) { return Lexer::tokenize(s); }
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto toks = lex("module foo_1 endmodule");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_TRUE(toks[0].is_keyword("module"));
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].text, "foo_1");
+  EXPECT_TRUE(toks[2].is_keyword("endmodule"));
+}
+
+TEST(Lexer, SkipsLineAndBlockComments) {
+  const auto toks = lex("a // comment\nb /* multi\nline */ c");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, SkipsCompilerDirectives) {
+  const auto toks = lex("`timescale 1ns/1ps\nmodule");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_TRUE(toks[0].is_keyword("module"));
+}
+
+TEST(Lexer, SizedLiterals) {
+  const auto toks = lex("4'b10_10 8'hFF 3'o7 12'd100 1'bx");
+  ASSERT_EQ(toks.size(), 5u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[0].text, "4'b10_10");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  const auto toks = lex("a <= b == c !== d <<< e");
+  EXPECT_TRUE(toks[1].is_punct("<="));
+  EXPECT_TRUE(toks[3].is_punct("=="));
+  EXPECT_TRUE(toks[5].is_punct("!=="));
+  EXPECT_TRUE(toks[7].is_punct("<<<"));
+}
+
+TEST(Lexer, ReductionOperators) {
+  const auto toks = lex("~& ~| ~^ ^~");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].is_punct("~&"));
+  EXPECT_TRUE(toks[3].is_punct("^~"));
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].column, 3);
+}
+
+TEST(Lexer, ReportsBadBaseAsError) {
+  const auto toks = lex("4'q1010");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokenKind::kError);
+}
+
+TEST(Lexer, ReportsUnexpectedCharacter) {
+  const auto toks = lex("a \x01 b");
+  bool has_error = false;
+  for (const auto& t : toks) has_error = has_error || t.kind == TokenKind::kError;
+  EXPECT_TRUE(has_error);
+}
+
+TEST(Lexer, EscapedIdentifier) {
+  const auto toks = lex("\\foo+bar baz");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "foo+bar");
+}
+
+TEST(Lexer, StringLiteral) {
+  const auto toks = lex("\"hello world\"");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "hello world");
+}
+
+TEST(Lexer, DollarInIdentifierBody) {
+  const auto toks = lex("sig$1");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].text, "sig$1");
+}
+
+// --- number literal parsing ---------------------------------------------------
+
+TEST(NumberLiteral, PlainDecimal) {
+  const auto n = parse_number_literal("42");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->value, 42u);
+  EXPECT_EQ(n->width, 32);
+  EXPECT_FALSE(n->sized);
+}
+
+TEST(NumberLiteral, SizedBinaryWithX) {
+  const auto n = parse_number_literal("4'b10x0");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->width, 4);
+  EXPECT_EQ(n->value, 0b1000u);
+  EXPECT_EQ(n->xz_mask, 0b0010u);
+}
+
+TEST(NumberLiteral, HexAndOctal) {
+  EXPECT_EQ(parse_number_literal("8'hFf")->value, 0xFFu);
+  EXPECT_EQ(parse_number_literal("6'o77")->value, 077u);
+  EXPECT_EQ(parse_number_literal("8'd200")->value, 200u);
+}
+
+TEST(NumberLiteral, TruncatesToWidth) {
+  const auto n = parse_number_literal("4'hFF");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->value, 0xFu);
+}
+
+TEST(NumberLiteral, UnderscoresIgnored) {
+  EXPECT_EQ(parse_number_literal("16'b1010_1010_1010_1010")->value, 0xAAAAu);
+}
+
+TEST(NumberLiteral, RejectsMalformed) {
+  EXPECT_FALSE(parse_number_literal("4'b").has_value());
+  EXPECT_FALSE(parse_number_literal("4'b2").has_value());
+  EXPECT_FALSE(parse_number_literal("0'b1").has_value());
+  EXPECT_FALSE(parse_number_literal("65'h0").has_value());
+  EXPECT_FALSE(parse_number_literal("abc").has_value());
+}
+
+TEST(NumberLiteral, QuestionMarkIsWildcard) {
+  const auto n = parse_number_literal("4'b1??1");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->xz_mask, 0b0110u);
+}
+
+}  // namespace
+}  // namespace haven::verilog

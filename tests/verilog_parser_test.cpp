@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "verilog/parser.h"
+#include "verilog/pretty.h"
+
+namespace haven::verilog {
+namespace {
+
+Module parse_one(const std::string& src) {
+  ParseOutput out = parse_source(src);
+  EXPECT_TRUE(out.ok()) << (out.diagnostics.empty() ? "" : out.diagnostics[0].to_string());
+  EXPECT_EQ(out.file.modules.size(), 1u);
+  return out.file.modules.front();
+}
+
+TEST(Parser, AnsiModuleHeader) {
+  const Module m = parse_one(R"(
+module adder (
+  input  wire [3:0] a,
+  input  wire [3:0] b,
+  output wire [4:0] sum
+);
+  assign sum = a + b;
+endmodule
+)");
+  EXPECT_EQ(m.name, "adder");
+  ASSERT_EQ(m.ports.size(), 3u);
+  EXPECT_EQ(m.ports[0].dir, Dir::kInput);
+  EXPECT_EQ(m.ports[2].dir, Dir::kOutput);
+  EXPECT_EQ(m.ports[2].width(), 5);
+}
+
+TEST(Parser, NonAnsiModuleHeader) {
+  const Module m = parse_one(R"(
+module foo(a, b, y);
+  input a;
+  input b;
+  output reg y;
+  always @(*) y = a & b;
+endmodule
+)");
+  ASSERT_EQ(m.ports.size(), 3u);
+  EXPECT_EQ(m.ports[2].name, "y");
+  EXPECT_TRUE(m.ports[2].is_reg);
+}
+
+TEST(Parser, NonAnsiMissingDirectionIsError) {
+  const ParseOutput out = parse_source("module foo(a, b); input a; endmodule");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(Parser, ParameterHeaderAndUse) {
+  const Module m = parse_one(R"(
+module counter #(parameter WIDTH = 4) (
+  input clk,
+  input rst,
+  output reg [WIDTH-1:0] q
+);
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else q <= q + 1;
+  end
+endmodule
+)");
+  EXPECT_EQ(m.find_port("q")->width(), 4);
+}
+
+TEST(Parser, LocalparamInBody) {
+  const Module m = parse_one(R"(
+module fsm(input clk, input rst, input x, output reg out);
+  localparam S0 = 2'b00, S1 = 2'b01;
+  reg [1:0] state, next_state;
+  always @(posedge clk or posedge rst) begin
+    if (rst) state <= S0;
+    else state <= next_state;
+  end
+  always @(*) begin
+    next_state = state;
+    out = 1'b0;
+    case (state)
+      S0: begin next_state = x ? S1 : S0; out = 1'b0; end
+      S1: begin next_state = x ? S1 : S0; out = 1'b1; end
+      default: next_state = S0;
+    endcase
+  end
+endmodule
+)");
+  EXPECT_EQ(m.name, "fsm");
+  int always_count = 0;
+  for (const auto& item : m.items) always_count += std::holds_alternative<AlwaysBlock>(item);
+  EXPECT_EQ(always_count, 2);
+}
+
+TEST(Parser, SensitivityListVariants) {
+  const Module m = parse_one(R"(
+module dff(input clk, input rst_n, input d, output reg q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+endmodule
+)");
+  const auto* ab = std::get_if<AlwaysBlock>(&m.items[0]);
+  ASSERT_NE(ab, nullptr);
+  ASSERT_EQ(ab->sens.size(), 2u);
+  EXPECT_EQ(ab->sens[0].edge, Edge::kPos);
+  EXPECT_EQ(ab->sens[1].edge, Edge::kNeg);
+}
+
+TEST(Parser, AlwaysStarBothSpellings) {
+  for (const char* sens : {"@*", "@(*)"}) {
+    const std::string src = std::string("module m(input a, output reg y); always ") + sens +
+                            " y = a; endmodule";
+    const Module m = parse_one(src);
+    const auto* ab = std::get_if<AlwaysBlock>(&m.items[0]);
+    ASSERT_NE(ab, nullptr);
+    EXPECT_TRUE(ab->star);
+  }
+}
+
+TEST(Parser, CaseWithMultipleLabelsAndDefault) {
+  const Module m = parse_one(R"(
+module mux(input [1:0] sel, input [3:0] d, output reg y);
+  always @(*)
+    case (sel)
+      2'b00, 2'b01: y = d[0];
+      2'b10: y = d[2];
+      default: y = d[3];
+    endcase
+endmodule
+)");
+  const auto* ab = std::get_if<AlwaysBlock>(&m.items[0]);
+  ASSERT_NE(ab, nullptr);
+  ASSERT_EQ(ab->body->kind, StmtKind::kCase);
+  ASSERT_EQ(ab->body->case_items.size(), 3u);
+  EXPECT_EQ(ab->body->case_items[0].labels.size(), 2u);
+  EXPECT_TRUE(ab->body->case_items[2].labels.empty());
+}
+
+TEST(Parser, ConcatReplicationSelects) {
+  const Module m = parse_one(R"(
+module shifty(input [7:0] in, input b, output [7:0] out, output [3:0] rep);
+  assign out = {in[6:0], b};
+  assign rep = {4{b}};
+endmodule
+)");
+  const auto* ca = std::get_if<ContAssign>(&m.items[0]);
+  ASSERT_NE(ca, nullptr);
+  EXPECT_EQ(ca->rhs->kind, ExprKind::kConcat);
+  const auto* ca2 = std::get_if<ContAssign>(&m.items[1]);
+  ASSERT_NE(ca2, nullptr);
+  EXPECT_EQ(ca2->rhs->kind, ExprKind::kReplicate);
+  EXPECT_EQ(ca2->rhs->repeat, 4u);
+}
+
+TEST(Parser, TernaryPrecedence) {
+  const Module m = parse_one(
+      "module t(input a, input b, input c, output y); assign y = a ? b : c; endmodule");
+  const auto* ca = std::get_if<ContAssign>(&m.items[0]);
+  ASSERT_NE(ca, nullptr);
+  EXPECT_EQ(ca->rhs->kind, ExprKind::kTernary);
+}
+
+TEST(Parser, OperatorPrecedenceShape) {
+  // a + b * c must parse as a + (b * c).
+  const Module m = parse_one(
+      "module p(input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y);"
+      " assign y = a + b * c; endmodule");
+  const auto* ca = std::get_if<ContAssign>(&m.items[0]);
+  ASSERT_EQ(ca->rhs->op, "+");
+  EXPECT_EQ(ca->rhs->operands[1]->op, "*");
+}
+
+TEST(Parser, ForLoopStatement) {
+  const Module m = parse_one(R"(
+module f(input [7:0] in, output reg [7:0] out);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 8; i = i + 1)
+      out[i] = in[7 - i];
+  end
+endmodule
+)");
+  EXPECT_EQ(m.name, "f");
+}
+
+TEST(Parser, ModuleInstancesNamedAndPositional) {
+  const ParseOutput out = parse_source(R"(
+module half(input a, input b, output s);
+  assign s = a ^ b;
+endmodule
+module top(input x, input y, output z, output w);
+  half u1 (.a(x), .b(y), .s(z));
+  half u2 (x, y, w);
+endmodule
+)");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.file.modules.size(), 2u);
+  const Module& top = out.file.modules[1];
+  int inst_count = 0;
+  for (const auto& item : top.items) inst_count += std::holds_alternative<Instance>(item);
+  EXPECT_EQ(inst_count, 2);
+}
+
+TEST(Parser, RecoversAndParsesSecondModule) {
+  const ParseOutput out = parse_source(R"(
+module broken(input a;
+module good(input a, output y);
+  assign y = a;
+endmodule
+)");
+  EXPECT_FALSE(out.ok());
+  ASSERT_EQ(out.file.modules.size(), 1u);
+  EXPECT_EQ(out.file.modules[0].name, "good");
+}
+
+TEST(Parser, PythonStyleCodeIsRejected) {
+  // Knowledge-hallucination example from the paper's Table II: "def" instead
+  // of "module".
+  EXPECT_FALSE(syntax_ok("def adder_4bit(): return a + b"));
+}
+
+TEST(Parser, MissingEndmoduleIsRejected) {
+  EXPECT_FALSE(syntax_ok("module m(input a, output y); assign y = a;"));
+}
+
+TEST(Parser, MissingSemicolonIsRejected) {
+  EXPECT_FALSE(syntax_ok("module m(input a, output y); assign y = a endmodule"));
+}
+
+TEST(Parser, EmptySourceIsRejected) {
+  EXPECT_FALSE(syntax_ok(""));
+  EXPECT_FALSE(syntax_ok("// just a comment\n"));
+}
+
+TEST(Parser, DelayControlsAreSkipped) {
+  const Module m = parse_one(R"(
+module d(input a, output reg y);
+  initial begin
+    #10 y = 0;
+    y = #5 a;
+  end
+endmodule
+)");
+  EXPECT_EQ(m.name, "d");
+}
+
+TEST(Parser, WireWithInitializer) {
+  const Module m = parse_one(
+      "module w(input a, input b, output y); wire t = a & b; assign y = t; endmodule");
+  const auto* d = std::get_if<NetDecl>(&m.items[0]);
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->init != nullptr);
+}
+
+// --- pretty-printer round trips -----------------------------------------------
+
+TEST(Pretty, RoundTripPreservesStructure) {
+  const char* src = R"(
+module rt (
+  input clk,
+  input rst,
+  input [3:0] d,
+  output reg [3:0] q,
+  output wire p
+);
+  wire [3:0] next;
+  assign next = d ^ q;
+  assign p = ^q;
+  always @(posedge clk or posedge rst)
+    if (rst)
+      q <= 4'b0000;
+    else
+      q <= next;
+endmodule
+)";
+  const Module m1 = parse_one(src);
+  const std::string printed = print_module(m1);
+  const Module m2 = parse_one(printed);
+  EXPECT_EQ(m1.name, m2.name);
+  EXPECT_EQ(m1.ports.size(), m2.ports.size());
+  EXPECT_EQ(m1.items.size(), m2.items.size());
+  // Second round trip must be a fixpoint.
+  EXPECT_EQ(printed, print_module(m2));
+}
+
+TEST(Pretty, PrintsCaseAndParams) {
+  const Module m = parse_one(R"(
+module c #(parameter W = 2) (input [W-1:0] s, output reg y);
+  always @(*)
+    casez (s)
+      2'b1?: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+endmodule
+)");
+  const std::string printed = print_module(m);
+  EXPECT_NE(printed.find("casez"), std::string::npos);
+  EXPECT_NE(printed.find("parameter W = 2"), std::string::npos);
+  EXPECT_TRUE(syntax_ok(printed));
+}
+
+}  // namespace
+}  // namespace haven::verilog
