@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_taxonomy.dir/ablation_taxonomy.cpp.o"
+  "CMakeFiles/ablation_taxonomy.dir/ablation_taxonomy.cpp.o.d"
+  "ablation_taxonomy"
+  "ablation_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

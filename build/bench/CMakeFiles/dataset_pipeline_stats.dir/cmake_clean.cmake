@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_pipeline_stats.dir/dataset_pipeline_stats.cpp.o"
+  "CMakeFiles/dataset_pipeline_stats.dir/dataset_pipeline_stats.cpp.o.d"
+  "dataset_pipeline_stats"
+  "dataset_pipeline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_pipeline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ablation_techniques.dir/fig3_ablation_techniques.cpp.o"
+  "CMakeFiles/fig3_ablation_techniques.dir/fig3_ablation_techniques.cpp.o.d"
+  "fig3_ablation_techniques"
+  "fig3_ablation_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ablation_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ablation_composition.dir/fig4_ablation_composition.cpp.o"
+  "CMakeFiles/fig4_ablation_composition.dir/fig4_ablation_composition.cpp.o.d"
+  "fig4_ablation_composition"
+  "fig4_ablation_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ablation_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

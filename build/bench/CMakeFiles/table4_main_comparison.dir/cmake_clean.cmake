@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_main_comparison.dir/table4_main_comparison.cpp.o"
+  "CMakeFiles/table4_main_comparison.dir/table4_main_comparison.cpp.o.d"
+  "table4_main_comparison"
+  "table4_main_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_main_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_symbolic.dir/table5_symbolic.cpp.o"
+  "CMakeFiles/table5_symbolic.dir/table5_symbolic.cpp.o.d"
+  "table5_symbolic"
+  "table5_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

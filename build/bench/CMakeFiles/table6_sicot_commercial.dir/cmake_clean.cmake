@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sicot_commercial.dir/table6_sicot_commercial.cpp.o"
+  "CMakeFiles/table6_sicot_commercial.dir/table6_sicot_commercial.cpp.o.d"
+  "table6_sicot_commercial"
+  "table6_sicot_commercial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sicot_commercial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

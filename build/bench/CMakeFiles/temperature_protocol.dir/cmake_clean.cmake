@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_protocol.dir/temperature_protocol.cpp.o"
+  "CMakeFiles/temperature_protocol.dir/temperature_protocol.cpp.o.d"
+  "temperature_protocol"
+  "temperature_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_pipeline.dir/dataset_pipeline.cpp.o"
+  "CMakeFiles/dataset_pipeline.dir/dataset_pipeline.cpp.o.d"
+  "dataset_pipeline"
+  "dataset_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_model.dir/evaluate_model.cpp.o"
+  "CMakeFiles/evaluate_model.dir/evaluate_model.cpp.o.d"
+  "evaluate_model"
+  "evaluate_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_from_state_diagram.dir/fsm_from_state_diagram.cpp.o"
+  "CMakeFiles/fsm_from_state_diagram.dir/fsm_from_state_diagram.cpp.o.d"
+  "fsm_from_state_diagram"
+  "fsm_from_state_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_from_state_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsm_from_state_diagram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fsm_from_state_diagram.
+# This may be replaced when dependencies are built.

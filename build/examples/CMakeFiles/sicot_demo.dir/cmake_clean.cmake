@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sicot_demo.dir/sicot_demo.cpp.o"
+  "CMakeFiles/sicot_demo.dir/sicot_demo.cpp.o.d"
+  "sicot_demo"
+  "sicot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sicot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

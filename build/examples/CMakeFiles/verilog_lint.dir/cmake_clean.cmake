@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_lint.dir/verilog_lint.cpp.o"
+  "CMakeFiles/verilog_lint.dir/verilog_lint.cpp.o.d"
+  "verilog_lint"
+  "verilog_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

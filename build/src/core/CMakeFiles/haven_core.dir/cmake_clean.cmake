@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_core.dir/haven.cpp.o"
+  "CMakeFiles/haven_core.dir/haven.cpp.o.d"
+  "libhaven_core.a"
+  "libhaven_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

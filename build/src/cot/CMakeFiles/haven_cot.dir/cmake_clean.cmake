@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_cot.dir/sicot.cpp.o"
+  "CMakeFiles/haven_cot.dir/sicot.cpp.o.d"
+  "libhaven_cot.a"
+  "libhaven_cot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_cot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

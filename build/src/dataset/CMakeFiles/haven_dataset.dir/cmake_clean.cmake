@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_dataset.dir/corpus.cpp.o"
+  "CMakeFiles/haven_dataset.dir/corpus.cpp.o.d"
+  "CMakeFiles/haven_dataset.dir/exemplar.cpp.o"
+  "CMakeFiles/haven_dataset.dir/exemplar.cpp.o.d"
+  "CMakeFiles/haven_dataset.dir/jsonl.cpp.o"
+  "CMakeFiles/haven_dataset.dir/jsonl.cpp.o.d"
+  "CMakeFiles/haven_dataset.dir/kdataset.cpp.o"
+  "CMakeFiles/haven_dataset.dir/kdataset.cpp.o.d"
+  "CMakeFiles/haven_dataset.dir/ldataset.cpp.o"
+  "CMakeFiles/haven_dataset.dir/ldataset.cpp.o.d"
+  "CMakeFiles/haven_dataset.dir/mix.cpp.o"
+  "CMakeFiles/haven_dataset.dir/mix.cpp.o.d"
+  "CMakeFiles/haven_dataset.dir/vanilla.cpp.o"
+  "CMakeFiles/haven_dataset.dir/vanilla.cpp.o.d"
+  "libhaven_dataset.a"
+  "libhaven_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

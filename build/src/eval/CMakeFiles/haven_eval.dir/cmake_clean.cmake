@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_eval.dir/passk.cpp.o"
+  "CMakeFiles/haven_eval.dir/passk.cpp.o.d"
+  "CMakeFiles/haven_eval.dir/report.cpp.o"
+  "CMakeFiles/haven_eval.dir/report.cpp.o.d"
+  "CMakeFiles/haven_eval.dir/runner.cpp.o"
+  "CMakeFiles/haven_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/haven_eval.dir/suites.cpp.o"
+  "CMakeFiles/haven_eval.dir/suites.cpp.o.d"
+  "CMakeFiles/haven_eval.dir/task.cpp.o"
+  "CMakeFiles/haven_eval.dir/task.cpp.o.d"
+  "libhaven_eval.a"
+  "libhaven_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/codegen.cpp" "src/llm/CMakeFiles/haven_llm.dir/codegen.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/codegen.cpp.o.d"
+  "/root/repo/src/llm/finetune.cpp" "src/llm/CMakeFiles/haven_llm.dir/finetune.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/finetune.cpp.o.d"
+  "/root/repo/src/llm/hallucination.cpp" "src/llm/CMakeFiles/haven_llm.dir/hallucination.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/hallucination.cpp.o.d"
+  "/root/repo/src/llm/instruction.cpp" "src/llm/CMakeFiles/haven_llm.dir/instruction.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/instruction.cpp.o.d"
+  "/root/repo/src/llm/model_zoo.cpp" "src/llm/CMakeFiles/haven_llm.dir/model_zoo.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/llm/simllm.cpp" "src/llm/CMakeFiles/haven_llm.dir/simllm.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/simllm.cpp.o.d"
+  "/root/repo/src/llm/spec_parser.cpp" "src/llm/CMakeFiles/haven_llm.dir/spec_parser.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/spec_parser.cpp.o.d"
+  "/root/repo/src/llm/task_spec.cpp" "src/llm/CMakeFiles/haven_llm.dir/task_spec.cpp.o" "gcc" "src/llm/CMakeFiles/haven_llm.dir/task_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verilog/CMakeFiles/haven_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/haven_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/haven_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/haven_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/haven_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/haven_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_llm.dir/codegen.cpp.o"
+  "CMakeFiles/haven_llm.dir/codegen.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/finetune.cpp.o"
+  "CMakeFiles/haven_llm.dir/finetune.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/hallucination.cpp.o"
+  "CMakeFiles/haven_llm.dir/hallucination.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/instruction.cpp.o"
+  "CMakeFiles/haven_llm.dir/instruction.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/model_zoo.cpp.o"
+  "CMakeFiles/haven_llm.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/simllm.cpp.o"
+  "CMakeFiles/haven_llm.dir/simllm.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/spec_parser.cpp.o"
+  "CMakeFiles/haven_llm.dir/spec_parser.cpp.o.d"
+  "CMakeFiles/haven_llm.dir/task_spec.cpp.o"
+  "CMakeFiles/haven_llm.dir/task_spec.cpp.o.d"
+  "libhaven_llm.a"
+  "libhaven_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

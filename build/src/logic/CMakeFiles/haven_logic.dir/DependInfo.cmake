@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/expr.cpp" "src/logic/CMakeFiles/haven_logic.dir/expr.cpp.o" "gcc" "src/logic/CMakeFiles/haven_logic.dir/expr.cpp.o.d"
+  "/root/repo/src/logic/expr_parser.cpp" "src/logic/CMakeFiles/haven_logic.dir/expr_parser.cpp.o" "gcc" "src/logic/CMakeFiles/haven_logic.dir/expr_parser.cpp.o.d"
+  "/root/repo/src/logic/exprgen.cpp" "src/logic/CMakeFiles/haven_logic.dir/exprgen.cpp.o" "gcc" "src/logic/CMakeFiles/haven_logic.dir/exprgen.cpp.o.d"
+  "/root/repo/src/logic/kmap.cpp" "src/logic/CMakeFiles/haven_logic.dir/kmap.cpp.o" "gcc" "src/logic/CMakeFiles/haven_logic.dir/kmap.cpp.o.d"
+  "/root/repo/src/logic/qm.cpp" "src/logic/CMakeFiles/haven_logic.dir/qm.cpp.o" "gcc" "src/logic/CMakeFiles/haven_logic.dir/qm.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/haven_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/haven_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/haven_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

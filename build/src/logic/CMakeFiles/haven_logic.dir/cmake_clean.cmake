@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_logic.dir/expr.cpp.o"
+  "CMakeFiles/haven_logic.dir/expr.cpp.o.d"
+  "CMakeFiles/haven_logic.dir/expr_parser.cpp.o"
+  "CMakeFiles/haven_logic.dir/expr_parser.cpp.o.d"
+  "CMakeFiles/haven_logic.dir/exprgen.cpp.o"
+  "CMakeFiles/haven_logic.dir/exprgen.cpp.o.d"
+  "CMakeFiles/haven_logic.dir/kmap.cpp.o"
+  "CMakeFiles/haven_logic.dir/kmap.cpp.o.d"
+  "CMakeFiles/haven_logic.dir/qm.cpp.o"
+  "CMakeFiles/haven_logic.dir/qm.cpp.o.d"
+  "CMakeFiles/haven_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/haven_logic.dir/truth_table.cpp.o.d"
+  "libhaven_logic.a"
+  "libhaven_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

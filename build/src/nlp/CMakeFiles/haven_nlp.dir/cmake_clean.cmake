@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_nlp.dir/evolution.cpp.o"
+  "CMakeFiles/haven_nlp.dir/evolution.cpp.o.d"
+  "CMakeFiles/haven_nlp.dir/text.cpp.o"
+  "CMakeFiles/haven_nlp.dir/text.cpp.o.d"
+  "libhaven_nlp.a"
+  "libhaven_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

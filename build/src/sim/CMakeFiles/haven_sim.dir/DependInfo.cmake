@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/elaborate.cpp" "src/sim/CMakeFiles/haven_sim.dir/elaborate.cpp.o" "gcc" "src/sim/CMakeFiles/haven_sim.dir/elaborate.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/haven_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/haven_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/testbench.cpp" "src/sim/CMakeFiles/haven_sim.dir/testbench.cpp.o" "gcc" "src/sim/CMakeFiles/haven_sim.dir/testbench.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/sim/CMakeFiles/haven_sim.dir/value.cpp.o" "gcc" "src/sim/CMakeFiles/haven_sim.dir/value.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/haven_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/haven_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verilog/CMakeFiles/haven_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/haven_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_sim.dir/elaborate.cpp.o"
+  "CMakeFiles/haven_sim.dir/elaborate.cpp.o.d"
+  "CMakeFiles/haven_sim.dir/simulator.cpp.o"
+  "CMakeFiles/haven_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/haven_sim.dir/testbench.cpp.o"
+  "CMakeFiles/haven_sim.dir/testbench.cpp.o.d"
+  "CMakeFiles/haven_sim.dir/value.cpp.o"
+  "CMakeFiles/haven_sim.dir/value.cpp.o.d"
+  "CMakeFiles/haven_sim.dir/vcd.cpp.o"
+  "CMakeFiles/haven_sim.dir/vcd.cpp.o.d"
+  "libhaven_sim.a"
+  "libhaven_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

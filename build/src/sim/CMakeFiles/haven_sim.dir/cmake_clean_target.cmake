@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhaven_sim.a"
+)

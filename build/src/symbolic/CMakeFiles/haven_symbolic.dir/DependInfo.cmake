@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/modality.cpp" "src/symbolic/CMakeFiles/haven_symbolic.dir/modality.cpp.o" "gcc" "src/symbolic/CMakeFiles/haven_symbolic.dir/modality.cpp.o.d"
+  "/root/repo/src/symbolic/state_diagram.cpp" "src/symbolic/CMakeFiles/haven_symbolic.dir/state_diagram.cpp.o" "gcc" "src/symbolic/CMakeFiles/haven_symbolic.dir/state_diagram.cpp.o.d"
+  "/root/repo/src/symbolic/truth_table_text.cpp" "src/symbolic/CMakeFiles/haven_symbolic.dir/truth_table_text.cpp.o" "gcc" "src/symbolic/CMakeFiles/haven_symbolic.dir/truth_table_text.cpp.o.d"
+  "/root/repo/src/symbolic/waveform.cpp" "src/symbolic/CMakeFiles/haven_symbolic.dir/waveform.cpp.o" "gcc" "src/symbolic/CMakeFiles/haven_symbolic.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/haven_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/haven_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_symbolic.dir/modality.cpp.o"
+  "CMakeFiles/haven_symbolic.dir/modality.cpp.o.d"
+  "CMakeFiles/haven_symbolic.dir/state_diagram.cpp.o"
+  "CMakeFiles/haven_symbolic.dir/state_diagram.cpp.o.d"
+  "CMakeFiles/haven_symbolic.dir/truth_table_text.cpp.o"
+  "CMakeFiles/haven_symbolic.dir/truth_table_text.cpp.o.d"
+  "CMakeFiles/haven_symbolic.dir/waveform.cpp.o"
+  "CMakeFiles/haven_symbolic.dir/waveform.cpp.o.d"
+  "libhaven_symbolic.a"
+  "libhaven_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_util.dir/csv.cpp.o"
+  "CMakeFiles/haven_util.dir/csv.cpp.o.d"
+  "CMakeFiles/haven_util.dir/rng.cpp.o"
+  "CMakeFiles/haven_util.dir/rng.cpp.o.d"
+  "CMakeFiles/haven_util.dir/strings.cpp.o"
+  "CMakeFiles/haven_util.dir/strings.cpp.o.d"
+  "CMakeFiles/haven_util.dir/table.cpp.o"
+  "CMakeFiles/haven_util.dir/table.cpp.o.d"
+  "libhaven_util.a"
+  "libhaven_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verilog/analyzer.cpp" "src/verilog/CMakeFiles/haven_verilog.dir/analyzer.cpp.o" "gcc" "src/verilog/CMakeFiles/haven_verilog.dir/analyzer.cpp.o.d"
+  "/root/repo/src/verilog/ast.cpp" "src/verilog/CMakeFiles/haven_verilog.dir/ast.cpp.o" "gcc" "src/verilog/CMakeFiles/haven_verilog.dir/ast.cpp.o.d"
+  "/root/repo/src/verilog/lexer.cpp" "src/verilog/CMakeFiles/haven_verilog.dir/lexer.cpp.o" "gcc" "src/verilog/CMakeFiles/haven_verilog.dir/lexer.cpp.o.d"
+  "/root/repo/src/verilog/parser.cpp" "src/verilog/CMakeFiles/haven_verilog.dir/parser.cpp.o" "gcc" "src/verilog/CMakeFiles/haven_verilog.dir/parser.cpp.o.d"
+  "/root/repo/src/verilog/pretty.cpp" "src/verilog/CMakeFiles/haven_verilog.dir/pretty.cpp.o" "gcc" "src/verilog/CMakeFiles/haven_verilog.dir/pretty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/haven_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

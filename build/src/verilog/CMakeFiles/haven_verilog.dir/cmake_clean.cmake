@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haven_verilog.dir/analyzer.cpp.o"
+  "CMakeFiles/haven_verilog.dir/analyzer.cpp.o.d"
+  "CMakeFiles/haven_verilog.dir/ast.cpp.o"
+  "CMakeFiles/haven_verilog.dir/ast.cpp.o.d"
+  "CMakeFiles/haven_verilog.dir/lexer.cpp.o"
+  "CMakeFiles/haven_verilog.dir/lexer.cpp.o.d"
+  "CMakeFiles/haven_verilog.dir/parser.cpp.o"
+  "CMakeFiles/haven_verilog.dir/parser.cpp.o.d"
+  "CMakeFiles/haven_verilog.dir/pretty.cpp.o"
+  "CMakeFiles/haven_verilog.dir/pretty.cpp.o.d"
+  "libhaven_verilog.a"
+  "libhaven_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haven_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for haven_verilog.
+# This may be replaced when dependencies are built.

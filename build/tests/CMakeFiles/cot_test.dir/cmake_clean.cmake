@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cot_test.dir/cot_test.cpp.o"
+  "CMakeFiles/cot_test.dir/cot_test.cpp.o.d"
+  "cot_test"
+  "cot_test.pdb"
+  "cot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

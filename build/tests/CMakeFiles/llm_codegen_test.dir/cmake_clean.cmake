@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_codegen_test.dir/llm_codegen_test.cpp.o"
+  "CMakeFiles/llm_codegen_test.dir/llm_codegen_test.cpp.o.d"
+  "llm_codegen_test"
+  "llm_codegen_test.pdb"
+  "llm_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

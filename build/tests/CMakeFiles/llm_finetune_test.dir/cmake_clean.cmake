@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_finetune_test.dir/llm_finetune_test.cpp.o"
+  "CMakeFiles/llm_finetune_test.dir/llm_finetune_test.cpp.o.d"
+  "llm_finetune_test"
+  "llm_finetune_test.pdb"
+  "llm_finetune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_finetune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for llm_hallucination_test.
+# This may be replaced when dependencies are built.

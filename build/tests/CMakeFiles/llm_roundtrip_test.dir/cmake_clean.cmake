@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_roundtrip_test.dir/llm_roundtrip_test.cpp.o"
+  "CMakeFiles/llm_roundtrip_test.dir/llm_roundtrip_test.cpp.o.d"
+  "llm_roundtrip_test"
+  "llm_roundtrip_test.pdb"
+  "llm_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_simllm_test.dir/llm_simllm_test.cpp.o"
+  "CMakeFiles/llm_simllm_test.dir/llm_simllm_test.cpp.o.d"
+  "llm_simllm_test"
+  "llm_simllm_test.pdb"
+  "llm_simllm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_simllm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

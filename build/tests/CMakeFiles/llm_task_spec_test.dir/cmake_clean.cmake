@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_task_spec_test.dir/llm_task_spec_test.cpp.o"
+  "CMakeFiles/llm_task_spec_test.dir/llm_task_spec_test.cpp.o.d"
+  "llm_task_spec_test"
+  "llm_task_spec_test.pdb"
+  "llm_task_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_task_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_test.dir/nlp_test.cpp.o"
+  "CMakeFiles/nlp_test.dir/nlp_test.cpp.o.d"
+  "nlp_test"
+  "nlp_test.pdb"
+  "nlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

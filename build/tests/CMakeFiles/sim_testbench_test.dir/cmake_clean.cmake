@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_testbench_test.dir/sim_testbench_test.cpp.o"
+  "CMakeFiles/sim_testbench_test.dir/sim_testbench_test.cpp.o.d"
+  "sim_testbench_test"
+  "sim_testbench_test.pdb"
+  "sim_testbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_testbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_value_test.dir/sim_value_test.cpp.o"
+  "CMakeFiles/sim_value_test.dir/sim_value_test.cpp.o.d"
+  "sim_value_test"
+  "sim_value_test.pdb"
+  "sim_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

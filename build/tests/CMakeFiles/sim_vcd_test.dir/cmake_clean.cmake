@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vcd_test.dir/sim_vcd_test.cpp.o"
+  "CMakeFiles/sim_vcd_test.dir/sim_vcd_test.cpp.o.d"
+  "sim_vcd_test"
+  "sim_vcd_test.pdb"
+  "sim_vcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

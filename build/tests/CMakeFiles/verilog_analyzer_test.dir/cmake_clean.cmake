@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_analyzer_test.dir/verilog_analyzer_test.cpp.o"
+  "CMakeFiles/verilog_analyzer_test.dir/verilog_analyzer_test.cpp.o.d"
+  "verilog_analyzer_test"
+  "verilog_analyzer_test.pdb"
+  "verilog_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

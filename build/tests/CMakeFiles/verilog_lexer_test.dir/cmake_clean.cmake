@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_lexer_test.dir/verilog_lexer_test.cpp.o"
+  "CMakeFiles/verilog_lexer_test.dir/verilog_lexer_test.cpp.o.d"
+  "verilog_lexer_test"
+  "verilog_lexer_test.pdb"
+  "verilog_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

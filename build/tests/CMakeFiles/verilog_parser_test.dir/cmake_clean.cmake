@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_parser_test.dir/verilog_parser_test.cpp.o"
+  "CMakeFiles/verilog_parser_test.dir/verilog_parser_test.cpp.o.d"
+  "verilog_parser_test"
+  "verilog_parser_test.pdb"
+  "verilog_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_value_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_testbench_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_task_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_hallucination_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_simllm_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_finetune_test[1]_include.cmake")
+include("/root/repo/build/tests/cot_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_vcd_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
