@@ -48,11 +48,11 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table({"Arm", "pass@1", "pass@5", "delta p@1 vs base"});
   double base_p1 = 0;
-  const eval::RunnerConfig rc = args.runner_config();
+  const eval::EvalEngine engine(args.request());
   for (const Arm& arm : arms) {
     // Same family for every arm: paired coins isolate the cured class.
     const llm::SimLlm model(arm.label, arm.profile, llm::kBaseCodeQwen);
-    const eval::SuiteResult r = eval::run_suite(model, human, rc);
+    const eval::SuiteResult r = engine.evaluate(model, human);
     const double p1 = r.pass_at(1);
     if (arm.label == arms[0].label) base_p1 = p1;
     table.add_row({arm.label, eval::pct(p1), eval::pct(r.pass_at(5)),

@@ -1,22 +1,37 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/haven.h"
+#include "eval/engine.h"
 #include "eval/report.h"
-#include "eval/runner.h"
 #include "eval/suites.h"
 #include "util/table.h"
 
 namespace haven::bench {
 
+// Coarse progress printer for --progress: one line per ~10% of candidates.
+inline eval::ProgressCallback progress_printer() {
+  return [](const eval::EvalProgress& p) {
+    if (p.total == 0) return;
+    const std::size_t step = std::max<std::size_t>(std::size_t{1}, p.total / 10);
+    if (p.completed % step == 0 || p.completed == p.total) {
+      std::cerr << "    [" << p.completed << "/" << p.total << " candidates]\n";
+    }
+  };
+}
+
 struct BenchArgs {
-  bool fast = false;  // --fast: n=4, single temperature (CI-friendly)
+  bool fast = false;      // --fast: n=5, single temperature (CI-friendly)
+  bool progress = false;  // --progress: print candidate progress to stderr
   int n_samples = 10;
+  int threads = 0;  // --threads=N (0 = hardware concurrency, 1 = serial)
   std::vector<double> temperatures = {0.2, 0.5, 0.8};
 
   static BenchArgs parse(int argc, char** argv) {
@@ -26,16 +41,33 @@ struct BenchArgs {
         args.fast = true;
         args.n_samples = 5;  // pass@5 needs k <= n
         args.temperatures = {0.2};
+      } else if (std::strcmp(argv[i], "--progress") == 0) {
+        args.progress = true;
+      } else if (std::strcmp(argv[i], "--serial") == 0) {
+        args.threads = 1;
+      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        args.threads = std::atoi(argv[i] + 10);
       }
     }
     return args;
   }
 
-  eval::RunnerConfig runner_config() const {
-    eval::RunnerConfig rc;
-    rc.n_samples = n_samples;
-    rc.temperatures = temperatures;
-    return rc;
+  eval::EvalRequest request() const {
+    eval::EvalRequest req;
+    req.n_samples = n_samples;
+    req.temperatures = temperatures;
+    req.threads = threads;
+    if (progress) req.on_progress = progress_printer();
+    return req;
+  }
+
+  // request() with SI-CoT enabled. `cot_model` is non-owning: the caller
+  // keeps it alive for as long as the request/engine is used.
+  eval::EvalRequest sicot_request(const llm::SimLlm& cot_model) const {
+    eval::EvalRequest req = request();
+    req.use_sicot = true;
+    req.set_cot_model(cot_model);
+    return req;
   }
 };
 

@@ -50,10 +50,8 @@ int main(int argc, char** argv) {
                             pipe.report().tuned_profile, base);
         cot_model = model;
       }
-      eval::RunnerConfig rc = args.runner_config();
-      rc.use_sicot = arm.cot;
-      rc.cot_model = &cot_model;
-      const eval::SuiteResult r = eval::run_suite(model, human, rc);
+      eval::EvalRequest req = arm.cot ? args.sicot_request(cot_model) : args.request();
+      const eval::SuiteResult r = eval::EvalEngine(std::move(req)).evaluate(model, human);
       table.add_row({base, arm.label, eval::pct(r.pass_at(1)), eval::pct(r.pass_at(5))});
       csv.add_row({base, arm.label, eval::pct(r.pass_at(1)), eval::pct(r.pass_at(5))});
       std::cout << "  done: " << base << " / " << arm.label << "\n" << std::flush;

@@ -30,10 +30,8 @@ int main(int argc, char** argv) {
       config.k_fraction = kf;
       config.l_fraction = lf;
       const HavenPipeline pipe = HavenPipeline::build(config);
-      eval::RunnerConfig rc = args.runner_config();
-      rc.use_sicot = true;
-      rc.cot_model = &pipe.cot_model();
-      const eval::SuiteResult r = eval::run_suite(pipe.codegen_model(), human, rc);
+      const eval::EvalEngine engine(args.sicot_request(pipe.cot_model()));
+      const eval::SuiteResult r = engine.evaluate(pipe.codegen_model(), human);
       row1.push_back(eval::pct(r.pass_at(1)));
       row5.push_back(eval::pct(r.pass_at(5)));
       csv.add_row({util::format("%.1f", kf), util::format("%.1f", lf),

@@ -6,7 +6,7 @@
 
 #include <cstring>
 
-#include "eval/runner.h"
+#include "eval/engine.h"
 #include "eval/suites.h"
 #include "llm/codegen.h"
 #include "llm/model_zoo.h"
@@ -87,16 +87,35 @@ BENCHMARK(BM_QuineMcCluskey)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
 void BM_CandidateCheck(benchmark::State& state) {
   const haven::eval::Suite human = haven::eval::build_verilogeval_human();
   const haven::llm::SimLlm model = haven::llm::make_model("GPT-4");
+  const haven::eval::EvalEngine engine;
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& task = human.tasks[i++ % human.tasks.size()];
     haven::util::Rng rng(i);
-    benchmark::DoNotOptimize(
-        haven::eval::check_candidate(model, task, 0.2, false, nullptr, rng));
+    benchmark::DoNotOptimize(engine.check(model, task, 0.2, rng));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CandidateCheck);
+
+// Whole-suite evaluation through the parallel engine. Arg = worker threads
+// (1 = serial path, 0 = one per hardware thread); results are identical
+// across thread counts, only wall-clock changes.
+void BM_EvalEngineSuite(benchmark::State& state) {
+  const haven::eval::Suite rtllm = haven::eval::build_rtllm();
+  const haven::llm::SimLlm model = haven::llm::make_model("GPT-4");
+  haven::eval::EvalRequest req;
+  req.n_samples = 2;
+  req.temperatures = {0.2};
+  req.threads = static_cast<int>(state.range(0));
+  const haven::eval::EvalEngine engine(req);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(model, rtllm));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rtllm.tasks.size() * 2));
+}
+BENCHMARK(BM_EvalEngineSuite)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_GoldenCodegen(benchmark::State& state) {
   haven::util::Rng rng(7);

@@ -69,11 +69,11 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"Model", "Mach p@1", "Mach p@5", "Hum p@1", "Hum p@5",
                             "RTLLM syn@5", "RTLLM func@5", "v2 p@1", "v2 p@5"});
 
-  auto evaluate = [&](const llm::SimLlm& model, const eval::RunnerConfig& rc) {
-    const eval::SuiteResult rm = eval::run_suite(model, machine, rc);
-    const eval::SuiteResult rh = eval::run_suite(model, human, rc);
-    const eval::SuiteResult rr = eval::run_suite(model, rtllm, rc);
-    const eval::SuiteResult rv = eval::run_suite(model, v2, rc);
+  auto evaluate = [&](const llm::SimLlm& model, const eval::EvalEngine& engine) {
+    const eval::SuiteResult rm = engine.evaluate(model, machine);
+    const eval::SuiteResult rh = engine.evaluate(model, human);
+    const eval::SuiteResult rr = engine.evaluate(model, rtllm);
+    const eval::SuiteResult rv = engine.evaluate(model, v2);
     const PaperRow* paper = paper_row(model.name());
     auto cell = [&](double v, int paper_idx) {
       std::string s = eval::pct(v);
@@ -87,18 +87,16 @@ int main(int argc, char** argv) {
     std::cout << "  done: " << model.name() << "\n" << std::flush;
   };
 
-  eval::RunnerConfig base_rc = args.runner_config();
+  const eval::EvalEngine base_engine(args.request());
   for (const auto& card : llm::model_zoo()) {
-    evaluate(llm::SimLlm(card.name, card.profile), base_rc);
+    evaluate(llm::SimLlm(card.name, card.profile), base_engine);
   }
   table.add_separator();
 
   for (const char* base : {llm::kBaseCodeLlama, llm::kBaseDeepSeek, llm::kBaseCodeQwen}) {
     const HavenPipeline pipe = build_haven(base);
-    eval::RunnerConfig rc = args.runner_config();
-    rc.use_sicot = true;
-    rc.cot_model = &pipe.cot_model();
-    evaluate(pipe.codegen_model(), rc);
+    const eval::EvalEngine engine(args.sicot_request(pipe.cot_model()));
+    evaluate(pipe.codegen_model(), engine);
   }
 
   std::cout << "\n" << table.to_string() << "\n";

@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"Model", "Truth Table P/T", "Waveform P/T", "State Diagram P/T",
                             "Overall p@1"});
 
-  auto evaluate = [&](const llm::SimLlm& model, const eval::RunnerConfig& rc,
+  auto evaluate = [&](const llm::SimLlm& model, const eval::EvalEngine& engine,
                       const PaperRow& paper) {
-    const eval::SuiteResult r = eval::run_suite(model, suite, rc);
+    const eval::SuiteResult r = engine.evaluate(model, suite);
     table.add_row({model.name(),
                    eval::pass_total(r.modality_pass(symbolic::Modality::kTruthTable)) + " [" +
                        paper.tt + "]",
@@ -45,17 +45,15 @@ int main(int argc, char** argv) {
     std::cout << "  done: " << model.name() << "\n" << std::flush;
   };
 
-  const eval::RunnerConfig rc = args.runner_config();
-  evaluate(llm::make_model("RTLCoder-DeepSeek"), rc, kPaper[0]);
-  evaluate(llm::make_model("OriGen-DeepSeek"), rc, kPaper[1]);
-  evaluate(llm::make_model("GPT-4"), rc, kPaper[2]);
-  evaluate(llm::make_model("DeepSeek-Coder-V2"), rc, kPaper[3]);
+  const eval::EvalEngine engine(args.request());
+  evaluate(llm::make_model("RTLCoder-DeepSeek"), engine, kPaper[0]);
+  evaluate(llm::make_model("OriGen-DeepSeek"), engine, kPaper[1]);
+  evaluate(llm::make_model("GPT-4"), engine, kPaper[2]);
+  evaluate(llm::make_model("DeepSeek-Coder-V2"), engine, kPaper[3]);
 
   const HavenPipeline pipe = build_haven(llm::kBaseCodeQwen);
-  eval::RunnerConfig haven_rc = args.runner_config();
-  haven_rc.use_sicot = true;
-  haven_rc.cot_model = &pipe.cot_model();
-  evaluate(pipe.codegen_model(), haven_rc, kPaper[4]);
+  const eval::EvalEngine haven_engine(args.sicot_request(pipe.cot_model()));
+  evaluate(pipe.codegen_model(), haven_engine, kPaper[4]);
 
   std::cout << "\n" << table.to_string() << "\n";
   std::cout << "Expected shape: HaVen-CodeQwen best in every modality; DeepSeek-Coder-V2\n"

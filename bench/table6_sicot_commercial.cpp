@@ -32,17 +32,15 @@ int main(int argc, char** argv) {
       {"DeepSeek-Coder-V2", {"45.5", "34.1"}},
   };
 
+  const eval::EvalEngine with_engine(args.sicot_request(cot_model));
+  const eval::EvalEngine without_engine(args.request());
+
   util::TablePrinter table({"Model", "p@1 w/ SI-CoT", "p@1 w/o SI-CoT"});
   for (const auto& [name, paper] : kModels) {
     const llm::SimLlm model = llm::make_model(name);
 
-    eval::RunnerConfig with_rc = args.runner_config();
-    with_rc.use_sicot = true;
-    with_rc.cot_model = &cot_model;
-    const eval::SuiteResult with_result = eval::run_suite(model, suite, with_rc);
-
-    const eval::RunnerConfig without_rc = args.runner_config();
-    const eval::SuiteResult without_result = eval::run_suite(model, suite, without_rc);
+    const eval::SuiteResult with_result = with_engine.evaluate(model, suite);
+    const eval::SuiteResult without_result = without_engine.evaluate(model, suite);
 
     table.add_row({name, eval::pct(with_result.pass_at(1)) + " [" + paper.with_sicot + "]",
                    eval::pct(without_result.pass_at(1)) + " [" + paper.without + "]"});

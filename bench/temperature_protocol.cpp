@@ -19,14 +19,13 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table({"Model", "T", "pass@1", "pass@5"});
 
-  auto sweep = [&](const llm::SimLlm& model, bool use_sicot, const llm::SimLlm* cot) {
+  // The explicit per-temperature sweep (no best-of selection) is this
+  // bench's point: override EvalRequest::temperatures with one T at a time.
+  auto sweep = [&](const llm::SimLlm& model, const llm::SimLlm* cot) {
     for (double t : {0.2, 0.5, 0.8}) {
-      eval::RunnerConfig rc;
-      rc.n_samples = args.n_samples;
-      rc.temperatures = {t};
-      rc.use_sicot = use_sicot;
-      rc.cot_model = cot;
-      const eval::SuiteResult r = eval::run_suite(model, human, rc);
+      eval::EvalRequest req = cot != nullptr ? args.sicot_request(*cot) : args.request();
+      req.temperatures = {t};
+      const eval::SuiteResult r = eval::EvalEngine(std::move(req)).evaluate(model, human);
       table.add_row({model.name(), util::format("%.1f", t), eval::pct(r.pass_at(1)),
                      eval::pct(r.pass_at(5))});
       std::cout << "  done: " << model.name() << " T=" << t << "\n" << std::flush;
@@ -34,10 +33,10 @@ int main(int argc, char** argv) {
     table.add_separator();
   };
 
-  sweep(llm::make_model("GPT-4"), false, nullptr);
-  sweep(llm::make_model(llm::kBaseCodeQwen), false, nullptr);
+  sweep(llm::make_model("GPT-4"), nullptr);
+  sweep(llm::make_model(llm::kBaseCodeQwen), nullptr);
   const HavenPipeline pipe = build_haven(llm::kBaseCodeQwen);
-  sweep(pipe.codegen_model(), true, &pipe.cot_model());
+  sweep(pipe.codegen_model(), &pipe.cot_model());
 
   std::cout << "\n" << table.to_string() << "\n";
   std::cout << "Expected shape: pass@1 decreases with temperature (stochastic hallucination\n"

@@ -184,11 +184,14 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/eval/runner.h /usr/include/c++/12/optional \
+ /root/repo/src/eval/engine.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/cot/sicot.h /root/repo/src/llm/simllm.h \
- /root/repo/src/llm/hallucination.h /root/repo/src/llm/task_spec.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/eval/task.h /root/repo/src/llm/instruction.h \
+ /root/repo/src/llm/task_spec.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -216,8 +219,8 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/logic/expr.h \
- /root/repo/src/symbolic/state_diagram.h /usr/include/c++/12/array \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
+ /root/repo/src/logic/expr.h /root/repo/src/symbolic/state_diagram.h \
  /root/repo/src/util/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -246,14 +249,13 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/logic/truth_table.h /root/repo/src/llm/spec_parser.h \
- /root/repo/src/symbolic/modality.h /root/repo/src/eval/passk.h \
- /root/repo/src/eval/task.h /root/repo/src/llm/instruction.h \
  /root/repo/src/sim/testbench.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/elaborate.h /root/repo/src/verilog/ast.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/sim/value.h /root/repo/src/eval/suites.h \
- /root/repo/src/llm/codegen.h /root/repo/src/llm/model_zoo.h \
- /root/repo/src/logic/exprgen.h /root/repo/src/logic/qm.h \
- /root/repo/src/verilog/analyzer.h /root/repo/src/verilog/parser.h \
- /root/repo/src/verilog/token.h
+ /root/repo/src/sim/value.h /root/repo/src/symbolic/modality.h \
+ /root/repo/src/llm/simllm.h /root/repo/src/llm/hallucination.h \
+ /root/repo/src/logic/truth_table.h /root/repo/src/llm/spec_parser.h \
+ /root/repo/src/eval/suites.h /root/repo/src/llm/codegen.h \
+ /root/repo/src/llm/model_zoo.h /root/repo/src/logic/exprgen.h \
+ /root/repo/src/logic/qm.h /root/repo/src/verilog/analyzer.h \
+ /root/repo/src/verilog/parser.h /root/repo/src/verilog/token.h

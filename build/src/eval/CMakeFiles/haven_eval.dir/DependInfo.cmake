@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/engine.cpp" "src/eval/CMakeFiles/haven_eval.dir/engine.cpp.o" "gcc" "src/eval/CMakeFiles/haven_eval.dir/engine.cpp.o.d"
   "/root/repo/src/eval/passk.cpp" "src/eval/CMakeFiles/haven_eval.dir/passk.cpp.o" "gcc" "src/eval/CMakeFiles/haven_eval.dir/passk.cpp.o.d"
   "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/haven_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/haven_eval.dir/report.cpp.o.d"
   "/root/repo/src/eval/runner.cpp" "src/eval/CMakeFiles/haven_eval.dir/runner.cpp.o" "gcc" "src/eval/CMakeFiles/haven_eval.dir/runner.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/haven_eval.dir/engine.cpp.o"
+  "CMakeFiles/haven_eval.dir/engine.cpp.o.d"
   "CMakeFiles/haven_eval.dir/passk.cpp.o"
   "CMakeFiles/haven_eval.dir/passk.cpp.o.d"
   "CMakeFiles/haven_eval.dir/report.cpp.o"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/haven_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/haven_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/haven_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/haven_util.dir/strings.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/haven_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/haven_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/haven_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/haven_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/haven_util.dir/strings.cpp.o.d"
   "CMakeFiles/haven_util.dir/table.cpp.o"
   "CMakeFiles/haven_util.dir/table.cpp.o.d"
+  "CMakeFiles/haven_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/haven_util.dir/thread_pool.cpp.o.d"
   "libhaven_util.a"
   "libhaven_util.pdb"
 )

@@ -327,10 +327,10 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/logic/truth_table.h /root/repo/src/llm/spec_parser.h \
  /root/repo/src/symbolic/modality.h /root/repo/src/dataset/mix.h \
  /root/repo/src/llm/finetune.h /root/repo/src/llm/model_zoo.h \
- /root/repo/src/eval/runner.h /root/repo/src/eval/passk.h \
+ /root/repo/src/eval/runner.h /root/repo/src/eval/engine.h \
  /root/repo/src/eval/task.h /root/repo/src/llm/instruction.h \
  /root/repo/src/sim/testbench.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/elaborate.h /root/repo/src/verilog/ast.h \
- /root/repo/src/sim/value.h /root/repo/src/eval/suites.h \
- /root/repo/src/verilog/analyzer.h /root/repo/src/verilog/parser.h \
- /root/repo/src/verilog/token.h
+ /root/repo/src/sim/value.h /root/repo/src/eval/passk.h \
+ /root/repo/src/eval/suites.h /root/repo/src/verilog/analyzer.h \
+ /root/repo/src/verilog/parser.h /root/repo/src/verilog/token.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval_engine_test.cpp" "tests/CMakeFiles/eval_engine_test.dir/eval_engine_test.cpp.o" "gcc" "tests/CMakeFiles/eval_engine_test.dir/eval_engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/haven_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cot/CMakeFiles/haven_cot.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/haven_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/haven_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/haven_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/haven_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/haven_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/haven_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/haven_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

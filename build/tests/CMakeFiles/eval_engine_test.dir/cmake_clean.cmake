@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_engine_test.dir/eval_engine_test.cpp.o"
+  "CMakeFiles/eval_engine_test.dir/eval_engine_test.cpp.o.d"
+  "eval_engine_test"
+  "eval_engine_test.pdb"
+  "eval_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

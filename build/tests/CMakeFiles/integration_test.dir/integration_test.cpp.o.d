@@ -293,8 +293,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/eval/runner.h /root/repo/src/cot/sicot.h \
- /root/repo/src/llm/simllm.h /root/repo/src/llm/hallucination.h \
+ /root/repo/src/eval/runner.h /root/repo/src/eval/engine.h \
+ /root/repo/src/eval/task.h /root/repo/src/llm/instruction.h \
  /root/repo/src/llm/task_spec.h /root/repo/src/logic/expr.h \
  /root/repo/src/symbolic/state_diagram.h /root/repo/src/util/rng.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
@@ -324,12 +324,12 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/logic/truth_table.h /root/repo/src/llm/spec_parser.h \
- /root/repo/src/symbolic/modality.h /root/repo/src/eval/passk.h \
- /root/repo/src/eval/task.h /root/repo/src/llm/instruction.h \
  /root/repo/src/sim/testbench.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/elaborate.h /root/repo/src/verilog/ast.h \
- /root/repo/src/sim/value.h /root/repo/src/eval/suites.h \
+ /root/repo/src/sim/value.h /root/repo/src/symbolic/modality.h \
+ /root/repo/src/llm/simllm.h /root/repo/src/llm/hallucination.h \
+ /root/repo/src/logic/truth_table.h /root/repo/src/llm/spec_parser.h \
+ /root/repo/src/eval/passk.h /root/repo/src/eval/suites.h \
  /root/repo/src/llm/codegen.h /root/repo/src/llm/model_zoo.h \
  /root/repo/src/logic/exprgen.h /root/repo/src/logic/qm.h \
  /root/repo/src/verilog/parser.h /root/repo/src/verilog/token.h \

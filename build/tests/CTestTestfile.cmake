@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/util_thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/logic_test[1]_include.cmake")
 include("/root/repo/build/tests/verilog_lexer_test[1]_include.cmake")
 include("/root/repo/build/tests/verilog_parser_test[1]_include.cmake")
@@ -23,6 +24,7 @@ include("/root/repo/build/tests/llm_finetune_test[1]_include.cmake")
 include("/root/repo/build/tests/cot_test[1]_include.cmake")
 include("/root/repo/build/tests/dataset_test[1]_include.cmake")
 include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_vcd_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")

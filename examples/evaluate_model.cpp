@@ -1,12 +1,15 @@
 // Evaluate two models from the zoo on the RTLLM-style suite and print
 // pass@k with the unbiased estimator — the same machinery the Table IV
-// bench uses, at inspectable scale.
+// bench uses, at inspectable scale. Demonstrates the EvalEngine API:
+// threaded fan-out, progress callback, and the per-run counter block.
 //
-//   $ ./build/examples/evaluate_model [model-name ...]
+//   $ ./build/examples/evaluate_model [--threads=N] [model-name ...]
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
+#include "eval/engine.h"
 #include "eval/report.h"
-#include "eval/runner.h"
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
 #include "util/strings.h"
@@ -15,14 +18,29 @@
 int main(int argc, char** argv) {
   using namespace haven;
 
+  int threads = 0;  // 0 = one worker per hardware thread
   std::vector<std::string> models;
-  for (int i = 1; i < argc; ++i) models.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      models.emplace_back(argv[i]);
+    }
+  }
   if (models.empty()) models = {"GPT-4", "RTLCoder-DeepSeek", "OriGen-DeepSeek"};
 
   const eval::Suite suite = eval::build_rtllm();
-  eval::RunnerConfig config;
-  config.n_samples = 10;
-  config.temperatures = {0.2, 0.5, 0.8};
+  eval::EvalRequest request;
+  request.n_samples = 10;
+  request.temperatures = {0.2, 0.5, 0.8};
+  request.threads = threads;
+  request.on_progress = [](const eval::EvalProgress& p) {
+    if (p.completed == p.total || p.completed % 200 == 0) {
+      std::cerr << "\r  " << p.completed << "/" << p.total << " candidates"
+                << (p.completed == p.total ? "\n" : "") << std::flush;
+    }
+  };
+  const eval::EvalEngine engine(request);
 
   util::TablePrinter table({"Model", "func p@1", "func p@5", "syntax p@5", "best T"});
   for (const auto& name : models) {
@@ -31,13 +49,14 @@ int main(int argc, char** argv) {
       for (const auto& card : llm::model_zoo()) std::cerr << "  " << card.name << "\n";
       return 1;
     }
-    const eval::SuiteResult result = eval::run_suite(llm::make_model(name), suite, config);
+    const eval::SuiteResult result = engine.evaluate(llm::make_model(name), suite);
     table.add_row({name, eval::pct(result.pass_at(1)), eval::pct(result.pass_at(5)),
                    eval::pct(result.syntax_pass_at(5)),
                    util::format("%.1f", result.temperature)});
     std::cout << eval::summarize(result) << "\n";
+    std::cout << "  " << eval::summarize(result.counters) << "\n";
   }
   std::cout << "\n" << suite.name << " (" << suite.tasks.size() << " tasks, n="
-            << config.n_samples << "):\n" << table.to_string();
+            << request.n_samples << "):\n" << table.to_string();
   return 0;
 }

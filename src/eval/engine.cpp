@@ -1,0 +1,258 @@
+#include "eval/engine.h"
+
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <future>
+
+#include "cot/sicot.h"
+#include "eval/passk.h"
+#include "sim/testbench.h"
+#include "util/thread_pool.h"
+#include "verilog/analyzer.h"
+
+namespace haven::eval {
+
+double SuiteResult::pass_at(int k) const {
+  std::vector<std::pair<int, int>> nc;
+  nc.reserve(per_task.size());
+  for (const auto& t : per_task) nc.emplace_back(t.n, t.func_pass);
+  return mean_pass_at_k(nc, k);
+}
+
+double SuiteResult::syntax_pass_at(int k) const {
+  std::vector<std::pair<int, int>> nc;
+  nc.reserve(per_task.size());
+  for (const auto& t : per_task) nc.emplace_back(t.n, t.syntax_pass);
+  return mean_pass_at_k(nc, k);
+}
+
+std::pair<int, int> SuiteResult::modality_pass(symbolic::Modality m) const {
+  // Expected pass-case count under the paper's single-attempt protocol:
+  // each task contributes its per-sample pass fraction c/n.
+  double passed = 0;
+  int total = 0;
+  for (const auto& t : per_task) {
+    if (t.modality != m) continue;
+    ++total;
+    if (t.n > 0) passed += static_cast<double>(t.func_pass) / static_cast<double>(t.n);
+  }
+  // lround, not static_cast<int>(passed + 0.5): the +0.5 trick double-rounds
+  // tallies infinitesimally below a half (e.g. 1/3 + 1/12 + 1/12) up to the
+  // next integer.
+  return {static_cast<int>(std::lround(passed)), total};
+}
+
+namespace {
+
+std::uint64_t mix_hash(std::uint64_t seed, const std::string& s) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One (temperature, task, sample) work unit's result plus stage timings.
+struct UnitOutcome {
+  bool syntax_ok = false;
+  bool func_ok = false;
+  bool refined = false;
+  double generate_seconds = 0.0;
+  double compile_seconds = 0.0;
+  double sim_seconds = 0.0;
+};
+
+// The candidate pipeline shared by evaluate() and check(): SI-CoT refine,
+// generate, compile-check, differential simulation. The draw order against
+// `rng` is part of the determinism contract — do not reorder.
+CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
+                               double temperature, bool use_sicot,
+                               const llm::SimLlm* cot_model, util::Rng& rng,
+                               UnitOutcome* stats) {
+  CandidateOutcome outcome;
+
+  const Clock::time_point gen_start = Clock::now();
+  std::string prompt = task.prompt;
+  if (use_sicot) {
+    const llm::SimLlm* interpreter = cot_model != nullptr ? cot_model : &model;
+    cot::SiCotPipeline pipeline(interpreter);
+    const cot::SiCotResult refined = pipeline.refine(prompt, temperature, rng);
+    prompt = refined.prompt;
+    if (stats != nullptr) stats->refined = refined.transformed;
+  }
+
+  llm::GenerationConfig gen;
+  gen.temperature = temperature;
+  outcome.source = model.generate(prompt, gen, rng);
+  if (stats != nullptr) stats->generate_seconds = seconds_since(gen_start);
+
+  const Clock::time_point compile_start = Clock::now();
+  outcome.syntax_ok = verilog::compile_ok(outcome.source);
+  if (stats != nullptr) {
+    stats->compile_seconds = seconds_since(compile_start);
+    stats->syntax_ok = outcome.syntax_ok;
+  }
+  if (!outcome.syntax_ok) return outcome;
+
+  const Clock::time_point sim_start = Clock::now();
+  util::Rng tb_rng = rng.fork();
+  const sim::DiffResult diff =
+      sim::run_diff_test(outcome.source, task.golden_source, task.stimulus, tb_rng);
+  outcome.func_ok = diff.passed;
+  if (stats != nullptr) {
+    stats->sim_seconds = seconds_since(sim_start);
+    stats->func_ok = outcome.func_ok;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+CandidateOutcome EvalEngine::check(const llm::SimLlm& model, const EvalTask& task,
+                                   double temperature, util::Rng& rng) const {
+  return run_candidate(model, task, temperature, request_.use_sicot,
+                       request_.cot_model_ptr(), rng, nullptr);
+}
+
+SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) const {
+  const Clock::time_point wall_start = Clock::now();
+  const std::clock_t cpu_start = std::clock();
+
+  const std::size_t n_temps = request_.temperatures.size();
+  const std::size_t n_tasks = suite.tasks.size();
+  const std::size_t n_samples =
+      request_.n_samples > 0 ? static_cast<std::size_t>(request_.n_samples) : 0;
+  const std::size_t total = n_temps * n_tasks * n_samples;
+
+  // Per-task seed base, identical to the legacy serial derivation.
+  std::vector<std::uint64_t> task_seed(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    task_seed[i] = mix_hash(request_.seed, model.name() + "|" + suite.tasks[i].id);
+  }
+
+  const llm::SimLlm* cot_model = request_.cot_model_ptr();
+
+  // Work-unit index layout: temperature-major, then task, then sample.
+  auto decode = [&](std::size_t unit, std::size_t& ti, std::size_t& task_i, int& s) {
+    ti = unit / (n_tasks * n_samples);
+    const std::size_t rest = unit % (n_tasks * n_samples);
+    task_i = rest / n_samples;
+    s = static_cast<int>(rest % n_samples);
+  };
+
+  auto run_unit = [&](std::size_t unit) -> UnitOutcome {
+    std::size_t ti = 0, task_i = 0;
+    int s = 0;
+    decode(unit, ti, task_i, s);
+    const double temperature = request_.temperatures[ti];
+    util::Rng rng(task_seed[task_i] ^
+                  (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1)) ^
+                  static_cast<std::uint64_t>(temperature * 4096));
+    UnitOutcome stats;
+    run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
+                  rng, &stats);
+    return stats;
+  };
+
+  auto report_progress = [&](std::size_t unit) {
+    if (!request_.on_progress) return;
+    std::size_t ti = 0, task_i = 0;
+    int s = 0;
+    decode(unit, ti, task_i, s);
+    EvalProgress progress;
+    progress.completed = unit + 1;
+    progress.total = total;
+    progress.temperature = request_.temperatures[ti];
+    progress.task_id = suite.tasks[task_i].id;
+    progress.sample = s;
+    request_.on_progress(progress);
+  };
+
+  const std::size_t requested_threads = request_.threads <= 0
+                                            ? util::ThreadPool::default_worker_count()
+                                            : static_cast<std::size_t>(request_.threads);
+  const std::size_t workers = std::min(requested_threads, total == 0 ? std::size_t{1} : total);
+
+  std::vector<UnitOutcome> outcomes(total);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < total; ++i) {
+      outcomes[i] = run_unit(i);
+      report_progress(i);
+    }
+  } else {
+    util::ThreadPool pool(workers);
+    std::vector<std::future<UnitOutcome>> futures;
+    futures.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      futures.push_back(pool.submit([&run_unit, i] { return run_unit(i); }));
+    }
+    // Collect strictly in index order: the reduction below (and the progress
+    // stream) must never observe completion order.
+    for (std::size_t i = 0; i < total; ++i) {
+      outcomes[i] = futures[i].get();
+      report_progress(i);
+    }
+  }
+
+  EvalCounters counters;
+  counters.threads_used = static_cast<int>(workers);
+  for (const UnitOutcome& u : outcomes) {
+    ++counters.candidates;
+    counters.compile_failures += !u.syntax_ok;
+    counters.sim_mismatches += u.syntax_ok && !u.func_ok;
+    counters.sicot_refinements += u.refined;
+    counters.generate_seconds += u.generate_seconds;
+    counters.compile_seconds += u.compile_seconds;
+    counters.sim_seconds += u.sim_seconds;
+  }
+
+  SuiteResult best;
+  double best_pass1 = 0.0;
+  bool have_best = false;
+  for (std::size_t ti = 0; ti < n_temps; ++ti) {
+    SuiteResult result;
+    result.suite_name = suite.name;
+    result.model_name = model.name();
+    result.temperature = request_.temperatures[ti];
+    result.per_task.reserve(n_tasks);
+    for (std::size_t task_i = 0; task_i < n_tasks; ++task_i) {
+      TaskResult tr;
+      tr.task_id = suite.tasks[task_i].id;
+      tr.modality = suite.tasks[task_i].modality;
+      tr.n = request_.n_samples;
+      const std::size_t base = (ti * n_tasks + task_i) * n_samples;
+      for (std::size_t s = 0; s < n_samples; ++s) {
+        tr.syntax_pass += outcomes[base + s].syntax_ok;
+        tr.func_pass += outcomes[base + s].func_ok;
+      }
+      result.per_task.push_back(std::move(tr));
+    }
+    const double pass1 = result.pass_at(1);
+    if (!have_best || pass1 > best_pass1) {
+      best = std::move(result);
+      best_pass1 = pass1;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    // No temperatures configured: return an empty, but labelled, result.
+    best.suite_name = suite.name;
+    best.model_name = model.name();
+  }
+
+  counters.wall_seconds = seconds_since(wall_start);
+  counters.cpu_seconds =
+      static_cast<double>(std::clock() - cpu_start) / static_cast<double>(CLOCKS_PER_SEC);
+  best.counters = counters;
+  return best;
+}
+
+}  // namespace haven::eval

@@ -1,0 +1,156 @@
+// EvalEngine: the parallel evaluation engine behind every table and figure
+// reproduction. It shards the (temperature, task, sample) work units of a
+// suite evaluation across a haven::util::ThreadPool and reduces per-task
+// tallies deterministically.
+//
+// Determinism contract:
+//  * Every sample derives an independent RNG from
+//    (seed, model name, task id, sample index, temperature) — exactly the
+//    derivation the original serial runner used — so no work unit observes
+//    another unit's draws.
+//  * Results are merged in work-unit *index* order (temperature-major, then
+//    task, then sample), never completion order. A run with threads=8 is
+//    therefore bit-identical to threads=1 for the same seed: same per-task
+//    pass counts, same best temperature, same deterministic counters.
+//  * Progress callbacks fire on the calling thread, in index order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "eval/task.h"
+#include "llm/simllm.h"
+#include "symbolic/modality.h"
+#include "util/rng.h"
+
+namespace haven::eval {
+
+// Default run seed, shared with the legacy RunnerConfig ("HAVEN").
+inline constexpr std::uint64_t kDefaultEvalSeed = 0x484156454eULL;
+
+struct TaskResult {
+  std::string task_id;
+  symbolic::Modality modality = symbolic::Modality::kNone;
+  int n = 0;
+  int syntax_pass = 0;  // candidates that compile
+  int func_pass = 0;    // candidates functionally equivalent to golden
+};
+
+// Per-run observability block. The integer counters aggregate over the whole
+// run (all temperatures) and are deterministic for a fixed seed; the timing
+// fields are measured and vary run to run. Stage times are summed across
+// workers (CPU-style accounting): with N threads busy they can exceed
+// wall_seconds by up to a factor of N.
+struct EvalCounters {
+  std::int64_t candidates = 0;         // generation attempts (= temps*tasks*n)
+  std::int64_t compile_failures = 0;   // candidates rejected by the compiler
+  std::int64_t sim_mismatches = 0;     // compiled candidates failing diff-sim
+  std::int64_t sicot_refinements = 0;  // prompts SI-CoT actually transformed
+  double generate_seconds = 0.0;       // SI-CoT refine + candidate generation
+  double compile_seconds = 0.0;        // syntax checking
+  double sim_seconds = 0.0;            // differential simulation
+  double wall_seconds = 0.0;           // whole-run wall clock
+  double cpu_seconds = 0.0;            // whole-run process CPU time
+  int threads_used = 1;
+};
+
+struct SuiteResult {
+  std::string suite_name;
+  std::string model_name;
+  double temperature = 0.2;  // the reported (best) temperature
+  std::vector<TaskResult> per_task;
+  EvalCounters counters;  // aggregated over the full run (all temperatures)
+
+  double pass_at(int k) const;         // functional
+  double syntax_pass_at(int k) const;  // syntax
+  // Per-modality pass counts (Table V rows): {passed, total} at pass@1
+  // semantics, counting a task as passed if >= 1 of n samples passed.
+  std::pair<int, int> modality_pass(symbolic::Modality m) const;
+};
+
+// Single-candidate outcome: (syntax_ok, func_ok, candidate_source).
+struct CandidateOutcome {
+  bool syntax_ok = false;
+  bool func_ok = false;
+  std::string source;
+};
+
+// Progress snapshot handed to EvalRequest::on_progress after each work unit
+// is folded into the reduction. `task_id` views into the suite being
+// evaluated and is valid only for the duration of the callback.
+struct EvalProgress {
+  std::size_t completed = 0;  // units reduced so far (1-based)
+  std::size_t total = 0;      // temps * tasks * n_samples
+  double temperature = 0.0;
+  std::string_view task_id;
+  int sample = 0;  // sample index within the task, [0, n_samples)
+};
+using ProgressCallback = std::function<void(const EvalProgress&)>;
+
+// Everything one evaluation run needs besides the model and the suite.
+// Grown out of the legacy RunnerConfig: adds `threads` and `on_progress`,
+// and replaces the raw CoT-model pointer with an optional-style accessor.
+class EvalRequest {
+ public:
+  int n_samples = 10;
+  std::vector<double> temperatures = {0.2, 0.5, 0.8};
+  bool use_sicot = false;
+  std::uint64_t seed = kDefaultEvalSeed;
+  // Worker threads for the sample fan-out: 0 = one per hardware thread,
+  // 1 = run serially on the calling thread (no pool).
+  int threads = 0;
+  // Invoked on the calling thread after each unit is reduced, in index
+  // order; leave empty for no progress reporting.
+  ProgressCallback on_progress;
+
+  // CoT prompting model for SI-CoT. The reference is NON-OWNING: the caller
+  // keeps the model alive for as long as this request (and any EvalEngine
+  // built from it) is used. When unset, SI-CoT interprets state diagrams
+  // with the CodeGen model itself (the paper's default: "the same
+  // pre-trained models for both").
+  EvalRequest& set_cot_model(const llm::SimLlm& model) {
+    cot_model_ = &model;
+    return *this;
+  }
+  void clear_cot_model() { cot_model_ = nullptr; }
+  bool has_cot_model() const { return cot_model_ != nullptr; }
+  // Optional-style access: throws std::logic_error when no model is set.
+  const llm::SimLlm& cot_model() const {
+    if (cot_model_ == nullptr) throw std::logic_error("EvalRequest::cot_model: none set");
+    return *cot_model_;
+  }
+  const llm::SimLlm* cot_model_ptr() const { return cot_model_; }
+
+ private:
+  const llm::SimLlm* cot_model_ = nullptr;
+};
+
+class EvalEngine {
+ public:
+  EvalEngine() = default;
+  explicit EvalEngine(EvalRequest request) : request_(std::move(request)) {}
+
+  const EvalRequest& request() const { return request_; }
+  EvalRequest& request() { return request_; }
+
+  // Evaluate one (model, suite) pair: run every configured temperature and
+  // return the best by functional pass@1 (first wins on ties), with the
+  // run-wide counter block attached.
+  SuiteResult evaluate(const llm::SimLlm& model, const Suite& suite) const;
+
+  // Generate and check a single candidate with the request's SI-CoT
+  // settings, drawing from the caller's rng. Exposed for tests, examples,
+  // and microbenchmarks.
+  CandidateOutcome check(const llm::SimLlm& model, const EvalTask& task, double temperature,
+                         util::Rng& rng) const;
+
+ private:
+  EvalRequest request_;
+};
+
+}  // namespace haven::eval

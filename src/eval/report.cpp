@@ -18,4 +18,15 @@ std::string summarize(const SuiteResult& result) {
                       pct(result.syntax_pass_at(5)).c_str(), result.temperature);
 }
 
+std::string summarize(const EvalCounters& c) {
+  return util::format(
+      "%lld candidates (%lld compile failures, %lld sim mismatches, %lld SI-CoT "
+      "refinements); gen %.2fs compile %.2fs sim %.2fs; wall %.2fs cpu %.2fs on %d "
+      "thread%s",
+      static_cast<long long>(c.candidates), static_cast<long long>(c.compile_failures),
+      static_cast<long long>(c.sim_mismatches), static_cast<long long>(c.sicot_refinements),
+      c.generate_seconds, c.compile_seconds, c.sim_seconds, c.wall_seconds, c.cpu_seconds,
+      c.threads_used, c.threads_used == 1 ? "" : "s");
+}
+
 }  // namespace haven::eval

@@ -16,4 +16,8 @@ std::string pass_total(std::pair<int, int> pt);
 // One-line summary of a suite result.
 std::string summarize(const SuiteResult& result);
 
+// One-line summary of an engine run's counter block: candidate volume,
+// failure breakdown, stage times, threads used.
+std::string summarize(const EvalCounters& counters);
+
 }  // namespace haven::eval

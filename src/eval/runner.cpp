@@ -1,111 +1,34 @@
 #include "eval/runner.h"
 
-#include <algorithm>
-
-#include "verilog/analyzer.h"
-
 namespace haven::eval {
 
-double SuiteResult::pass_at(int k) const {
-  std::vector<std::pair<int, int>> nc;
-  nc.reserve(per_task.size());
-  for (const auto& t : per_task) nc.emplace_back(t.n, t.func_pass);
-  return mean_pass_at_k(nc, k);
-}
-
-double SuiteResult::syntax_pass_at(int k) const {
-  std::vector<std::pair<int, int>> nc;
-  nc.reserve(per_task.size());
-  for (const auto& t : per_task) nc.emplace_back(t.n, t.syntax_pass);
-  return mean_pass_at_k(nc, k);
-}
-
-std::pair<int, int> SuiteResult::modality_pass(symbolic::Modality m) const {
-  // Expected pass-case count under the paper's single-attempt protocol:
-  // each task contributes its per-sample pass fraction c/n.
-  double passed = 0;
-  int total = 0;
-  for (const auto& t : per_task) {
-    if (t.modality != m) continue;
-    ++total;
-    if (t.n > 0) passed += static_cast<double>(t.func_pass) / static_cast<double>(t.n);
-  }
-  return {static_cast<int>(passed + 0.5), total};
+SuiteResult run_suite(const llm::SimLlm& model, const Suite& suite,
+                      const RunnerConfig& config) {
+  EvalRequest request;
+  request.n_samples = config.n_samples;
+  request.temperatures = config.temperatures;
+  request.use_sicot = config.use_sicot;
+  request.seed = config.seed;
+  request.threads = config.threads;
+  // The wrapper is the one sanctioned reader of the deprecated field.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  if (config.cot_model != nullptr) request.set_cot_model(*config.cot_model);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  return EvalEngine(std::move(request)).evaluate(model, suite);
 }
 
 CandidateOutcome check_candidate(const llm::SimLlm& model, const EvalTask& task,
                                  double temperature, bool use_sicot,
                                  const llm::SimLlm* cot_model, util::Rng& rng) {
-  CandidateOutcome outcome;
-
-  std::string prompt = task.prompt;
-  if (use_sicot) {
-    const llm::SimLlm* interpreter = cot_model != nullptr ? cot_model : &model;
-    cot::SiCotPipeline pipeline(interpreter);
-    prompt = pipeline.refine(prompt, temperature, rng).prompt;
-  }
-
-  llm::GenerationConfig gen;
-  gen.temperature = temperature;
-  outcome.source = model.generate(prompt, gen, rng);
-
-  outcome.syntax_ok = verilog::compile_ok(outcome.source);
-  if (!outcome.syntax_ok) return outcome;
-
-  util::Rng tb_rng = rng.fork();
-  const sim::DiffResult diff =
-      sim::run_diff_test(outcome.source, task.golden_source, task.stimulus, tb_rng);
-  outcome.func_ok = diff.passed;
-  return outcome;
-}
-
-namespace {
-
-std::uint64_t mix_hash(std::uint64_t seed, const std::string& s) {
-  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
-SuiteResult run_suite(const llm::SimLlm& model, const Suite& suite,
-                      const RunnerConfig& config) {
-  SuiteResult best;
-  bool have_best = false;
-
-  for (double temperature : config.temperatures) {
-    SuiteResult result;
-    result.suite_name = suite.name;
-    result.model_name = model.name();
-    result.temperature = temperature;
-
-    for (const auto& task : suite.tasks) {
-      TaskResult tr;
-      tr.task_id = task.id;
-      tr.modality = task.modality;
-      tr.n = config.n_samples;
-      for (int s = 0; s < config.n_samples; ++s) {
-        util::Rng rng(mix_hash(config.seed, model.name() + "|" + task.id) ^
-                      (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1)) ^
-                      static_cast<std::uint64_t>(temperature * 4096));
-        const CandidateOutcome outcome = check_candidate(
-            model, task, temperature, config.use_sicot, config.cot_model, rng);
-        tr.syntax_pass += outcome.syntax_ok;
-        tr.func_pass += outcome.func_ok;
-      }
-      result.per_task.push_back(std::move(tr));
-    }
-
-    if (!have_best || result.pass_at(1) > best.pass_at(1)) {
-      best = std::move(result);
-      have_best = true;
-    }
-  }
-  return best;
+  EvalRequest request;
+  request.use_sicot = use_sicot;
+  if (cot_model != nullptr) request.set_cot_model(*cot_model);
+  return EvalEngine(std::move(request)).check(model, task, temperature, rng);
 }
 
 }  // namespace haven::eval

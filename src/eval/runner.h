@@ -1,17 +1,17 @@
-// Evaluation runner: sample n candidates per task from a model (optionally
-// through the SI-CoT pipeline), check syntax (compiler substitute) and
-// functional correctness (differential simulation against the golden
-// module), and aggregate pass@k. Follows the paper's protocol: temperatures
+// Legacy evaluation-runner API, kept as thin compatibility wrappers over
+// eval::EvalEngine (see eval/engine.h for the engine and the redesigned
+// EvalRequest). New code should construct an EvalEngine directly; these
+// free functions remain so older call sites keep compiling and to pin the
+// contract that the engine's serial and parallel paths are bit-identical
+// to the original implementation. Protocol (unchanged): temperatures
 // {0.2, 0.5, 0.8}, n = 10, best temperature reported.
 #pragma once
 
-#include <optional>
-#include <string>
+#include <cstdint>
 #include <vector>
 
-#include "cot/sicot.h"
+#include "eval/engine.h"
 #include "eval/passk.h"
-#include "eval/task.h"
 #include "llm/simllm.h"
 
 namespace haven::eval {
@@ -20,44 +20,43 @@ struct RunnerConfig {
   int n_samples = 10;
   std::vector<double> temperatures = {0.2, 0.5, 0.8};
   bool use_sicot = false;
-  // CoT prompting model for SI-CoT; nullptr = use the CodeGen model itself
-  // (the paper's default: "the same pre-trained models for both").
+  // DEPRECATED: raw non-owning pointer, superseded by the optional-style
+  // EvalRequest::set_cot_model()/cot_model() accessors which document
+  // ownership (the caller keeps the model alive). nullptr = use the CodeGen
+  // model itself (the paper's default: "the same pre-trained models for
+  // both").
+  [[deprecated("use EvalRequest::set_cot_model(); the pointer is non-owning")]]
   const llm::SimLlm* cot_model = nullptr;
-  std::uint64_t seed = 0x484156454eULL;  // "HAVEN"
+  std::uint64_t seed = kDefaultEvalSeed;
+  // Worker threads (0 = one per hardware thread, 1 = serial); forwarded to
+  // EvalRequest::threads. Thread count never changes results.
+  int threads = 0;
+
+  // Special members live in a suppressed region so that merely constructing
+  // or copying a RunnerConfig does not trip the cot_model deprecation — only
+  // touching the field directly does.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  RunnerConfig() {}
+  RunnerConfig(const RunnerConfig&) = default;
+  RunnerConfig& operator=(const RunnerConfig&) = default;
+  RunnerConfig(RunnerConfig&&) = default;
+  RunnerConfig& operator=(RunnerConfig&&) = default;
+  ~RunnerConfig() = default;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 };
 
-struct TaskResult {
-  std::string task_id;
-  symbolic::Modality modality = symbolic::Modality::kNone;
-  int n = 0;
-  int syntax_pass = 0;  // candidates that compile
-  int func_pass = 0;    // candidates functionally equivalent to golden
-};
-
-struct SuiteResult {
-  std::string suite_name;
-  std::string model_name;
-  double temperature = 0.2;  // the reported (best) temperature
-  std::vector<TaskResult> per_task;
-
-  double pass_at(int k) const;         // functional
-  double syntax_pass_at(int k) const;  // syntax
-  // Per-modality pass counts (Table V rows): {passed, total} at pass@1
-  // semantics, counting a task as passed if >= 1 of n samples passed.
-  std::pair<int, int> modality_pass(symbolic::Modality m) const;
-};
-
-// Evaluate one (model, suite) pair. Runs every configured temperature and
-// returns the best by functional pass@1.
+// Compatibility wrapper: evaluate one (model, suite) pair via EvalEngine.
+// Runs every configured temperature and returns the best by functional
+// pass@1.
 SuiteResult run_suite(const llm::SimLlm& model, const Suite& suite, const RunnerConfig& config);
 
-// Single-candidate check, exposed for tests and examples: generate with the
-// given rng and report (syntax_ok, func_ok, candidate_source).
-struct CandidateOutcome {
-  bool syntax_ok = false;
-  bool func_ok = false;
-  std::string source;
-};
+// Compatibility wrapper over EvalEngine::check: generate one candidate with
+// the given rng and report (syntax_ok, func_ok, candidate_source).
 CandidateOutcome check_candidate(const llm::SimLlm& model, const EvalTask& task,
                                  double temperature, bool use_sicot,
                                  const llm::SimLlm* cot_model, util::Rng& rng);

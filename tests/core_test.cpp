@@ -108,11 +108,13 @@ TEST(HavenIntegration, HavenBeatsBaseModelOnHumanSuite) {
 
   const eval::SuiteResult base_result =
       eval::run_suite(llm::make_model(llm::kBaseCodeQwen), human, rc);
-  eval::RunnerConfig haven_rc = rc;
-  haven_rc.use_sicot = true;
-  haven_rc.cot_model = &pipe.cot_model();
+  eval::EvalRequest haven_req;
+  haven_req.n_samples = rc.n_samples;
+  haven_req.temperatures = rc.temperatures;
+  haven_req.use_sicot = true;
+  haven_req.set_cot_model(pipe.cot_model());
   const eval::SuiteResult haven_result =
-      eval::run_suite(pipe.codegen_model(), human, haven_rc);
+      eval::EvalEngine(haven_req).evaluate(pipe.codegen_model(), human);
 
   EXPECT_GT(haven_result.pass_at(1), base_result.pass_at(1) + 0.15);
 }
@@ -124,12 +126,13 @@ TEST(HavenIntegration, KLCompositionMonotone) {
     config.k_fraction = kf;
     config.l_fraction = lf;
     const HavenPipeline pipe = HavenPipeline::build(config);
-    eval::RunnerConfig rc;
-    rc.n_samples = 2;
-    rc.temperatures = {0.2};
-    rc.use_sicot = true;
-    rc.cot_model = &pipe.cot_model();
-    return eval::run_suite(pipe.codegen_model(), eval::build_verilogeval_human(), rc)
+    eval::EvalRequest req;
+    req.n_samples = 2;
+    req.temperatures = {0.2};
+    req.use_sicot = true;
+    req.set_cot_model(pipe.cot_model());
+    return eval::EvalEngine(req)
+        .evaluate(pipe.codegen_model(), eval::build_verilogeval_human())
         .pass_at(1);
   };
   const double none = pass_for(0.0, 0.0);

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/suites.h"
+#include "llm/model_zoo.h"
+
+namespace haven::eval {
+namespace {
+
+Suite small_rtllm(std::size_t n_tasks) {
+  Suite suite = build_rtllm();
+  if (suite.tasks.size() > n_tasks) suite.tasks.resize(n_tasks);
+  return suite;
+}
+
+void expect_same_result(const SuiteResult& a, const SuiteResult& b) {
+  EXPECT_EQ(a.suite_name, b.suite_name);
+  EXPECT_EQ(a.model_name, b.model_name);
+  EXPECT_DOUBLE_EQ(a.temperature, b.temperature);
+  ASSERT_EQ(a.per_task.size(), b.per_task.size());
+  for (std::size_t i = 0; i < a.per_task.size(); ++i) {
+    EXPECT_EQ(a.per_task[i].task_id, b.per_task[i].task_id);
+    EXPECT_EQ(a.per_task[i].n, b.per_task[i].n);
+    EXPECT_EQ(a.per_task[i].syntax_pass, b.per_task[i].syntax_pass);
+    EXPECT_EQ(a.per_task[i].func_pass, b.per_task[i].func_pass);
+  }
+}
+
+// The determinism contract: thread count changes wall-clock, never results.
+TEST(EvalEngine, SerialAndParallelRunsAreBitIdentical) {
+  const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
+  const Suite suite = small_rtllm(10);
+
+  EvalRequest request;
+  request.n_samples = 2;
+  request.temperatures = {0.2, 0.8};
+
+  EvalRequest serial = request;
+  serial.threads = 1;
+  EvalRequest parallel = request;
+  parallel.threads = 8;
+
+  const SuiteResult a = EvalEngine(serial).evaluate(model, suite);
+  const SuiteResult b = EvalEngine(parallel).evaluate(model, suite);
+  expect_same_result(a, b);
+  // Deterministic counters match too; only the timing fields may differ.
+  EXPECT_EQ(a.counters.candidates, b.counters.candidates);
+  EXPECT_EQ(a.counters.compile_failures, b.counters.compile_failures);
+  EXPECT_EQ(a.counters.sim_mismatches, b.counters.sim_mismatches);
+  EXPECT_EQ(a.counters.sicot_refinements, b.counters.sicot_refinements);
+  EXPECT_EQ(a.counters.threads_used, 1);
+  EXPECT_EQ(b.counters.threads_used, 8);
+}
+
+// The legacy free function is a wrapper over the engine and must agree with
+// it exactly (it is also how pre-redesign results stay reproducible).
+TEST(EvalEngine, LegacyRunSuiteWrapperMatchesEngine) {
+  const llm::SimLlm model = llm::make_model("CodeQwen");
+  const Suite suite = small_rtllm(8);
+
+  RunnerConfig config;
+  config.n_samples = 3;
+  config.temperatures = {0.2, 0.5};
+  config.threads = 1;
+  const SuiteResult legacy = run_suite(model, suite, config);
+
+  EvalRequest request;
+  request.n_samples = 3;
+  request.temperatures = {0.2, 0.5};
+  request.threads = 4;
+  const SuiteResult engine = EvalEngine(request).evaluate(model, suite);
+
+  expect_same_result(legacy, engine);
+}
+
+TEST(EvalEngine, CheckMatchesLegacyCheckCandidate) {
+  const llm::SimLlm model = llm::make_model("GPT-4");
+  const Suite suite = small_rtllm(1);
+
+  util::Rng rng_a(123);
+  util::Rng rng_b(123);
+  const CandidateOutcome a = EvalEngine().check(model, suite.tasks.front(), 0.5, rng_a);
+  const CandidateOutcome b =
+      check_candidate(model, suite.tasks.front(), 0.5, false, nullptr, rng_b);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.syntax_ok, b.syntax_ok);
+  EXPECT_EQ(a.func_ok, b.func_ok);
+}
+
+TEST(EvalEngine, CountersAreConsistentWithTallies) {
+  const llm::SimLlm model = llm::make_model("CodeLlama");
+  const Suite suite = small_rtllm(8);
+
+  EvalRequest request;
+  request.n_samples = 3;
+  request.temperatures = {0.2};  // single temperature: counters == best run
+  request.threads = 1;
+  const SuiteResult result = EvalEngine(request).evaluate(model, suite);
+
+  const std::int64_t expected_candidates =
+      static_cast<std::int64_t>(suite.tasks.size()) * 3;
+  EXPECT_EQ(result.counters.candidates, expected_candidates);
+
+  std::int64_t syntax_pass = 0, func_pass = 0;
+  for (const auto& task : result.per_task) {
+    syntax_pass += task.syntax_pass;
+    func_pass += task.func_pass;
+  }
+  EXPECT_EQ(result.counters.compile_failures, expected_candidates - syntax_pass);
+  EXPECT_EQ(result.counters.sim_mismatches, syntax_pass - func_pass);
+  EXPECT_EQ(result.counters.sicot_refinements, 0);  // SI-CoT disabled
+  EXPECT_GT(result.counters.wall_seconds, 0.0);
+  EXPECT_GE(result.counters.generate_seconds, 0.0);
+  EXPECT_GT(result.counters.compile_seconds, 0.0);
+  EXPECT_EQ(result.counters.threads_used, 1);
+  EXPECT_FALSE(summarize(result.counters).empty());
+}
+
+TEST(EvalEngine, ProgressCallbackCoversEveryUnitInIndexOrder) {
+  const llm::SimLlm model = llm::make_model("GPT-4");
+  const Suite suite = small_rtllm(3);
+
+  std::vector<EvalProgress> seen;
+  EvalRequest request;
+  request.n_samples = 2;
+  request.temperatures = {0.2, 0.8};
+  request.threads = 4;  // parallel execution must not reorder the stream
+  request.on_progress = [&seen](const EvalProgress& p) {
+    seen.push_back(EvalProgress{p.completed, p.total, p.temperature, p.task_id, p.sample});
+  };
+  EvalEngine(request).evaluate(model, suite);
+
+  const std::size_t total = 2 * 3 * 2;  // temps * tasks * samples
+  ASSERT_EQ(seen.size(), total);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].completed, i + 1);
+    EXPECT_EQ(seen[i].total, total);
+  }
+  // Temperature-major order: first half at 0.2, second half at 0.8.
+  EXPECT_DOUBLE_EQ(seen.front().temperature, 0.2);
+  EXPECT_DOUBLE_EQ(seen[total / 2].temperature, 0.8);
+  EXPECT_EQ(seen[0].sample, 0);
+  EXPECT_EQ(seen[1].sample, 1);
+}
+
+TEST(EvalRequest, CotModelAccessorIsOptionalStyle) {
+  EvalRequest request;
+  EXPECT_FALSE(request.has_cot_model());
+  EXPECT_EQ(request.cot_model_ptr(), nullptr);
+  EXPECT_THROW(request.cot_model(), std::logic_error);
+
+  const llm::SimLlm model = llm::make_model("GPT-4");
+  request.set_cot_model(model);
+  EXPECT_TRUE(request.has_cot_model());
+  EXPECT_EQ(&request.cot_model(), &model);
+  EXPECT_EQ(request.cot_model_ptr(), &model);
+
+  request.clear_cot_model();
+  EXPECT_FALSE(request.has_cot_model());
+}
+
+TEST(EvalEngine, EmptySuiteAndEmptyTemperaturesAreSafe) {
+  const llm::SimLlm model = llm::make_model("GPT-4");
+
+  Suite empty_suite;
+  empty_suite.name = "empty";
+  EvalRequest request;
+  request.n_samples = 2;
+  request.threads = 8;
+  const SuiteResult no_tasks = EvalEngine(request).evaluate(model, empty_suite);
+  EXPECT_TRUE(no_tasks.per_task.empty());
+  EXPECT_EQ(no_tasks.counters.candidates, 0);
+  EXPECT_DOUBLE_EQ(no_tasks.pass_at(1), 0.0);
+
+  EvalRequest no_temps;
+  no_temps.temperatures = {};
+  const SuiteResult no_temp_result = EvalEngine(no_temps).evaluate(model, small_rtllm(2));
+  EXPECT_TRUE(no_temp_result.per_task.empty());
+  EXPECT_EQ(no_temp_result.counters.candidates, 0);
+  EXPECT_EQ(no_temp_result.suite_name, "RTLLM-v1.1");
+}
+
+// Regression for the modality_pass rounding fix: three tasks contributing
+// 1/3 + 1/12 + 1/12 tally to 0.49999999999999994; the old
+// static_cast<int>(passed + 0.5) double-rounded this up to 1, std::lround
+// correctly reports 0 expected passes.
+TEST(SuiteResult, ModalityPassRoundsFractionalTalliesCorrectly) {
+  SuiteResult result;
+  auto add_task = [&result](int n, int c) {
+    TaskResult tr;
+    tr.task_id = "t" + std::to_string(result.per_task.size());
+    tr.modality = symbolic::Modality::kTruthTable;
+    tr.n = n;
+    tr.func_pass = c;
+    result.per_task.push_back(tr);
+  };
+  add_task(3, 1);
+  add_task(12, 1);
+  add_task(12, 1);
+  const auto [passed, total] = result.modality_pass(symbolic::Modality::kTruthTable);
+  EXPECT_EQ(passed, 0);
+  EXPECT_EQ(total, 3);
+
+  // Plain fractional tally still rounds to nearest: 0.3 + 0.3 + 0.5 -> 1.
+  result.per_task.clear();
+  add_task(10, 3);
+  add_task(10, 3);
+  add_task(10, 5);
+  const auto [passed2, total2] = result.modality_pass(symbolic::Modality::kTruthTable);
+  EXPECT_EQ(passed2, 1);
+  EXPECT_EQ(total2, 3);
+}
+
+}  // namespace
+}  // namespace haven::eval
