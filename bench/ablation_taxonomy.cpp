@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace haven::bench;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Chaos chaos(args);
   const eval::Suite human = eval::build_verilogeval_human();
 
   std::cout << "== Taxonomy ablation: pass@1 recovered by curing each class ==\n"

@@ -12,6 +12,7 @@
 #include "eval/engine.h"
 #include "eval/report.h"
 #include "eval/suites.h"
+#include "util/fault.h"
 #include "util/table.h"
 
 namespace haven::bench {
@@ -33,6 +34,13 @@ struct BenchArgs {
   int n_samples = 10;
   int threads = 0;  // --threads=N (0 = hardware concurrency, 1 = serial)
   std::vector<double> temperatures = {0.2, 0.5, 0.8};
+  // Fault-tolerance knobs (see DESIGN.md §7 "Failure semantics").
+  int deadline_ms = 0;     // --deadline-ms=N per-attempt wall-clock deadline
+  int retries = 0;         // --retries=N transient-fault retry attempts
+  bool fail_fast = false;  // --fail-fast: abort the suite on first unit fault
+  std::uint64_t sim_step_budget = 0;  // --sim-budget=N per-simulation step cap
+  double inject = 0.0;     // --inject=P chaos-mode fault probability per site
+  std::uint64_t inject_seed = 0xC7A05'FA17ULL;  // --inject-seed=N
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -47,6 +55,18 @@ struct BenchArgs {
         args.threads = 1;
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         args.threads = std::atoi(argv[i] + 10);
+      } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+        args.deadline_ms = std::atoi(argv[i] + 14);
+      } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+        args.retries = std::atoi(argv[i] + 10);
+      } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+        args.fail_fast = true;
+      } else if (std::strncmp(argv[i], "--sim-budget=", 13) == 0) {
+        args.sim_step_budget = std::strtoull(argv[i] + 13, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--inject=", 9) == 0) {
+        args.inject = std::atof(argv[i] + 9);
+      } else if (std::strncmp(argv[i], "--inject-seed=", 14) == 0) {
+        args.inject_seed = std::strtoull(argv[i] + 14, nullptr, 10);
       }
     }
     return args;
@@ -57,6 +77,10 @@ struct BenchArgs {
     req.n_samples = n_samples;
     req.temperatures = temperatures;
     req.threads = threads;
+    req.deadline_ms = deadline_ms;
+    req.retry.max_retries = retries;
+    req.fail_fast = fail_fast;
+    req.sim_step_budget = sim_step_budget;
     if (progress) req.on_progress = progress_printer();
     return req;
   }
@@ -69,6 +93,35 @@ struct BenchArgs {
     req.set_cot_model(cot_model);
     return req;
   }
+};
+
+// Chaos-mode RAII: when --inject=P was given, arms a FaultInjector at all
+// three injection sites and installs it for the lifetime of the bench run.
+// Prints the injection tally on teardown so chaos runs are auditable.
+struct Chaos {
+  util::FaultInjector injector;
+  bool armed = false;
+
+  explicit Chaos(const BenchArgs& args) : injector(args.inject_seed) {
+    if (args.inject <= 0.0) return;
+    injector.arm(util::kSiteLlmGenerate, args.inject);
+    injector.arm(util::kSiteEvalCompile, args.inject);
+    injector.arm(util::kSiteSimRun, args.inject);
+    injector.install();
+    armed = true;
+    std::cerr << "  [chaos] injecting faults at p=" << args.inject
+              << " per site (seed " << args.inject_seed << ")\n";
+  }
+  ~Chaos() {
+    if (!armed) return;
+    injector.uninstall();
+    std::cerr << "  [chaos] " << injector.total_injected() << " faults injected ("
+              << injector.injected(util::kSiteLlmGenerate) << " llm, "
+              << injector.injected(util::kSiteEvalCompile) << " compile, "
+              << injector.injected(util::kSiteSimRun) << " sim)\n";
+  }
+  Chaos(const Chaos&) = delete;
+  Chaos& operator=(const Chaos&) = delete;
 };
 
 // "measured (paper X)" cell, or "n/a" passthrough.

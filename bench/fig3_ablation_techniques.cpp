@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace haven::bench;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Chaos chaos(args);
   const eval::Suite human = eval::build_verilogeval_human();
 
   std::cout << "== Fig 3: Ablation of techniques (VerilogEval-human) ==\n\n";

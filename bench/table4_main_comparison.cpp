@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   using namespace haven::bench;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Chaos chaos(args);
 
   std::cout << "== Table IV: HaVen vs baselines ==\n";
   std::cout << "(cells: measured% [paper%]; n=" << args.n_samples << ", temps="

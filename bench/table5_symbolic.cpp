@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace haven::bench;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Chaos chaos(args);
   const eval::Suite suite = eval::build_symbolic44();
 
   std::cout << "== Table V: Evaluation on Symbolic Modalities ==\n";

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace haven::bench;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Chaos chaos(args);
   const eval::Suite suite = eval::build_symbolic44();
 
   std::cout << "== Table VI: Evaluation of SI-CoT on commercial LLMs ==\n";

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace haven::bench;
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Chaos chaos(args);
   const eval::Suite human = eval::build_verilogeval_human();
 
   std::cout << "== Temperature protocol: per-temperature pass@k (VerilogEval-human) ==\n\n";

@@ -3,7 +3,8 @@
 // bench uses, at inspectable scale. Demonstrates the EvalEngine API:
 // threaded fan-out, progress callback, and the per-run counter block.
 //
-//   $ ./build/examples/evaluate_model [--threads=N] [model-name ...]
+//   $ ./build/examples/evaluate_model [--threads=N] [--deadline-ms=N]
+//       [--retries=N] [--fail-fast] [--inject=P] [model-name ...]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -12,6 +13,7 @@
 #include "eval/report.h"
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
+#include "util/fault.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -19,21 +21,44 @@ int main(int argc, char** argv) {
   using namespace haven;
 
   int threads = 0;  // 0 = one worker per hardware thread
+  int deadline_ms = 0;
+  int retries = 0;
+  bool fail_fast = false;
+  double inject = 0.0;
   std::vector<std::string> models;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      retries = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+      fail_fast = true;
+    } else if (std::strncmp(argv[i], "--inject=", 9) == 0) {
+      inject = std::atof(argv[i] + 9);
     } else {
       models.emplace_back(argv[i]);
     }
   }
   if (models.empty()) models = {"GPT-4", "RTLCoder-DeepSeek", "OriGen-DeepSeek"};
 
+  util::FaultInjector injector;
+  if (inject > 0.0) {
+    injector.arm(util::kSiteLlmGenerate, inject);
+    injector.arm(util::kSiteEvalCompile, inject);
+    injector.arm(util::kSiteSimRun, inject);
+    injector.install();
+  }
+
   const eval::Suite suite = eval::build_rtllm();
   eval::EvalRequest request;
   request.n_samples = 10;
   request.temperatures = {0.2, 0.5, 0.8};
   request.threads = threads;
+  request.deadline_ms = deadline_ms;
+  request.retry.max_retries = retries;
+  request.fail_fast = fail_fast;
   request.on_progress = [](const eval::EvalProgress& p) {
     if (p.completed == p.total || p.completed % 200 == 0) {
       std::cerr << "\r  " << p.completed << "/" << p.total << " candidates"
@@ -58,5 +83,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n" << suite.name << " (" << suite.tasks.size() << " tasks, n="
             << request.n_samples << "):\n" << table.to_string();
+  if (inject > 0.0) {
+    injector.uninstall();
+    std::cerr << "  [chaos] " << injector.total_injected() << " faults injected\n";
+  }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "dataset/jsonl.h"
 
+#include <cstdlib>
+
 #include "llm/hallucination.h"
 #include "util/strings.h"
 
@@ -43,6 +45,164 @@ void write_jsonl(const Dataset& dataset, std::ostream& os) {
   for (const auto& sample : dataset.samples) {
     os << sample_to_json(sample) << "\n";
   }
+}
+
+namespace {
+
+// Unescape the JSON string starting at the opening quote `line[pos]`.
+// On success returns true, stores the decoded text, and leaves `pos` just
+// past the closing quote. Any malformation (no opening/closing quote, bad
+// escape, truncated \uXXXX, raw control character) returns false.
+bool parse_json_string(const std::string& line, std::size_t& pos, std::string* out) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out->clear();
+  while (pos < line.size()) {
+    const unsigned char c = static_cast<unsigned char>(line[pos]);
+    if (c == '"') {
+      ++pos;
+      return true;
+    }
+    if (c < 0x20) return false;  // raw control char: writer always escapes these
+    if (c != '\\') {
+      out->push_back(static_cast<char>(c));
+      ++pos;
+      continue;
+    }
+    if (++pos >= line.size()) return false;  // truncated escape
+    const char esc = line[pos];
+    ++pos;
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (pos + 4 > line.size()) return false;
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = line[pos + static_cast<std::size_t>(i)];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        pos += 4;
+        // UTF-8 encode the BMP codepoint (the writer only emits \u00XX).
+        if (cp < 0x80) {
+          out->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        break;
+      }
+      default: return false;  // unknown escape
+    }
+  }
+  return false;  // ran off the line without a closing quote
+}
+
+// Locate `"key":` outside any string value and return the position of its
+// value. npos when absent. Scans honestly through strings so a key name
+// appearing inside an instruction body does not fool it.
+std::size_t find_value_of(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  bool in_string = false;
+  while (pos < line.size()) {
+    const char c = line[pos];
+    if (in_string) {
+      if (c == '\\') ++pos;  // skip the escaped char too
+      else if (c == '"') in_string = false;
+      ++pos;
+      continue;
+    }
+    if (c == '"') {
+      if (line.compare(pos, needle.size(), needle) == 0) return pos + needle.size();
+      in_string = true;
+    }
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+bool parse_string_field(const std::string& line, const std::string& key, std::string* out) {
+  std::size_t pos = find_value_of(line, key);
+  if (pos == std::string::npos) return false;
+  return parse_json_string(line, pos, out);
+}
+
+// One line -> one sample. instruction + output are mandatory; origin,
+// weight, and teaches are optional with writer defaults.
+bool parse_sample_line(const std::string& line, Sample* sample) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  if (!parse_string_field(line, "instruction", &sample->instruction)) return false;
+  if (!parse_string_field(line, "output", &sample->code)) return false;
+  if (!parse_string_field(line, "origin", &sample->origin)) sample->origin.clear();
+
+  sample->weight = 1.0;
+  const std::size_t wpos = find_value_of(line, "weight");
+  if (wpos != std::string::npos) {
+    char* end = nullptr;
+    const double w = std::strtod(line.c_str() + wpos, &end);
+    if (end == line.c_str() + wpos) return false;  // "weight": followed by junk
+    sample->weight = w;
+  }
+
+  sample->teaches.clear();
+  std::size_t tpos = find_value_of(line, "teaches");
+  if (tpos != std::string::npos) {
+    if (tpos >= line.size() || line[tpos] != '[') return false;
+    ++tpos;
+    while (tpos < line.size() && line[tpos] != ']') {
+      if (line[tpos] == ',') {
+        ++tpos;
+        continue;
+      }
+      std::string name;
+      if (!parse_json_string(line, tpos, &name)) return false;
+      for (int axis = 0; axis < llm::kNumHalluAxes; ++axis) {
+        const auto a = static_cast<llm::HalluAxis>(axis);
+        if (llm::hallu_axis_name(a) == name) {
+          // Per-axis weights are not serialized; read back as 1.0.
+          sample->teaches.emplace_back(a, 1.0);
+          break;
+        }
+      }
+      // Unknown axis names are tolerated and dropped.
+    }
+    if (tpos >= line.size()) return false;  // unterminated array
+  }
+  return true;
+}
+
+}  // namespace
+
+JsonlReadResult read_jsonl(std::istream& is) {
+  JsonlReadResult result;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;  // blank: ignore
+    ++result.lines;
+    Sample sample;
+    if (parse_sample_line(line, &sample)) {
+      result.dataset.samples.push_back(std::move(sample));
+    } else {
+      ++result.skipped;
+    }
+  }
+  return result;
 }
 
 }  // namespace haven::dataset

@@ -1,9 +1,11 @@
-// JSONL export of datasets: one {"instruction": ..., "output": ...,
+// JSONL export/import of datasets: one {"instruction": ..., "output": ...,
 // "origin": ...} object per line — the standard fine-tuning data format, so
 // the K/L datasets this pipeline generates can be fed to a *real* LLM
-// trainer outside this repository.
+// trainer outside this repository (and read back for inspection).
 #pragma once
 
+#include <cstddef>
+#include <istream>
 #include <ostream>
 #include <string>
 
@@ -19,5 +21,21 @@ std::string sample_to_json(const Sample& sample);
 
 // Write the whole dataset, one sample per line.
 void write_jsonl(const Dataset& dataset, std::ostream& os);
+
+struct JsonlReadResult {
+  Dataset dataset;
+  std::size_t lines = 0;    // non-blank lines seen
+  std::size_t skipped = 0;  // malformed/truncated lines dropped
+};
+
+// Tolerant line reader for the format write_jsonl emits. Real corpora
+// arrive damaged — truncated tails, interleaved garbage, broken escapes —
+// and a reader that throws mid-file loses the whole corpus to one bad
+// line. Instead: a malformed line (missing/unterminated instruction or
+// output field, invalid escape) bumps `skipped` and is dropped; blank
+// lines are ignored entirely. Parse one sample back per good line.
+// Round-trip note: `teaches` axis *weights* are not serialized, so they
+// read back as 1.0; unknown axis names are ignored.
+JsonlReadResult read_jsonl(std::istream& is);
 
 }  // namespace haven::dataset

@@ -1,17 +1,31 @@
 #include "eval/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <ctime>
 #include <future>
 
+#include <thread>
+
 #include "cot/sicot.h"
 #include "eval/passk.h"
 #include "sim/testbench.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 #include "verilog/analyzer.h"
 
 namespace haven::eval {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kException: return "exception";
+    case FaultKind::kInjected: return "injected";
+    case FaultKind::kDeadline: return "deadline";
+    case FaultKind::kSimBudget: return "sim_budget";
+  }
+  return "?";
+}
 
 double SuiteResult::pass_at(int k) const {
   std::vector<std::pair<int, int>> nc;
@@ -60,7 +74,8 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// One (temperature, task, sample) work unit's result plus stage timings.
+// One (temperature, task, sample) work unit's result plus stage timings and
+// the fault record when the unit terminally failed.
 struct UnitOutcome {
   bool syntax_ok = false;
   bool func_ok = false;
@@ -68,15 +83,29 @@ struct UnitOutcome {
   double generate_seconds = 0.0;
   double compile_seconds = 0.0;
   double sim_seconds = 0.0;
+  int attempts = 1;  // attempts consumed (1 = no retries)
+  bool faulted = false;
+  FaultKind fault_kind = FaultKind::kException;
+  std::string fault_what;
 };
+
+FaultKind classify_fault(const std::exception& e) {
+  if (dynamic_cast<const util::InjectedFault*>(&e) != nullptr) return FaultKind::kInjected;
+  if (dynamic_cast<const util::DeadlineExceeded*>(&e) != nullptr) return FaultKind::kDeadline;
+  if (dynamic_cast<const sim::BudgetExceeded*>(&e) != nullptr) return FaultKind::kSimBudget;
+  return FaultKind::kException;
+}
 
 // The candidate pipeline shared by evaluate() and check(): SI-CoT refine,
 // generate, compile-check, differential simulation. The draw order against
-// `rng` is part of the determinism contract — do not reorder.
+// `rng` is part of the determinism contract — do not reorder. Neither the
+// deadline checks nor the injection hook draw from `rng`, so enabling them
+// never perturbs results.
 CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                double temperature, bool use_sicot,
                                const llm::SimLlm* cot_model, util::Rng& rng,
-                               UnitOutcome* stats) {
+                               UnitOutcome* stats, const util::Deadline& deadline,
+                               std::uint64_t step_budget) {
   CandidateOutcome outcome;
 
   const Clock::time_point gen_start = Clock::now();
@@ -93,19 +122,24 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
   gen.temperature = temperature;
   outcome.source = model.generate(prompt, gen, rng);
   if (stats != nullptr) stats->generate_seconds = seconds_since(gen_start);
+  deadline.check("generate");
 
   const Clock::time_point compile_start = Clock::now();
+  util::maybe_inject(util::kSiteEvalCompile);
   outcome.syntax_ok = verilog::compile_ok(outcome.source);
   if (stats != nullptr) {
     stats->compile_seconds = seconds_since(compile_start);
     stats->syntax_ok = outcome.syntax_ok;
   }
+  deadline.check("compile");
   if (!outcome.syntax_ok) return outcome;
 
   const Clock::time_point sim_start = Clock::now();
   util::Rng tb_rng = rng.fork();
+  sim::StimulusSpec stimulus = task.stimulus;
+  if (step_budget != 0) stimulus.step_budget = step_budget;
   const sim::DiffResult diff =
-      sim::run_diff_test(outcome.source, task.golden_source, task.stimulus, tb_rng);
+      sim::run_diff_test(outcome.source, task.golden_source, stimulus, tb_rng, &deadline);
   outcome.func_ok = diff.passed;
   if (stats != nullptr) {
     stats->sim_seconds = seconds_since(sim_start);
@@ -118,8 +152,12 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
 
 CandidateOutcome EvalEngine::check(const llm::SimLlm& model, const EvalTask& task,
                                    double temperature, util::Rng& rng) const {
+  const util::Deadline deadline = request_.deadline_ms > 0
+                                      ? util::Deadline::after_ms(request_.deadline_ms)
+                                      : util::Deadline::none();
   return run_candidate(model, task, temperature, request_.use_sicot,
-                       request_.cot_model_ptr(), rng, nullptr);
+                       request_.cot_model_ptr(), rng, nullptr, deadline,
+                       request_.sim_step_budget);
 }
 
 SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) const {
@@ -148,18 +186,68 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     s = static_cast<int>(rest % n_samples);
   };
 
+  // One isolated work unit: run the candidate pipeline, retrying transient
+  // faults per the request's policy. Attempt k derives its RNG from
+  // (seed, unit, k) — the k = 0 term is zero, so first attempts reproduce
+  // the legacy derivation bit for bit — and its fault-injection context
+  // from (seed, unit, k), so chaos runs are deterministic at any thread
+  // count. Every exception is converted into a structured fault record;
+  // nothing escapes the unit.
   auto run_unit = [&](std::size_t unit) -> UnitOutcome {
     std::size_t ti = 0, task_i = 0;
     int s = 0;
     decode(unit, ti, task_i, s);
     const double temperature = request_.temperatures[ti];
-    util::Rng rng(task_seed[task_i] ^
-                  (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1)) ^
-                  static_cast<std::uint64_t>(temperature * 4096));
+    const int max_retries = std::max(0, request_.retry.max_retries);
     UnitOutcome stats;
-    run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
-                  rng, &stats);
-    return stats;
+    for (int attempt = 0;; ++attempt) {
+      stats = UnitOutcome{};  // drop partial stage results of a failed attempt
+      stats.attempts = attempt + 1;
+      util::Rng rng(task_seed[task_i] ^
+                    (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1)) ^
+                    static_cast<std::uint64_t>(temperature * 4096) ^
+                    (0xda942042e4dd58b5ULL * static_cast<std::uint64_t>(attempt)));
+      util::FaultInjector::ScopedContext fault_context(
+          request_.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(unit) + 1)) ^
+          (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(attempt) + 1)));
+      const util::Deadline deadline = request_.deadline_ms > 0
+                                          ? util::Deadline::after_ms(request_.deadline_ms)
+                                          : util::Deadline::none();
+      try {
+        run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
+                      rng, &stats, deadline, request_.sim_step_budget);
+        return stats;
+      } catch (const std::exception& e) {
+        if (attempt < max_retries && request_.retry.should_retry(e)) {
+          const int backoff = request_.retry.backoff_ms(attempt);
+          if (backoff > 0) std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+          continue;
+        }
+        stats.faulted = true;
+        stats.fault_kind = classify_fault(e);
+        stats.fault_what = e.what();
+        return stats;
+      } catch (...) {
+        stats.faulted = true;
+        stats.fault_kind = FaultKind::kException;
+        stats.fault_what = "unknown non-standard exception";
+        return stats;
+      }
+    }
+  };
+
+  auto make_fault = [&](std::size_t unit, const UnitOutcome& u) -> UnitFault {
+    std::size_t ti = 0, task_i = 0;
+    int s = 0;
+    decode(unit, ti, task_i, s);
+    UnitFault fault;
+    fault.kind = u.fault_kind;
+    fault.task_id = suite.tasks[task_i].id;
+    fault.sample = s;
+    fault.temperature = request_.temperatures[ti];
+    fault.attempts = u.attempts;
+    fault.what = u.fault_what;
+    return fault;
   };
 
   auto report_progress = [&](std::size_t unit) {
@@ -182,9 +270,19 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
   const std::size_t workers = std::min(requested_threads, total == 0 ? std::size_t{1} : total);
 
   std::vector<UnitOutcome> outcomes(total);
+
+  // In fail_fast mode the first faulted unit (in index order) condemns the
+  // run: queued-but-unstarted work is cancelled and EvalAborted is thrown.
+  auto abort_if_fail_fast = [&](std::size_t i, util::ThreadPool* pool) {
+    if (!request_.fail_fast || !outcomes[i].faulted) return;
+    if (pool != nullptr) pool->cancel();
+    throw EvalAborted(make_fault(i, outcomes[i]));
+  };
+
   if (workers <= 1) {
     for (std::size_t i = 0; i < total; ++i) {
       outcomes[i] = run_unit(i);
+      abort_if_fail_fast(i, nullptr);
       report_progress(i);
     }
   } else {
@@ -198,14 +296,27 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     // stream) must never observe completion order.
     for (std::size_t i = 0; i < total; ++i) {
       outcomes[i] = futures[i].get();
+      abort_if_fail_fast(i, &pool);
       report_progress(i);
     }
   }
 
   EvalCounters counters;
+  std::vector<UnitFault> faults;
   counters.threads_used = static_cast<int>(workers);
-  for (const UnitOutcome& u : outcomes) {
+  for (std::size_t i = 0; i < total; ++i) {
+    const UnitOutcome& u = outcomes[i];
     ++counters.candidates;
+    counters.retries += u.attempts - 1;
+    if (u.faulted) {
+      // A faulted unit's partial stage results are discarded: it counts
+      // toward candidates/unit_faults only and scores as a total failure.
+      ++counters.unit_faults;
+      counters.deadline_exceeded += u.fault_kind == FaultKind::kDeadline;
+      counters.cycles_aborted += u.fault_kind == FaultKind::kSimBudget;
+      faults.push_back(make_fault(i, u));
+      continue;
+    }
     counters.compile_failures += !u.syntax_ok;
     counters.sim_mismatches += u.syntax_ok && !u.func_ok;
     counters.sicot_refinements += u.refined;
@@ -230,8 +341,12 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       tr.n = request_.n_samples;
       const std::size_t base = (ti * n_tasks + task_i) * n_samples;
       for (std::size_t s = 0; s < n_samples; ++s) {
-        tr.syntax_pass += outcomes[base + s].syntax_ok;
-        tr.func_pass += outcomes[base + s].func_ok;
+        const UnitOutcome& u = outcomes[base + s];
+        // Faulted units score as total failures even when an earlier stage
+        // succeeded before the fault (e.g. compiled, then sim deadline blew).
+        if (u.faulted) continue;
+        tr.syntax_pass += u.syntax_ok;
+        tr.func_pass += u.func_ok;
       }
       result.per_task.push_back(std::move(tr));
     }
@@ -252,6 +367,7 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
   counters.cpu_seconds =
       static_cast<double>(std::clock() - cpu_start) / static_cast<double>(CLOCKS_PER_SEC);
   best.counters = counters;
+  best.faults = std::move(faults);
   return best;
 }
 

@@ -13,6 +13,23 @@
 //    therefore bit-identical to threads=1 for the same seed: same per-task
 //    pass counts, same best temperature, same deterministic counters.
 //  * Progress callbacks fire on the calling thread, in index order.
+//
+// Fault tolerance (see DESIGN.md §7 "Failure semantics"):
+//  * Per-unit isolation: an exception thrown anywhere inside a work unit is
+//    caught in the worker, recorded as a structured UnitFault on the
+//    SuiteResult, and the reduction continues. A faulted unit counts toward
+//    `candidates` but contributes nothing to pass tallies (scored as a
+//    total failure). Set EvalRequest::fail_fast for the old
+//    throw-on-first-error behavior (evaluate() then throws EvalAborted and
+//    cancels the remaining queue).
+//  * Budgets & deadlines: `sim_step_budget` bounds each simulation's work;
+//    `deadline_ms` bounds each attempt's wall clock, checked between
+//    pipeline stages and between simulated cycles.
+//  * Retry: faults the EvalRequest::retry policy classifies transient
+//    (injected faults by default) are retried with deterministic backoff.
+//    Attempt k of a unit derives its RNG from (seed, unit, k) — attempt 0
+//    is bit-identical to the no-retry derivation, so enabling retries
+//    changes nothing on fault-free runs.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +43,7 @@
 #include "eval/task.h"
 #include "llm/simllm.h"
 #include "symbolic/modality.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace haven::eval {
@@ -41,6 +59,42 @@ struct TaskResult {
   int func_pass = 0;    // candidates functionally equivalent to golden
 };
 
+// Why a work unit terminally failed. Classification drives retry policy and
+// the counter breakdown; see DESIGN.md §7 for the taxonomy.
+enum class FaultKind {
+  kException = 0,  // unclassified exception escaped the unit
+  kInjected,       // util::InjectedFault from the chaos harness
+  kDeadline,       // per-unit wall-clock deadline exceeded
+  kSimBudget,      // sim::BudgetExceeded (runaway simulation)
+};
+const char* fault_kind_name(FaultKind kind);
+
+// Structured record of one terminally faulted work unit (retries, if any,
+// were already exhausted). Recorded on SuiteResult::faults in work-unit
+// index order — deterministic for a fixed seed at any thread count.
+struct UnitFault {
+  FaultKind kind = FaultKind::kException;
+  std::string task_id;
+  int sample = 0;           // sample index within the task
+  double temperature = 0.0;
+  int attempts = 1;         // attempts consumed (1 = no retries)
+  std::string what;         // exception message
+};
+
+// Thrown by EvalEngine::evaluate in fail_fast mode on the first unit fault;
+// queued-but-unstarted units are cancelled, running ones finish.
+class EvalAborted : public std::runtime_error {
+ public:
+  explicit EvalAborted(UnitFault fault)
+      : std::runtime_error("evaluation aborted (fail_fast) on task '" + fault.task_id +
+                           "': " + fault.what),
+        fault_(std::move(fault)) {}
+  const UnitFault& fault() const { return fault_; }
+
+ private:
+  UnitFault fault_;
+};
+
 // Per-run observability block. The integer counters aggregate over the whole
 // run (all temperatures) and are deterministic for a fixed seed; the timing
 // fields are measured and vary run to run. Stage times are summed across
@@ -51,6 +105,13 @@ struct EvalCounters {
   std::int64_t compile_failures = 0;   // candidates rejected by the compiler
   std::int64_t sim_mismatches = 0;     // compiled candidates failing diff-sim
   std::int64_t sicot_refinements = 0;  // prompts SI-CoT actually transformed
+  // Fault-tolerance block. Invariant at any injection rate / thread count:
+  //   candidates == unit_faults + compile_failures + sim_mismatches + func passes
+  // (single-temperature runs; multi-temperature runs sum across temps).
+  std::int64_t unit_faults = 0;        // terminally faulted units (retries exhausted)
+  std::int64_t deadline_exceeded = 0;  // unit faults that were deadline blows
+  std::int64_t cycles_aborted = 0;     // unit faults that were sim-budget blows
+  std::int64_t retries = 0;            // retry attempts performed (beyond first tries)
   double generate_seconds = 0.0;       // SI-CoT refine + candidate generation
   double compile_seconds = 0.0;        // syntax checking
   double sim_seconds = 0.0;            // differential simulation
@@ -65,6 +126,9 @@ struct SuiteResult {
   double temperature = 0.2;  // the reported (best) temperature
   std::vector<TaskResult> per_task;
   EvalCounters counters;  // aggregated over the full run (all temperatures)
+  // Terminally faulted units across ALL temperatures, in work-unit index
+  // order (empty on a healthy run).
+  std::vector<UnitFault> faults;
 
   double pass_at(int k) const;         // functional
   double syntax_pass_at(int k) const;  // syntax
@@ -107,6 +171,21 @@ class EvalRequest {
   // Invoked on the calling thread after each unit is reduced, in index
   // order; leave empty for no progress reporting.
   ProgressCallback on_progress;
+
+  // --- fault tolerance ------------------------------------------------------
+  // Abort the whole run (throw EvalAborted, cancel the queue) on the first
+  // terminally faulted unit instead of isolating it. Off by default: the
+  // suite completes and faults land on SuiteResult::faults.
+  bool fail_fast = false;
+  // Per-attempt wall-clock deadline in milliseconds (0 = none), enforced
+  // between pipeline stages and between simulated cycles.
+  int deadline_ms = 0;
+  // Per-simulation step budget forwarded to the differential testbench
+  // (0 = unlimited; see StimulusSpec::step_budget).
+  std::uint64_t sim_step_budget = 0;
+  // Retry policy for transient faults (injected faults by default). With
+  // retry.max_retries = 0 nothing is ever retried.
+  util::RetryPolicy retry;
 
   // CoT prompting model for SI-CoT. The reference is NON-OWNING: the caller
   // keeps the model alive for as long as this request (and any EvalEngine

@@ -19,7 +19,7 @@ std::string summarize(const SuiteResult& result) {
 }
 
 std::string summarize(const EvalCounters& c) {
-  return util::format(
+  std::string line = util::format(
       "%lld candidates (%lld compile failures, %lld sim mismatches, %lld SI-CoT "
       "refinements); gen %.2fs compile %.2fs sim %.2fs; wall %.2fs cpu %.2fs on %d "
       "thread%s",
@@ -27,6 +27,14 @@ std::string summarize(const EvalCounters& c) {
       static_cast<long long>(c.sim_mismatches), static_cast<long long>(c.sicot_refinements),
       c.generate_seconds, c.compile_seconds, c.sim_seconds, c.wall_seconds, c.cpu_seconds,
       c.threads_used, c.threads_used == 1 ? "" : "s");
+  if (c.unit_faults != 0 || c.retries != 0) {
+    line += util::format("; %lld unit faults (%lld deadline, %lld sim-budget), %lld retries",
+                         static_cast<long long>(c.unit_faults),
+                         static_cast<long long>(c.deadline_exceeded),
+                         static_cast<long long>(c.cycles_aborted),
+                         static_cast<long long>(c.retries));
+  }
+  return line;
 }
 
 }  // namespace haven::eval

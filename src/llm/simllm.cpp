@@ -5,6 +5,7 @@
 #include "llm/codegen.h"
 #include "llm/instruction.h"
 #include "logic/truth_table.h"
+#include "util/fault.h"
 #include "util/strings.h"
 #include "verilog/parser.h"
 #include "verilog/pretty.h"
@@ -103,6 +104,9 @@ std::string SimLlm::fallback_module(const ParsedInstruction& parsed, const std::
 
 std::string SimLlm::generate(const std::string& prompt, const GenerationConfig& config,
                              util::Rng& rng) const {
+  // Chaos hook: a real inference backend fails here (timeout, OOM, truncated
+  // response); the injected stand-in lets the eval harness prove it survives.
+  util::maybe_inject(util::kSiteLlmGenerate);
   const double t = config.temperature;
 
   ParsedInstruction parsed = parse_instruction(prompt);

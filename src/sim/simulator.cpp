@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace haven::sim {
@@ -18,7 +19,8 @@ constexpr int kMaxDeltaCycles = 1000;
 constexpr int kMaxLoopIterations = 1 << 16;
 }  // namespace
 
-Simulator::Simulator(ElabDesign design) : design_(std::move(design)) {
+Simulator::Simulator(ElabDesign design, std::uint64_t step_budget)
+    : design_(std::move(design)), step_budget_(step_budget) {
   state_.reserve(design_.signals.size());
   for (const auto& sig : design_.signals) state_.emplace_back(Value::all_x(sig.width));
 
@@ -49,6 +51,14 @@ Simulator::Simulator(ElabDesign design) : design_(std::move(design)) {
   prev_edge_state_ = state_;
   update(dirty);
   prev_edge_state_ = state_;
+}
+
+void Simulator::bump_steps() {
+  ++steps_;
+  if (step_budget_ != 0 && steps_ > step_budget_) {
+    throw BudgetExceeded(util::format("simulation step budget exhausted (%llu steps)",
+                                      static_cast<unsigned long long>(step_budget_)));
+  }
 }
 
 std::size_t Simulator::id_of(const std::string& name) const {
@@ -102,6 +112,7 @@ void Simulator::clock_cycle(const std::string& clk) {
 }
 
 void Simulator::update(std::set<std::size_t>& dirty) {
+  util::maybe_inject(util::kSiteSimRun);
   for (int round = 0; round < kMaxDeltaCycles; ++round) {
     // 1. Combinational fixpoint.
     int delta = 0;
@@ -169,6 +180,7 @@ void Simulator::update(std::set<std::size_t>& dirty) {
 void Simulator::execute_process(const ElabProcess& proc, bool clocked,
                                 std::set<std::size_t>& dirty) {
   ++activations_;
+  bump_steps();
   if (proc.kind == ProcessKind::kContAssign) {
     assign_lvalue(proc.lhs, eval(proc.rhs), /*nonblocking=*/false, dirty);
     return;
@@ -294,6 +306,7 @@ Value Simulator::eval(const ExprPtr& e) const {
 
 void Simulator::exec_stmt(const StmtPtr& s, bool clocked, std::set<std::size_t>& dirty) {
   if (!s) return;
+  bump_steps();
   switch (s->kind) {
     case StmtKind::kBlock:
       for (const auto& c : s->stmts) exec_stmt(c, clocked, dirty);

@@ -15,11 +15,18 @@
 // A design that fails to converge (combinational loop) sets converged() =
 // false instead of throwing, so the testbench can count it as a functional
 // failure — exactly how a hallucinated `assign a = ~a;` should score.
+//
+// Runaway protection: the per-update delta/loop caps above bound any single
+// poke, but a long stimulus against a pathological design can still burn
+// unbounded total work. An optional hard *step budget* (counted in executed
+// statements + process activations) turns that into a BudgetExceeded throw;
+// the simulator must be discarded afterwards (mid-update state is torn).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,9 +35,24 @@
 
 namespace haven::sim {
 
+// Thrown when a step budget is exhausted: the design is doing unbounded
+// work for its stimulus. Deliberately NOT a util::TransientError — a
+// deterministic runaway re-fails on retry.
+struct BudgetExceeded : std::runtime_error {
+  explicit BudgetExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
 class Simulator {
  public:
-  explicit Simulator(ElabDesign design);
+  // `step_budget` = 0 means unlimited; a non-zero budget also covers the
+  // initial-block execution and first settle inside this constructor.
+  explicit Simulator(ElabDesign design, std::uint64_t step_budget = 0);
+
+  // Replace the step budget (0 = unlimited). Steps already consumed count
+  // against the new budget.
+  void set_step_budget(std::uint64_t max_steps) { step_budget_ = max_steps; }
+  // Statements executed + processes activated so far.
+  std::uint64_t steps() const { return steps_; }
 
   // Drive a top-level input. Throws ElabError for unknown/non-input names.
   void poke(const std::string& input, std::uint64_t value);
@@ -52,6 +74,7 @@ class Simulator {
 
  private:
   std::size_t id_of(const std::string& name) const;
+  void bump_steps();
   void run_initial_blocks();
   void update(std::set<std::size_t>& dirty);
   void execute_process(const ElabProcess& proc, bool clocked, std::set<std::size_t>& dirty);
@@ -77,6 +100,8 @@ class Simulator {
   std::vector<NbaEntry> nba_queue_;
   bool converged_ = true;
   std::uint64_t activations_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t step_budget_ = 0;  // 0 = unlimited
   int loop_depth_ = 0;
 };
 

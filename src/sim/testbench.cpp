@@ -73,9 +73,17 @@ DiffResult interface_check(const Module& dut, const Module& golden) {
 
 DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
                          const Module& golden_mod, const SourceFile* golden_file,
-                         const StimulusSpec& spec, util::Rng& rng) {
+                         const StimulusSpec& spec, util::Rng& rng,
+                         const util::Deadline* deadline) {
   DiffResult iface = interface_check(dut_mod, golden_mod);
   if (!iface.passed) return iface;
+
+  // Watchdog: checked between vectors/cycles; sim::BudgetExceeded and
+  // util::DeadlineExceeded both escape this function as harness faults,
+  // never as DUT verdicts.
+  auto check_deadline = [&](const char* where) {
+    if (deadline != nullptr) deadline->check(where);
+  };
 
   DiffResult result;
   try {
@@ -88,7 +96,8 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
       return result;
     }
 
-    Harness h{Simulator(std::move(golden_design)), Simulator(std::move(dut_design)), {}, {}, {}};
+    Harness h{Simulator(std::move(golden_design), spec.step_budget),
+              Simulator(std::move(dut_design), spec.step_budget), {}, {}, {}};
     for (const auto& p : golden_mod.ports) {
       if (p.dir == Dir::kOutput) {
         h.outputs.push_back(p.name);
@@ -135,6 +144,7 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
       if (total_bits <= spec.max_exhaustive_bits && total_bits <= 20) {
         const std::uint64_t limit = std::uint64_t{1} << total_bits;
         for (std::uint64_t vec = 0; vec < limit; ++vec) {
+          check_deadline("exhaustive vector sweep");
           std::uint64_t rest = vec;
           for (std::size_t i = 0; i < h.data_inputs.size(); ++i) {
             const int w = h.data_widths[i];
@@ -151,6 +161,7 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
         }
       } else {
         for (int v = 0; v < spec.random_vectors; ++v) {
+          check_deadline("random vector sweep");
           randomize_inputs();
           ++result.vectors;
           if (!compare_outputs(util::format("random vector %d", v).c_str())) return result;
@@ -210,6 +221,7 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
     const int reassert_a = spec.mid_test_reset && !spec.reset.empty() ? spec.cycles / 3 : -1;
     const int reassert_b = spec.mid_test_reset && !spec.reset.empty() ? spec.cycles * 2 / 3 : -1;
     for (int cycle = 0; cycle < spec.cycles; ++cycle) {
+      check_deadline("cycle loop");
       if (cycle == reassert_a || cycle == reassert_b) {
         drive_both(spec.reset, reset_on);
         ++result.vectors;
@@ -237,7 +249,8 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
 }
 
 DiffResult run_diff_test(const std::string& dut_source, const std::string& golden_source,
-                         const StimulusSpec& spec, util::Rng& rng) {
+                         const StimulusSpec& spec, util::Rng& rng,
+                         const util::Deadline* deadline) {
   DiffResult result;
   verilog::ParseOutput dut_parsed = verilog::parse_source(dut_source);
   if (!dut_parsed.ok() || dut_parsed.file.modules.empty()) {
@@ -252,7 +265,8 @@ DiffResult run_diff_test(const std::string& dut_source, const std::string& golde
     throw std::invalid_argument("golden source does not parse");
   }
   return run_diff_test(dut_parsed.file.modules.front(), &dut_parsed.file,
-                       golden_parsed.file.modules.front(), &golden_parsed.file, spec, rng);
+                       golden_parsed.file.modules.front(), &golden_parsed.file, spec, rng,
+                       deadline);
 }
 
 }  // namespace haven::sim

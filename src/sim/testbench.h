@@ -5,9 +5,11 @@
 // module on every driven vector/cycle.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "sim/simulator.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "verilog/ast.h"
 
@@ -22,6 +24,10 @@ struct StimulusSpec {
   int max_exhaustive_bits = 12;    // comb: exhaustive when total input bits fit
   int random_vectors = 256;        // comb fallback vector count
   bool mid_test_reset = true;      // re-assert reset mid-run (corner case)
+  // Hard per-simulator step budget (0 = unlimited). Exceeding it throws
+  // sim::BudgetExceeded out of the diff test, so a runaway candidate can
+  // never pin a worker; the eval engine records it as a unit fault.
+  std::uint64_t step_budget = 0;
 };
 
 struct DiffResult {
@@ -34,13 +40,19 @@ struct DiffResult {
 // provide instance definitions (may be null). Any elaboration failure,
 // interface mismatch, non-convergence, or output divergence fails the test
 // with a human-readable reason.
+//
+// `deadline`, when non-null and active, is checked between vectors/cycles
+// (watchdog granularity) and throws util::DeadlineExceeded — a harness
+// abort, deliberately distinct from a DUT verdict.
 DiffResult run_diff_test(const verilog::Module& dut, const verilog::SourceFile* dut_file,
                          const verilog::Module& golden, const verilog::SourceFile* golden_file,
-                         const StimulusSpec& spec, util::Rng& rng);
+                         const StimulusSpec& spec, util::Rng& rng,
+                         const util::Deadline* deadline = nullptr);
 
 // Convenience overload working on source text; parse failures of the DUT
 // fail the test (the golden source must be valid — throws otherwise).
 DiffResult run_diff_test(const std::string& dut_source, const std::string& golden_source,
-                         const StimulusSpec& spec, util::Rng& rng);
+                         const StimulusSpec& spec, util::Rng& rng,
+                         const util::Deadline* deadline = nullptr);
 
 }  // namespace haven::sim

@@ -1,0 +1,110 @@
+#include "util/fault.h"
+
+#include <algorithm>
+
+namespace haven::util {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+thread_local std::uint64_t tl_context = 0;
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(std::string_view site)
+    : TransientError("injected fault at " + std::string(site)), site_(site) {}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+FaultInjector::~FaultInjector() { uninstall(); }
+
+void FaultInjector::arm(std::string_view site, double probability) {
+  const double p = std::clamp(probability, 0.0, 1.0);
+  if (Site* s = find(site)) {
+    s->p = p;
+    return;
+  }
+  sites_.emplace_back(std::string(site), p);
+}
+
+const FaultInjector::Site* FaultInjector::find(std::string_view site) const {
+  for (const Site& s : sites_) {
+    if (s.name == site) return &s;
+  }
+  return nullptr;
+}
+
+FaultInjector::Site* FaultInjector::find(std::string_view site) {
+  return const_cast<Site*>(static_cast<const FaultInjector*>(this)->find(site));
+}
+
+double FaultInjector::probability(std::string_view site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0.0 : s->p;
+}
+
+bool FaultInjector::should_fail(std::string_view site) const {
+  const Site* s = find(site);
+  if (s == nullptr || s->p <= 0.0) return false;
+  if (s->p >= 1.0) return true;
+  const std::uint64_t h = splitmix64(fnv1a(site, seed_) ^ tl_context);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < s->p;
+}
+
+void FaultInjector::check(std::string_view site) {
+  Site* s = find(site);
+  if (s == nullptr || s->p <= 0.0) return;
+  if (!should_fail(site)) return;
+  s->fired.fetch_add(1, std::memory_order_relaxed);
+  throw InjectedFault(site);
+}
+
+std::int64_t FaultInjector::injected(std::string_view site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0 : s->fired.load(std::memory_order_relaxed);
+}
+
+std::int64_t FaultInjector::total_injected() const {
+  std::int64_t total = 0;
+  for (const Site& s : sites_) total += s.fired.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FaultInjector::install() { g_injector.store(this, std::memory_order_release); }
+
+void FaultInjector::uninstall() {
+  FaultInjector* expected = this;
+  g_injector.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+FaultInjector* FaultInjector::current() { return g_injector.load(std::memory_order_acquire); }
+
+FaultInjector::ScopedContext::ScopedContext(std::uint64_t key) : prev_(tl_context) {
+  tl_context = key;
+}
+
+FaultInjector::ScopedContext::~ScopedContext() { tl_context = prev_; }
+
+void maybe_inject(std::string_view site) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return;
+  injector->check(site);
+}
+
+}  // namespace haven::util

@@ -1,0 +1,117 @@
+// Fault injection for chaos testing the evaluation harness itself.
+//
+// The eval stack exposes named injection *sites* (generation, compile-check,
+// simulation). A FaultInjector, once installed process-wide, makes armed
+// sites throw util::InjectedFault with a configured probability. Draws are
+// keyed on (injector seed, site name, thread-local context key) — never on a
+// shared RNG stream or a call counter — so a chaos run is deterministic for
+// a fixed seed regardless of thread count or scheduling, and an injector
+// with every site at probability 0 perturbs nothing at all.
+//
+// The evaluation engine sets the context key per (work unit, attempt) via
+// FaultInjector::ScopedContext, which is what lets a retried attempt redraw
+// its fate independently while staying reproducible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace haven::util {
+
+// Canonical site names for the eval stack's hooks.
+inline constexpr std::string_view kSiteLlmGenerate = "llm.generate";
+inline constexpr std::string_view kSiteEvalCompile = "eval.compile";
+inline constexpr std::string_view kSiteSimRun = "sim.run";
+
+// Base class for faults the retry layer classifies as transient (worth
+// retrying). Deterministic failures (deadline, sim budget) do NOT derive
+// from this: re-running them would only re-fail.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by an armed injection site.
+class InjectedFault : public TransientError {
+ public:
+  explicit InjectedFault(std::string_view site);
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xC7A05'FA17ULL);
+  // Uninstalls itself if still the process-wide injector.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arm `site` to fail with the given probability (clamped to [0, 1]).
+  // Call before install(); arming while hooks may fire concurrently is a
+  // data race.
+  void arm(std::string_view site, double probability);
+
+  // Armed probability for a site (0 when not armed).
+  double probability(std::string_view site) const;
+
+  // Deterministic draw for (seed, site, current thread-local context key).
+  // Does not bump counters.
+  bool should_fail(std::string_view site) const;
+
+  // Faults injected at one site / across all sites so far.
+  std::int64_t injected(std::string_view site) const;
+  std::int64_t total_injected() const;
+
+  // Install as the process-wide injector consulted by maybe_inject().
+  // Only one injector is active at a time; installing replaces the previous.
+  void install();
+  void uninstall();
+  static FaultInjector* current();
+
+  // RAII thread-local context key for deterministic draws; restores the
+  // previous key on destruction. Key 0 is the ambient default.
+  class ScopedContext {
+   public:
+    explicit ScopedContext(std::uint64_t key);
+    ~ScopedContext();
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+   private:
+    std::uint64_t prev_;
+  };
+
+ private:
+  friend void maybe_inject(std::string_view site);
+
+  struct Site {
+    Site(std::string n, double prob) : name(std::move(n)), p(prob) {}
+    std::string name;
+    double p;
+    std::atomic<std::int64_t> fired{0};
+  };
+
+  const Site* find(std::string_view site) const;
+  Site* find(std::string_view site);
+  // Draw + count + throw when the site fires.
+  void check(std::string_view site);
+
+  std::uint64_t seed_;
+  // deque: grow-only, element addresses stable (atomics never move).
+  std::deque<Site> sites_;
+};
+
+// Injection hook, called at each site. No-op unless an injector is installed
+// and the site armed; throws InjectedFault when the site's draw fires. Cost
+// when disarmed: one relaxed atomic load.
+void maybe_inject(std::string_view site);
+
+}  // namespace haven::util

@@ -1,0 +1,21 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+namespace haven::util {
+
+int RetryPolicy::backoff_ms(int retry_index) const {
+  if (base_backoff_ms <= 0) return 0;
+  const double mult = backoff_multiplier < 1.0 ? 1.0 : backoff_multiplier;
+  const double ms = static_cast<double>(base_backoff_ms) *
+                    std::pow(mult, static_cast<double>(std::max(retry_index, 0)));
+  const double cap = static_cast<double>(std::max(max_backoff_ms, base_backoff_ms));
+  return static_cast<int>(std::min(ms, cap));
+}
+
+bool RetryPolicy::should_retry(const std::exception& e) const {
+  if (retryable) return retryable(e);
+  return dynamic_cast<const TransientError*>(&e) != nullptr;
+}
+
+}  // namespace haven::util

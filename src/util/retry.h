@@ -1,0 +1,92 @@
+// Retry with deterministic exponential backoff, and wall-clock deadlines.
+//
+// RetryPolicy is the one knob set the evaluation engine (and anything else
+// facing flaky work) uses to decide (a) whether a failure is worth retrying
+// — the `retryable` predicate, defaulting to "is a util::TransientError" —
+// and (b) how long to back off before the next attempt. Backoff is a pure
+// function of the attempt index (base * multiplier^attempt, capped), never
+// of a random source, so retried runs are reproducible.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/fault.h"
+
+namespace haven::util {
+
+struct RetryPolicy {
+  int max_retries = 0;            // extra attempts after the first (0 = never retry)
+  int base_backoff_ms = 0;        // backoff before the first retry (0 = no sleep)
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 1000;      // backoff cap
+  // Classifier for retry-worthy faults. Unset => retry util::TransientError
+  // (injected faults) only; deterministic failures re-fail identically.
+  std::function<bool(const std::exception&)> retryable;
+
+  // Deterministic exponential backoff before retry `retry_index` (0-based).
+  int backoff_ms(int retry_index) const;
+
+  bool should_retry(const std::exception& e) const;
+};
+
+// Run fn(attempt) under the policy: rethrow immediately on non-retryable
+// faults, otherwise back off and retry until attempts are exhausted (the
+// last error is rethrown).
+template <typename F>
+auto with_retry(const RetryPolicy& policy, F&& fn) -> decltype(fn(0)) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn(attempt);
+    } catch (const std::exception& e) {
+      if (attempt >= policy.max_retries || !policy.should_retry(e)) throw;
+      const int ms = policy.backoff_ms(attempt);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+}
+
+// Thrown when a Deadline check fires. Not transient: the same work would
+// blow the same deadline again.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Wall-clock deadline for one unit of work. expired() costs one
+// steady_clock read — cheap enough to call per simulated cycle, which is
+// the watchdog granularity that keeps an adversarial candidate from
+// hanging a worker.
+class Deadline {
+ public:
+  // Inactive deadline: never expires, check() is a no-op.
+  static Deadline none() { return Deadline(); }
+
+  static Deadline after_ms(int ms) {
+    Deadline d;
+    d.active_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool active() const { return active_; }
+  bool expired() const { return active_ && std::chrono::steady_clock::now() >= at_; }
+
+  // Throws DeadlineExceeded naming `where` when expired.
+  void check(const char* where) const {
+    if (expired()) throw DeadlineExceeded(std::string("deadline exceeded at ") + where);
+  }
+
+ private:
+  Deadline() = default;
+  std::chrono::steady_clock::time_point at_{};
+  bool active_ = false;
+};
+
+}  // namespace haven::util

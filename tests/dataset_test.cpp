@@ -249,6 +249,86 @@ TEST(Jsonl, WritesOneLinePerSample) {
   }
 }
 
+// --- JSONL import -----------------------------------------------------------------
+
+TEST(Jsonl, RoundTripsThroughWriteAndRead) {
+  util::Rng rng(62);
+  LDatasetConfig config;
+  config.count = 30;
+  const Dataset ds = build_l_dataset(config, rng);
+  std::ostringstream os;
+  write_jsonl(ds, os);
+  std::istringstream is(os.str());
+  const JsonlReadResult back = read_jsonl(is);
+  EXPECT_EQ(back.lines, 30u);
+  EXPECT_EQ(back.skipped, 0u);
+  ASSERT_EQ(back.dataset.samples.size(), ds.samples.size());
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    EXPECT_EQ(back.dataset.samples[i].instruction, ds.samples[i].instruction);
+    EXPECT_EQ(back.dataset.samples[i].code, ds.samples[i].code);
+    EXPECT_EQ(back.dataset.samples[i].origin, ds.samples[i].origin);
+    EXPECT_NEAR(back.dataset.samples[i].weight, ds.samples[i].weight, 1e-3);
+    // Axis names round-trip; per-axis weights are not serialized.
+    ASSERT_EQ(back.dataset.samples[i].teaches.size(), ds.samples[i].teaches.size());
+    for (std::size_t t = 0; t < ds.samples[i].teaches.size(); ++t) {
+      EXPECT_EQ(back.dataset.samples[i].teaches[t].first, ds.samples[i].teaches[t].first);
+    }
+  }
+}
+
+TEST(Jsonl, ReadDecodesEscapesIncludingUnicode) {
+  std::istringstream is(
+      "{\"instruction\":\"line1\\nline2\\t\\\"quoted\\\" \\u0041\\u00e9\","
+      "\"output\":\"module m(); endmodule\"}\n");
+  const JsonlReadResult result = read_jsonl(is);
+  ASSERT_EQ(result.dataset.samples.size(), 1u);
+  EXPECT_EQ(result.dataset.samples[0].instruction, "line1\nline2\t\"quoted\" A\xc3\xa9");
+  EXPECT_EQ(result.dataset.samples[0].origin, "");  // optional field defaults
+  EXPECT_DOUBLE_EQ(result.dataset.samples[0].weight, 1.0);
+}
+
+TEST(Jsonl, ReadSkipsDamagedLinesWithoutThrowing) {
+  // Real corpora arrive damaged: one good line buried in six kinds of junk.
+  std::istringstream is(
+      "\n"                                                        // blank: not counted
+      "{\"instruction\":\"ok\",\"output\":\"module m(); endmodule\"}\n"  // good
+      "{\"instruction\":\"truncated\n"                            // unterminated string
+      "not json at all\n"                                         // garbage
+      "{\"output\":\"missing instruction\"}\n"                    // mandatory field absent
+      "{\"instruction\":\"bad escape \\q\",\"output\":\"x\"}\n"   // unknown escape
+      "{\"instruction\":\"i\",\"output\":\"o\",\"weight\":oops}\n"  // junk weight
+      "   \t  \n");                                               // whitespace: not counted
+  JsonlReadResult result;
+  ASSERT_NO_THROW(result = read_jsonl(is));
+  EXPECT_EQ(result.lines, 6u);
+  EXPECT_EQ(result.skipped, 5u);
+  ASSERT_EQ(result.dataset.samples.size(), 1u);
+  EXPECT_EQ(result.dataset.samples[0].instruction, "ok");
+}
+
+TEST(Jsonl, ReadHandlesCrlfAndKeyNamesInsideStrings) {
+  // A field *value* mentioning "output": must not fool the key scanner, and
+  // Windows line endings must not corrupt the last field.
+  std::istringstream is(
+      "{\"instruction\":\"contains \\\"output\\\": decoy\",\"output\":\"real\"}\r\n");
+  const JsonlReadResult result = read_jsonl(is);
+  EXPECT_EQ(result.skipped, 0u);
+  ASSERT_EQ(result.dataset.samples.size(), 1u);
+  EXPECT_EQ(result.dataset.samples[0].instruction, "contains \"output\": decoy");
+  EXPECT_EQ(result.dataset.samples[0].code, "real");
+}
+
+TEST(Jsonl, ReadToleratesUnknownTeachesAxes) {
+  std::istringstream is(
+      "{\"instruction\":\"i\",\"output\":\"o\","
+      "\"teaches\":[\"know_convention\",\"not_a_real_axis\"]}\n");
+  const JsonlReadResult result = read_jsonl(is);
+  EXPECT_EQ(result.skipped, 0u);
+  ASSERT_EQ(result.dataset.samples.size(), 1u);
+  ASSERT_EQ(result.dataset.samples[0].teaches.size(), 1u);
+  EXPECT_EQ(result.dataset.samples[0].teaches[0].first, llm::HalluAxis::kKnowConvention);
+}
+
 // --- mixing ---------------------------------------------------------------------
 
 TEST(Mix, CombinesAndShuffles) {

@@ -4,11 +4,16 @@
 // never throw regardless of prompt or profile.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "eval/engine.h"
 #include "eval/suites.h"
 #include "llm/hallucination.h"
 #include "llm/model_zoo.h"
 #include "llm/simllm.h"
 #include "sim/testbench.h"
+#include "util/fault.h"
 #include "verilog/analyzer.h"
 #include "verilog/parser.h"
 
@@ -138,6 +143,216 @@ endmodule
   sim::Simulator s(sim::elaborate(out.file.modules.front(), &out.file));
   s.poke("a", 1);
   EXPECT_FALSE(s.converged());
+}
+
+// --- fault-tolerance: the eval engine must survive anything below it -------
+
+// A model that never hallucinates: candidates compile and simulate, so any
+// fault recorded below is provably the harness's own machinery firing.
+llm::SimLlm perfect_model() {
+  return llm::SimLlm("Perfect", llm::HallucinationProfile{}.scaled(0.0));
+}
+
+eval::Suite tiny_rtllm(std::size_t n_tasks) {
+  eval::Suite suite = eval::build_rtllm();
+  if (suite.tasks.size() > n_tasks) suite.tasks.resize(n_tasks);
+  return suite;
+}
+
+std::int64_t func_pass_sum(const eval::SuiteResult& r) {
+  std::int64_t sum = 0;
+  for (const auto& t : r.per_task) sum += t.func_pass;
+  return sum;
+}
+
+// Single-temperature accounting invariant: every candidate lands in exactly
+// one terminal bucket, whatever faults were injected along the way.
+void expect_exact_accounting(const eval::SuiteResult& r) {
+  const auto& c = r.counters;
+  EXPECT_EQ(c.candidates,
+            c.unit_faults + c.compile_failures + c.sim_mismatches + func_pass_sum(r));
+  EXPECT_EQ(static_cast<std::int64_t>(r.faults.size()), c.unit_faults);
+}
+
+TEST(FaultTolerance, DeadlineCutsOffRunawaySimulation) {
+  eval::Suite suite = tiny_rtllm(1);
+  // Make the stimulus absurdly heavy whichever shape the task has: without
+  // the watchdog this test would run for hours, not milliseconds.
+  suite.tasks[0].stimulus.cycles = 10'000'000;
+  suite.tasks[0].stimulus.random_vectors = 10'000'000;
+  suite.tasks[0].stimulus.max_exhaustive_bits = 0;
+
+  eval::EvalRequest request;
+  request.n_samples = 1;
+  request.temperatures = {0.2};
+  request.threads = 1;
+  request.deadline_ms = 50;
+  const eval::SuiteResult result =
+      eval::EvalEngine(request).evaluate(perfect_model(), suite);
+
+  EXPECT_EQ(result.counters.unit_faults, 1);
+  EXPECT_EQ(result.counters.deadline_exceeded, 1);
+  ASSERT_EQ(result.faults.size(), 1u);
+  EXPECT_EQ(result.faults[0].kind, eval::FaultKind::kDeadline);
+  EXPECT_EQ(result.faults[0].task_id, suite.tasks[0].id);
+  EXPECT_EQ(result.faults[0].attempts, 1);  // deadline blows are not retried
+  expect_exact_accounting(result);
+}
+
+TEST(FaultTolerance, SimStepBudgetBoundsEverySimulation) {
+  const eval::Suite suite = tiny_rtllm(2);
+  eval::EvalRequest request;
+  request.n_samples = 1;
+  request.temperatures = {0.2};
+  request.threads = 1;
+  request.sim_step_budget = 50;  // far below any real diff test
+  const eval::SuiteResult result =
+      eval::EvalEngine(request).evaluate(perfect_model(), suite);
+
+  EXPECT_EQ(result.counters.unit_faults, result.counters.candidates);
+  EXPECT_EQ(result.counters.cycles_aborted, result.counters.candidates);
+  for (const auto& fault : result.faults) {
+    EXPECT_EQ(fault.kind, eval::FaultKind::kSimBudget);
+  }
+  expect_exact_accounting(result);
+}
+
+// Run one chaos evaluation with all three sites armed at `p`.
+eval::SuiteResult chaos_run(double p, int threads, int max_retries,
+                            util::FaultInjector* injector) {
+  injector->arm(util::kSiteLlmGenerate, p);
+  injector->arm(util::kSiteEvalCompile, p);
+  injector->arm(util::kSiteSimRun, p);
+  injector->install();
+  eval::EvalRequest request;
+  request.n_samples = 3;
+  request.temperatures = {0.8};
+  request.threads = threads;
+  request.retry.max_retries = max_retries;
+  const eval::SuiteResult result =
+      eval::EvalEngine(request).evaluate(llm::make_model("GPT-4"), tiny_rtllm(8));
+  injector->uninstall();
+  return result;
+}
+
+TEST(FaultTolerance, ChaosSweepCompletesWithExactAccounting) {
+  for (const double p : {0.01, 0.1, 0.3}) {
+    util::FaultInjector injector(0xC405);
+    eval::SuiteResult result;
+    ASSERT_NO_THROW(result = chaos_run(p, 4, /*max_retries=*/0, &injector)) << p;
+    expect_exact_accounting(result);
+    for (const auto& fault : result.faults) {
+      EXPECT_EQ(fault.kind, eval::FaultKind::kInjected) << fault.what;
+      EXPECT_EQ(fault.attempts, 1);
+    }
+    // Every injected fault terminated exactly one unit (no retries armed).
+    EXPECT_EQ(injector.total_injected(), result.counters.unit_faults) << p;
+    EXPECT_EQ(result.counters.retries, 0);
+  }
+  // At 30% per site some faults must actually have fired.
+  util::FaultInjector injector(0xC405);
+  const eval::SuiteResult heavy = chaos_run(0.3, 4, 0, &injector);
+  EXPECT_GT(heavy.counters.unit_faults, 0);
+}
+
+TEST(FaultTolerance, RetriesRecoverInjectedFaultsWithExactTally) {
+  util::FaultInjector with_retries(0xC405);
+  const eval::SuiteResult retried = chaos_run(0.3, 4, /*max_retries=*/2, &with_retries);
+  expect_exact_accounting(retried);
+
+  // Injection bookkeeping: every fired fault either consumed a retry or
+  // terminally failed its unit.
+  std::int64_t terminal_injected = 0;
+  for (const auto& fault : retried.faults) {
+    terminal_injected += fault.kind == eval::FaultKind::kInjected;
+  }
+  EXPECT_EQ(with_retries.total_injected(), terminal_injected + retried.counters.retries);
+  EXPECT_GT(retried.counters.retries, 0);
+
+  // Retries strictly help: fewer terminal faults than the no-retry run.
+  util::FaultInjector no_retries(0xC405);
+  const eval::SuiteResult plain = chaos_run(0.3, 4, 0, &no_retries);
+  EXPECT_LT(retried.counters.unit_faults, plain.counters.unit_faults);
+}
+
+TEST(FaultTolerance, ChaosRunsAreThreadCountInvariant) {
+  util::FaultInjector serial_injector(0xC405);
+  util::FaultInjector parallel_injector(0xC405);
+  const eval::SuiteResult serial = chaos_run(0.2, 1, 1, &serial_injector);
+  const eval::SuiteResult parallel = chaos_run(0.2, 8, 1, &parallel_injector);
+
+  EXPECT_EQ(serial.counters.candidates, parallel.counters.candidates);
+  EXPECT_EQ(serial.counters.unit_faults, parallel.counters.unit_faults);
+  EXPECT_EQ(serial.counters.compile_failures, parallel.counters.compile_failures);
+  EXPECT_EQ(serial.counters.sim_mismatches, parallel.counters.sim_mismatches);
+  EXPECT_EQ(serial.counters.retries, parallel.counters.retries);
+  EXPECT_EQ(serial_injector.total_injected(), parallel_injector.total_injected());
+  ASSERT_EQ(serial.faults.size(), parallel.faults.size());
+  for (std::size_t i = 0; i < serial.faults.size(); ++i) {
+    EXPECT_EQ(serial.faults[i].kind, parallel.faults[i].kind);
+    EXPECT_EQ(serial.faults[i].task_id, parallel.faults[i].task_id);
+    EXPECT_EQ(serial.faults[i].sample, parallel.faults[i].sample);
+    EXPECT_EQ(serial.faults[i].attempts, parallel.faults[i].attempts);
+  }
+  ASSERT_EQ(serial.per_task.size(), parallel.per_task.size());
+  for (std::size_t i = 0; i < serial.per_task.size(); ++i) {
+    EXPECT_EQ(serial.per_task[i].func_pass, parallel.per_task[i].func_pass);
+    EXPECT_EQ(serial.per_task[i].syntax_pass, parallel.per_task[i].syntax_pass);
+  }
+}
+
+TEST(FaultTolerance, DisabledInjectionIsBitIdenticalToNoInjector) {
+  const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
+  const eval::Suite suite = tiny_rtllm(6);
+  eval::EvalRequest request;
+  request.n_samples = 2;
+  request.temperatures = {0.2, 0.8};
+  request.threads = 4;
+  request.retry.max_retries = 3;  // attempt 0 must be bit-identical
+
+  const eval::SuiteResult plain = eval::EvalEngine(request).evaluate(model, suite);
+
+  util::FaultInjector injector(0xC405);
+  injector.arm(util::kSiteLlmGenerate, 0.0);
+  injector.arm(util::kSiteEvalCompile, 0.0);
+  injector.arm(util::kSiteSimRun, 0.0);
+  injector.install();
+  const eval::SuiteResult armed = eval::EvalEngine(request).evaluate(model, suite);
+  injector.uninstall();
+
+  EXPECT_EQ(injector.total_injected(), 0);
+  EXPECT_DOUBLE_EQ(plain.temperature, armed.temperature);
+  EXPECT_EQ(plain.counters.candidates, armed.counters.candidates);
+  EXPECT_EQ(plain.counters.compile_failures, armed.counters.compile_failures);
+  EXPECT_EQ(plain.counters.sim_mismatches, armed.counters.sim_mismatches);
+  EXPECT_EQ(plain.counters.unit_faults, 0);
+  EXPECT_EQ(armed.counters.unit_faults, 0);
+  EXPECT_EQ(armed.counters.retries, 0);
+  ASSERT_EQ(plain.per_task.size(), armed.per_task.size());
+  for (std::size_t i = 0; i < plain.per_task.size(); ++i) {
+    EXPECT_EQ(plain.per_task[i].func_pass, armed.per_task[i].func_pass);
+    EXPECT_EQ(plain.per_task[i].syntax_pass, armed.per_task[i].syntax_pass);
+  }
+}
+
+TEST(FaultTolerance, FailFastAbortsOnFirstFault) {
+  util::FaultInjector injector(0xC405);
+  injector.arm(util::kSiteLlmGenerate, 1.0);  // every unit faults immediately
+  injector.install();
+  eval::EvalRequest request;
+  request.n_samples = 2;
+  request.temperatures = {0.2};
+  request.threads = 4;
+  request.fail_fast = true;
+  try {
+    eval::EvalEngine(request).evaluate(llm::make_model("GPT-4"), tiny_rtllm(4));
+    injector.uninstall();
+    FAIL() << "expected EvalAborted";
+  } catch (const eval::EvalAborted& e) {
+    injector.uninstall();
+    EXPECT_EQ(e.fault().kind, eval::FaultKind::kInjected);
+    EXPECT_FALSE(e.fault().task_id.empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// Retry policy, deadlines, and the fault-injection harness — the primitives
+// behind the eval engine's failure semantics (DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "util/fault.h"
+#include "util/retry.h"
+
+namespace haven::util {
+namespace {
+
+TEST(RetryPolicy, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 50;
+  EXPECT_EQ(policy.backoff_ms(0), 10);
+  EXPECT_EQ(policy.backoff_ms(1), 20);
+  EXPECT_EQ(policy.backoff_ms(2), 40);
+  EXPECT_EQ(policy.backoff_ms(3), 50);   // capped
+  EXPECT_EQ(policy.backoff_ms(20), 50);  // stays capped, no overflow
+}
+
+TEST(RetryPolicy, ZeroBaseMeansNoSleep) {
+  RetryPolicy policy;
+  EXPECT_EQ(policy.backoff_ms(0), 0);
+  EXPECT_EQ(policy.backoff_ms(7), 0);
+}
+
+TEST(RetryPolicy, DefaultClassifierRetriesTransientOnly) {
+  const RetryPolicy policy;
+  EXPECT_TRUE(policy.should_retry(TransientError("flaky")));
+  EXPECT_TRUE(policy.should_retry(InjectedFault(kSiteSimRun)));
+  EXPECT_FALSE(policy.should_retry(std::runtime_error("deterministic")));
+  EXPECT_FALSE(policy.should_retry(DeadlineExceeded("too slow")));
+}
+
+TEST(RetryPolicy, CustomClassifierOverridesDefault) {
+  RetryPolicy policy;
+  policy.retryable = [](const std::exception& e) {
+    return std::string(e.what()) == "retry me";
+  };
+  EXPECT_TRUE(policy.should_retry(std::runtime_error("retry me")));
+  EXPECT_FALSE(policy.should_retry(TransientError("flaky")));
+}
+
+TEST(WithRetry, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  int calls = 0;
+  const int result = with_retry(policy, [&calls](int attempt) {
+    EXPECT_EQ(attempt, calls);
+    ++calls;
+    if (calls < 3) throw TransientError("flaky");
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(WithRetry, RethrowsNonRetryableImmediately) {
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  int calls = 0;
+  EXPECT_THROW(with_retry(policy, [&calls](int) -> int {
+                 ++calls;
+                 throw std::runtime_error("deterministic");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WithRetry, ExhaustsAttemptsThenRethrowsLastError) {
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  int calls = 0;
+  EXPECT_THROW(with_retry(policy, [&calls](int) -> int {
+                 ++calls;
+                 throw TransientError("always flaky");
+               }),
+               TransientError);
+  EXPECT_EQ(calls, 3);  // 1 first try + 2 retries
+}
+
+TEST(WithRetry, ZeroRetriesNeverRetries) {
+  const RetryPolicy policy;  // max_retries = 0
+  int calls = 0;
+  EXPECT_THROW(with_retry(policy, [&calls](int) -> int {
+                 ++calls;
+                 throw TransientError("flaky");
+               }),
+               TransientError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Deadline, NoneNeverExpires) {
+  const Deadline d = Deadline::none();
+  EXPECT_FALSE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check("anywhere"));
+}
+
+TEST(Deadline, ExpiresAndNamesTheSite) {
+  const Deadline d = Deadline::after_ms(0);
+  EXPECT_TRUE(d.active());
+  EXPECT_TRUE(d.expired());
+  try {
+    d.check("sim.cycle");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("sim.cycle"), std::string::npos);
+  }
+}
+
+TEST(Deadline, FutureDeadlineDoesNotFireEarly) {
+  const Deadline d = Deadline::after_ms(60'000);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check("early"));
+}
+
+TEST(FaultInjector, DisarmedSitesNeverFire) {
+  FaultInjector injector(123);
+  injector.arm(kSiteSimRun, 0.0);
+  EXPECT_DOUBLE_EQ(injector.probability(kSiteSimRun), 0.0);
+  EXPECT_DOUBLE_EQ(injector.probability(kSiteLlmGenerate), 0.0);  // never armed
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    FaultInjector::ScopedContext ctx(key);
+    EXPECT_FALSE(injector.should_fail(kSiteSimRun));
+    EXPECT_FALSE(injector.should_fail(kSiteLlmGenerate));
+  }
+  EXPECT_EQ(injector.total_injected(), 0);
+}
+
+TEST(FaultInjector, ProbabilityOneAlwaysFires) {
+  FaultInjector injector(123);
+  injector.arm(kSiteEvalCompile, 1.0);
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    FaultInjector::ScopedContext ctx(key);
+    EXPECT_TRUE(injector.should_fail(kSiteEvalCompile));
+  }
+}
+
+TEST(FaultInjector, DrawsAreDeterministicInSeedSiteAndContext) {
+  FaultInjector a(42), b(42), c(43);
+  for (FaultInjector* inj : {&a, &b, &c}) {
+    inj->arm(kSiteLlmGenerate, 0.5);
+    inj->arm(kSiteSimRun, 0.5);
+  }
+  int same_seed_agree = 0, diff_seed_agree = 0, site_agree = 0;
+  const int kKeys = 400;
+  for (std::uint64_t key = 1; key <= kKeys; ++key) {
+    FaultInjector::ScopedContext ctx(key);
+    const bool da = a.should_fail(kSiteLlmGenerate);
+    same_seed_agree += da == b.should_fail(kSiteLlmGenerate);
+    diff_seed_agree += da == c.should_fail(kSiteLlmGenerate);
+    site_agree += da == a.should_fail(kSiteSimRun);
+    // Repeated draws with everything fixed are stable (no hidden stream).
+    EXPECT_EQ(da, a.should_fail(kSiteLlmGenerate));
+  }
+  EXPECT_EQ(same_seed_agree, kKeys);  // identical injectors draw identically
+  EXPECT_LT(diff_seed_agree, kKeys);  // different seed decorrelates...
+  EXPECT_LT(site_agree, kKeys);       // ...and so does the site name
+}
+
+TEST(FaultInjector, ArmedProbabilityRoughlyMatchesFireRate) {
+  FaultInjector injector(7);
+  injector.arm(kSiteSimRun, 0.3);
+  int fired = 0;
+  const int kKeys = 2000;
+  for (std::uint64_t key = 1; key <= kKeys; ++key) {
+    FaultInjector::ScopedContext ctx(key);
+    fired += injector.should_fail(kSiteSimRun);
+  }
+  // 0.3 * 2000 = 600 expected; allow a generous deterministic band.
+  EXPECT_GT(fired, 450);
+  EXPECT_LT(fired, 750);
+}
+
+TEST(FaultInjector, MaybeInjectIsNoOpWithoutInstalledInjector) {
+  ASSERT_EQ(FaultInjector::current(), nullptr);
+  EXPECT_NO_THROW(maybe_inject(kSiteLlmGenerate));
+}
+
+TEST(FaultInjector, InstalledInjectorThrowsAndCounts) {
+  FaultInjector injector(99);
+  injector.arm(kSiteEvalCompile, 1.0);
+  injector.install();
+  ASSERT_EQ(FaultInjector::current(), &injector);
+  try {
+    maybe_inject(kSiteEvalCompile);
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), std::string(kSiteEvalCompile));
+    EXPECT_NE(std::string(e.what()).find(kSiteEvalCompile), std::string::npos);
+  }
+  EXPECT_NO_THROW(maybe_inject(kSiteSimRun));  // not armed
+  EXPECT_EQ(injector.injected(kSiteEvalCompile), 1);
+  EXPECT_EQ(injector.injected(kSiteSimRun), 0);
+  EXPECT_EQ(injector.total_injected(), 1);
+  injector.uninstall();
+  EXPECT_EQ(FaultInjector::current(), nullptr);
+  EXPECT_NO_THROW(maybe_inject(kSiteEvalCompile));
+}
+
+TEST(FaultInjector, DestructorUninstallsItself) {
+  {
+    FaultInjector injector(5);
+    injector.install();
+    ASSERT_EQ(FaultInjector::current(), &injector);
+  }
+  EXPECT_EQ(FaultInjector::current(), nullptr);
+}
+
+TEST(FaultInjector, ScopedContextRestoresPreviousKey) {
+  FaultInjector injector(11);
+  injector.arm(kSiteSimRun, 0.5);
+  injector.install();
+  // Find two keys with opposite draws so restoration is observable.
+  std::uint64_t yes = 0, no = 0;
+  for (std::uint64_t key = 1; key < 100 && (yes == 0 || no == 0); ++key) {
+    FaultInjector::ScopedContext ctx(key);
+    (injector.should_fail(kSiteSimRun) ? yes : no) = key;
+  }
+  ASSERT_NE(yes, 0u);
+  ASSERT_NE(no, 0u);
+  {
+    FaultInjector::ScopedContext outer(yes);
+    EXPECT_TRUE(injector.should_fail(kSiteSimRun));
+    {
+      FaultInjector::ScopedContext inner(no);
+      EXPECT_FALSE(injector.should_fail(kSiteSimRun));
+    }
+    EXPECT_TRUE(injector.should_fail(kSiteSimRun));  // outer key restored
+  }
+  injector.uninstall();
+}
+
+}  // namespace
+}  // namespace haven::util
