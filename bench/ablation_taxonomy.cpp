@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
     // Same family for every arm: paired coins isolate the cured class.
     const llm::SimLlm model(arm.label, arm.profile, llm::kBaseCodeQwen);
     const eval::SuiteResult r = engine.evaluate(model, human);
+    args.report_lint(r);
     const double p1 = r.pass_at(1);
     if (arm.label == arms[0].label) base_p1 = p1;
     table.add_row({arm.label, eval::pct(p1), eval::pct(r.pass_at(5)),

@@ -41,6 +41,10 @@ struct BenchArgs {
   std::uint64_t sim_step_budget = 0;  // --sim-budget=N per-simulation step cap
   double inject = 0.0;     // --inject=P chaos-mode fault probability per site
   std::uint64_t inject_seed = 0xC7A05'FA17ULL;  // --inject-seed=N
+  // Static-analysis knobs (see DESIGN.md §8 "Static analysis & triage").
+  bool lint = false;         // --lint: run haven::lint over every candidate
+  bool lint_triage = false;  // --lint-triage: skip sim on proven failures
+  bool lint_json = false;    // --lint-json: dump findings JSON to stdout
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -67,6 +71,13 @@ struct BenchArgs {
         args.inject = std::atof(argv[i] + 9);
       } else if (std::strncmp(argv[i], "--inject-seed=", 14) == 0) {
         args.inject_seed = std::strtoull(argv[i] + 14, nullptr, 10);
+      } else if (std::strcmp(argv[i], "--lint") == 0) {
+        args.lint = true;
+      } else if (std::strcmp(argv[i], "--lint-triage") == 0) {
+        args.lint_triage = true;
+      } else if (std::strcmp(argv[i], "--lint-json") == 0) {
+        args.lint = true;
+        args.lint_json = true;
       }
     }
     return args;
@@ -81,8 +92,18 @@ struct BenchArgs {
     req.retry.max_retries = retries;
     req.fail_fast = fail_fast;
     req.sim_step_budget = sim_step_budget;
+    req.lint = lint;
+    req.lint_triage = lint_triage;
     if (progress) req.on_progress = progress_printer();
     return req;
+  }
+
+  // Print the lint summary (stderr) and, under --lint-json, the findings
+  // JSON (stdout) for one finished suite. No-op when lint is off.
+  void report_lint(const eval::SuiteResult& result) const {
+    if (!result.lint.enabled) return;
+    std::cerr << "  " << eval::summarize(result.lint) << "\n";
+    if (lint_json) std::cout << eval::lint_json(result) << "\n";
   }
 
   // request() with SI-CoT enabled. `cot_model` is non-owning: the caller

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
       }
       eval::EvalRequest req = arm.cot ? args.sicot_request(cot_model) : args.request();
       const eval::SuiteResult r = eval::EvalEngine(std::move(req)).evaluate(model, human);
+      args.report_lint(r);
       table.add_row({base, arm.label, eval::pct(r.pass_at(1)), eval::pct(r.pass_at(5))});
       csv.add_row({base, arm.label, eval::pct(r.pass_at(1)), eval::pct(r.pass_at(5))});
       std::cout << "  done: " << base << " / " << arm.label << "\n" << std::flush;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       const HavenPipeline pipe = HavenPipeline::build(config);
       const eval::EvalEngine engine(args.sicot_request(pipe.cot_model()));
       const eval::SuiteResult r = engine.evaluate(pipe.codegen_model(), human);
+      args.report_lint(r);
       row1.push_back(eval::pct(r.pass_at(1)));
       row5.push_back(eval::pct(r.pass_at(5)));
       csv.add_row({util::format("%.1f", kf), util::format("%.1f", lf),

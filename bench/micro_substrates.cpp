@@ -117,6 +117,27 @@ void BM_EvalEngineSuite(benchmark::State& state) {
 }
 BENCHMARK(BM_EvalEngineSuite)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// Same suite with static analysis on. Arg = triage (0 = lint only, 1 = skip
+// the differential simulation for candidates with a proven-failure finding);
+// the Arg(1) vs Arg(0) delta is the simulation time triage buys back.
+void BM_EvalEngineLintTriage(benchmark::State& state) {
+  const haven::eval::Suite rtllm = haven::eval::build_rtllm();
+  const haven::llm::SimLlm model = haven::llm::make_model("GPT-4");
+  haven::eval::EvalRequest req;
+  req.n_samples = 2;
+  req.temperatures = {0.2};
+  req.threads = 1;
+  req.lint = true;
+  req.lint_triage = state.range(0) != 0;
+  const haven::eval::EvalEngine engine(req);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(model, rtllm));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rtllm.tasks.size() * 2));
+}
+BENCHMARK(BM_EvalEngineLintTriage)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_GoldenCodegen(benchmark::State& state) {
   haven::util::Rng rng(7);
   haven::llm::TaskSpec spec = haven::llm::generate_task(rng);

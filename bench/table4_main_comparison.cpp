@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
     const eval::SuiteResult rh = engine.evaluate(model, human);
     const eval::SuiteResult rr = engine.evaluate(model, rtllm);
     const eval::SuiteResult rv = engine.evaluate(model, v2);
+    for (const auto* r : {&rm, &rh, &rr, &rv}) args.report_lint(*r);
     const PaperRow* paper = paper_row(model.name());
     auto cell = [&](double v, int paper_idx) {
       std::string s = eval::pct(v);

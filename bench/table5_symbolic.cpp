@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   auto evaluate = [&](const llm::SimLlm& model, const eval::EvalEngine& engine,
                       const PaperRow& paper) {
     const eval::SuiteResult r = engine.evaluate(model, suite);
+    args.report_lint(r);
     table.add_row({model.name(),
                    eval::pass_total(r.modality_pass(symbolic::Modality::kTruthTable)) + " [" +
                        paper.tt + "]",

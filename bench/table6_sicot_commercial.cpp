@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
 
     const eval::SuiteResult with_result = with_engine.evaluate(model, suite);
     const eval::SuiteResult without_result = without_engine.evaluate(model, suite);
+    args.report_lint(with_result);
+    args.report_lint(without_result);
 
     table.add_row({name, eval::pct(with_result.pass_at(1)) + " [" + paper.with_sicot + "]",
                    eval::pct(without_result.pass_at(1)) + " [" + paper.without + "]"});

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       eval::EvalRequest req = cot != nullptr ? args.sicot_request(*cot) : args.request();
       req.temperatures = {t};
       const eval::SuiteResult r = eval::EvalEngine(std::move(req)).evaluate(model, human);
+      args.report_lint(r);
       table.add_row({model.name(), util::format("%.1f", t), eval::pct(r.pass_at(1)),
                      eval::pct(r.pass_at(5))});
       std::cout << "  done: " << model.name() << " T=" << t << "\n" << std::flush;

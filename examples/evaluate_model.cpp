@@ -4,7 +4,8 @@
 // threaded fan-out, progress callback, and the per-run counter block.
 //
 //   $ ./build/examples/evaluate_model [--threads=N] [--deadline-ms=N]
-//       [--retries=N] [--fail-fast] [--inject=P] [model-name ...]
+//       [--retries=N] [--fail-fast] [--inject=P] [--lint] [--lint-triage]
+//       [--lint-json] [model-name ...]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -25,6 +26,9 @@ int main(int argc, char** argv) {
   int retries = 0;
   bool fail_fast = false;
   double inject = 0.0;
+  bool lint = false;
+  bool lint_triage = false;
+  bool lint_json = false;
   std::vector<std::string> models;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -37,6 +41,13 @@ int main(int argc, char** argv) {
       fail_fast = true;
     } else if (std::strncmp(argv[i], "--inject=", 9) == 0) {
       inject = std::atof(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--lint-triage") == 0) {
+      lint_triage = true;
+    } else if (std::strcmp(argv[i], "--lint-json") == 0) {
+      lint = true;
+      lint_json = true;
     } else {
       models.emplace_back(argv[i]);
     }
@@ -59,6 +70,8 @@ int main(int argc, char** argv) {
   request.deadline_ms = deadline_ms;
   request.retry.max_retries = retries;
   request.fail_fast = fail_fast;
+  request.lint = lint;
+  request.lint_triage = lint_triage;
   request.on_progress = [](const eval::EvalProgress& p) {
     if (p.completed == p.total || p.completed % 200 == 0) {
       std::cerr << "\r  " << p.completed << "/" << p.total << " candidates"
@@ -80,6 +93,10 @@ int main(int argc, char** argv) {
                    util::format("%.1f", result.temperature)});
     std::cout << eval::summarize(result) << "\n";
     std::cout << "  " << eval::summarize(result.counters) << "\n";
+    if (result.lint.enabled) {
+      std::cout << "  " << eval::summarize(result.lint) << "\n";
+      if (lint_json) std::cout << eval::lint_json(result) << "\n";
+    }
   }
   std::cout << "\n" << suite.name << " (" << suite.tasks.size() << " tasks, n="
             << request.n_samples << "):\n" << table.to_string();

@@ -1,13 +1,18 @@
-// Use the Verilog frontend as a standalone lint/analysis tool: parse a file
-// (or a built-in demo snippet), print diagnostics, lint warnings, detected
-// topics and Verilog-specific attributes — the same machinery the dataset
-// pipeline uses for topic matching (the slang substitute).
+// Standalone Verilog lint tool over the haven::lint subsystem: parse a file
+// (or a built-in demo snippet), run the dataflow-based rule set, and print
+// every finding with its severity, rule id, and attributed hallucination
+// axis — the same analysis the eval engine runs per candidate under --lint.
+// Topic/attribute extraction (the slang substitute) is printed alongside.
 //
-//   $ ./build/examples/verilog_lint [file.v]
+//   $ ./build/examples/verilog_lint [--json] [file.v]
+//
+// Exit codes: 0 clean, 2 parse failure, 3 error-grade findings, 4 warnings.
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "lint/lint.h"
 #include "util/strings.h"
 #include "verilog/analyzer.h"
 
@@ -22,12 +27,12 @@ module demo_fsm(input clk, input rst, input x, output reg out);
   assign dead_code = x & ~x;
   always @(posedge clk)
     if (rst) state <= S0;
-    else state = next_state;   // blocking assign in clocked logic
-  always @(*)
+    else state <= next_state;
+  always @(state)                // sensitivity list missing 'x'
     case (state)
       S0: begin next_state = x ? S1 : S0; out = 1'b0; end
       S1: begin next_state = x ? S1 : S0; out = 1'b1; end
-    endcase                    // no default: latch risk
+    endcase                      // no default: latch risk
 endmodule
 )";
 
@@ -36,11 +41,21 @@ endmodule
 int main(int argc, char** argv) {
   using namespace haven;
 
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
   std::string source;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  if (path != nullptr) {
+    std::ifstream in(path);
     if (!in) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << path << "\n";
       return 1;
     }
     std::stringstream buffer;
@@ -48,34 +63,48 @@ int main(int argc, char** argv) {
     source = buffer.str();
   } else {
     source = kDemo;
-    std::cout << "(no file given; linting the built-in demo)\n" << kDemo << "\n";
+    if (!json) std::cout << "(no file given; linting the built-in demo)\n" << kDemo << "\n";
   }
 
-  const verilog::SourceAnalysis analysis = verilog::analyze_source(source);
-  if (!analysis.parse_errors.empty()) {
-    std::cout << "parse errors:\n";
-    for (const auto& d : analysis.parse_errors) std::cout << "  " << d.to_string() << "\n";
-    return 2;
+  const lint::SourceLint result = lint::lint_source(source);
+  if (json) {
+    std::cout << lint::findings_json(result.findings) << "\n";
+  } else {
+    for (const auto& f : result.findings) {
+      std::cout << verilog::severity_name(f.diag.severity) << " " << f.diag.rule << " line "
+                << f.diag.line << ": " << f.diag.message << "  [axis "
+                << llm::hallu_axis_name(f.axis) << (f.proven ? ", proven" : "") << "]\n";
+    }
+    if (result.findings.empty()) std::cout << "no findings\n";
+  }
+  if (!result.parsed) return 2;
+
+  if (!json) {
+    // Topic and attribute extraction, as before (the slang substitute).
+    const verilog::SourceAnalysis analysis = verilog::analyze_source(source);
+    for (const auto& module : analysis.modules) {
+      std::cout << "module " << module.module_name << ":\n";
+      std::vector<std::string> topics;
+      for (const auto t : module.topics) topics.push_back(verilog::topic_name(t));
+      std::cout << "  topics:  " << util::join(topics, ", ") << "\n";
+
+      const verilog::Attributes& a = module.attributes;
+      std::vector<std::string> attrs;
+      if (a.has_clock) attrs.push_back(a.negedge_clock ? "negedge-clock" : "posedge-clock");
+      if (a.async_reset) attrs.push_back("async-reset");
+      if (a.sync_reset) attrs.push_back("sync-reset");
+      if (a.active_low_reset) attrs.push_back("active-low-reset");
+      if (a.has_enable) attrs.push_back(a.active_low_enable ? "active-low-enable" : "enable");
+      std::cout << "  attrs:   " << (attrs.empty() ? "(none)" : util::join(attrs, ", "))
+                << "\n";
+      std::cout << "  verdict: " << (module.ok() ? "compiles" : "REJECTED") << "\n";
+    }
   }
 
-  for (const auto& module : analysis.modules) {
-    std::cout << "module " << module.module_name << ":\n";
-    for (const auto& e : module.errors) std::cout << "  error:   " << e.to_string() << "\n";
-    for (const auto& w : module.warnings) std::cout << "  warning: " << w.to_string() << "\n";
-
-    std::vector<std::string> topics;
-    for (const auto t : module.topics) topics.push_back(verilog::topic_name(t));
-    std::cout << "  topics:  " << util::join(topics, ", ") << "\n";
-
-    const verilog::Attributes& a = module.attributes;
-    std::vector<std::string> attrs;
-    if (a.has_clock) attrs.push_back(a.negedge_clock ? "negedge-clock" : "posedge-clock");
-    if (a.async_reset) attrs.push_back("async-reset");
-    if (a.sync_reset) attrs.push_back("sync-reset");
-    if (a.active_low_reset) attrs.push_back("active-low-reset");
-    if (a.has_enable) attrs.push_back(a.active_low_enable ? "active-low-enable" : "enable");
-    std::cout << "  attrs:   " << (attrs.empty() ? "(none)" : util::join(attrs, ", ")) << "\n";
-    std::cout << "  verdict: " << (module.ok() ? "compiles" : "REJECTED") << "\n";
+  bool has_error = false, has_warning = false;
+  for (const auto& f : result.findings) {
+    has_error |= f.diag.severity == verilog::Severity::kError;
+    has_warning |= f.diag.severity == verilog::Severity::kWarning;
   }
-  return analysis.ok() ? 0 : 3;
+  return has_error ? 3 : (has_warning ? 4 : 0);
 }

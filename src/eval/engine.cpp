@@ -10,10 +10,14 @@
 
 #include "cot/sicot.h"
 #include "eval/passk.h"
+#include "lint/lint.h"
+#include "logic/truth_table.h"
+#include "sim/elaborate.h"
 #include "sim/testbench.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
 #include "verilog/analyzer.h"
+#include "verilog/parser.h"
 
 namespace haven::eval {
 
@@ -39,6 +43,28 @@ double SuiteResult::syntax_pass_at(int k) const {
   nc.reserve(per_task.size());
   for (const auto& t : per_task) nc.emplace_back(t.n, t.syntax_pass);
   return mean_pass_at_k(nc, k);
+}
+
+double LintSummary::precision() const {
+  const std::int64_t fired = true_positives + false_positives;
+  return fired == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(fired);
+}
+
+double LintSummary::recall() const {
+  const std::int64_t failed = true_positives + false_negatives;
+  return failed == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(failed);
+}
+
+int LintSummary::dominant_axis() const {
+  int best = -1;
+  std::int64_t best_count = 0;
+  for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+    if (axis_candidates[static_cast<std::size_t>(a)] > best_count) {
+      best = a;
+      best_count = axis_candidates[static_cast<std::size_t>(a)];
+    }
+  }
+  return best;
 }
 
 std::pair<int, int> SuiteResult::modality_pass(symbolic::Modality m) const {
@@ -80,13 +106,28 @@ struct UnitOutcome {
   bool syntax_ok = false;
   bool func_ok = false;
   bool refined = false;
+  bool triaged = false;    // failed by lint proof, simulation skipped
+  bool simulated = false;  // the diff testbench actually ran
+  int sim_vectors = 0;     // vectors/cycles the diff testbench compared
+  std::vector<lint::Finding> findings;  // only when lint is enabled
   double generate_seconds = 0.0;
   double compile_seconds = 0.0;
+  double lint_seconds = 0.0;
   double sim_seconds = 0.0;
   int attempts = 1;  // attempts consumed (1 = no retries)
   bool faulted = false;
   FaultKind fault_kind = FaultKind::kException;
   std::string fault_what;
+};
+
+// Per-task lint context prepared once before the sample fan-out: the parsed
+// golden module, the reference profile, and the triage switch. Null pointer
+// = lint disabled (the candidate pipeline is then byte-identical to the
+// pre-lint engine).
+struct LintRun {
+  const lint::ReferenceProfile* profile = nullptr;  // null when golden unusable
+  const verilog::ParseOutput* golden = nullptr;     // parsed golden (same cond.)
+  bool triage = false;
 };
 
 FaultKind classify_fault(const std::exception& e) {
@@ -105,7 +146,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                double temperature, bool use_sicot,
                                const llm::SimLlm* cot_model, util::Rng& rng,
                                UnitOutcome* stats, const util::Deadline& deadline,
-                               std::uint64_t step_budget) {
+                               std::uint64_t step_budget, const LintRun* lint_run = nullptr) {
   CandidateOutcome outcome;
 
   const Clock::time_point gen_start = Clock::now();
@@ -132,18 +173,70 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     stats->syntax_ok = outcome.syntax_ok;
   }
   deadline.check("compile");
-  if (!outcome.syntax_ok) return outcome;
+
+  if (!outcome.syntax_ok) {
+    if (lint_run != nullptr && stats != nullptr) {
+      // Attribute the compile failure: parse errors and semantic errors map
+      // to kSyntax/kSema findings with taxonomy axes.
+      const Clock::time_point lint_start = Clock::now();
+      const verilog::SourceAnalysis analysis = verilog::analyze_source(outcome.source);
+      stats->findings = lint::findings_from_diagnostics(analysis.parse_errors);
+      for (const auto& m : analysis.modules) {
+        auto more = lint::findings_from_diagnostics(m.diagnostics);
+        stats->findings.insert(stats->findings.end(), more.begin(), more.end());
+      }
+      stats->lint_seconds = seconds_since(lint_start);
+    }
+    return outcome;
+  }
+
+  // Lint the compiled candidate against the reference profile. Draws nothing
+  // from `rng` (determinism contract) and parses the candidate exactly once;
+  // the parsed AST feeds the simulator below.
+  verilog::ParseOutput cand_parsed;
+  bool cand_ast_ready = false;
+  if (lint_run != nullptr) {
+    const Clock::time_point lint_start = Clock::now();
+    cand_parsed = verilog::parse_source(outcome.source);
+    cand_ast_ready = cand_parsed.ok() && !cand_parsed.file.modules.empty();
+    if (cand_ast_ready) {
+      lint::LintResult lint_result = lint::lint_candidate(
+          cand_parsed.file.modules.front(), &cand_parsed.file, lint_run->profile);
+      const bool proven = lint_result.proven_failure();
+      if (stats != nullptr) {
+        stats->findings = std::move(lint_result.findings);
+        stats->lint_seconds = seconds_since(lint_start);
+      }
+      deadline.check("lint");
+      if (lint_run->triage && proven) {
+        // Proven findings imply the diff test fails (DESIGN.md §8): score the
+        // candidate as a functional failure without simulating.
+        outcome.func_ok = false;
+        if (stats != nullptr) stats->triaged = true;
+        return outcome;
+      }
+    } else if (stats != nullptr) {
+      stats->lint_seconds = seconds_since(lint_start);
+    }
+  }
 
   const Clock::time_point sim_start = Clock::now();
   util::Rng tb_rng = rng.fork();
   sim::StimulusSpec stimulus = task.stimulus;
   if (step_budget != 0) stimulus.step_budget = step_budget;
   const sim::DiffResult diff =
-      sim::run_diff_test(outcome.source, task.golden_source, stimulus, tb_rng, &deadline);
+      (cand_ast_ready && lint_run != nullptr && lint_run->golden != nullptr)
+          ? sim::run_diff_test(cand_parsed.file.modules.front(), &cand_parsed.file,
+                               lint_run->golden->file.modules.front(),
+                               &lint_run->golden->file, stimulus, tb_rng, &deadline)
+          : sim::run_diff_test(outcome.source, task.golden_source, stimulus, tb_rng,
+                               &deadline);
   outcome.func_ok = diff.passed;
   if (stats != nullptr) {
     stats->sim_seconds = seconds_since(sim_start);
     stats->func_ok = outcome.func_ok;
+    stats->simulated = true;
+    stats->sim_vectors = diff.vectors;
   }
   return outcome;
 }
@@ -178,6 +271,67 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
 
   const llm::SimLlm* cot_model = request_.cot_model_ptr();
 
+  // Per-task lint context: golden module parsed once, reference profile
+  // distilled once, shared read-only by every worker. A golden that fails to
+  // parse (broken task definition) degrades that task to reference-free
+  // lint; the simulation path then reports the failure as before.
+  const bool lint_enabled = request_.lint || request_.lint_triage;
+  struct GoldenCtx {
+    verilog::ParseOutput parsed;
+    lint::ReferenceProfile profile;
+    bool usable = false;
+  };
+  std::vector<GoldenCtx> goldens(lint_enabled ? n_tasks : 0);
+  if (lint_enabled) {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      const EvalTask& task = suite.tasks[i];
+      GoldenCtx& g = goldens[i];
+      g.parsed = verilog::parse_source(task.golden_source);
+      if (!g.parsed.ok() || g.parsed.file.modules.empty()) continue;
+      const verilog::Module& gm = g.parsed.file.modules.front();
+      lint::profile_from_golden(gm, &g.parsed.file, &g.profile);
+      g.profile.sequential = task.stimulus.sequential;
+      g.profile.clock = task.stimulus.clock;
+      g.profile.reset = task.stimulus.reset;
+      // Replicate the testbench's exhaustive-sweep policy (sim/testbench.cpp):
+      // data inputs are the golden's non-clock/reset inputs, swept
+      // exhaustively when their total bit count fits the budget.
+      if (!task.stimulus.sequential) {
+        int total_bits = 0;
+        for (const auto& p : gm.ports) {
+          if (p.dir == verilog::Dir::kOutput) continue;
+          if (p.name == task.stimulus.clock || p.name == task.stimulus.reset) continue;
+          total_bits += p.width();
+        }
+        g.profile.exhaustive_comb =
+            total_bits <= task.stimulus.max_exhaustive_bits && total_bits <= 20;
+      }
+      try {
+        (void)sim::elaborate(gm, &g.parsed.file);
+      } catch (const sim::ElabError&) {
+        g.profile.golden_elab_ok = false;
+      }
+      // Golden truth rows for the constant-output proof: only combinational
+      // expression tasks carry an exact semantic function.
+      if (task.spec.kind == llm::TaskKind::kCombExpr && task.spec.expr != nullptr &&
+          !task.spec.comb_inputs.empty() && task.spec.comb_inputs.size() <= 20) {
+        const logic::TruthTable tt = logic::TruthTable::from_expr(
+            *task.spec.expr, task.spec.comb_inputs, task.spec.comb_output);
+        lint::ReferenceProfile::OutputTruth truth;
+        truth.port = task.spec.comb_output;
+        const std::uint32_t rows = std::uint32_t{1}
+                                   << static_cast<std::uint32_t>(task.spec.comb_inputs.size());
+        for (std::uint32_t row = 0; row < rows; ++row) {
+          const logic::Tri v = tt.row(row);
+          truth.defined_zero |= v == logic::Tri::kFalse;
+          truth.defined_one |= v == logic::Tri::kTrue;
+        }
+        g.profile.truth.push_back(std::move(truth));
+      }
+      g.usable = true;
+    }
+  }
+
   // Work-unit index layout: temperature-major, then task, then sample.
   auto decode = [&](std::size_t unit, std::size_t& ti, std::size_t& task_i, int& s) {
     ti = unit / (n_tasks * n_samples);
@@ -199,6 +353,12 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     decode(unit, ti, task_i, s);
     const double temperature = request_.temperatures[ti];
     const int max_retries = std::max(0, request_.retry.max_retries);
+    LintRun lint_run;
+    if (lint_enabled && goldens[task_i].usable) {
+      lint_run.profile = &goldens[task_i].profile;
+      lint_run.golden = &goldens[task_i].parsed;
+    }
+    lint_run.triage = request_.lint_triage;
     UnitOutcome stats;
     for (int attempt = 0;; ++attempt) {
       stats = UnitOutcome{};  // drop partial stage results of a failed attempt
@@ -215,7 +375,8 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
                                           : util::Deadline::none();
       try {
         run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
-                      rng, &stats, deadline, request_.sim_step_budget);
+                      rng, &stats, deadline, request_.sim_step_budget,
+                      lint_enabled ? &lint_run : nullptr);
         return stats;
       } catch (const std::exception& e) {
         if (attempt < max_retries && request_.retry.should_retry(e)) {
@@ -303,6 +464,9 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
 
   EvalCounters counters;
   std::vector<UnitFault> faults;
+  LintSummary lint_summary;
+  lint_summary.enabled = lint_enabled;
+  std::vector<CandidateFindings> candidate_findings;
   counters.threads_used = static_cast<int>(workers);
   for (std::size_t i = 0; i < total; ++i) {
     const UnitOutcome& u = outcomes[i];
@@ -320,10 +484,58 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     counters.compile_failures += !u.syntax_ok;
     counters.sim_mismatches += u.syntax_ok && !u.func_ok;
     counters.sicot_refinements += u.refined;
+    counters.lint_triaged += u.triaged;
+    counters.simulated += u.simulated;
+    counters.sim_vectors += u.sim_vectors;
+    counters.lint_findings += static_cast<std::int64_t>(u.findings.size());
     counters.generate_seconds += u.generate_seconds;
     counters.compile_seconds += u.compile_seconds;
+    counters.lint_seconds += u.lint_seconds;
     counters.sim_seconds += u.sim_seconds;
+
+    if (!lint_enabled) continue;
+    bool flagged = false;
+    std::uint32_t axis_mask = 0;
+    for (const lint::Finding& f : u.findings) {
+      flagged |= f.predicts_failure;
+      ++lint_summary.rule_counts[lint::rule_id(f.rule)];
+      if (f.diag.severity != verilog::Severity::kNote) {
+        axis_mask |= std::uint32_t{1} << static_cast<int>(f.axis);
+      }
+    }
+    lint_summary.flagged_candidates += flagged;
+    for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+      lint_summary.axis_candidates[static_cast<std::size_t>(a)] +=
+          (axis_mask >> a) & 1u;
+    }
+    // Confusion vs the simulated verdict (compiled candidates only: compile
+    // failures have no testbench ground truth). Triaged candidates are true
+    // positives by the soundness argument.
+    if (u.syntax_ok) {
+      const bool failed = !u.func_ok;
+      if (flagged && failed) {
+        ++lint_summary.true_positives;
+      } else if (flagged) {
+        ++lint_summary.false_positives;
+      } else if (failed) {
+        ++lint_summary.false_negatives;
+      } else {
+        ++lint_summary.true_negatives;
+      }
+    }
+    if (!u.findings.empty()) {
+      std::size_t ti = 0, task_i = 0;
+      int s = 0;
+      decode(i, ti, task_i, s);
+      CandidateFindings cf;
+      cf.task_id = suite.tasks[task_i].id;
+      cf.sample = s;
+      cf.temperature = request_.temperatures[ti];
+      cf.findings = u.findings;
+      candidate_findings.push_back(std::move(cf));
+    }
   }
+  lint_summary.findings = counters.lint_findings;
 
   SuiteResult best;
   double best_pass1 = 0.0;
@@ -368,6 +580,8 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       static_cast<double>(std::clock() - cpu_start) / static_cast<double>(CLOCKS_PER_SEC);
   best.counters = counters;
   best.faults = std::move(faults);
+  best.lint = std::move(lint_summary);
+  best.lint_findings = std::move(candidate_findings);
   return best;
 }
 

@@ -32,8 +32,10 @@
 //    changes nothing on fault-free runs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "eval/task.h"
+#include "lint/lint.h"
 #include "llm/simllm.h"
 #include "symbolic/modality.h"
 #include "util/retry.h"
@@ -112,12 +115,54 @@ struct EvalCounters {
   std::int64_t deadline_exceeded = 0;  // unit faults that were deadline blows
   std::int64_t cycles_aborted = 0;     // unit faults that were sim-budget blows
   std::int64_t retries = 0;            // retry attempts performed (beyond first tries)
+  // Lint/triage block (see DESIGN.md §8). Invariant at any thread count:
+  //   candidates == unit_faults + compile_failures + lint_triaged + simulated
+  std::int64_t lint_findings = 0;      // findings across all linted candidates
+  std::int64_t lint_triaged = 0;       // candidates failed by proof, sim skipped
+  std::int64_t simulated = 0;          // candidates that ran the diff testbench
+  std::int64_t sim_vectors = 0;        // vectors/cycles actually compared
   double generate_seconds = 0.0;       // SI-CoT refine + candidate generation
   double compile_seconds = 0.0;        // syntax checking
+  double lint_seconds = 0.0;           // static analysis (0 when lint is off)
   double sim_seconds = 0.0;            // differential simulation
   double wall_seconds = 0.0;           // whole-run wall clock
   double cpu_seconds = 0.0;            // whole-run process CPU time
   int threads_used = 1;
+};
+
+// Run-wide lint aggregation (EvalRequest::lint / lint_triage). All tallies
+// cover non-faulted candidates across every temperature and are
+// deterministic for a fixed seed at any thread count.
+struct LintSummary {
+  bool enabled = false;
+  std::int64_t findings = 0;            // total findings
+  std::int64_t flagged_candidates = 0;  // candidates with >= 1 predictive finding
+  // Candidates with >= 1 warning-or-error finding attributed to each
+  // hallucination axis (a candidate counts once per axis): the run's static
+  // hallucination-class histogram.
+  std::array<std::int64_t, llm::kNumHalluAxes> axis_candidates{};
+  std::map<std::string, std::int64_t> rule_counts;  // findings per rule id
+  // Lint-vs-simulation confusion over compiled, non-faulted candidates:
+  // "positive" = lint predicted functional failure; ground truth = the diff
+  // testbench verdict (triaged candidates count as true positives — their
+  // failure is proven, see DESIGN.md §8).
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t false_negatives = 0;
+  std::int64_t true_negatives = 0;
+
+  double precision() const;  // 1.0 when lint never fired
+  double recall() const;     // 1.0 when nothing failed
+  int dominant_axis() const;  // argmax of axis_candidates, -1 when all zero
+};
+
+// Findings of one candidate, recorded on SuiteResult::lint_findings in
+// work-unit index order (candidates with no findings are omitted).
+struct CandidateFindings {
+  std::string task_id;
+  int sample = 0;
+  double temperature = 0.0;
+  std::vector<lint::Finding> findings;
 };
 
 struct SuiteResult {
@@ -129,6 +174,9 @@ struct SuiteResult {
   // Terminally faulted units across ALL temperatures, in work-unit index
   // order (empty on a healthy run).
   std::vector<UnitFault> faults;
+  // Lint aggregation + per-candidate findings (empty unless lint enabled).
+  LintSummary lint;
+  std::vector<CandidateFindings> lint_findings;
 
   double pass_at(int k) const;         // functional
   double syntax_pass_at(int k) const;  // syntax
@@ -171,6 +219,20 @@ class EvalRequest {
   // Invoked on the calling thread after each unit is reduced, in index
   // order; leave empty for no progress reporting.
   ProgressCallback on_progress;
+
+  // --- static analysis ------------------------------------------------------
+  // Run haven::lint over every candidate (compiled candidates get the full
+  // reference-aware rule set against the task's golden module; compile
+  // failures get attributed frontend findings). Findings land on
+  // SuiteResult::lint / lint_findings. Lint draws nothing from the unit RNG,
+  // so enabling it never changes verdicts.
+  bool lint = false;
+  // Additionally skip the differential simulation for candidates with a
+  // PROVEN failure finding (see lint::Finding::proven): the candidate is
+  // scored func_fail without simulating. Sound — proven findings imply the
+  // diff test fails — so pass/fail verdicts are unchanged while simulated
+  // cycles drop. Implies `lint`.
+  bool lint_triage = false;
 
   // --- fault tolerance ------------------------------------------------------
   // Abort the whole run (throw EvalAborted, cancel the queue) on the first
@@ -224,7 +286,9 @@ class EvalEngine {
 
   // Generate and check a single candidate with the request's SI-CoT
   // settings, drawing from the caller's rng. Exposed for tests, examples,
-  // and microbenchmarks.
+  // and microbenchmarks. Lint/triage settings are ignored here (building a
+  // reference profile is evaluate()'s per-task job); the verdict is always
+  // the simulated one.
   CandidateOutcome check(const llm::SimLlm& model, const EvalTask& task, double temperature,
                          util::Rng& rng) const;
 

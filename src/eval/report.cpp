@@ -34,7 +34,90 @@ std::string summarize(const EvalCounters& c) {
                          static_cast<long long>(c.cycles_aborted),
                          static_cast<long long>(c.retries));
   }
+  if (c.lint_triaged != 0 || c.lint_findings != 0 || c.lint_seconds != 0.0) {
+    line += util::format("; lint %lld findings, %lld triaged / %lld simulated "
+                         "(%lld vectors), lint %.2fs",
+                         static_cast<long long>(c.lint_findings),
+                         static_cast<long long>(c.lint_triaged),
+                         static_cast<long long>(c.simulated),
+                         static_cast<long long>(c.sim_vectors), c.lint_seconds);
+  }
   return line;
+}
+
+std::string summarize(const LintSummary& lint) {
+  if (!lint.enabled) return "";
+  std::string out = util::format(
+      "lint: %lld findings on %lld flagged candidates; "
+      "triage precision %s recall %s (tp=%lld fp=%lld fn=%lld tn=%lld)",
+      static_cast<long long>(lint.findings),
+      static_cast<long long>(lint.flagged_candidates), pct(lint.precision()).c_str(),
+      pct(lint.recall()).c_str(), static_cast<long long>(lint.true_positives),
+      static_cast<long long>(lint.false_positives),
+      static_cast<long long>(lint.false_negatives),
+      static_cast<long long>(lint.true_negatives));
+  std::string axes;
+  for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+    const std::int64_t n = lint.axis_candidates[static_cast<std::size_t>(a)];
+    if (n == 0) continue;
+    if (!axes.empty()) axes += " ";
+    axes += util::format("%s=%lld",
+                         llm::hallu_axis_name(static_cast<llm::HalluAxis>(a)).c_str(),
+                         static_cast<long long>(n));
+  }
+  if (!axes.empty()) out += "\n  axis histogram: " + axes;
+  return out;
+}
+
+std::string lint_json(const SuiteResult& result) {
+  const LintSummary& lint = result.lint;
+  std::string out = "{";
+  out += util::format(
+      "\"enabled\":%s,\"findings\":%lld,\"flagged_candidates\":%lld,"
+      "\"candidates\":%lld,\"lint_triaged\":%lld,\"simulated\":%lld,"
+      "\"sim_vectors\":%lld,"
+      "\"true_positives\":%lld,\"false_positives\":%lld,"
+      "\"false_negatives\":%lld,\"true_negatives\":%lld,"
+      "\"precision\":%.4f,\"recall\":%.4f",
+      lint.enabled ? "true" : "false", static_cast<long long>(lint.findings),
+      static_cast<long long>(lint.flagged_candidates),
+      static_cast<long long>(result.counters.candidates),
+      static_cast<long long>(result.counters.lint_triaged),
+      static_cast<long long>(result.counters.simulated),
+      static_cast<long long>(result.counters.sim_vectors),
+      static_cast<long long>(lint.true_positives),
+      static_cast<long long>(lint.false_positives),
+      static_cast<long long>(lint.false_negatives),
+      static_cast<long long>(lint.true_negatives), lint.precision(), lint.recall());
+  out += ",\"axis_candidates\":{";
+  bool first = true;
+  for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format("\"%s\":%lld",
+                        llm::hallu_axis_name(static_cast<llm::HalluAxis>(a)).c_str(),
+                        static_cast<long long>(
+                            lint.axis_candidates[static_cast<std::size_t>(a)]));
+  }
+  out += "},\"rule_counts\":{";
+  first = true;
+  for (const auto& [rule, n] : lint.rule_counts) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format("\"%s\":%lld", rule.c_str(), static_cast<long long>(n));
+  }
+  out += "},\"candidates_with_findings\":[";
+  first = true;
+  for (const auto& cf : result.lint_findings) {
+    if (!first) out += ",";
+    first = false;
+    out += util::format("{\"task\":\"%s\",\"sample\":%d,\"temperature\":%.2f,\"findings\":",
+                        cf.task_id.c_str(), cf.sample, cf.temperature);
+    out += lint::findings_json(cf.findings);
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace haven::eval

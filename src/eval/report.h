@@ -17,7 +17,18 @@ std::string pass_total(std::pair<int, int> pt);
 std::string summarize(const SuiteResult& result);
 
 // One-line summary of an engine run's counter block: candidate volume,
-// failure breakdown, stage times, threads used.
+// failure breakdown, stage times, threads used. When lint ran, appends the
+// triage/simulated split and total findings.
 std::string summarize(const EvalCounters& counters);
+
+// Multi-line lint report: findings volume, triage precision/recall against
+// the simulated verdicts, and the per-axis hallucination histogram (only
+// axes with hits). Empty string when lint was not enabled.
+std::string summarize(const LintSummary& lint);
+
+// Machine-readable JSON for a lint-enabled run: the summary block (counters,
+// confusion, axis histogram, rule counts) plus every per-candidate finding,
+// in deterministic work-unit order.
+std::string lint_json(const SuiteResult& result);
 
 }  // namespace haven::eval

@@ -1,0 +1,859 @@
+#include "lint/dataflow.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace haven::lint {
+
+namespace {
+
+using verilog::CaseKind;
+using verilog::Dir;
+using verilog::Expr;
+using verilog::ExprKind;
+using verilog::ExprPtr;
+using verilog::Module;
+using verilog::NetType;
+using verilog::SourceFile;
+using verilog::Stmt;
+using verilog::StmtKind;
+using verilog::StmtPtr;
+
+std::uint64_t width_mask(int width) {
+  if (width >= 64) return ~std::uint64_t{0};
+  if (width <= 0) return 0;
+  return (std::uint64_t{1} << width) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+class DataflowBuilder {
+ public:
+  DataflowBuilder(const Module& m, const SourceFile* file) : m_(m), file_(file) {}
+
+  ModuleDataflow build() {
+    declare_ports();
+    declare_nets();
+    evaluate_parameters();
+    walk_items();
+    run_constant_fixpoint();
+    find_comb_cycles();
+    return std::move(df_);
+  }
+
+ private:
+  SignalNode& ensure(const std::string& name) {
+    auto it = df_.signals.find(name);
+    if (it != df_.signals.end()) return it->second;
+    SignalNode node;
+    node.name = name;
+    node.declared = false;
+    return df_.signals.emplace(name, std::move(node)).first->second;
+  }
+
+  void declare_ports() {
+    for (const auto& p : m_.ports) {
+      SignalNode node;
+      node.name = p.name;
+      node.width = p.width();
+      node.decl_line = m_.line;
+      node.is_port = true;
+      node.dir = p.dir;
+      node.is_reg = p.is_reg;
+      df_.signals.emplace(p.name, std::move(node));
+    }
+  }
+
+  void declare_nets() {
+    for (const auto& item : m_.items) {
+      const auto* d = std::get_if<verilog::NetDecl>(&item);
+      if (d == nullptr) continue;
+      const int width = d->range ? d->range->width() : 1;
+      for (const auto& name : d->names) {
+        auto it = df_.signals.find(name);
+        if (it != df_.signals.end()) {
+          // Separate declaration of a port ("output y; reg [3:0] y;").
+          it->second.width = std::max(it->second.width, width);
+          it->second.is_reg = it->second.is_reg || d->type != NetType::kWire;
+          continue;
+        }
+        SignalNode node;
+        node.name = name;
+        node.width = width;
+        node.decl_line = d->line;
+        node.is_reg = d->type != NetType::kWire;
+        df_.signals.emplace(name, std::move(node));
+      }
+    }
+  }
+
+  void evaluate_parameters() {
+    for (const auto& item : m_.items) {
+      const auto* p = std::get_if<verilog::ParameterDecl>(&item);
+      if (p == nullptr || !p->value) continue;
+      if (auto c = fold_constant(p->value, df_)) df_.parameters[p->name] = *c;
+    }
+  }
+
+  // --- reads --------------------------------------------------------------
+
+  void mark_read(const std::string& name) {
+    auto it = df_.signals.find(name);
+    if (it != df_.signals.end()) it->second.read = true;
+  }
+
+  void collect_reads(const ExprPtr& e, std::set<std::string>* into) {
+    if (!e) return;
+    if (e->kind == ExprKind::kIdent || e->kind == ExprKind::kBitSelect ||
+        e->kind == ExprKind::kPartSelect) {
+      if (!df_.parameters.count(e->ident)) {
+        mark_read(e->ident);
+        if (into != nullptr) into->insert(e->ident);
+      }
+    }
+    for (const auto& child : e->operands) collect_reads(child, into);
+  }
+
+  // --- lvalues ------------------------------------------------------------
+
+  struct Target {
+    std::string name;
+    int lo = -1, hi = -1;  // -1,-1 = whole signal / unknown slice
+    int line = 0;
+  };
+
+  void collect_targets(const ExprPtr& lhs, int line, std::vector<Target>* out,
+                       std::set<std::string>* reads) {
+    if (!lhs) return;
+    switch (lhs->kind) {
+      case ExprKind::kConcat:
+        for (const auto& part : lhs->operands) collect_targets(part, line, out, reads);
+        return;
+      case ExprKind::kIdent:
+        out->push_back({lhs->ident, -1, -1, line});
+        return;
+      case ExprKind::kBitSelect: {
+        Target t{lhs->ident, -1, -1, line};
+        if (!lhs->operands.empty()) {
+          if (auto idx = fold_constant(lhs->operands[0], df_); idx && idx->fully_defined()) {
+            t.lo = t.hi = static_cast<int>(idx->value);
+          } else {
+            // Dynamic index: reads feed the assignment.
+            collect_reads(lhs->operands[0], reads);
+          }
+        }
+        out->push_back(t);
+        return;
+      }
+      case ExprKind::kPartSelect:
+        out->push_back({lhs->ident, std::min(lhs->msb, lhs->lsb),
+                        std::max(lhs->msb, lhs->lsb), line});
+        return;
+      default:
+        return;  // not an lvalue; the analyzer reports it
+    }
+  }
+
+  // --- always blocks ------------------------------------------------------
+
+  // Per-block walking state: substitution map from locally-assigned signals
+  // to their accumulated external dependencies, so a blocking chain
+  // `a = b; c = a;` gives c the dependency set {b} and never a false cycle.
+  struct BlockState {
+    AlwaysInfo* info = nullptr;
+    std::map<std::string, std::set<std::string>> local_deps;
+    std::map<std::string, int> first_line;  // first assignment per signal
+  };
+
+  // Dependencies of an expression with local substitution applied.
+  std::set<std::string> subst_deps(const ExprPtr& e, BlockState& st) {
+    std::set<std::string> raw;
+    collect_reads(e, &raw);
+    std::set<std::string> deps;
+    for (const auto& name : raw) {
+      auto it = st.local_deps.find(name);
+      if (it != st.local_deps.end()) {
+        deps.insert(it->second.begin(), it->second.end());
+      } else {
+        deps.insert(name);
+      }
+    }
+    return deps;
+  }
+
+  int case_subject_width(const ExprPtr& subject) {
+    const int w = infer_width(subject, df_);
+    return w > 0 && w <= 16 ? w : 0;
+  }
+
+  // Whether the case labels cover every value of a `width`-bit subject.
+  // casez/casex wildcard bits each cover both values. Unknown label values
+  // report full coverage (no rule may fire on what we cannot prove).
+  bool case_labels_cover(const Stmt& s, int width) {
+    if (width <= 0) return true;
+    std::vector<bool> covered(std::size_t{1} << width, false);
+    for (const auto& item : s.case_items) {
+      if (item.labels.empty()) return true;  // default arm
+      for (const auto& label : item.labels) {
+        std::uint64_t xz = 0;
+        std::uint64_t value = 0;
+        if (label->kind == ExprKind::kNumber) {
+          value = label->number.value;
+          xz = label->number.xz_mask;
+        } else if (auto c = fold_constant(label, df_)) {
+          value = c->value;
+          xz = c->xz;
+        } else {
+          return true;  // non-constant label: assume covered
+        }
+        const bool wildcard_ok = s.case_kind != CaseKind::kCase;
+        std::uint64_t wild = wildcard_ok ? (xz & width_mask(width)) : 0;
+        if (!wildcard_ok && xz != 0) continue;  // x label in plain case: never matches
+        // Enumerate the wildcard combinations (bounded: width <= 16).
+        std::vector<int> wild_bits;
+        for (int b = 0; b < width; ++b) {
+          if ((wild >> b) & 1) wild_bits.push_back(b);
+        }
+        if (wild_bits.size() > 12) return true;  // too wide to enumerate; assume covered
+        const std::uint64_t base = value & width_mask(width) & ~wild;
+        for (std::uint64_t combo = 0; combo < (std::uint64_t{1} << wild_bits.size()); ++combo) {
+          std::uint64_t v = base;
+          for (std::size_t b = 0; b < wild_bits.size(); ++b) {
+            if ((combo >> b) & 1) v |= std::uint64_t{1} << wild_bits[b];
+          }
+          covered[v] = true;
+        }
+      }
+    }
+    return std::all_of(covered.begin(), covered.end(), [](bool c) { return c; });
+  }
+
+  // Walk one statement; returns the signals assigned on *every* path through
+  // it. `ctrl` carries the (substituted) dependencies of enclosing
+  // conditions; `clocked` tags CaseInfo records.
+  std::set<std::string> walk_stmt(const StmtPtr& s, BlockState& st,
+                                  const std::set<std::string>& ctrl, bool clocked) {
+    std::set<std::string> all;
+    if (!s) return all;
+    switch (s->kind) {
+      case StmtKind::kBlock:
+        for (const auto& sub : s->stmts) {
+          auto sub_all = walk_stmt(sub, st, ctrl, clocked);
+          all.insert(sub_all.begin(), sub_all.end());
+        }
+        return all;
+      case StmtKind::kBlockingAssign:
+      case StmtKind::kNonblockingAssign: {
+        if (s->kind == StmtKind::kBlockingAssign) {
+          if (st.info->first_blocking_line == 0) st.info->first_blocking_line = s->line;
+        } else {
+          if (st.info->first_nonblocking_line == 0) st.info->first_nonblocking_line = s->line;
+        }
+        std::set<std::string> deps = subst_deps(s->rhs, st);
+        st.info->reads.insert(deps.begin(), deps.end());
+        deps.insert(ctrl.begin(), ctrl.end());
+        std::vector<Target> targets;
+        std::set<std::string> idx_reads;
+        collect_targets(s->lhs, s->line, &targets, &idx_reads);
+        for (const auto& r : idx_reads) st.info->reads.insert(r);
+        deps.insert(idx_reads.begin(), idx_reads.end());
+        for (const auto& t : targets) {
+          st.local_deps[t.name].insert(deps.begin(), deps.end());
+          if (!st.first_line.count(t.name)) st.first_line[t.name] = t.line;
+          st.info->assigned_some.insert(t.name);
+          all.insert(t.name);
+        }
+        return all;
+      }
+      case StmtKind::kIf: {
+        std::set<std::string> cond = subst_deps(s->cond, st);
+        st.info->reads.insert(cond.begin(), cond.end());
+        std::set<std::string> ctrl2 = ctrl;
+        ctrl2.insert(cond.begin(), cond.end());
+        auto then_all = walk_stmt(s->then_branch, st, ctrl2, clocked);
+        if (!s->else_branch) return all;  // nothing assigned on the fall-through path
+        auto else_all = walk_stmt(s->else_branch, st, ctrl2, clocked);
+        std::set_intersection(then_all.begin(), then_all.end(), else_all.begin(),
+                              else_all.end(), std::inserter(all, all.begin()));
+        return all;
+      }
+      case StmtKind::kCase: {
+        std::set<std::string> cond = subst_deps(s->cond, st);
+        st.info->reads.insert(cond.begin(), cond.end());
+        for (const auto& item : s->case_items) {
+          for (const auto& label : item.labels) collect_reads(label, &st.info->reads);
+        }
+        CaseInfo ci;
+        ci.line = s->line;
+        ci.kind = s->case_kind;
+        ci.in_clocked = clocked;
+        ci.has_default = std::any_of(s->case_items.begin(), s->case_items.end(),
+                                     [](const verilog::CaseItem& i) { return i.labels.empty(); });
+        ci.subject_width = case_subject_width(s->cond);
+        ci.full_coverage = ci.has_default || case_labels_cover(*s, ci.subject_width);
+        df_.cases.push_back(ci);
+
+        std::set<std::string> ctrl2 = ctrl;
+        ctrl2.insert(cond.begin(), cond.end());
+        bool first = true;
+        std::set<std::string> arm_all;
+        for (const auto& item : s->case_items) {
+          auto item_all = walk_stmt(item.body, st, ctrl2, clocked);
+          if (first) {
+            arm_all = std::move(item_all);
+            first = false;
+          } else {
+            std::set<std::string> inter;
+            std::set_intersection(arm_all.begin(), arm_all.end(), item_all.begin(),
+                                  item_all.end(), std::inserter(inter, inter.begin()));
+            arm_all = std::move(inter);
+          }
+        }
+        // The case assigns-on-all-paths only when every subject value hits
+        // some arm (a default, or labels proven to cover the space).
+        if (!first && ci.full_coverage) all.insert(arm_all.begin(), arm_all.end());
+        return all;
+      }
+      case StmtKind::kFor: {
+        // init assignment runs unconditionally.
+        std::set<std::string> deps = subst_deps(s->rhs, st);
+        st.info->reads.insert(deps.begin(), deps.end());
+        deps.insert(ctrl.begin(), ctrl.end());
+        std::vector<Target> targets;
+        collect_targets(s->lhs, s->line, &targets, &st.info->reads);
+        for (const auto& t : targets) {
+          st.local_deps[t.name].insert(deps.begin(), deps.end());
+          if (!st.first_line.count(t.name)) st.first_line[t.name] = t.line;
+          st.info->assigned_some.insert(t.name);
+          all.insert(t.name);
+        }
+        std::set<std::string> cond = subst_deps(s->cond, st);
+        st.info->reads.insert(cond.begin(), cond.end());
+        std::set<std::string> ctrl2 = ctrl;
+        ctrl2.insert(cond.begin(), cond.end());
+        // Body + step may run zero times: contributes to assigned_some only.
+        walk_stmt(s->body, st, ctrl2, clocked);
+        if (s->step_lhs) {
+          std::set<std::string> sdeps = subst_deps(s->step_rhs, st);
+          st.info->reads.insert(sdeps.begin(), sdeps.end());
+          std::vector<Target> st_targets;
+          collect_targets(s->step_lhs, s->line, &st_targets, &st.info->reads);
+          for (const auto& t : st_targets) {
+            st.local_deps[t.name].insert(sdeps.begin(), sdeps.end());
+            st.info->assigned_some.insert(t.name);
+          }
+        }
+        return all;
+      }
+    }
+    return all;
+  }
+
+  // Unwrap begin/end wrappers down to the first statement; when it is an
+  // `if`, record the tested signal and polarity (reset-style analysis).
+  void detect_outer_if(StmtPtr body, AlwaysInfo* info) {
+    while (body && body->kind == StmtKind::kBlock) {
+      if (body->stmts.empty()) return;
+      body = body->stmts.front();
+    }
+    if (!body || body->kind != StmtKind::kIf || !body->cond) return;
+    const ExprPtr& c = body->cond;
+    auto as_const = [&](const ExprPtr& x) -> std::optional<std::uint64_t> {
+      auto v = fold_constant(x, df_);
+      if (v && v->fully_defined()) return v->value;
+      return std::nullopt;
+    };
+    if (c->kind == ExprKind::kIdent) {
+      info->outer_if_signal = c->ident;
+      info->outer_if_negated = false;
+    } else if (c->kind == ExprKind::kUnary && (c->op == "!" || c->op == "~") &&
+               !c->operands.empty() && c->operands[0]->kind == ExprKind::kIdent) {
+      info->outer_if_signal = c->operands[0]->ident;
+      info->outer_if_negated = true;
+    } else if (c->kind == ExprKind::kBinary && (c->op == "==" || c->op == "!=") &&
+               c->operands.size() == 2) {
+      const ExprPtr& a = c->operands[0];
+      const ExprPtr& b = c->operands[1];
+      const ExprPtr* ident = nullptr;
+      std::optional<std::uint64_t> value;
+      if (a->kind == ExprKind::kIdent) {
+        ident = &a;
+        value = as_const(b);
+      } else if (b->kind == ExprKind::kIdent) {
+        ident = &b;
+        value = as_const(a);
+      }
+      if (ident != nullptr && value) {
+        info->outer_if_signal = (*ident)->ident;
+        const bool test_low = *value == 0;
+        info->outer_if_negated = c->op == "==" ? test_low : !test_low;
+      }
+    }
+  }
+
+  void walk_always(const verilog::AlwaysBlock& ab) {
+    AlwaysInfo info;
+    info.index = static_cast<int>(df_.always.size());
+    info.line = ab.line;
+    info.star = ab.star;
+    info.sens = ab.sens;
+    const bool any_edge = std::any_of(ab.sens.begin(), ab.sens.end(), [](const auto& s) {
+      return s.edge != verilog::Edge::kLevel;
+    });
+    const bool any_level = std::any_of(ab.sens.begin(), ab.sens.end(), [](const auto& s) {
+      return s.edge == verilog::Edge::kLevel;
+    });
+    info.clocked = !ab.star && any_edge;
+    if (info.clocked && any_level) df_.mixed_sens_lines.push_back(ab.line);
+    for (const auto& s : ab.sens) mark_read(s.signal);
+
+    BlockState st;
+    st.info = &info;
+    auto assigned_all = walk_stmt(ab.body, st, {}, info.clocked);
+    info.assigned_all = std::move(assigned_all);
+    detect_outer_if(ab.body, &info);
+
+    for (const auto& name : info.assigned_some) {
+      Driver d;
+      d.kind = info.clocked ? DriverKind::kClockedAlways : DriverKind::kCombAlways;
+      d.always_index = info.index;
+      auto lit = st.first_line.find(name);
+      d.line = lit != st.first_line.end() ? lit->second : ab.line;
+      if (!info.clocked) {
+        auto dit = st.local_deps.find(name);
+        if (dit != st.local_deps.end()) d.deps = dit->second;
+      }
+      ensure(name).drivers.push_back(std::move(d));
+    }
+    df_.always.push_back(std::move(info));
+  }
+
+  void walk_instance(const verilog::Instance& inst) {
+    const Module* def =
+        file_ != nullptr ? file_->find_module(inst.module_name) : nullptr;
+    if (def == nullptr || def == &m_) {
+      if (def == nullptr) df_.unknown_instances.emplace_back(inst.module_name, inst.line);
+      for (const auto& conn : inst.connections) collect_reads(conn.expr, nullptr);
+      return;
+    }
+    for (std::size_t i = 0; i < inst.connections.size(); ++i) {
+      const auto& conn = inst.connections[i];
+      if (!conn.expr) continue;
+      const verilog::Port* formal = nullptr;
+      if (!conn.port.empty()) {
+        formal = def->find_port(conn.port);
+      } else if (i < def->ports.size()) {
+        formal = &def->ports[i];
+      }
+      if (formal != nullptr && formal->dir == Dir::kOutput) {
+        std::vector<Target> targets;
+        std::set<std::string> idx_reads;
+        collect_targets(conn.expr, inst.line, &targets, &idx_reads);
+        for (const auto& r : idx_reads) mark_read(r);
+        for (const auto& t : targets) {
+          Driver d;
+          d.kind = DriverKind::kInstance;
+          d.line = inst.line;
+          d.lo = t.lo;
+          d.hi = t.hi;
+          ensure(t.name).drivers.push_back(std::move(d));
+        }
+      } else {
+        collect_reads(conn.expr, nullptr);
+      }
+    }
+  }
+
+  void walk_items() {
+    for (const auto& item : m_.items) {
+      if (const auto* d = std::get_if<verilog::NetDecl>(&item)) {
+        if (d->init && !d->names.empty()) {
+          Driver drv;
+          drv.kind = DriverKind::kDeclInit;
+          drv.line = d->line;
+          drv.rhs = d->init;
+          collect_reads(d->init, &drv.deps);
+          ensure(d->names.back()).drivers.push_back(std::move(drv));
+        }
+      } else if (const auto* a = std::get_if<verilog::ContAssign>(&item)) {
+        Driver drv;
+        drv.kind = DriverKind::kContAssign;
+        drv.line = a->line;
+        drv.rhs = a->rhs;
+        collect_reads(a->rhs, &drv.deps);
+        std::vector<Target> targets;
+        std::set<std::string> idx_reads;
+        collect_targets(a->lhs, a->line, &targets, &idx_reads);
+        for (const auto& r : idx_reads) drv.deps.insert(r);
+        for (const auto& t : targets) {
+          Driver d = drv;  // each concat part gets its own range
+          d.lo = t.lo;
+          d.hi = t.hi;
+          ensure(t.name).drivers.push_back(std::move(d));
+        }
+      } else if (const auto* ab = std::get_if<verilog::AlwaysBlock>(&item)) {
+        walk_always(*ab);
+      } else if (const auto* ib = std::get_if<verilog::InitialBlock>(&item)) {
+        AlwaysInfo scratch;  // reads/assignments tracked, block not recorded
+        BlockState st;
+        st.info = &scratch;
+        walk_stmt(ib->body, st, {}, /*clocked=*/false);
+        for (const auto& name : scratch.assigned_some) {
+          Driver d;
+          d.kind = DriverKind::kInitial;
+          d.line = ib->line;
+          ensure(name).drivers.push_back(std::move(d));
+        }
+      } else if (const auto* inst = std::get_if<verilog::Instance>(&item)) {
+        walk_instance(*inst);
+      }
+    }
+  }
+
+  // --- constant lattice ----------------------------------------------------
+
+  void run_constant_fixpoint() {
+    for (int pass = 0; pass < 8; ++pass) {
+      bool changed = false;
+      for (auto& [name, node] : df_.signals) {
+        if (node.constant || node.drivers.size() != 1) continue;
+        if (node.is_port && node.dir == Dir::kInput) continue;
+        const Driver& d = node.drivers.front();
+        if ((d.kind != DriverKind::kContAssign && d.kind != DriverKind::kDeclInit) ||
+            !d.whole_signal() || !d.rhs) {
+          continue;
+        }
+        if (auto c = fold_constant(d.rhs, df_)) {
+          ConstBits v = *c;
+          v.width = node.width;
+          v.value &= width_mask(node.width);
+          v.xz &= width_mask(node.width);
+          node.constant = v;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  // --- combinational cycles ------------------------------------------------
+
+  void find_comb_cycles() {
+    // Adjacency over signals with combinational drivers.
+    std::map<std::string, std::set<std::string>> adj;
+    for (const auto& [name, node] : df_.signals) {
+      for (const auto& d : node.drivers) {
+        if (d.kind != DriverKind::kContAssign && d.kind != DriverKind::kDeclInit &&
+            d.kind != DriverKind::kCombAlways) {
+          continue;
+        }
+        for (const auto& dep : d.deps) {
+          if (df_.signals.count(dep)) adj[name].insert(dep);
+        }
+      }
+    }
+    // Iterative Tarjan SCC.
+    std::map<std::string, int> index, low;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    int next_index = 0;
+    struct Frame {
+      std::string node;
+      std::vector<std::string> succ;
+      std::size_t next = 0;
+    };
+    for (const auto& [start, unused_edges] : adj) {
+      (void)unused_edges;
+      if (index.count(start)) continue;
+      std::vector<Frame> frames;
+      auto push_node = [&](const std::string& n) {
+        index[n] = low[n] = next_index++;
+        stack.push_back(n);
+        on_stack.insert(n);
+        Frame f;
+        f.node = n;
+        auto it = adj.find(n);
+        if (it != adj.end()) f.succ.assign(it->second.begin(), it->second.end());
+        frames.push_back(std::move(f));
+      };
+      push_node(start);
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        if (f.next < f.succ.size()) {
+          const std::string& w = f.succ[f.next++];
+          if (!index.count(w)) {
+            if (adj.count(w)) {
+              push_node(w);
+            } else {
+              index[w] = low[w] = next_index++;  // leaf: no comb driver, no SCC
+            }
+          } else if (on_stack.count(w)) {
+            low[f.node] = std::min(low[f.node], index[w]);
+          }
+        } else {
+          if (low[f.node] == index[f.node]) {
+            std::vector<std::string> scc;
+            while (true) {
+              std::string w = stack.back();
+              stack.pop_back();
+              on_stack.erase(w);
+              scc.push_back(w);
+              if (w == f.node) break;
+            }
+            const bool self_loop =
+                scc.size() == 1 && adj.count(scc[0]) && adj.at(scc[0]).count(scc[0]);
+            if (scc.size() > 1 || self_loop) {
+              std::sort(scc.begin(), scc.end());
+              df_.comb_cycles.push_back(std::move(scc));
+            }
+          }
+          const std::string done = f.node;
+          frames.pop_back();
+          if (!frames.empty()) {
+            low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+          }
+        }
+      }
+    }
+    std::sort(df_.comb_cycles.begin(), df_.comb_cycles.end());
+  }
+
+  const Module& m_;
+  const SourceFile* file_;
+  ModuleDataflow df_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+std::optional<ConstBits> fold_constant(const ExprPtr& e, const ModuleDataflow& df) {
+  if (!e) return std::nullopt;
+  switch (e->kind) {
+    case ExprKind::kNumber: {
+      ConstBits c;
+      c.value = e->number.value;
+      c.xz = e->number.xz_mask;
+      c.width = e->number.width;
+      c.sized = e->number.sized;
+      return c;
+    }
+    case ExprKind::kIdent: {
+      if (auto it = df.parameters.find(e->ident); it != df.parameters.end()) return it->second;
+      if (auto it = df.signals.find(e->ident);
+          it != df.signals.end() && it->second.constant) {
+        return it->second.constant;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kUnary: {
+      auto a = fold_constant(e->operands.empty() ? nullptr : e->operands[0], df);
+      if (!a || !a->fully_defined()) return std::nullopt;
+      const std::uint64_t mask = width_mask(a->width);
+      const std::uint64_t v = a->value & mask;
+      ConstBits r;
+      r.width = a->width;
+      r.sized = a->sized;
+      if (e->op == "~") {
+        r.value = ~v & mask;
+      } else if (e->op == "!") {
+        r.value = v == 0;
+        r.width = 1;
+      } else if (e->op == "-") {
+        r.value = (~v + 1) & mask;
+      } else if (e->op == "&") {
+        r.value = v == mask;
+        r.width = 1;
+      } else if (e->op == "|") {
+        r.value = v != 0;
+        r.width = 1;
+      } else if (e->op == "^") {
+        r.value = static_cast<std::uint64_t>(__builtin_popcountll(v) & 1);
+        r.width = 1;
+      } else if (e->op == "~&") {
+        r.value = v != mask;
+        r.width = 1;
+      } else if (e->op == "~|") {
+        r.value = v == 0;
+        r.width = 1;
+      } else if (e->op == "~^" || e->op == "^~") {
+        r.value = static_cast<std::uint64_t>(~__builtin_popcountll(v) & 1);
+        r.width = 1;
+      } else {
+        return std::nullopt;
+      }
+      return r;
+    }
+    case ExprKind::kBinary: {
+      if (e->operands.size() < 2) return std::nullopt;
+      auto a = fold_constant(e->operands[0], df);
+      auto b = fold_constant(e->operands[1], df);
+      if (!a || !b || !a->fully_defined() || !b->fully_defined()) return std::nullopt;
+      const int w = std::max(a->width, b->width);
+      const std::uint64_t mask = width_mask(w);
+      const std::uint64_t x = a->value & mask;
+      const std::uint64_t y = b->value & mask;
+      ConstBits r;
+      r.width = w;
+      r.sized = a->sized || b->sized;
+      const std::string& op = e->op;
+      if (op == "+") r.value = (x + y) & mask;
+      else if (op == "-") r.value = (x - y) & mask;
+      else if (op == "*") r.value = (x * y) & mask;
+      else if (op == "/") {
+        if (y == 0) return std::nullopt;
+        r.value = (x / y) & mask;
+      } else if (op == "%") {
+        if (y == 0) return std::nullopt;
+        r.value = (x % y) & mask;
+      } else if (op == "&") r.value = x & y;
+      else if (op == "|") r.value = x | y;
+      else if (op == "^") r.value = x ^ y;
+      else if (op == "<<") {
+        r.value = y >= 64 ? 0 : (x << y) & mask;
+      } else if (op == ">>") {
+        r.value = y >= 64 ? 0 : (x >> y);
+      } else if (op == "==") { r.value = x == y; r.width = 1; }
+      else if (op == "!=") { r.value = x != y; r.width = 1; }
+      else if (op == "<") { r.value = x < y; r.width = 1; }
+      else if (op == "<=") { r.value = x <= y; r.width = 1; }
+      else if (op == ">") { r.value = x > y; r.width = 1; }
+      else if (op == ">=") { r.value = x >= y; r.width = 1; }
+      else if (op == "&&") { r.value = x != 0 && y != 0; r.width = 1; }
+      else if (op == "||") { r.value = x != 0 || y != 0; r.width = 1; }
+      else return std::nullopt;
+      return r;
+    }
+    case ExprKind::kTernary: {
+      if (e->operands.size() < 3) return std::nullopt;
+      auto c = fold_constant(e->operands[0], df);
+      if (!c || !c->fully_defined()) return std::nullopt;
+      return fold_constant(e->operands[c->value != 0 ? 1 : 2], df);
+    }
+    case ExprKind::kConcat: {
+      ConstBits r;
+      r.width = 0;
+      r.sized = true;
+      for (const auto& part : e->operands) {  // MSB first
+        auto p = fold_constant(part, df);
+        if (!p || p->width <= 0 || r.width + p->width > 64) return std::nullopt;
+        r.value = (r.value << p->width) | (p->value & width_mask(p->width));
+        r.xz = (r.xz << p->width) | (p->xz & width_mask(p->width));
+        r.width += p->width;
+      }
+      return r.width > 0 ? std::optional<ConstBits>(r) : std::nullopt;
+    }
+    case ExprKind::kReplicate: {
+      auto p = fold_constant(e->operands.empty() ? nullptr : e->operands[0], df);
+      if (!p || p->width <= 0) return std::nullopt;
+      const std::uint64_t n = e->repeat;
+      if (n == 0 || n * static_cast<std::uint64_t>(p->width) > 64) return std::nullopt;
+      ConstBits r;
+      r.width = 0;
+      r.sized = true;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        r.value = (r.value << p->width) | (p->value & width_mask(p->width));
+        r.xz = (r.xz << p->width) | (p->xz & width_mask(p->width));
+        r.width += p->width;
+      }
+      return r;
+    }
+    case ExprKind::kBitSelect: {
+      auto base = fold_constant(Expr::make_ident(e->ident), df);
+      auto idx = fold_constant(e->operands.empty() ? nullptr : e->operands[0], df);
+      if (!base || !idx || !idx->fully_defined() || idx->value >= 64) return std::nullopt;
+      ConstBits r;
+      r.width = 1;
+      r.sized = true;
+      r.value = (base->value >> idx->value) & 1;
+      r.xz = (base->xz >> idx->value) & 1;
+      return r;
+    }
+    case ExprKind::kPartSelect: {
+      auto base = fold_constant(Expr::make_ident(e->ident), df);
+      if (!base) return std::nullopt;
+      const int lo = std::min(e->msb, e->lsb);
+      const int hi = std::max(e->msb, e->lsb);
+      if (lo < 0 || hi >= 64) return std::nullopt;
+      ConstBits r;
+      r.width = hi - lo + 1;
+      r.sized = true;
+      r.value = (base->value >> lo) & width_mask(r.width);
+      r.xz = (base->xz >> lo) & width_mask(r.width);
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Width inference
+// ---------------------------------------------------------------------------
+
+int infer_width(const ExprPtr& e, const ModuleDataflow& df) {
+  if (!e) return 0;
+  switch (e->kind) {
+    case ExprKind::kNumber:
+      return e->number.sized ? e->number.width : 0;
+    case ExprKind::kIdent: {
+      if (df.parameters.count(e->ident)) return 0;  // context-determined
+      auto it = df.signals.find(e->ident);
+      return it != df.signals.end() && it->second.declared ? it->second.width : 0;
+    }
+    case ExprKind::kUnary: {
+      if (e->op == "~" || e->op == "-") {
+        return infer_width(e->operands.empty() ? nullptr : e->operands[0], df);
+      }
+      return 1;  // reductions and !
+    }
+    case ExprKind::kBinary: {
+      const std::string& op = e->op;
+      if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+          op == ">=" || op == "&&" || op == "||") {
+        return 1;
+      }
+      if (e->operands.size() < 2) return 0;
+      if (op == "<<" || op == ">>") return infer_width(e->operands[0], df);
+      const int a = infer_width(e->operands[0], df);
+      const int b = infer_width(e->operands[1], df);
+      if (a == 0 || b == 0) return std::max(a, b) == 0 ? 0 : std::max(a, b);
+      return std::max(a, b);
+    }
+    case ExprKind::kTernary: {
+      if (e->operands.size() < 3) return 0;
+      const int a = infer_width(e->operands[1], df);
+      const int b = infer_width(e->operands[2], df);
+      if (a == 0 || b == 0) return std::max(a, b);
+      return std::max(a, b);
+    }
+    case ExprKind::kConcat: {
+      int total = 0;
+      for (const auto& part : e->operands) {
+        const int w = infer_width(part, df);
+        if (w == 0) return 0;
+        total += w;
+      }
+      return total;
+    }
+    case ExprKind::kReplicate: {
+      const int w = infer_width(e->operands.empty() ? nullptr : e->operands[0], df);
+      if (w == 0 || e->repeat == 0) return 0;
+      return static_cast<int>(e->repeat) * w;
+    }
+    case ExprKind::kBitSelect:
+      return 1;
+    case ExprKind::kPartSelect:
+      return (e->msb >= e->lsb ? e->msb - e->lsb : e->lsb - e->msb) + 1;
+  }
+  return 0;
+}
+
+ModuleDataflow build_dataflow(const Module& m, const SourceFile* file) {
+  return DataflowBuilder(m, file).build();
+}
+
+}  // namespace haven::lint

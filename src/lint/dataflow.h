@@ -1,0 +1,159 @@
+// Per-module dataflow model backing the lint rules (src/lint/lint.h).
+//
+// One pass over a parsed verilog::Module produces:
+//  * a symbol table with every net/reg/port and its declared width,
+//  * a driver list per signal (continuous assign, comb always, clocked
+//    always, initial block, instance output, declaration initialiser), each
+//    with the bit range it writes and the signals its value depends on,
+//  * an always-block classification (clocked vs combinational, declared
+//    sensitivity vs @*), with per-block read sets, assigned-on-all-paths /
+//    assigned-on-some-path sets (case-coverage aware) and assignment-style
+//    flags,
+//  * a constant-bit lattice: parameters and nets whose single continuous
+//    driver folds to a literal are mapped to their value (x/z bits carried
+//    in a mask), iterated to a fixpoint so constants propagate through
+//    chains of assigns,
+//  * the strongly connected components of the combinational dependency
+//    graph (continuous assigns + comb always blocks), for loop detection.
+//
+// The model is deliberately conservative: anything it cannot prove (unknown
+// instance, non-constant select, for-loop bounds) widens to "unknown" rather
+// than guessing, so rules built on it stay false-positive-free on the
+// golden corpus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verilog/ast.h"
+
+namespace haven::lint {
+
+// A constant value with carried x/z bits: `value` holds the defined bits,
+// `xz` masks the bits that are x or z. Widths above 64 are not represented
+// (the simulator rejects them anyway).
+struct ConstBits {
+  std::uint64_t value = 0;
+  std::uint64_t xz = 0;
+  int width = 32;
+  bool sized = false;  // came from a sized literal (width is meaningful)
+
+  bool fully_defined() const { return xz == 0; }
+};
+
+enum class DriverKind : std::uint8_t {
+  kContAssign,    // assign lhs = rhs;
+  kDeclInit,      // wire w = expr;
+  kCombAlways,    // level-sensitive / @* always block
+  kClockedAlways, // edge-sensitive always block
+  kInitial,       // initial block
+  kInstance,      // output port of an instantiated module
+};
+
+// One writer of (a slice of) a signal.
+struct Driver {
+  DriverKind kind = DriverKind::kContAssign;
+  int line = 0;
+  int always_index = -1;  // index into ModuleDataflow::always, or -1
+  // Written bit range within the signal; lo = -1 means the whole signal
+  // (or an unknown slice: a bit-select with a non-constant index).
+  int lo = -1;
+  int hi = -1;
+  // Signals this driver's value depends on. For combinational drivers these
+  // are the *external* reads: assignments earlier in the same always block
+  // are substituted through, so a blocking chain `a = b; c = a;` depends on
+  // {b}, not on {a}. Used for loop detection.
+  std::set<std::string> deps;
+  // Right-hand side for continuous/initialiser drivers (constant lattice).
+  verilog::ExprPtr rhs;
+
+  bool whole_signal() const { return lo < 0; }
+  bool overlaps(const Driver& o) const {
+    if (whole_signal() || o.whole_signal()) return true;
+    return lo <= o.hi && o.lo <= hi;
+  }
+};
+
+struct SignalNode {
+  std::string name;
+  int width = 1;
+  int decl_line = 0;
+  bool is_port = false;
+  verilog::Dir dir = verilog::Dir::kInput;
+  bool is_reg = false;
+  bool declared = true;  // false: referenced but never declared (1-bit wire)
+  bool read = false;     // appears on a right-hand side / condition / index
+  std::vector<Driver> drivers;
+  // Provably-constant value (single whole-signal continuous driver folding
+  // to a literal; parameters). Sound: the signal holds this value at every
+  // point of every simulation.
+  std::optional<ConstBits> constant;
+};
+
+// A case statement seen inside an always block.
+struct CaseInfo {
+  int line = 0;
+  verilog::CaseKind kind = verilog::CaseKind::kCase;
+  bool has_default = false;
+  bool in_clocked = false;
+  int subject_width = 0;   // 0 = unknown
+  // Label coverage: full == every subject value is matched by some label
+  // (only computed when the subject width and all labels are constant and
+  // small; unknown coverage reports full=true so no rule fires on it).
+  bool full_coverage = true;
+};
+
+struct AlwaysInfo {
+  int index = 0;
+  int line = 0;
+  bool clocked = false;
+  bool star = false;
+  std::vector<verilog::SensItem> sens;
+  std::set<std::string> reads;          // signals read anywhere in the body
+  std::set<std::string> assigned_all;   // assigned on every execution path
+  std::set<std::string> assigned_some;  // assigned on at least one path
+  int first_blocking_line = 0;          // 0 = none
+  int first_nonblocking_line = 0;       // 0 = none
+  // Outermost `if` of the block body (reset-test candidate): the tested
+  // signal and whether the test is for the signal being LOW (`!rst`,
+  // `~rst`, `rst == 0`). Empty when the body has no recognizable leading if.
+  std::string outer_if_signal;
+  bool outer_if_negated = false;
+};
+
+struct ModuleDataflow {
+  std::map<std::string, SignalNode> signals;
+  std::vector<AlwaysInfo> always;
+  std::vector<CaseInfo> cases;
+  // Combinational dependency cycles: each entry is a sorted list of signal
+  // names forming one non-trivial SCC (size > 1, or a self-loop).
+  std::vector<std::vector<std::string>> comb_cycles;
+  // Instantiated module names with no definition in the source file.
+  std::vector<std::pair<std::string, int>> unknown_instances;  // (name, line)
+  // Any always block mixing edge and level sensitivity items (elab reject).
+  std::vector<int> mixed_sens_lines;
+  // Parameter values by name (the slice of the constant lattice that came
+  // from parameter declarations).
+  std::map<std::string, ConstBits> parameters;
+};
+
+// Build the dataflow model for one module. `file` (optional) supplies
+// sibling module definitions for instance port directions.
+ModuleDataflow build_dataflow(const verilog::Module& m,
+                              const verilog::SourceFile* file = nullptr);
+
+// Fold an expression to a constant under the given dataflow's lattice
+// (parameters + provably-constant signals). Returns nullopt when any leaf is
+// non-constant or an operator is not supported.
+std::optional<ConstBits> fold_constant(const verilog::ExprPtr& e, const ModuleDataflow& df);
+
+// Inferred bit width of an expression under Verilog self-determined rules,
+// with unsized literals reported as 0 ("context-determined": never flagged).
+// Returns 0 when the width cannot be pinned down.
+int infer_width(const verilog::ExprPtr& e, const ModuleDataflow& df);
+
+}  // namespace haven::lint

@@ -1,0 +1,158 @@
+// haven::lint — dataflow-based static analysis for generated Verilog with
+// hallucination-class attribution.
+//
+// Every rule produces Findings that carry (a) a verilog::Diagnostic — the
+// severity/line/rule-id shape shared with the parser and the semantic
+// analyzer — and (b) an attributed llm::HalluAxis from the paper's taxonomy
+// (Table II), so lint output doubles as a *static estimator* of the
+// hallucination class that produced a defect. Two finding grades matter
+// downstream:
+//
+//  * predicts_failure — the rule statically predicts this candidate will
+//    fail the differential testbench. Feeds the precision/recall tally in
+//    eval::LintSummary.
+//  * proven — the prediction is SOUND: the finding by itself implies the
+//    diff test fails (interface mismatch, elaboration reject, constant
+//    output contradicting the reference truth table). Only proven findings
+//    may trigger simulation-skipping triage in the eval engine; see
+//    DESIGN.md §8 for the per-rule soundness arguments.
+//
+// Reference-aware rules compare the candidate against a ReferenceProfile
+// distilled from the golden module (interface, attributes, truth rows).
+// Without a profile, lint_module() runs the standalone rules only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/dataflow.h"
+#include "llm/hallucination.h"
+#include "verilog/analyzer.h"
+#include "verilog/parser.h"
+
+namespace haven::lint {
+
+enum class Rule : std::uint8_t {
+  kSyntax = 0,         // source does not parse
+  kSema,               // semantic-analyzer error (compile gate)
+  kMultiDriven,        // overlapping drivers the compile gate accepts
+  kUndriven,           // read or exported but never driven
+  kUnused,             // driven or declared but never read
+  kWidthMismatch,      // rhs provably wider than lhs (truncation)
+  kSelectRange,        // constant select outside the declared range
+  kCombLoop,           // cycle in the combinational dependency graph
+  kSensIncomplete,     // level-sensitive list missing a read signal
+  kSensOverwide,       // level-sensitive list naming an unread signal
+  kBlockingInSeq,      // blocking assignment in a clocked block
+  kNonblockingInComb,  // nonblocking assignment in a comb block
+  kCaseIncomplete,     // case without default, labels don't cover
+  kLatch,              // comb signal not assigned on all paths
+  kResetStyle,         // async/sync reset inconsistency, wrong polarity
+  kXConstant,          // x/z literal feeding logic
+  kConstOutput,        // output provably stuck at a constant
+  kElabReject,         // construct the elaborator rejects (width > 64, ...)
+  kIfaceMismatch,      // port list differs from the reference (proven)
+  kAttrMismatch,       // clock/reset attributes differ from the reference
+};
+inline constexpr int kNumRules = 20;
+
+// Stable machine-readable id, e.g. "lint.multi-driven".
+const char* rule_id(Rule r);
+
+// Default taxonomy axis for a rule's findings.
+llm::HalluAxis rule_axis(Rule r);
+
+struct Finding {
+  Rule rule = Rule::kSyntax;
+  verilog::Diagnostic diag;  // severity, line, message; diag.rule == rule_id(rule)
+  llm::HalluAxis axis = llm::HalluAxis::kKnowSyntax;
+  bool predicts_failure = false;
+  bool proven = false;
+};
+
+// Make a Finding with diag.rule/axis filled from the rule's defaults.
+Finding make_finding(Rule rule, verilog::Severity severity, int line, std::string message,
+                     bool predicts_failure = false, bool proven = false);
+
+struct LintResult {
+  std::vector<Finding> findings;  // ordered by line, then rule id
+
+  bool flagged() const;          // any predicts_failure finding
+  bool proven_failure() const;   // any proven finding (triage-eligible)
+  // Bitmask over llm::HalluAxis of axes with >= 1 warning-or-error finding.
+  std::uint32_t axis_mask() const;
+};
+
+// Reference profile distilled from a golden module, consumed by the
+// reference-aware rules. Plain data: the eval engine fills it (it has the
+// task spec, the stimulus protocol and the simulator at hand); the
+// non-owning pointers must outlive the profile.
+struct ReferenceProfile {
+  const verilog::Module* golden = nullptr;
+  verilog::Attributes attrs;     // analyzer attributes of the golden module
+  bool sequential = false;
+  std::string clock;             // stimulus clock/reset names ("" = none)
+  std::string reset;
+  // The differential test will sweep EVERY data-input vector (combinational
+  // task with few enough input bits). Precondition for the constant-output
+  // proof.
+  bool exhaustive_comb = false;
+  // The golden module elaborates. When false, elaboration-reject findings
+  // lose their proven grade (a reject would be a harness fault, not a DUT
+  // verdict).
+  bool golden_elab_ok = true;
+  // Golden truth rows for 1-bit outputs: does any fully-defined input
+  // vector make the output 0 / 1?
+  struct OutputTruth {
+    std::string port;
+    bool defined_zero = false;
+    bool defined_one = false;
+  };
+  std::vector<OutputTruth> truth;
+  // Input ports the golden module actually reads. A candidate ignoring one
+  // of these is a misalignment warning; inputs the golden also ignores stay
+  // note-grade.
+  std::vector<std::string> read_inputs;
+};
+
+// Fill golden-derived fields of a profile that lint can compute itself
+// (attributes via the analyzer, read_inputs via dataflow). The caller still
+// fills the stimulus/truth/elaboration fields.
+void profile_from_golden(const verilog::Module& golden, const verilog::SourceFile* file,
+                         ReferenceProfile* ref);
+
+// Run every rule over one module. `file` supplies sibling definitions for
+// instance checks; `ref` (optional) enables the reference-aware rules and
+// the proven grade on constant-output findings.
+LintResult lint_candidate(const verilog::Module& m, const verilog::SourceFile* file,
+                          const ReferenceProfile* ref);
+
+// Standalone lint (no reference).
+inline LintResult lint_module(const verilog::Module& m,
+                              const verilog::SourceFile* file = nullptr) {
+  return lint_candidate(m, file, nullptr);
+}
+
+// Whole-file lint for tools: parse failures become kSyntax findings,
+// analyzer errors kSema findings, then every module is linted standalone.
+struct SourceLint {
+  std::vector<Finding> findings;  // file-level, then per-module in order
+  bool parsed = false;
+};
+SourceLint lint_source(std::string_view source);
+
+// Map frontend diagnostics (parse errors, semantic-analyzer errors) to
+// attributed findings: "parse" -> kSyntax/kKnowSyntax; "sema.*" -> kSema
+// with a per-rule axis (multi-driven and wire-reg confusion are convention
+// hallucinations, the rest syntax). Warnings are skipped (the lint rules
+// re-derive them with more precision).
+std::vector<Finding> findings_from_diagnostics(const std::vector<verilog::Diagnostic>& diags);
+
+// Machine-readable JSON: {"rule":..,"severity":..,"line":..,"axis":..,
+// "predicts_failure":..,"proven":..,"message":..}.
+std::string finding_json(const Finding& f);
+std::string findings_json(const std::vector<Finding>& findings);
+
+}  // namespace haven::lint

@@ -1,0 +1,796 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "verilog/parser.h"
+
+namespace haven::lint {
+
+namespace {
+
+using llm::HalluAxis;
+using verilog::Dir;
+using verilog::Expr;
+using verilog::ExprKind;
+using verilog::ExprPtr;
+using verilog::Module;
+using verilog::Severity;
+using verilog::SourceFile;
+using verilog::Stmt;
+using verilog::StmtKind;
+using verilog::StmtPtr;
+
+}  // namespace
+
+const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::kSyntax: return "lint.syntax";
+    case Rule::kSema: return "lint.sema";
+    case Rule::kMultiDriven: return "lint.multi-driven";
+    case Rule::kUndriven: return "lint.undriven";
+    case Rule::kUnused: return "lint.unused";
+    case Rule::kWidthMismatch: return "lint.width";
+    case Rule::kSelectRange: return "lint.select-range";
+    case Rule::kCombLoop: return "lint.comb-loop";
+    case Rule::kSensIncomplete: return "lint.sens-incomplete";
+    case Rule::kSensOverwide: return "lint.sens-overwide";
+    case Rule::kBlockingInSeq: return "lint.blocking-in-seq";
+    case Rule::kNonblockingInComb: return "lint.nonblocking-in-comb";
+    case Rule::kCaseIncomplete: return "lint.case-incomplete";
+    case Rule::kLatch: return "lint.latch";
+    case Rule::kResetStyle: return "lint.reset-style";
+    case Rule::kXConstant: return "lint.x-constant";
+    case Rule::kConstOutput: return "lint.const-output";
+    case Rule::kElabReject: return "lint.elab-reject";
+    case Rule::kIfaceMismatch: return "lint.iface";
+    case Rule::kAttrMismatch: return "lint.attr-mismatch";
+  }
+  return "lint.?";
+}
+
+llm::HalluAxis rule_axis(Rule r) {
+  switch (r) {
+    case Rule::kSyntax:
+    case Rule::kSema:
+    case Rule::kElabReject:
+      return HalluAxis::kKnowSyntax;
+    case Rule::kMultiDriven:
+    case Rule::kCombLoop:
+    case Rule::kSensIncomplete:
+    case Rule::kSensOverwide:
+    case Rule::kBlockingInSeq:
+    case Rule::kNonblockingInComb:
+      return HalluAxis::kKnowConvention;
+    case Rule::kUndriven:
+    case Rule::kConstOutput:
+      return HalluAxis::kComprehension;
+    case Rule::kUnused:
+    case Rule::kIfaceMismatch:
+      return HalluAxis::kMisalignment;
+    case Rule::kWidthMismatch:
+    case Rule::kSelectRange:
+      return HalluAxis::kLogicExpression;
+    case Rule::kCaseIncomplete:
+    case Rule::kLatch:
+    case Rule::kXConstant:
+      return HalluAxis::kLogicCorner;
+    case Rule::kResetStyle:
+    case Rule::kAttrMismatch:
+      return HalluAxis::kKnowAttribute;
+  }
+  return HalluAxis::kComprehension;
+}
+
+Finding make_finding(Rule rule, Severity severity, int line, std::string message,
+                     bool predicts_failure, bool proven) {
+  Finding f;
+  f.rule = rule;
+  f.diag = {std::move(message), line, 0, severity, rule_id(rule)};
+  f.axis = rule_axis(rule);
+  f.predicts_failure = predicts_failure;
+  f.proven = proven;
+  return f;
+}
+
+bool LintResult::flagged() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const Finding& f) { return f.predicts_failure; });
+}
+
+bool LintResult::proven_failure() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const Finding& f) { return f.proven; });
+}
+
+std::uint32_t LintResult::axis_mask() const {
+  std::uint32_t mask = 0;
+  for (const Finding& f : findings) {
+    if (f.diag.severity == Severity::kNote) continue;
+    mask |= std::uint32_t{1} << static_cast<int>(f.axis);
+  }
+  return mask;
+}
+
+namespace {
+
+std::string join(const std::set<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += "'" + n + "'";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural rules over the dataflow model
+// ---------------------------------------------------------------------------
+
+void multi_driven_rule(const ModuleDataflow& df, std::vector<Finding>* out) {
+  for (const auto& [name, node] : df.signals) {
+    // Partition into always-block drivers and net-style drivers.
+    std::vector<const Driver*> always_drv, net_drv;
+    for (const auto& d : node.drivers) {
+      if (d.kind == DriverKind::kInitial) continue;  // init value, not a driver
+      if (d.kind == DriverKind::kCombAlways || d.kind == DriverKind::kClockedAlways) {
+        always_drv.push_back(&d);
+      } else {
+        net_drv.push_back(&d);
+      }
+    }
+    int line = 0;
+    bool conflict = false;
+    if (always_drv.size() > 1 || (!always_drv.empty() && !net_drv.empty())) {
+      conflict = true;
+      line = always_drv.front()->line;
+    } else {
+      for (std::size_t i = 0; !conflict && i < net_drv.size(); ++i) {
+        for (std::size_t j = i + 1; j < net_drv.size(); ++j) {
+          if (net_drv[i]->overlaps(*net_drv[j])) {
+            conflict = true;
+            line = net_drv[j]->line;
+            break;
+          }
+        }
+      }
+    }
+    if (conflict) {
+      out->push_back(make_finding(
+          Rule::kMultiDriven, Severity::kError, line,
+          "signal '" + name + "' has multiple overlapping drivers",
+          /*predicts_failure=*/true));
+    }
+  }
+}
+
+void undriven_unused_rule(const ModuleDataflow& df, const ReferenceProfile* ref,
+                          std::vector<Finding>* out) {
+  std::set<std::string> golden_reads;
+  if (ref != nullptr) golden_reads.insert(ref->read_inputs.begin(), ref->read_inputs.end());
+  for (const auto& [name, node] : df.signals) {
+    if (!node.declared) continue;  // undeclared references are analyzer errors
+    const bool is_input = node.is_port && node.dir == Dir::kInput;
+    const bool is_output = node.is_port && node.dir == Dir::kOutput;
+    if (node.drivers.empty() && !is_input) {
+      if (is_output) {
+        out->push_back(make_finding(Rule::kUndriven, Severity::kWarning, node.decl_line,
+                                    "output '" + name + "' is never driven",
+                                    /*predicts_failure=*/true));
+      } else if (node.read) {
+        out->push_back(make_finding(Rule::kUndriven, Severity::kWarning, node.decl_line,
+                                    "signal '" + name + "' is read but never driven",
+                                    /*predicts_failure=*/true));
+      }
+    }
+    if (!node.read && !is_output) {
+      if (is_input) {
+        // Reference-aware grade: ignoring an input the golden design uses is
+        // a misalignment; an input the golden also ignores stays a note.
+        const bool golden_uses = golden_reads.count(name) > 0;
+        out->push_back(make_finding(Rule::kUnused,
+                                    golden_uses ? Severity::kWarning : Severity::kNote,
+                                    node.decl_line, "input '" + name + "' is never read",
+                                    /*predicts_failure=*/golden_uses));
+      } else {
+        out->push_back(make_finding(Rule::kUnused, Severity::kNote, node.decl_line,
+                                    "signal '" + name + "' is never read"));
+      }
+    }
+  }
+}
+
+void comb_loop_rule(const ModuleDataflow& df, std::vector<Finding>* out) {
+  for (const auto& cycle : df.comb_cycles) {
+    int line = 0;
+    for (const auto& name : cycle) {
+      auto it = df.signals.find(name);
+      if (it == df.signals.end()) continue;
+      for (const auto& d : it->second.drivers) {
+        if (line == 0 || (d.line != 0 && d.line < line)) line = d.line;
+      }
+    }
+    std::string names;
+    for (const auto& n : cycle) {
+      if (!names.empty()) names += " -> ";
+      names += n;
+    }
+    out->push_back(make_finding(Rule::kCombLoop, Severity::kWarning, line,
+                                "combinational loop through " + names,
+                                /*predicts_failure=*/true));
+  }
+}
+
+void always_style_rules(const ModuleDataflow& df, std::vector<Finding>* out) {
+  for (const auto& blk : df.always) {
+    if (blk.clocked) {
+      if (blk.first_blocking_line != 0) {
+        out->push_back(make_finding(Rule::kBlockingInSeq, Severity::kWarning,
+                                    blk.first_blocking_line,
+                                    "blocking assignment in edge-sensitive always block",
+                                    /*predicts_failure=*/true));
+      }
+      continue;
+    }
+    if (blk.first_nonblocking_line != 0) {
+      out->push_back(make_finding(Rule::kNonblockingInComb, Severity::kWarning,
+                                  blk.first_nonblocking_line,
+                                  "nonblocking assignment in combinational always block"));
+    }
+    // Latch inference: assigned on some path but not all.
+    std::set<std::string> latched;
+    std::set_difference(blk.assigned_some.begin(), blk.assigned_some.end(),
+                        blk.assigned_all.begin(), blk.assigned_all.end(),
+                        std::inserter(latched, latched.begin()));
+    for (const auto& name : latched) {
+      out->push_back(make_finding(
+          Rule::kLatch, Severity::kWarning, blk.line,
+          "signal '" + name + "' is not assigned on every path (latch inferred)",
+          /*predicts_failure=*/true));
+    }
+    if (blk.star) continue;
+    // Declared sensitivity list vs signals actually read. The simulator
+    // honors declared lists (see sim/elaborate.cpp), so a missing signal is
+    // a real functional risk, not just style.
+    std::set<std::string> sens_names;
+    for (const auto& s : blk.sens) sens_names.insert(s.signal);
+    std::set<std::string> missing;
+    std::set_difference(blk.reads.begin(), blk.reads.end(), sens_names.begin(),
+                        sens_names.end(), std::inserter(missing, missing.begin()));
+    // Signals assigned inside the block before being read are not external.
+    for (const auto& a : blk.assigned_some) missing.erase(a);
+    if (!missing.empty()) {
+      out->push_back(make_finding(Rule::kSensIncomplete, Severity::kWarning, blk.line,
+                                  "sensitivity list missing " + join(missing),
+                                  /*predicts_failure=*/true));
+    }
+    std::set<std::string> extra;
+    std::set_difference(sens_names.begin(), sens_names.end(), blk.reads.begin(),
+                        blk.reads.end(), std::inserter(extra, extra.begin()));
+    if (!extra.empty()) {
+      out->push_back(make_finding(Rule::kSensOverwide, Severity::kNote, blk.line,
+                                  "sensitivity list names unread " + join(extra)));
+    }
+  }
+}
+
+void case_rule(const ModuleDataflow& df, std::vector<Finding>* out) {
+  for (const auto& ci : df.cases) {
+    if (ci.has_default || ci.full_coverage) continue;
+    if (ci.in_clocked) {
+      // Holding state on unlisted values is a normal sequential idiom.
+      out->push_back(make_finding(Rule::kCaseIncomplete, Severity::kNote, ci.line,
+                                  "case without default does not cover all values"));
+    } else {
+      out->push_back(make_finding(Rule::kCaseIncomplete, Severity::kWarning, ci.line,
+                                  "case without default does not cover all values "
+                                  "(latch inferred)",
+                                  /*predicts_failure=*/true));
+    }
+  }
+}
+
+// Name-independent reset-style analysis over clocked blocks.
+void reset_style_rule(const ModuleDataflow& df, std::vector<Finding>* out) {
+  // Signal -> async usage (edge-sensitive and tested) per block; also track
+  // sync tests of the same signal in other clocked blocks.
+  std::set<std::string> async_tested;
+  for (const auto& blk : df.always) {
+    if (!blk.clocked) continue;
+    std::vector<const verilog::SensItem*> edge_read, edge_unread;
+    for (const auto& s : blk.sens) {
+      if (s.edge == verilog::Edge::kLevel) continue;
+      if (blk.reads.count(s.signal)) {
+        edge_read.push_back(&s);
+      } else {
+        edge_unread.push_back(&s);
+      }
+    }
+    // One unread edge signal is the clock. Prefer a clock-like name; any
+    // further unread edge signal is an async control that is never tested.
+    std::size_t clock_idx = 0;
+    for (std::size_t i = 0; i < edge_unread.size(); ++i) {
+      const std::string& n = edge_unread[i]->signal;
+      if (n.find("clk") != std::string::npos || n.find("clock") != std::string::npos) {
+        clock_idx = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < edge_unread.size(); ++i) {
+      if (i == clock_idx) continue;
+      out->push_back(make_finding(
+          Rule::kResetStyle, Severity::kWarning, blk.line,
+          "async signal '" + edge_unread[i]->signal +
+              "' in the sensitivity list is never tested in the block",
+          /*predicts_failure=*/true));
+    }
+    for (const auto* s : edge_read) {
+      async_tested.insert(s->signal);
+      if (blk.outer_if_signal != s->signal) continue;
+      // posedge reset pairs with a positive test, negedge with a negated one.
+      const bool consistent = (s->edge == verilog::Edge::kPos && !blk.outer_if_negated) ||
+                              (s->edge == verilog::Edge::kNeg && blk.outer_if_negated);
+      if (!consistent) {
+        out->push_back(make_finding(
+            Rule::kResetStyle, Severity::kWarning, blk.line,
+            "async reset '" + s->signal + "' polarity contradicts its sensitivity edge",
+            /*predicts_failure=*/true));
+      }
+    }
+  }
+  // Mixed discipline: the same signal used as an async reset in one clocked
+  // block and tested synchronously (read, not in the sens list) in another.
+  for (const auto& blk : df.always) {
+    if (!blk.clocked) continue;
+    std::set<std::string> sens_names;
+    for (const auto& s : blk.sens) sens_names.insert(s.signal);
+    for (const auto& name : async_tested) {
+      if (blk.reads.count(name) && !sens_names.count(name)) {
+        out->push_back(make_finding(
+            Rule::kResetStyle, Severity::kWarning, blk.line,
+            "reset '" + name + "' is asynchronous in one block but synchronous here",
+            /*predicts_failure=*/true));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level rules: width, select range, x literals
+// ---------------------------------------------------------------------------
+
+class ExprRules {
+ public:
+  ExprRules(const ModuleDataflow& df, std::vector<Finding>* out) : df_(df), out_(out) {}
+
+  void check_module(const Module& m) {
+    for (const auto& item : m.items) {
+      if (const auto* d = std::get_if<verilog::NetDecl>(&item)) {
+        if (d->init) check_expr(d->init, d->line);
+      } else if (const auto* a = std::get_if<verilog::ContAssign>(&item)) {
+        check_assign(a->lhs, a->rhs, a->line);
+      } else if (const auto* ab = std::get_if<verilog::AlwaysBlock>(&item)) {
+        check_stmt(ab->body);
+      } else if (const auto* ib = std::get_if<verilog::InitialBlock>(&item)) {
+        check_stmt(ib->body);
+      } else if (const auto* inst = std::get_if<verilog::Instance>(&item)) {
+        for (const auto& conn : inst->connections) check_expr(conn.expr, inst->line);
+      }
+    }
+  }
+
+ private:
+  int lvalue_width(const ExprPtr& lhs) {
+    if (!lhs) return 0;
+    switch (lhs->kind) {
+      case ExprKind::kIdent: {
+        auto it = df_.signals.find(lhs->ident);
+        return it != df_.signals.end() && it->second.declared ? it->second.width : 0;
+      }
+      case ExprKind::kBitSelect:
+        return 1;
+      case ExprKind::kPartSelect:
+        return (lhs->msb >= lhs->lsb ? lhs->msb - lhs->lsb : lhs->lsb - lhs->msb) + 1;
+      case ExprKind::kConcat: {
+        int total = 0;
+        for (const auto& part : lhs->operands) {
+          const int w = lvalue_width(part);
+          if (w == 0) return 0;
+          total += w;
+        }
+        return total;
+      }
+      default:
+        return 0;
+    }
+  }
+
+  void check_assign(const ExprPtr& lhs, const ExprPtr& rhs, int line) {
+    check_expr(lhs, line);
+    check_expr(rhs, line);
+    const int lw = lvalue_width(lhs);
+    const int rw = infer_width(rhs, df_);
+    if (lw > 0 && rw > lw) {
+      out_->push_back(make_finding(
+          Rule::kWidthMismatch, Severity::kWarning, line,
+          std::to_string(rw) + "-bit value truncated to " + std::to_string(lw) + " bits"));
+    }
+  }
+
+  void check_select(const ExprPtr& e, int line) {
+    auto it = df_.signals.find(e->ident);
+    if (it == df_.signals.end() || !it->second.declared) return;
+    const int width = it->second.width;
+    if (e->kind == ExprKind::kBitSelect && !e->operands.empty()) {
+      if (auto idx = fold_constant(e->operands[0], df_); idx && idx->fully_defined()) {
+        if (idx->value >= static_cast<std::uint64_t>(width)) {
+          out_->push_back(make_finding(Rule::kSelectRange, Severity::kWarning, line,
+                                       "bit-select '" + e->ident + "[" +
+                                           std::to_string(idx->value) +
+                                           "]' is outside the declared range"));
+        }
+      }
+    } else if (e->kind == ExprKind::kPartSelect) {
+      if (std::max(e->msb, e->lsb) >= width) {
+        out_->push_back(make_finding(Rule::kSelectRange, Severity::kWarning, line,
+                                     "part-select of '" + e->ident +
+                                         "' exceeds the declared range"));
+      }
+    }
+  }
+
+  void check_expr(const ExprPtr& e, int line, bool in_wildcard_label = false) {
+    if (!e) return;
+    const int at = e->line != 0 ? e->line : line;
+    if (e->kind == ExprKind::kNumber && e->number.xz_mask != 0 && !in_wildcard_label) {
+      out_->push_back(make_finding(Rule::kXConstant, Severity::kWarning, at,
+                                   "x/z literal feeds logic (propagates unknowns)",
+                                   /*predicts_failure=*/true));
+    }
+    if (e->kind == ExprKind::kBitSelect || e->kind == ExprKind::kPartSelect) {
+      check_select(e, at);
+    }
+    for (const auto& child : e->operands) check_expr(child, at, in_wildcard_label);
+  }
+
+  void check_stmt(const StmtPtr& s) {
+    if (!s) return;
+    switch (s->kind) {
+      case StmtKind::kBlock:
+        for (const auto& sub : s->stmts) check_stmt(sub);
+        return;
+      case StmtKind::kBlockingAssign:
+      case StmtKind::kNonblockingAssign:
+        check_assign(s->lhs, s->rhs, s->line);
+        return;
+      case StmtKind::kIf:
+        check_expr(s->cond, s->line);
+        check_stmt(s->then_branch);
+        check_stmt(s->else_branch);
+        return;
+      case StmtKind::kCase: {
+        check_expr(s->cond, s->line);
+        const bool wildcard = s->case_kind != verilog::CaseKind::kCase;
+        for (const auto& item : s->case_items) {
+          for (const auto& label : item.labels) check_expr(label, s->line, wildcard);
+          check_stmt(item.body);
+        }
+        return;
+      }
+      case StmtKind::kFor:
+        check_expr(s->rhs, s->line);
+        check_expr(s->cond, s->line);
+        check_expr(s->step_rhs, s->line);
+        check_stmt(s->body);
+        return;
+    }
+  }
+
+  const ModuleDataflow& df_;
+  std::vector<Finding>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Elaboration-reject rule (constructs sim/elaborate.cpp throws on)
+// ---------------------------------------------------------------------------
+
+void elab_reject_rule(const ModuleDataflow& df, const ReferenceProfile* ref,
+                      std::vector<Finding>* out) {
+  // A DUT-side elaboration error deterministically fails the diff test —
+  // provided the golden side elaborates (otherwise the run is a harness
+  // fault, not a verdict). Without a reference the proven grade is
+  // informational.
+  const bool proven = ref == nullptr || ref->golden_elab_ok;
+  for (const auto& [name, node] : df.signals) {
+    if (node.width > 64) {
+      out->push_back(make_finding(Rule::kElabReject, Severity::kError, node.decl_line,
+                                  "signal '" + name + "' is wider than 64 bits "
+                                  "(elaboration rejects it)",
+                                  /*predicts_failure=*/true, proven));
+    }
+  }
+  for (int line : df.mixed_sens_lines) {
+    out->push_back(make_finding(Rule::kElabReject, Severity::kError, line,
+                                "mixed edge and level sensitivity "
+                                "(elaboration rejects it)",
+                                /*predicts_failure=*/true, proven));
+  }
+  for (const auto& [name, line] : df.unknown_instances) {
+    out->push_back(make_finding(Rule::kElabReject, Severity::kError, line,
+                                "instance of undefined module '" + name +
+                                    "' (elaboration rejects it)",
+                                /*predicts_failure=*/true, proven));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference-aware rules
+// ---------------------------------------------------------------------------
+
+// Static replica of the testbench interface check (sim/testbench.cpp): any
+// deviation from the golden port list fails the diff test before a single
+// vector is driven, so these findings are proven.
+void iface_rule(const Module& m, const ReferenceProfile& ref, std::vector<Finding>* out) {
+  if (ref.golden == nullptr) return;
+  for (const auto& gp : ref.golden->ports) {
+    const verilog::Port* dp = m.find_port(gp.name);
+    if (dp == nullptr) {
+      out->push_back(make_finding(Rule::kIfaceMismatch, Severity::kError, m.line,
+                                  "missing port '" + gp.name + "'",
+                                  /*predicts_failure=*/true, /*proven=*/true));
+      continue;
+    }
+    if (dp->dir != gp.dir) {
+      out->push_back(make_finding(Rule::kIfaceMismatch, Severity::kError, m.line,
+                                  "port '" + gp.name + "' direction mismatch",
+                                  /*predicts_failure=*/true, /*proven=*/true));
+    }
+    if (dp->width() != gp.width()) {
+      out->push_back(make_finding(
+          Rule::kIfaceMismatch, Severity::kError, m.line,
+          "port '" + gp.name + "' width mismatch (reference " +
+              std::to_string(gp.width()) + ", candidate " + std::to_string(dp->width()) + ")",
+          /*predicts_failure=*/true, /*proven=*/true));
+    }
+  }
+  for (const auto& dp : m.ports) {
+    if (ref.golden->find_port(dp.name) == nullptr) {
+      out->push_back(make_finding(Rule::kIfaceMismatch, Severity::kError, m.line,
+                                  "extra port '" + dp.name + "'",
+                                  /*predicts_failure=*/true, /*proven=*/true));
+    }
+  }
+}
+
+void attr_rule(const Module& m, const SourceFile* file, const ReferenceProfile& ref,
+               std::vector<Finding>* out) {
+  const verilog::Attributes cand = verilog::analyze_module(m, file).attributes;
+  const verilog::Attributes& want = ref.attrs;
+  if (!want.has_clock) return;
+  if (!cand.has_clock) {
+    out->push_back(make_finding(Rule::kAttrMismatch, Severity::kWarning, m.line,
+                                "reference is clocked but candidate has no clocked logic",
+                                /*predicts_failure=*/true));
+    return;
+  }
+  if (cand.negedge_clock != want.negedge_clock) {
+    out->push_back(make_finding(Rule::kAttrMismatch, Severity::kWarning, m.line,
+                                "clock edge differs from the reference",
+                                /*predicts_failure=*/true));
+  }
+  if (!ref.reset.empty()) {
+    if (cand.async_reset != want.async_reset || cand.sync_reset != want.sync_reset) {
+      out->push_back(make_finding(Rule::kAttrMismatch, Severity::kWarning, m.line,
+                                  "reset style (sync/async) differs from the reference",
+                                  /*predicts_failure=*/true));
+    }
+    if (cand.active_low_reset != want.active_low_reset) {
+      out->push_back(make_finding(Rule::kAttrMismatch, Severity::kWarning, m.line,
+                                  "reset polarity differs from the reference",
+                                  /*predicts_failure=*/true));
+    }
+  }
+}
+
+// Constant-output rule, reference-aware when possible. Soundness of the
+// proven grade (see DESIGN.md §8): the candidate's output provably holds a
+// constant (or X) at every instant; the exhaustive sweep visits a golden
+// truth row whose defined value differs; outputs_match() then fails on
+// defined-vs-defined inequality or defined-vs-X — and every other diff-test
+// outcome (elab reject, non-convergence) is also a failure.
+void const_output_rule(const Module& m, const ModuleDataflow& df, const ReferenceProfile* ref,
+                       std::vector<Finding>* out) {
+  for (const auto& port : m.ports) {
+    if (port.dir != Dir::kOutput) continue;
+    auto it = df.signals.find(port.name);
+    if (it == df.signals.end()) continue;
+    const SignalNode& node = it->second;
+    const bool stuck_x = node.drivers.empty();
+    if (!node.constant && !stuck_x) continue;
+
+    bool proven = false;
+    if (ref != nullptr && !ref->sequential && ref->exhaustive_comb && ref->golden_elab_ok) {
+      for (const auto& t : ref->truth) {
+        if (t.port != port.name) continue;
+        if (stuck_x || !node.constant->fully_defined()) {
+          proven = t.defined_zero || t.defined_one;
+        } else {
+          const bool value = (node.constant->value & 1) != 0;
+          proven = node.width == 1 && (value ? t.defined_zero : t.defined_one);
+        }
+      }
+    }
+    if (stuck_x) {
+      // The undriven rule already reports the stuck-at-X output; only the
+      // proven contradiction adds information here.
+      if (!proven) continue;
+      out->push_back(make_finding(Rule::kConstOutput, Severity::kError, m.line,
+                                  "output '" + port.name +
+                                      "' is never driven and the reference defines it",
+                                  /*predicts_failure=*/true, /*proven=*/true));
+      continue;
+    }
+    std::ostringstream msg;
+    msg << "output '" << port.name << "' is stuck at constant ";
+    if (node.constant->fully_defined()) {
+      msg << node.constant->value;
+    } else {
+      msg << "x";
+    }
+    if (proven) msg << " (contradicts the reference truth table)";
+    out->push_back(make_finding(Rule::kConstOutput,
+                                proven ? Severity::kError : Severity::kWarning,
+                                node.drivers.front().line != 0 ? node.drivers.front().line
+                                                               : m.line,
+                                msg.str(),
+                                /*predicts_failure=*/true, proven));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+LintResult lint_candidate(const Module& m, const SourceFile* file,
+                          const ReferenceProfile* ref) {
+  LintResult result;
+  const ModuleDataflow df = build_dataflow(m, file);
+
+  multi_driven_rule(df, &result.findings);
+  undriven_unused_rule(df, ref, &result.findings);
+  comb_loop_rule(df, &result.findings);
+  always_style_rules(df, &result.findings);
+  case_rule(df, &result.findings);
+  reset_style_rule(df, &result.findings);
+  ExprRules(df, &result.findings).check_module(m);
+  elab_reject_rule(df, ref, &result.findings);
+  const_output_rule(m, df, ref, &result.findings);
+  if (ref != nullptr) {
+    iface_rule(m, *ref, &result.findings);
+    attr_rule(m, file, *ref, &result.findings);
+  }
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.diag.line != b.diag.line) return a.diag.line < b.diag.line;
+                     const int ra = std::strcmp(rule_id(a.rule), rule_id(b.rule));
+                     if (ra != 0) return ra < 0;
+                     return a.diag.message < b.diag.message;
+                   });
+  return result;
+}
+
+void profile_from_golden(const Module& golden, const SourceFile* file, ReferenceProfile* ref) {
+  ref->golden = &golden;
+  ref->attrs = verilog::analyze_module(golden, file).attributes;
+  ref->read_inputs.clear();
+  const ModuleDataflow df = build_dataflow(golden, file);
+  for (const auto& p : golden.ports) {
+    if (p.dir != Dir::kInput) continue;
+    auto it = df.signals.find(p.name);
+    if (it != df.signals.end() && it->second.read) ref->read_inputs.push_back(p.name);
+  }
+}
+
+std::vector<Finding> findings_from_diagnostics(
+    const std::vector<verilog::Diagnostic>& diags) {
+  std::vector<Finding> out;
+  for (const auto& d : diags) {
+    if (d.severity != Severity::kError) continue;
+    Finding f;
+    f.rule = d.rule.rfind("sema.", 0) == 0 ? Rule::kSema : Rule::kSyntax;
+    f.diag = d;
+    // Convention hallucinations surface as specific semantic errors: a
+    // signal driven from two always blocks ("state" written in the comb
+    // block), wire/reg confusion. Everything else is syntax knowledge.
+    f.axis = (d.rule == "sema.multi-driven" || d.rule == "sema.wire-reg")
+                 ? HalluAxis::kKnowConvention
+                 : HalluAxis::kKnowSyntax;
+    f.predicts_failure = true;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+SourceLint lint_source(std::string_view source) {
+  SourceLint result;
+  verilog::ParseOutput parsed = verilog::parse_source(source);
+  if (!parsed.ok() || parsed.file.modules.empty()) {
+    result.findings = findings_from_diagnostics(parsed.diagnostics);
+    if (result.findings.empty()) {
+      result.findings.push_back(make_finding(Rule::kSyntax, Severity::kError, 0,
+                                             "source contains no modules",
+                                             /*predicts_failure=*/true));
+    }
+    return result;
+  }
+  result.parsed = true;
+  for (const auto& m : parsed.file.modules) {
+    const verilog::ModuleAnalysis analysis = verilog::analyze_module(m, &parsed.file);
+    auto sema = findings_from_diagnostics(analysis.diagnostics);
+    result.findings.insert(result.findings.end(), sema.begin(), sema.end());
+    LintResult lint = lint_module(m, &parsed.file);
+    result.findings.insert(result.findings.end(), lint.findings.begin(), lint.findings.end());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string finding_json(const Finding& f) {
+  std::ostringstream os;
+  os << "{\"rule\":\"" << f.diag.rule << "\",\"severity\":\""
+     << verilog::severity_name(f.diag.severity) << "\",\"line\":" << f.diag.line
+     << ",\"axis\":\"" << llm::hallu_axis_name(f.axis) << "\",\"predicts_failure\":"
+     << (f.predicts_failure ? "true" : "false") << ",\"proven\":"
+     << (f.proven ? "true" : "false") << ",\"message\":\"" << json_escape(f.diag.message)
+     << "\"}";
+  return os.str();
+}
+
+std::string findings_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i != 0) out += ",";
+    out += finding_json(findings[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace haven::lint

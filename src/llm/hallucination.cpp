@@ -40,6 +40,8 @@ std::string hallu_axis_name(HalluAxis axis) {
   return "?";
 }
 
+std::string hallu_site_name(HalluAxis axis) { return "hallu." + hallu_axis_name(axis); }
+
 double profile_axis(const HallucinationProfile& p, HalluAxis axis) {
   switch (axis) {
     case HalluAxis::kSymTruthTable: return p.sym_truth_table;

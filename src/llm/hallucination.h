@@ -70,6 +70,12 @@ constexpr int kNumHalluAxes = 11;
 std::string hallu_axis_name(HalluAxis axis);
 double profile_axis(const HallucinationProfile& p, HalluAxis axis);
 
+// Fault-injection site for forcing an axis ("hallu." + hallu_axis_name):
+// arming it with probability 1 (or 0) on an installed util::FaultInjector
+// overrides SimLlm's stochastic draw for that axis — used by the chaos tests
+// that correlate injected hallucination classes with lint attribution.
+std::string hallu_site_name(HalluAxis axis);
+
 // --- injectors ------------------------------------------------------------
 
 // Swap two states' roles, swap outputs, or redirect one transition; always

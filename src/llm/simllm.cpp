@@ -47,6 +47,16 @@ std::uint64_t SimLlm::prompt_hash(const std::string& prompt) const {
 
 bool SimLlm::draw_axis(HalluAxis axis, std::uint64_t key, double difficulty,
                        double temperature, util::Rng& rng, double scale) const {
+  // Chaos override: an installed FaultInjector with the axis's site armed
+  // ("hallu.<axis>") replaces the stochastic draw with its deterministic,
+  // context-keyed coin — the lint-correlation tests arm one axis at p=1 to
+  // force that hallucination class. Consumes nothing from `rng`, and unarmed
+  // sites (probability 0) fall through, so ordinary chaos runs and all
+  // profile-driven draws are untouched.
+  if (const util::FaultInjector* injector = util::FaultInjector::current()) {
+    const std::string site = hallu_site_name(axis);
+    if (injector->probability(site) > 0) return injector->should_fail(site);
+  }
   const double p = profile_axis(profile_, axis) * scale;
   if (p <= 0) return false;
   const double dm = difficulty_multiplier(difficulty);

@@ -7,6 +7,22 @@
 
 namespace haven::verilog {
 
+std::vector<Diagnostic> ModuleAnalysis::errors() const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics) {
+    if (d.severity == Severity::kError) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> ModuleAnalysis::warnings() const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics) {
+    if (d.severity != Severity::kError) out.push_back(d);
+  }
+  return out;
+}
+
 std::string topic_name(Topic t) {
   switch (t) {
     case Topic::kFsm: return "fsm";
@@ -61,13 +77,17 @@ class ModuleChecker {
   }
 
  private:
-  void error(int line, const std::string& msg) { a_.errors.push_back({msg, line, 0}); }
-  void warn(int line, const std::string& msg) { a_.warnings.push_back({msg, line, 0}); }
+  void error(int line, const std::string& msg, const char* rule) {
+    a_.diagnostics.push_back({msg, line, 0, Severity::kError, rule});
+  }
+  void warn(int line, const std::string& msg, const char* rule) {
+    a_.diagnostics.push_back({msg, line, 0, Severity::kWarning, rule});
+  }
 
   void build_symbol_table() {
     for (const auto& p : m_.ports) {
       if (symbols_.contains(p.name)) {
-        error(m_.line, "duplicate port '" + p.name + "'");
+        error(m_.line, "duplicate port '" + p.name + "'", "sema.duplicate");
         continue;
       }
       SymbolInfo info;
@@ -90,7 +110,7 @@ class ModuleChecker {
               if (d->range) it->second.width = d->range->width();
               continue;
             }
-            error(d->line, "duplicate declaration of '" + name + "'");
+            error(d->line, "duplicate declaration of '" + name + "'", "sema.duplicate");
             continue;
           }
           SymbolInfo info;
@@ -118,7 +138,8 @@ class ModuleChecker {
       case ExprKind::kBitSelect:
       case ExprKind::kPartSelect: {
         if (!symbols_.contains(e->ident)) {
-          error(line ? line : e->line, "use of undeclared identifier '" + e->ident + "'");
+          error(line ? line : e->line, "use of undeclared identifier '" + e->ident + "'",
+                "sema.undeclared");
         } else if (!lvalue_base && (symbols_[e->ident].read = true);
                    e->kind == ExprKind::kPartSelect) {
           const SymbolInfo& s = symbols_[e->ident];
@@ -126,7 +147,8 @@ class ModuleChecker {
           if (hi >= s.width && s.width > 1) {
             warn(line ? line : e->line,
                  util::format("part select [%d:%d] exceeds width %d of '%s'", e->msb, e->lsb,
-                              s.width, e->ident.c_str()));
+                              s.width, e->ident.c_str()),
+                 "sema.part-select-range");
           }
         }
         break;
@@ -146,29 +168,30 @@ class ModuleChecker {
     }
     if (lhs->kind != ExprKind::kIdent && lhs->kind != ExprKind::kBitSelect &&
         lhs->kind != ExprKind::kPartSelect) {
-      error(line, "invalid assignment target");
+      error(line, "invalid assignment target", "sema.lvalue");
       return;
     }
     auto it = symbols_.find(lhs->ident);
     if (it == symbols_.end()) {
-      error(line, "assignment to undeclared identifier '" + lhs->ident + "'");
+      error(line, "assignment to undeclared identifier '" + lhs->ident + "'", "sema.undeclared");
       return;
     }
     SymbolInfo& s = it->second;
     if (s.is_port && s.dir == Dir::kInput) {
-      error(line, "assignment to input port '" + lhs->ident + "'");
+      error(line, "assignment to input port '" + lhs->ident + "'", "sema.assign-input");
       return;
     }
     if (continuous) {
       if (s.type == NetType::kReg) {
-        error(line, "continuous assignment to reg '" + lhs->ident + "'");
+        error(line, "continuous assignment to reg '" + lhs->ident + "'", "sema.wire-reg");
       }
       s.assigned_continuous = true;
     } else {
       if (current_always_ >= 0) always_writers_[lhs->ident].insert(current_always_);
       if (s.type == NetType::kWire) {
         error(line, "procedural assignment to wire '" + lhs->ident +
-                        "' (declare it as reg)");
+                        "' (declare it as reg)",
+              "sema.wire-reg");
       }
       s.assigned_procedural = true;
     }
@@ -177,7 +200,7 @@ class ModuleChecker {
   void check_stmt(const StmtPtr& s, bool in_clocked, int depth = 0) {
     if (!s) return;
     if (depth > 256) {
-      error(s->line, "statement nesting too deep");
+      error(s->line, "statement nesting too deep", "sema.nesting");
       return;
     }
     switch (s->kind) {
@@ -194,11 +217,13 @@ class ModuleChecker {
           // is the classic convention violation (taxonomy: digital design
           // convention misapplication).
           if (s->lhs->kind == ExprKind::kIdent || s->lhs->kind == ExprKind::kBitSelect) {
-            warn(s->line, "blocking assignment in clocked always block ('" + s->lhs->ident + "')");
+            warn(s->line, "blocking assignment in clocked always block ('" + s->lhs->ident + "')",
+                 "lint.blocking-in-seq");
           }
         }
         if (!in_clocked && s->kind == StmtKind::kNonblockingAssign) {
-          warn(s->line, "nonblocking assignment in combinational always block");
+          warn(s->line, "nonblocking assignment in combinational always block",
+               "lint.nonblocking-in-comb");
         }
         break;
       }
@@ -219,7 +244,7 @@ class ModuleChecker {
         if (!has_default) {
           a_.has_case_without_default = true;
           if (!in_clocked) a_.possible_latch = true;
-          warn(s->line, "case statement without default");
+          warn(s->line, "case statement without default", "lint.case-default");
         }
         break;
       }
@@ -258,7 +283,8 @@ class ModuleChecker {
                                                       });
         for (const auto& s : ab->sens) {
           if (!symbols_.contains(s.signal)) {
-            error(ab->line, "sensitivity list references undeclared signal '" + s.signal + "'");
+            error(ab->line, "sensitivity list references undeclared signal '" + s.signal + "'",
+                  "sema.undeclared");
           }
         }
         check_stmt(ab->body, clocked);
@@ -275,7 +301,8 @@ class ModuleChecker {
     for (const auto& [name, info] : symbols_) {
       if (name.starts_with("\x01param:")) continue;
       if (info.assigned_continuous && info.assigned_procedural) {
-        error(info.decl_line, "signal '" + name + "' driven both continuously and procedurally");
+        error(info.decl_line, "signal '" + name + "' driven both continuously and procedurally",
+              "sema.multi-driven");
       }
     }
     // A signal written from more than one always block has multiple drivers
@@ -285,14 +312,15 @@ class ModuleChecker {
         const auto it = symbols_.find(name);
         error(it != symbols_.end() ? it->second.decl_line : m_.line,
               "signal '" + name + "' is assigned in " + std::to_string(writers.size()) +
-                  " always blocks (multiple drivers)");
+                  " always blocks (multiple drivers)",
+              "sema.multi-driven");
       }
     }
     // Unused internal signals: declared, possibly driven, never read and not
     // visible at the interface.
     for (const auto& [name, info] : symbols_) {
       if (name.starts_with("\x01param:") || info.is_port || info.read) continue;
-      warn(info.decl_line, "signal '" + name + "' is never read");
+      warn(info.decl_line, "signal '" + name + "' is never read", "lint.unused");
     }
     // Undriven outputs.
     for (const auto& p : m_.ports) {
@@ -300,7 +328,7 @@ class ModuleChecker {
       const auto it = symbols_.find(p.name);
       if (it != symbols_.end() && !it->second.assigned_continuous &&
           !it->second.assigned_procedural && !driven_by_instance_.contains(p.name)) {
-        warn(m_.line, "output port '" + p.name + "' is never driven");
+        warn(m_.line, "output port '" + p.name + "' is never driven", "lint.undriven-output");
       }
     }
   }
@@ -324,14 +352,16 @@ class ModuleChecker {
           for (const auto& c : inst.connections) {
             if (!c.port.empty() && def->find_port(c.port) == nullptr) {
               error(inst.line, "instance '" + inst.instance_name + "' connects unknown port '" +
-                                   c.port + "' of module '" + inst.module_name + "'");
+                                   c.port + "' of module '" + inst.module_name + "'",
+                    "sema.instance");
             }
           }
         } else if (inst.connections.size() != def->ports.size()) {
           error(inst.line,
                 util::format("instance '%s' has %zu connections but module '%s' has %zu ports",
                              inst.instance_name.c_str(), inst.connections.size(),
-                             inst.module_name.c_str(), def->ports.size()));
+                             inst.module_name.c_str(), def->ports.size()),
+                "sema.instance");
         }
       }
       // Unknown module name is not an error: single-file analysis routinely

@@ -61,8 +61,10 @@ struct Attributes {
 
 struct ModuleAnalysis {
   std::string module_name;
-  std::vector<Diagnostic> errors;
-  std::vector<Diagnostic> warnings;
+  // All findings in discovery order — semantic errors and lint warnings
+  // share the one Diagnostic struct (severity + rule id) instead of living
+  // in parallel vectors. Filter with errors()/warnings() below.
+  std::vector<Diagnostic> diagnostics;
   std::set<Topic> topics;
   Attributes attributes;
 
@@ -72,7 +74,17 @@ struct ModuleAnalysis {
   bool has_case_without_default = false;
   bool possible_latch = false;
 
-  bool ok() const { return errors.empty(); }
+  // Severity-filtered views (copies; diagnostics are small).
+  std::vector<Diagnostic> errors() const;
+  std::vector<Diagnostic> warnings() const;
+
+  // Unchanged compile-gate semantics: ok() iff no error-severity diagnostic.
+  bool ok() const {
+    for (const auto& d : diagnostics) {
+      if (d.severity == Severity::kError) return false;
+    }
+    return true;
+  }
 };
 
 // Analyze a single parsed module. `file` provides sibling modules so that

@@ -8,8 +8,18 @@
 
 namespace haven::verilog {
 
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
 std::string Diagnostic::to_string() const {
-  return util::format("%d:%d: %s", line, column, message.c_str());
+  if (rule.empty()) return util::format("%d:%d: %s", line, column, message.c_str());
+  return util::format("%d:%d: %s [%s]", line, column, message.c_str(), rule.c_str());
 }
 
 namespace {
@@ -67,7 +77,7 @@ class Parser {
     }
   }
   void diag(const std::string& msg) {
-    diags_.push_back({msg, peek().line, peek().column});
+    diags_.push_back({msg, peek().line, peek().column, Severity::kError, "parse"});
   }
   [[noreturn]] void fail(const std::string& msg) {
     throw ParseError(util::format("%d:%d: %s", peek().line, peek().column, msg.c_str()));

@@ -19,10 +19,24 @@
 
 namespace haven::verilog {
 
+// Severity shared by parser diagnostics, analyzer findings, and the lint
+// subsystem (src/lint): kError means "would not compile / elaborate" and is
+// what gates ModuleAnalysis::ok(); kWarning is a convention or correctness
+// risk; kNote is informational.
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+const char* severity_name(Severity s);
+
+// One diagnostic, shared across the whole frontend: parser errors, semantic
+// analyzer errors, analyzer lint warnings, and lint-rule findings all carry
+// the same (severity, line, rule id) shape. `rule` is a stable
+// machine-readable id ("parse", "sema.undeclared", "lint.case-incomplete");
+// empty only for legacy brace-initialized diagnostics.
 struct Diagnostic {
   std::string message;
   int line = 0;
   int column = 0;
+  Severity severity = Severity::kError;
+  std::string rule;
 
   std::string to_string() const;
 };

@@ -1,0 +1,265 @@
+// Integration tests for lint inside the eval engine: verdict invariance
+// (lint and triage must never change pass/fail), the candidate accounting
+// invariant, thread-count determinism of the lint summary, golden
+// self-calibration (reference designs lint clean), and the chaos-correlation
+// contract — forcing one hallucination axis through the fault injector must
+// make lint's attributed-axis histogram peak on that axis.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/report.h"
+#include "eval/suites.h"
+#include "lint/lint.h"
+#include "llm/model_zoo.h"
+#include "llm/simllm.h"
+#include "util/fault.h"
+#include "verilog/parser.h"
+
+namespace haven::eval {
+namespace {
+
+Suite small_rtllm(std::size_t n_tasks) {
+  Suite suite = build_rtllm();
+  if (suite.tasks.size() > n_tasks) suite.tasks.resize(n_tasks);
+  return suite;
+}
+
+EvalRequest base_request(int threads) {
+  EvalRequest request;
+  request.n_samples = 3;
+  request.temperatures = {0.2, 0.8};
+  request.threads = threads;
+  return request;
+}
+
+void expect_same_verdicts(const SuiteResult& a, const SuiteResult& b) {
+  ASSERT_EQ(a.per_task.size(), b.per_task.size());
+  for (std::size_t i = 0; i < a.per_task.size(); ++i) {
+    EXPECT_EQ(a.per_task[i].task_id, b.per_task[i].task_id);
+    EXPECT_EQ(a.per_task[i].syntax_pass, b.per_task[i].syntax_pass) << a.per_task[i].task_id;
+    EXPECT_EQ(a.per_task[i].func_pass, b.per_task[i].func_pass) << a.per_task[i].task_id;
+  }
+}
+
+// Lint (observe-only) and triage (skip proven failures) must both reproduce
+// the plain run's verdicts bit for bit — triage is only sound if skipping a
+// simulation never flips an outcome.
+TEST(EvalLint, LintAndTriagePreserveVerdicts) {
+  const llm::SimLlm model = llm::make_model("GPT-4");
+  const Suite suite = small_rtllm(10);
+
+  EvalRequest off = base_request(4);
+  EvalRequest lint = off;
+  lint.lint = true;
+  EvalRequest triage = off;
+  triage.lint_triage = true;
+
+  const SuiteResult r_off = EvalEngine(off).evaluate(model, suite);
+  const SuiteResult r_lint = EvalEngine(lint).evaluate(model, suite);
+  const SuiteResult r_triage = EvalEngine(triage).evaluate(model, suite);
+
+  expect_same_verdicts(r_off, r_lint);
+  expect_same_verdicts(r_off, r_triage);
+  EXPECT_EQ(r_off.counters.compile_failures, r_triage.counters.compile_failures);
+  EXPECT_EQ(r_off.counters.sim_mismatches, r_triage.counters.sim_mismatches);
+
+  // Lint off: the feature leaves no trace.
+  EXPECT_FALSE(r_off.lint.enabled);
+  EXPECT_EQ(r_off.counters.lint_findings, 0);
+  EXPECT_EQ(r_off.counters.lint_triaged, 0);
+  EXPECT_TRUE(r_off.lint_findings.empty());
+
+  // Observe-only lint simulates everything triage would have skipped.
+  EXPECT_TRUE(r_lint.lint.enabled);
+  EXPECT_EQ(r_lint.counters.lint_triaged, 0);
+  EXPECT_GT(r_lint.counters.lint_findings, 0);
+
+  // Triage actually skips work: fewer simulations, same verdicts.
+  EXPECT_GT(r_triage.counters.lint_triaged, 0);
+  EXPECT_LT(r_triage.counters.simulated, r_lint.counters.simulated);
+  EXPECT_LE(r_triage.counters.sim_vectors, r_lint.counters.sim_vectors);
+}
+
+// Every candidate is accounted for exactly once:
+//   candidates == unit_faults + compile_failures + lint_triaged + simulated.
+TEST(EvalLint, TriageAccountingIsExact) {
+  const llm::SimLlm model = llm::make_model("CodeLlama");
+  const Suite suite = small_rtllm(8);
+
+  for (const bool triage : {false, true}) {
+    EvalRequest request = base_request(4);
+    request.lint = true;
+    request.lint_triage = triage;
+    const SuiteResult r = EvalEngine(request).evaluate(model, suite);
+    const auto& c = r.counters;
+    EXPECT_EQ(c.candidates,
+              c.unit_faults + c.compile_failures + c.lint_triaged + c.simulated)
+        << "triage=" << triage;
+    if (!triage) {
+      EXPECT_EQ(c.lint_triaged, 0);
+    }
+    // The confusion matrix partitions the compiled candidates.
+    EXPECT_EQ(r.lint.true_positives + r.lint.false_positives + r.lint.false_negatives +
+                  r.lint.true_negatives,
+              c.candidates - c.compile_failures - c.unit_faults);
+    EXPECT_GE(r.lint.precision(), 0.0);
+    EXPECT_LE(r.lint.precision(), 1.0);
+    EXPECT_GE(r.lint.recall(), 0.0);
+    EXPECT_LE(r.lint.recall(), 1.0);
+    EXPECT_FALSE(summarize(r.lint).empty());
+    EXPECT_FALSE(lint_json(r).empty());
+  }
+}
+
+// The whole lint layer — findings, summary, per-candidate attribution, JSON —
+// is identical whether the suite runs on one worker or eight.
+TEST(EvalLint, LintSummaryIsThreadCountInvariant) {
+  const llm::SimLlm model = llm::make_model("GPT-4");
+  const Suite suite = small_rtllm(8);
+
+  EvalRequest serial = base_request(1);
+  serial.lint_triage = true;
+  EvalRequest parallel = base_request(8);
+  parallel.lint_triage = true;
+
+  const SuiteResult a = EvalEngine(serial).evaluate(model, suite);
+  const SuiteResult b = EvalEngine(parallel).evaluate(model, suite);
+
+  expect_same_verdicts(a, b);
+  EXPECT_EQ(a.counters.lint_findings, b.counters.lint_findings);
+  EXPECT_EQ(a.counters.lint_triaged, b.counters.lint_triaged);
+  EXPECT_EQ(a.counters.simulated, b.counters.simulated);
+  EXPECT_EQ(a.counters.sim_vectors, b.counters.sim_vectors);
+  EXPECT_EQ(a.lint.flagged_candidates, b.lint.flagged_candidates);
+  EXPECT_EQ(a.lint.axis_candidates, b.lint.axis_candidates);
+  EXPECT_EQ(a.lint.rule_counts, b.lint.rule_counts);
+  EXPECT_EQ(a.lint.true_positives, b.lint.true_positives);
+  EXPECT_EQ(a.lint.false_positives, b.lint.false_positives);
+  ASSERT_EQ(a.lint_findings.size(), b.lint_findings.size());
+  for (std::size_t i = 0; i < a.lint_findings.size(); ++i) {
+    EXPECT_EQ(a.lint_findings[i].task_id, b.lint_findings[i].task_id);
+    EXPECT_EQ(a.lint_findings[i].sample, b.lint_findings[i].sample);
+    EXPECT_EQ(a.lint_findings[i].findings.size(), b.lint_findings[i].findings.size());
+  }
+  // Strongest form: the machine-readable reports are byte-identical.
+  EXPECT_EQ(lint_json(a), lint_json(b));
+}
+
+// Calibration: the suites' own golden modules must lint clean against their
+// own reference profile — no warnings, no errors, no failure predictions.
+// Anything else would poison precision and mis-triage correct candidates.
+TEST(EvalLint, GoldenModulesSelfLintClean) {
+  for (const Suite& suite : {build_rtllm(), build_verilogeval_human()}) {
+    for (const auto& task : suite.tasks) {
+      verilog::ParseOutput golden = verilog::parse_source(task.golden_source);
+      ASSERT_TRUE(golden.ok()) << suite.name << "/" << task.id;
+      ASSERT_FALSE(golden.file.modules.empty());
+      const verilog::Module& module = golden.file.modules.front();
+
+      lint::ReferenceProfile ref;
+      lint::profile_from_golden(module, &golden.file, &ref);
+      ref.sequential = task.stimulus.sequential;
+      ref.clock = task.stimulus.sequential ? task.stimulus.clock : "";
+      ref.reset = task.stimulus.reset;
+
+      const lint::LintResult r = lint::lint_candidate(module, &golden.file, &ref);
+      for (const auto& f : r.findings) {
+        EXPECT_EQ(f.diag.severity, verilog::Severity::kNote)
+            << suite.name << "/" << task.id << ": " << f.diag.rule << " "
+            << f.diag.message;
+        EXPECT_FALSE(f.predicts_failure)
+            << suite.name << "/" << task.id << ": " << f.diag.rule << " "
+            << f.diag.message;
+      }
+    }
+  }
+}
+
+// --- chaos correlation ------------------------------------------------------
+//
+// Force exactly one hallucination axis on an otherwise perfect model (every
+// profile probability zeroed) through the fault injector, and check that the
+// lint axis histogram peaks on the injected axis. This closes the loop of the
+// paper's taxonomy: injected defect class -> static finding -> attributed
+// axis. kComprehension stubs also trip misalignment findings (ignored inputs)
+// and attr findings on clocked tasks, so the contract is "maximal, ties
+// allowed", not "strictly dominant".
+
+SuiteResult run_forced_axis(llm::HalluAxis axis, int threads) {
+  // A model that never hallucinates on its own: only the injector fires.
+  const llm::SimLlm model("chaos-zero", llm::HallucinationProfile{}.scaled(0.0));
+
+  util::FaultInjector injector(0xC0FFEE);
+  injector.arm(llm::hallu_site_name(axis), 1.0);
+  injector.install();
+
+  EvalRequest request;
+  request.n_samples = 2;
+  request.temperatures = {0.5};
+  request.threads = threads;
+  request.lint = true;
+  const SuiteResult result = EvalEngine(request).evaluate(model, build_rtllm());
+  injector.uninstall();
+  return result;
+}
+
+void expect_axis_dominant(const SuiteResult& result, llm::HalluAxis axis) {
+  const auto& hist = result.lint.axis_candidates;
+  const std::int64_t injected = hist[static_cast<std::size_t>(axis)];
+  EXPECT_GT(injected, 0) << "no findings attributed to " << llm::hallu_axis_name(axis);
+  for (int i = 0; i < llm::kNumHalluAxes; ++i) {
+    EXPECT_LE(hist[static_cast<std::size_t>(i)], injected)
+        << llm::hallu_axis_name(static_cast<llm::HalluAxis>(i)) << " outweighs injected "
+        << llm::hallu_axis_name(axis);
+  }
+}
+
+TEST(EvalLintChaos, InjectedAxisDominatesLintHistogram) {
+  const llm::HalluAxis axes[] = {
+      llm::HalluAxis::kKnowSyntax,     llm::HalluAxis::kKnowConvention,
+      llm::HalluAxis::kKnowAttribute,  llm::HalluAxis::kLogicCorner,
+      llm::HalluAxis::kMisalignment,   llm::HalluAxis::kComprehension,
+  };
+  for (const llm::HalluAxis axis : axes) {
+    const SuiteResult result = run_forced_axis(axis, 4);
+    expect_axis_dominant(result, axis);
+  }
+}
+
+// A perfect model with no armed site stays clean: the injector scaffolding
+// itself must not perturb generation or lint.
+TEST(EvalLintChaos, UnarmedInjectorLeavesPerfectModelClean) {
+  const llm::SimLlm model("chaos-zero", llm::HallucinationProfile{}.scaled(0.0));
+  util::FaultInjector injector;
+  injector.install();
+
+  EvalRequest request;
+  request.n_samples = 2;
+  request.temperatures = {0.5};
+  request.threads = 4;
+  request.lint_triage = true;
+  const SuiteResult result = EvalEngine(request).evaluate(model, small_rtllm(8));
+  injector.uninstall();
+
+  EXPECT_DOUBLE_EQ(result.pass_at(1), 1.0);
+  EXPECT_EQ(result.counters.lint_triaged, 0);
+  EXPECT_EQ(result.lint.flagged_candidates, 0);
+  EXPECT_EQ(result.lint.false_positives, 0);
+  EXPECT_DOUBLE_EQ(result.lint.precision(), 1.0);
+}
+
+// The chaos draw is keyed, not counted: the forced-axis histogram must be
+// identical for any worker count.
+TEST(EvalLintChaos, ForcedAxisRunIsThreadCountInvariant) {
+  const SuiteResult a = run_forced_axis(llm::HalluAxis::kKnowConvention, 1);
+  const SuiteResult b = run_forced_axis(llm::HalluAxis::kKnowConvention, 8);
+  expect_same_verdicts(a, b);
+  EXPECT_EQ(a.lint.axis_candidates, b.lint.axis_candidates);
+  EXPECT_EQ(lint_json(a), lint_json(b));
+}
+
+}  // namespace
+}  // namespace haven::eval

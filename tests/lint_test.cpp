@@ -1,0 +1,616 @@
+// Golden-diagnostic tests for the haven::lint rule set: every rule has a
+// positive fixture that must produce exactly the expected finding and a
+// clean negative twin, plus coverage for the reference-aware grades, the
+// diagnostic mapping, JSON output, and the deterministic finding order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "verilog/parser.h"
+
+namespace haven::lint {
+namespace {
+
+using verilog::Severity;
+
+// Parse a single-module source and lint it (optionally against a reference).
+LintResult run_lint(const std::string& source, const ReferenceProfile* ref = nullptr) {
+  verilog::ParseOutput out = verilog::parse_source(source);
+  EXPECT_TRUE(out.ok()) << source;
+  EXPECT_FALSE(out.file.modules.empty());
+  return lint_candidate(out.file.modules.front(), &out.file, ref);
+}
+
+int count_rule(const LintResult& r, Rule rule) {
+  return static_cast<int>(std::count_if(r.findings.begin(), r.findings.end(),
+                                        [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* find_rule(const LintResult& r, Rule rule) {
+  for (const auto& f : r.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// --- rule table ------------------------------------------------------------
+
+TEST(LintRules, RuleTableIsTotalAndUnique) {
+  std::set<std::string> ids;
+  for (int i = 0; i < kNumRules; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    const std::string id = rule_id(r);
+    EXPECT_EQ(id.rfind("lint.", 0), 0u) << id;
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+    const int axis = static_cast<int>(rule_axis(r));
+    EXPECT_GE(axis, 0);
+    EXPECT_LT(axis, llm::kNumHalluAxes);
+  }
+}
+
+TEST(LintRules, MakeFindingFillsDiagFromRule) {
+  const Finding f = make_finding(Rule::kLatch, Severity::kWarning, 7, "msg", true);
+  EXPECT_STREQ(f.diag.rule.c_str(), "lint.latch");
+  EXPECT_EQ(f.diag.line, 7);
+  EXPECT_EQ(f.axis, llm::HalluAxis::kLogicCorner);
+  EXPECT_TRUE(f.predicts_failure);
+  EXPECT_FALSE(f.proven);
+}
+
+// --- structural rules ------------------------------------------------------
+
+TEST(LintRules, MultiDrivenFiresOnTwoAlwaysDrivers) {
+  const LintResult r = run_lint(R"(
+module m(input clk, input a, output reg q);
+  always @(posedge clk) q <= a;
+  always @(posedge clk) q <= ~a;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kMultiDriven);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->diag.severity, Severity::kError);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_EQ(f->axis, llm::HalluAxis::kKnowConvention);
+}
+
+TEST(LintRules, MultiDrivenIgnoresInitialAndDisjointPartSelects) {
+  const LintResult r = run_lint(R"(
+module m(input a, input b, output [1:0] y);
+  reg seen = 1'b0;
+  assign y[0] = a;
+  assign y[1] = b;
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kMultiDriven), 0);
+}
+
+TEST(LintRules, UndrivenOutputAndReadUndrivenInternal) {
+  const LintResult r = run_lint(R"(
+module m(input a, output y, output z);
+  wire t;
+  assign y = t & a;
+endmodule
+)");
+  ASSERT_EQ(count_rule(r, Rule::kUndriven), 2);
+  for (const auto& f : r.findings) {
+    if (f.rule != Rule::kUndriven) continue;
+    EXPECT_EQ(f.diag.severity, Severity::kWarning);
+    EXPECT_TRUE(f.predicts_failure);
+    EXPECT_EQ(f.axis, llm::HalluAxis::kComprehension);
+  }
+}
+
+TEST(LintRules, UnusedInputIsNoteWithoutReference) {
+  const LintResult r = run_lint(R"(
+module m(input a, input b, output y);
+  assign y = a;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kUnused);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->diag.severity, Severity::kNote);
+  EXPECT_FALSE(f->predicts_failure);
+}
+
+TEST(LintRules, UnusedInputIsMisalignmentWarningWhenGoldenReadsIt) {
+  ReferenceProfile ref;
+  ref.read_inputs = {"a", "b"};
+  const LintResult r = run_lint(R"(
+module m(input a, input b, output y);
+  assign y = a;
+endmodule
+)", &ref);
+  const Finding* f = find_rule(r, Rule::kUnused);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->diag.severity, Severity::kWarning);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_EQ(f->axis, llm::HalluAxis::kMisalignment);
+  EXPECT_NE(f->diag.message.find("'b'"), std::string::npos);
+}
+
+TEST(LintRules, CombLoopFires) {
+  const LintResult r = run_lint(R"(
+module m(input en, output y);
+  wire a, b;
+  assign a = b & en;
+  assign b = a | en;
+  assign y = a;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kCombLoop);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_NE(f->diag.message.find(" -> "), std::string::npos);
+}
+
+TEST(LintRules, NoCombLoopThroughRegister) {
+  const LintResult r = run_lint(R"(
+module m(input clk, output reg q);
+  always @(posedge clk) q <= ~q;
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kCombLoop), 0);
+}
+
+TEST(LintRules, BlockingInClockedBlock) {
+  const LintResult r = run_lint(R"(
+module m(input clk, input d, output reg q);
+  always @(posedge clk) q = d;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kBlockingInSeq);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_EQ(f->axis, llm::HalluAxis::kKnowConvention);
+  EXPECT_EQ(count_rule(r, Rule::kNonblockingInComb), 0);
+}
+
+TEST(LintRules, NonblockingInCombBlock) {
+  const LintResult r = run_lint(R"(
+module m(input d, output reg q);
+  always @(*) q <= d;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kNonblockingInComb);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->predicts_failure);  // style, not a verdict predictor
+  EXPECT_EQ(count_rule(r, Rule::kBlockingInSeq), 0);
+}
+
+TEST(LintRules, SensitivityListMissingAndOverwide) {
+  const LintResult r = run_lint(R"(
+module m(input a, input b, input c, output reg y);
+  always @(a or c) y = a & b;
+endmodule
+)");
+  const Finding* missing = find_rule(r, Rule::kSensIncomplete);
+  ASSERT_NE(missing, nullptr);
+  EXPECT_NE(missing->diag.message.find("'b'"), std::string::npos);
+  EXPECT_TRUE(missing->predicts_failure);
+  const Finding* extra = find_rule(r, Rule::kSensOverwide);
+  ASSERT_NE(extra, nullptr);
+  EXPECT_EQ(extra->diag.severity, Severity::kNote);
+  EXPECT_NE(extra->diag.message.find("'c'"), std::string::npos);
+}
+
+TEST(LintRules, SensitivityStarIsAlwaysComplete) {
+  const LintResult r = run_lint(R"(
+module m(input a, input b, output reg y);
+  always @(*) y = a & b;
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kSensIncomplete), 0);
+  EXPECT_EQ(count_rule(r, Rule::kSensOverwide), 0);
+}
+
+TEST(LintRules, IncompleteCombCaseWarnsClockedCaseNotes) {
+  const LintResult comb = run_lint(R"(
+module m(input [1:0] s, output reg y);
+  always @(*)
+    case (s)
+      2'b00: y = 1'b0;
+      2'b01: y = 1'b1;
+    endcase
+endmodule
+)");
+  const Finding* f = find_rule(comb, Rule::kCaseIncomplete);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->diag.severity, Severity::kWarning);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_EQ(f->axis, llm::HalluAxis::kLogicCorner);
+
+  const LintResult clocked = run_lint(R"(
+module m(input clk, input [1:0] s, output reg y);
+  always @(posedge clk)
+    case (s)
+      2'b00: y <= 1'b0;
+      2'b01: y <= 1'b1;
+    endcase
+endmodule
+)");
+  const Finding* g = find_rule(clocked, Rule::kCaseIncomplete);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->diag.severity, Severity::kNote);
+  EXPECT_FALSE(g->predicts_failure);
+}
+
+TEST(LintRules, FullCoverageCaseIsClean) {
+  const LintResult r = run_lint(R"(
+module m(input s, output reg y);
+  always @(*)
+    case (s)
+      1'b0: y = 1'b1;
+      1'b1: y = 1'b0;
+    endcase
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kCaseIncomplete), 0);
+  EXPECT_EQ(count_rule(r, Rule::kLatch), 0);
+}
+
+TEST(LintRules, LatchFromPartialAssignment) {
+  const LintResult r = run_lint(R"(
+module m(input en, input d, output reg q);
+  always @(*)
+    if (en) q = d;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kLatch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_NE(f->diag.message.find("'q'"), std::string::npos);
+}
+
+TEST(LintRules, CompleteIfElseIsNotALatch) {
+  const LintResult r = run_lint(R"(
+module m(input en, input d, output reg q);
+  always @(*)
+    if (en) q = d;
+    else q = 1'b0;
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kLatch), 0);
+}
+
+TEST(LintRules, ResetPolarityContradictsEdge) {
+  const LintResult r = run_lint(R"(
+module m(input clk, input rst, input d, output reg q);
+  always @(posedge clk or posedge rst)
+    if (!rst) q <= 1'b0;
+    else q <= d;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kResetStyle);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_NE(f->diag.message.find("polarity"), std::string::npos);
+}
+
+TEST(LintRules, ConsistentAsyncResetIsClean) {
+  const LintResult r = run_lint(R"(
+module m(input clk, input rst, input d, output reg q);
+  always @(posedge clk or posedge rst)
+    if (rst) q <= 1'b0;
+    else q <= d;
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kResetStyle), 0);
+}
+
+TEST(LintRules, UntestedAsyncSensSignal) {
+  const LintResult r = run_lint(R"(
+module m(input clk, input rst, input d, output reg q);
+  always @(posedge clk or posedge rst)
+    q <= d;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kResetStyle);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->diag.message.find("never tested"), std::string::npos);
+}
+
+// --- expression rules ------------------------------------------------------
+
+TEST(LintRules, WidthTruncationWarns) {
+  const LintResult r = run_lint(R"(
+module m(input a, output [1:0] y);
+  assign y = 4'b1111;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kWidthMismatch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->axis, llm::HalluAxis::kLogicExpression);
+  EXPECT_NE(f->diag.message.find("4-bit"), std::string::npos);
+}
+
+TEST(LintRules, MatchedWidthIsClean) {
+  const LintResult r = run_lint(R"(
+module m(input a, output [3:0] y);
+  assign y = 4'b1111;
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kWidthMismatch), 0);
+}
+
+TEST(LintRules, SelectOutsideDeclaredRange) {
+  const LintResult r = run_lint(R"(
+module m(input [3:0] a, output y, output [1:0] z);
+  assign y = a[6];
+  assign z = a[5:4];
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kSelectRange), 2);
+}
+
+TEST(LintRules, InRangeSelectIsClean) {
+  const LintResult r = run_lint(R"(
+module m(input [3:0] a, output y, output [1:0] z);
+  assign y = a[3];
+  assign z = a[1:0];
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kSelectRange), 0);
+}
+
+TEST(LintRules, XLiteralWarnsOutsideWildcardLabels) {
+  const LintResult r = run_lint(R"(
+module m(input a, output y);
+  assign y = a & 1'bx;
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kXConstant);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->predicts_failure);
+}
+
+TEST(LintRules, CasezWildcardLabelsAreExempt) {
+  const LintResult r = run_lint(R"(
+module m(input [1:0] s, output reg y);
+  always @(*)
+    casez (s)
+      2'b1?: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+endmodule
+)");
+  EXPECT_EQ(count_rule(r, Rule::kXConstant), 0);
+}
+
+// --- elaboration-reject rule ----------------------------------------------
+
+TEST(LintRules, OverwideSignalIsProvenRejectWithoutReference) {
+  const LintResult r = run_lint(R"(
+module m(input a, output [79:0] y);
+  assign y = {{64{a}}, {16{a}}};
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kElabReject);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->diag.severity, Severity::kError);
+  EXPECT_TRUE(f->proven);
+  EXPECT_TRUE(r.proven_failure());
+}
+
+TEST(LintRules, RejectNotProvenWhenGoldenAlsoFailsElab) {
+  ReferenceProfile ref;
+  ref.golden_elab_ok = false;
+  const LintResult r = run_lint(R"(
+module m(input a, output [79:0] y);
+  assign y = {{64{a}}, {16{a}}};
+endmodule
+)", &ref);
+  const Finding* f = find_rule(r, Rule::kElabReject);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->proven);
+}
+
+TEST(LintRules, UnknownInstanceIsReject) {
+  const LintResult r = run_lint(R"(
+module m(input a, output y);
+  mystery u0 (.p(a), .q(y));
+endmodule
+)");
+  const Finding* f = find_rule(r, Rule::kElabReject);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->diag.message.find("mystery"), std::string::npos);
+}
+
+// --- reference-aware rules -------------------------------------------------
+
+TEST(LintRules, InterfaceMismatchIsProven) {
+  verilog::ParseOutput golden = verilog::parse_source(R"(
+module top(input a, input [1:0] b, output y);
+  assign y = a ^ b[0];
+endmodule
+)");
+  ASSERT_TRUE(golden.ok());
+  ReferenceProfile ref;
+  ref.golden = &golden.file.modules.front();
+
+  const LintResult r = run_lint(R"(
+module top(input a, input b, output z);
+  assign z = a & b;
+endmodule
+)", &ref);
+  // Missing 'y', width mismatch on 'b', extra 'z'.
+  EXPECT_EQ(count_rule(r, Rule::kIfaceMismatch), 3);
+  for (const auto& f : r.findings) {
+    if (f.rule != Rule::kIfaceMismatch) continue;
+    EXPECT_TRUE(f.proven);
+    EXPECT_EQ(f.axis, llm::HalluAxis::kMisalignment);
+  }
+  EXPECT_TRUE(r.proven_failure());
+}
+
+TEST(LintRules, MatchingInterfaceIsClean) {
+  verilog::ParseOutput golden = verilog::parse_source(R"(
+module top(input a, input b, output y);
+  assign y = a ^ b;
+endmodule
+)");
+  ASSERT_TRUE(golden.ok());
+  ReferenceProfile ref;
+  profile_from_golden(golden.file.modules.front(), &golden.file, &ref);
+
+  const LintResult r = run_lint(R"(
+module top(input a, input b, output y);
+  assign y = a & b;
+endmodule
+)", &ref);
+  EXPECT_EQ(count_rule(r, Rule::kIfaceMismatch), 0);
+  EXPECT_FALSE(r.proven_failure());  // wrong logic, but nothing provable
+}
+
+TEST(LintRules, AttributeMismatchAgainstReference) {
+  verilog::ParseOutput golden = verilog::parse_source(R"(
+module top(input clk, input rst, input d, output reg q);
+  always @(posedge clk or posedge rst)
+    if (rst) q <= 1'b0;
+    else q <= d;
+endmodule
+)");
+  ASSERT_TRUE(golden.ok());
+  ReferenceProfile ref;
+  profile_from_golden(golden.file.modules.front(), &golden.file, &ref);
+  ref.sequential = true;
+  ref.clock = "clk";
+  ref.reset = "rst";
+
+  // Candidate uses a synchronous reset where the golden is asynchronous.
+  const LintResult r = run_lint(R"(
+module top(input clk, input rst, input d, output reg q);
+  always @(posedge clk)
+    if (rst) q <= 1'b0;
+    else q <= d;
+endmodule
+)", &ref);
+  const Finding* f = find_rule(r, Rule::kAttrMismatch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->axis, llm::HalluAxis::kKnowAttribute);
+  EXPECT_TRUE(f->predicts_failure);
+  EXPECT_NE(f->diag.message.find("sync/async"), std::string::npos);
+}
+
+TEST(LintRules, ConstOutputProvenOnlyWithContradictingTruth) {
+  const char* source = R"(
+module top(input a, input b, output y);
+  assign y = 1'b0;
+endmodule
+)";
+  // Standalone: suspicious but unproven.
+  const LintResult bare = run_lint(source);
+  const Finding* f = find_rule(bare, Rule::kConstOutput);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->diag.severity, Severity::kWarning);
+  EXPECT_FALSE(f->proven);
+
+  // With an exhaustive-comb reference whose truth table reaches 1: proven.
+  ReferenceProfile ref;
+  ref.exhaustive_comb = true;
+  ref.truth.push_back({"y", /*defined_zero=*/true, /*defined_one=*/true});
+  const LintResult proven = run_lint(source, &ref);
+  const Finding* g = find_rule(proven, Rule::kConstOutput);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->diag.severity, Severity::kError);
+  EXPECT_TRUE(g->proven);
+  EXPECT_TRUE(proven.proven_failure());
+
+  // Sequential reference: the sweep precondition fails, never proven.
+  ReferenceProfile seq = ref;
+  seq.sequential = true;
+  const LintResult unproven = run_lint(source, &seq);
+  const Finding* h = find_rule(unproven, Rule::kConstOutput);
+  ASSERT_NE(h, nullptr);
+  EXPECT_FALSE(h->proven);
+}
+
+// --- diagnostics mapping, lint_source, JSON, ordering ----------------------
+
+TEST(LintRules, FindingsFromDiagnosticsMapsAxes) {
+  std::vector<verilog::Diagnostic> diags;
+  diags.push_back({"msg a", 3, 0, Severity::kError, "sema.multi-driven"});
+  diags.push_back({"msg b", 5, 0, Severity::kError, "parse.expected-semicolon"});
+  diags.push_back({"msg c", 6, 0, Severity::kWarning, "sema.unused"});
+  const auto findings = findings_from_diagnostics(diags);
+  ASSERT_EQ(findings.size(), 2u);  // warnings skipped
+  EXPECT_EQ(findings[0].rule, Rule::kSema);
+  EXPECT_EQ(findings[0].axis, llm::HalluAxis::kKnowConvention);
+  EXPECT_EQ(findings[1].rule, Rule::kSyntax);
+  EXPECT_EQ(findings[1].axis, llm::HalluAxis::kKnowSyntax);
+  EXPECT_TRUE(findings[0].predicts_failure);
+}
+
+TEST(LintRules, LintSourceReportsParseFailures) {
+  const SourceLint r = lint_source("module m(input a output y); endmodule");
+  EXPECT_FALSE(r.parsed);
+  ASSERT_FALSE(r.findings.empty());
+  for (const auto& f : r.findings) {
+    EXPECT_TRUE(f.rule == Rule::kSyntax || f.rule == Rule::kSema);
+    EXPECT_TRUE(f.predicts_failure);
+  }
+}
+
+TEST(LintRules, LintSourceCleanModule) {
+  const SourceLint r = lint_source(R"(
+module m(input a, input b, output y);
+  assign y = a & b;
+endmodule
+)");
+  EXPECT_TRUE(r.parsed);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintRules, FindingsAreSortedByLineThenRule) {
+  const LintResult r = run_lint(R"(
+module m(input clk, input d, output reg q, output z);
+  wire t;
+  assign z = t;
+  always @(posedge clk) q = d;
+endmodule
+)");
+  ASSERT_GE(r.findings.size(), 2u);
+  for (std::size_t i = 1; i < r.findings.size(); ++i) {
+    const auto& a = r.findings[i - 1];
+    const auto& b = r.findings[i];
+    EXPECT_TRUE(a.diag.line < b.diag.line ||
+                (a.diag.line == b.diag.line &&
+                 std::string(rule_id(a.rule)) <= rule_id(b.rule)));
+  }
+}
+
+TEST(LintRules, JsonOutputShape) {
+  Finding f = make_finding(Rule::kLatch, Severity::kWarning, 12,
+                           "signal 'q' with \"quotes\"\nand newline", true);
+  const std::string json = finding_json(f);
+  EXPECT_NE(json.find("\"rule\":\"lint.latch\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"axis\":\"logic_corner\""), std::string::npos);
+  EXPECT_NE(json.find("\"predicts_failure\":true"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+
+  const std::string arr = findings_json({f, f});
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_EQ(arr.back(), ']');
+  EXPECT_NE(arr.find("},{"), std::string::npos);
+}
+
+TEST(LintRules, AxisMaskSkipsNotes) {
+  LintResult r;
+  r.findings.push_back(make_finding(Rule::kUnused, Severity::kNote, 1, "note"));
+  EXPECT_EQ(r.axis_mask(), 0u);
+  EXPECT_FALSE(r.flagged());
+  r.findings.push_back(make_finding(Rule::kLatch, Severity::kWarning, 2, "warn", true));
+  EXPECT_EQ(r.axis_mask(),
+            std::uint32_t{1} << static_cast<int>(llm::HalluAxis::kLogicCorner));
+  EXPECT_TRUE(r.flagged());
+  EXPECT_FALSE(r.proven_failure());
+}
+
+}  // namespace
+}  // namespace haven::lint

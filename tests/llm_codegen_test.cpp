@@ -323,7 +323,7 @@ TEST(CodegenFaults, BlockingInClockedBreaksEdgeDetector) {
   verilog::SourceAnalysis sa = verilog::analyze_source(bad);
   ASSERT_FALSE(sa.modules.empty());
   bool warned = false;
-  for (const auto& w : sa.modules.front().warnings) {
+  for (const auto& w : sa.modules.front().warnings()) {
     warned = warned || w.message.find("blocking") != std::string::npos;
   }
   EXPECT_TRUE(warned);

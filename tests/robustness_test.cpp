@@ -32,7 +32,7 @@ TEST(Robustness, RepeatedSyntaxCorruptionNeverCrashesFrontend) {
       // No expectations on the verdict — only that we got here alive with
       // coherent diagnostics.
       for (const auto& m : analysis.modules) {
-        for (const auto& e : m.errors) EXPECT_FALSE(e.message.empty());
+        for (const auto& e : m.errors()) EXPECT_FALSE(e.message.empty());
       }
     }
   }

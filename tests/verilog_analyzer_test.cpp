@@ -24,7 +24,7 @@ TEST(Analyzer, UndeclaredIdentifierIsError) {
   const auto a = analyze_one(
       "module m(input a, output y); assign y = a & ghost; endmodule");
   EXPECT_FALSE(a.ok());
-  EXPECT_NE(a.errors[0].message.find("ghost"), std::string::npos);
+  EXPECT_NE(a.errors()[0].message.find("ghost"), std::string::npos);
 }
 
 TEST(Analyzer, AssignToInputIsError) {
@@ -114,8 +114,8 @@ module m(input clk, input d, output reg q);
 endmodule
 )");
   EXPECT_TRUE(a.ok());
-  ASSERT_FALSE(a.warnings.empty());
-  EXPECT_NE(a.warnings[0].message.find("blocking"), std::string::npos);
+  ASSERT_FALSE(a.warnings().empty());
+  EXPECT_NE(a.warnings()[0].message.find("blocking"), std::string::npos);
 }
 
 TEST(Analyzer, NonblockingInCombBlockWarns) {
@@ -125,14 +125,14 @@ module m(input d, output reg q);
 endmodule
 )");
   EXPECT_TRUE(a.ok());
-  EXPECT_FALSE(a.warnings.empty());
+  EXPECT_FALSE(a.warnings().empty());
 }
 
 TEST(Analyzer, UndrivenOutputWarns) {
   const auto a = analyze_one("module m(input a, output y); wire t; assign t = a; endmodule");
   EXPECT_TRUE(a.ok());
   bool found = false;
-  for (const auto& w : a.warnings) found = found || w.message.find("never driven") != std::string::npos;
+  for (const auto& w : a.warnings()) found = found || w.message.find("never driven") != std::string::npos;
   EXPECT_TRUE(found);
 }
 
@@ -315,7 +315,7 @@ module m(input clk, input a, input b, output reg q);
 endmodule
 )");
   EXPECT_FALSE(a.ok());
-  EXPECT_NE(a.errors[0].message.find("multiple drivers"), std::string::npos);
+  EXPECT_NE(a.errors()[0].message.find("multiple drivers"), std::string::npos);
 }
 
 TEST(Analyzer, SingleAlwaysMultipleAssignsIsFine) {
@@ -339,7 +339,7 @@ endmodule
 )");
   EXPECT_TRUE(a.ok());
   bool found = false;
-  for (const auto& w : a.warnings) {
+  for (const auto& w : a.warnings()) {
     found = found || w.message.find("'dead' is never read") != std::string::npos;
   }
   EXPECT_TRUE(found);
@@ -353,7 +353,7 @@ module m(input a, output y);
   assign y = t;
 endmodule
 )");
-  for (const auto& w : a.warnings) {
+  for (const auto& w : a.warnings()) {
     EXPECT_EQ(w.message.find("never read"), std::string::npos) << w.message;
   }
 }
