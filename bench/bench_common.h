@@ -2,17 +2,22 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "core/haven.h"
 #include "eval/engine.h"
 #include "eval/report.h"
 #include "eval/suites.h"
 #include "util/fault.h"
+#include "util/strings.h"
 #include "util/table.h"
 
 namespace haven::bench {
@@ -45,10 +50,41 @@ struct BenchArgs {
   bool lint = false;         // --lint: run haven::lint over every candidate
   bool lint_triage = false;  // --lint-triage: skip sim on proven failures
   bool lint_json = false;    // --lint-json: dump findings JSON to stdout
+  // Result-cache knobs (see DESIGN.md §9 "Result caching").
+  bool cache = false;         // --cache: in-memory result cache
+  bool no_cache = false;      // --no-cache: force caching off
+  std::string cache_dir;      // --cache-dir=PATH: persistent artifacts (implies --cache)
+  std::size_t cache_mb = 256;  // --cache-mb=N: in-memory payload budget
+  std::string bench_json;     // --bench-json=PATH: write a BENCH_eval.json record
+  // Built by parse() when caching is enabled and shared by every engine the
+  // bench constructs (one cache per process, one artifact dir on disk).
+  // shared_ptr because BenchArgs is copied by value.
+  std::shared_ptr<cache::ResultCache> result_cache;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
+    // Flags take "--flag=value"; --cache-dir/--cache-mb/--bench-json also
+    // accept a separate "--flag value" argument.
+    auto value_of = [&](const char* flag, int& i) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') return argv[i] + len + 1;
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
     for (int i = 1; i < argc; ++i) {
+      if (const char* v = value_of("--cache-dir", i)) {
+        args.cache_dir = v;
+        args.cache = true;
+        continue;
+      }
+      if (const char* v = value_of("--cache-mb", i)) {
+        args.cache_mb = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+        continue;
+      }
+      if (const char* v = value_of("--bench-json", i)) {
+        args.bench_json = v;
+        continue;
+      }
       if (std::strcmp(argv[i], "--fast") == 0) {
         args.fast = true;
         args.n_samples = 5;  // pass@5 needs k <= n
@@ -78,7 +114,17 @@ struct BenchArgs {
       } else if (std::strcmp(argv[i], "--lint-json") == 0) {
         args.lint = true;
         args.lint_json = true;
+      } else if (std::strcmp(argv[i], "--cache") == 0) {
+        args.cache = true;
+      } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+        args.no_cache = true;
       }
+    }
+    if (!args.no_cache && (args.cache || !args.cache_dir.empty())) {
+      cache::CacheConfig config;
+      config.max_bytes = args.cache_mb << 20;
+      config.dir = args.cache_dir;
+      args.result_cache = std::make_shared<cache::ResultCache>(config);
     }
     return args;
   }
@@ -94,6 +140,7 @@ struct BenchArgs {
     req.sim_step_budget = sim_step_budget;
     req.lint = lint;
     req.lint_triage = lint_triage;
+    req.cache = result_cache.get();
     if (progress) req.on_progress = progress_printer();
     return req;
   }
@@ -104,6 +151,12 @@ struct BenchArgs {
     if (!result.lint.enabled) return;
     std::cerr << "  " << eval::summarize(result.lint) << "\n";
     if (lint_json) std::cout << eval::lint_json(result) << "\n";
+  }
+
+  // Print the per-run cache block (stderr). No-op when caching is off.
+  void report_cache(const eval::SuiteResult& result) const {
+    if (result_cache == nullptr) return;
+    std::cerr << "  " << eval::summarize_cache(result.counters) << "\n";
   }
 
   // request() with SI-CoT enabled. `cot_model` is non-owning: the caller
@@ -143,6 +196,89 @@ struct Chaos {
   }
   Chaos(const Chaos&) = delete;
   Chaos& operator=(const Chaos&) = delete;
+};
+
+// --bench-json recorder: accumulates finished suites and writes one
+// BENCH_eval.json record. The `results` array is deterministic for a fixed
+// seed (verdict-derived fields only, fixed float formatting) so a cold and a
+// warm run can be compared byte-for-byte; the perf fields (wall_ms,
+// candidates_per_sec) and the cache block live outside it and may differ.
+// No-op when --bench-json was not given.
+class BenchRecorder {
+ public:
+  BenchRecorder(std::string bench_name, const BenchArgs& args)
+      : bench_(std::move(bench_name)),
+        path_(args.bench_json),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void add(const eval::SuiteResult& result) {
+    if (path_.empty()) return;
+    const eval::EvalCounters& c = result.counters;
+    candidates_ += c.candidates;
+    cache_hits_ += c.cache_hits;
+    cache_misses_ += c.cache_misses;
+    cache_evictions_ += c.cache_evictions;
+    cache_bytes_ = c.cache_bytes;  // resident bytes after the latest run
+    threads_used_ = c.threads_used;
+    if (!results_.empty()) results_ += ",";
+    results_ += util::format(
+        "{\"suite\":\"%s\",\"model\":\"%s\",\"temperature\":%.2f,"
+        "\"pass1\":%.6f,\"pass5\":%.6f,\"syntax5\":%.6f,\"per_task\":[",
+        result.suite_name.c_str(), result.model_name.c_str(), result.temperature,
+        result.pass_at(1), result.pass_at(5), result.syntax_pass_at(5));
+    bool first = true;
+    for (const eval::TaskResult& t : result.per_task) {
+      if (!first) results_ += ",";
+      first = false;
+      results_ += util::format("{\"id\":\"%s\",\"n\":%d,\"syntax\":%d,\"func\":%d}",
+                               t.task_id.c_str(), t.n, t.syntax_pass, t.func_pass);
+    }
+    results_ += "]}";
+  }
+
+  // Write the record; returns false (with a stderr note) if the file could
+  // not be opened. Safe to call once after all add() calls.
+  bool write() const {
+    if (path_.empty()) return true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::int64_t lookups = cache_hits_ + cache_misses_;
+    const double hit_rate =
+        lookups == 0 ? 0.0 : static_cast<double>(cache_hits_) / static_cast<double>(lookups);
+    std::string record = util::format(
+        "{\"bench\":\"%s\",\"schema\":1,\"threads\":%d,\"wall_ms\":%.3f,"
+        "\"candidates\":%lld,\"candidates_per_sec\":%.1f,"
+        "\"cache\":{\"hits\":%lld,\"misses\":%lld,\"evictions\":%lld,"
+        "\"bytes\":%lld,\"hit_rate\":%.4f},\"results\":[",
+        bench_.c_str(), threads_used_, wall_ms, static_cast<long long>(candidates_),
+        wall_ms <= 0.0 ? 0.0 : 1000.0 * static_cast<double>(candidates_) / wall_ms,
+        static_cast<long long>(cache_hits_), static_cast<long long>(cache_misses_),
+        static_cast<long long>(cache_evictions_), static_cast<long long>(cache_bytes_),
+        hit_rate);
+    record += results_;
+    record += "]}\n";
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "  [bench-json] cannot open " << path_ << " for writing\n";
+      return false;
+    }
+    out << record;
+    std::cerr << "  [bench-json] wrote " << path_ << " (" << record.size() << " bytes)\n";
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::string results_;
+  std::int64_t candidates_ = 0;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
+  std::int64_t cache_evictions_ = 0;
+  std::int64_t cache_bytes_ = 0;
+  int threads_used_ = 0;
 };
 
 // "measured (paper X)" cell, or "n/a" passthrough.

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <vector>
 
+#include "bench_common.h"
 #include "eval/engine.h"
 #include "eval/suites.h"
 #include "llm/codegen.h"
@@ -149,4 +151,36 @@ BENCHMARK(BM_GoldenCodegen);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): under --bench-json the binary
+// runs one EvalEngine suite through BenchArgs (honoring the cache flags) and
+// writes a BENCH_eval.json record — the CI warm-cache job drives this path
+// twice against the same --cache-dir and diffs the `results` arrays.
+// Without --bench-json it behaves like a normal google-benchmark binary
+// (haven flags are stripped before benchmark::Initialize).
+int main(int argc, char** argv) {
+  const haven::bench::BenchArgs args = haven::bench::BenchArgs::parse(argc, argv);
+  if (!args.bench_json.empty()) {
+    const haven::eval::Suite rtllm = haven::eval::build_rtllm();
+    const haven::llm::SimLlm model = haven::llm::make_model("GPT-4");
+    const haven::eval::EvalEngine engine(args.request());
+    haven::bench::BenchRecorder recorder("micro_substrates", args);
+    const haven::eval::SuiteResult result = engine.evaluate(model, rtllm);
+    recorder.add(result);
+    std::cerr << "  " << haven::eval::summarize(result) << "\n";
+    std::cerr << "  " << haven::eval::summarize(result.counters) << "\n";
+    args.report_lint(result);
+    args.report_cache(result);
+    return recorder.write() ? 0 : 1;
+  }
+  std::vector<char*> bm_argv;
+  bm_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) bm_argv.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

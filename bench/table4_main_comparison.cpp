@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
 
   const BenchArgs args = BenchArgs::parse(argc, argv);
   const Chaos chaos(args);
+  BenchRecorder recorder("table4_main_comparison", args);
 
   std::cout << "== Table IV: HaVen vs baselines ==\n";
   std::cout << "(cells: measured% [paper%]; n=" << args.n_samples << ", temps="
@@ -75,7 +76,11 @@ int main(int argc, char** argv) {
     const eval::SuiteResult rh = engine.evaluate(model, human);
     const eval::SuiteResult rr = engine.evaluate(model, rtllm);
     const eval::SuiteResult rv = engine.evaluate(model, v2);
-    for (const auto* r : {&rm, &rh, &rr, &rv}) args.report_lint(*r);
+    for (const auto* r : {&rm, &rh, &rr, &rv}) {
+      args.report_lint(*r);
+      recorder.add(*r);
+    }
+    args.report_cache(rv);
     const PaperRow* paper = paper_row(model.name());
     auto cell = [&](double v, int paper_idx) {
       std::string s = eval::pct(v);
@@ -105,5 +110,6 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: HaVen rows lead functional correctness on all benchmarks;\n"
                "HaVen-DeepSeek best on machine, HaVen-CodeQwen best on human;\n"
                "HaVen-CodeLlama weakest of the three fine-tuned bases.\n";
+  recorder.write();
   return 0;
 }

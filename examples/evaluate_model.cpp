@@ -5,11 +5,13 @@
 //
 //   $ ./build/examples/evaluate_model [--threads=N] [--deadline-ms=N]
 //       [--retries=N] [--fail-fast] [--inject=P] [--lint] [--lint-triage]
-//       [--lint-json] [model-name ...]
+//       [--lint-json] [--cache] [--cache-dir=PATH] [--cache-mb=N]
+//       [--no-cache] [--stats] [model-name ...]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "cache/result_cache.h"
 #include "eval/engine.h"
 #include "eval/report.h"
 #include "eval/suites.h"
@@ -29,6 +31,11 @@ int main(int argc, char** argv) {
   bool lint = false;
   bool lint_triage = false;
   bool lint_json = false;
+  bool use_cache = false;
+  bool no_cache = false;
+  std::string cache_dir;
+  std::size_t cache_mb = 256;
+  bool stats = false;
   std::vector<std::string> models;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -48,6 +55,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--lint-json") == 0) {
       lint = true;
       lint_json = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      use_cache = true;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      no_cache = true;
+    } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+      cache_dir = argv[i] + 12;
+      use_cache = true;
+    } else if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
+      cache_mb = static_cast<std::size_t>(std::strtoull(argv[i] + 11, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else {
       models.emplace_back(argv[i]);
     }
@@ -62,6 +80,14 @@ int main(int argc, char** argv) {
     injector.install();
   }
 
+  // One cache shared across all evaluated models; rerunning the binary with
+  // --cache-dir replays every verdict from the artifact store.
+  cache::CacheConfig cache_config;
+  cache_config.max_bytes = cache_mb << 20;
+  cache_config.dir = cache_dir;
+  cache::ResultCache result_cache(cache_config);
+  const bool caching = !no_cache && use_cache;
+
   const eval::Suite suite = eval::build_rtllm();
   eval::EvalRequest request;
   request.n_samples = 10;
@@ -72,6 +98,7 @@ int main(int argc, char** argv) {
   request.fail_fast = fail_fast;
   request.lint = lint;
   request.lint_triage = lint_triage;
+  if (caching) request.cache = &result_cache;
   request.on_progress = [](const eval::EvalProgress& p) {
     if (p.completed == p.total || p.completed % 200 == 0) {
       std::cerr << "\r  " << p.completed << "/" << p.total << " candidates"
@@ -93,6 +120,7 @@ int main(int argc, char** argv) {
                    util::format("%.1f", result.temperature)});
     std::cout << eval::summarize(result) << "\n";
     std::cout << "  " << eval::summarize(result.counters) << "\n";
+    if (stats) std::cout << "  " << eval::summarize_cache(result.counters) << "\n";
     if (result.lint.enabled) {
       std::cout << "  " << eval::summarize(result.lint) << "\n";
       if (lint_json) std::cout << eval::lint_json(result) << "\n";
@@ -100,6 +128,18 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n" << suite.name << " (" << suite.tasks.size() << " tasks, n="
             << request.n_samples << "):\n" << table.to_string();
+  if (stats && caching) {
+    const cache::CacheStats cs = result_cache.stats();
+    std::cout << util::format(
+        "cache totals: %lld hits (%lld from disk) / %lld misses, %lld insertions, "
+        "%lld evictions, %lld disk writes, %lld disk errors, %lld entries / %.1f KiB "
+        "resident\n",
+        static_cast<long long>(cs.hits), static_cast<long long>(cs.disk_hits),
+        static_cast<long long>(cs.misses), static_cast<long long>(cs.insertions),
+        static_cast<long long>(cs.evictions), static_cast<long long>(cs.disk_writes),
+        static_cast<long long>(cs.disk_errors), static_cast<long long>(cs.entries),
+        static_cast<double>(cs.bytes) / 1024.0);
+  }
   if (inject > 0.0) {
     injector.uninstall();
     std::cerr << "  [chaos] " << injector.total_injected() << " faults injected\n";

@@ -1,0 +1,104 @@
+#include "cache/hash.h"
+
+namespace haven::cache {
+namespace {
+
+constexpr std::uint64_t kFnvBasisA = 0xcbf29ce484222325ULL;  // standard 64-bit basis
+constexpr std::uint64_t kFnvBasisB = 0x6c62272e07bb0142ULL;  // hi word of the 128-bit basis
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+// Stream B sees every byte xored with this constant, decorrelating the two
+// accumulators even though they share the FNV-1a recurrence.
+constexpr unsigned char kWhitenB = 0xa5;
+
+// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+std::uint64_t avalanche(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = kFnvBasisA;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Hasher::Hasher() : a_(kFnvBasisA), b_(kFnvBasisB) {}
+
+void Hasher::feed(unsigned char c) {
+  a_ ^= c;
+  a_ *= kFnvPrime;
+  b_ ^= static_cast<unsigned char>(c ^ kWhitenB);
+  b_ *= kFnvPrime;
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) feed(static_cast<unsigned char>(v >> (8 * i)));
+  return *this;
+}
+
+Hasher& Hasher::bytes(std::string_view s) {
+  // Length prefix makes the update boundaries part of the digest.
+  u64(s.size());
+  for (unsigned char c : s) feed(c);
+  return *this;
+}
+
+Digest Hasher::digest() const {
+  // Cross-mix the streams before finalizing so each output word depends on
+  // both accumulators.
+  Digest d;
+  d.hi = avalanche(a_ ^ (b_ * 0x9e3779b97f4a7c15ULL));
+  d.lo = avalanche(b_ ^ (a_ * 0xda942042e4dd58b5ULL));
+  return d;
+}
+
+std::string to_hex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? d.hi : d.lo;
+    const int shift = 60 - 8 * (i % 8) - 0;
+    out[static_cast<std::size_t>(2 * i)] = kHex[(word >> shift) & 0xf];
+    out[static_cast<std::size_t>(2 * i + 1)] = kHex[(word >> (shift - 4)) & 0xf];
+  }
+  return out;
+}
+
+std::string canonical_verilog(std::string_view source) {
+  std::string out;
+  out.reserve(source.size() + 1);
+  std::string line;
+  auto flush_line = [&] {
+    // Strip trailing spaces/tabs.
+    std::size_t end = line.size();
+    while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\t')) --end;
+    out.append(line, 0, end);
+    out.push_back('\n');
+    line.clear();
+  };
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\r') {
+      if (i + 1 < source.size() && source[i + 1] == '\n') ++i;
+      flush_line();
+    } else if (c == '\n') {
+      flush_line();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) flush_line();
+  // Trim trailing blank lines down to a single final newline.
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' && out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace haven::cache

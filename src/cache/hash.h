@@ -1,0 +1,75 @@
+// Content hashing for haven::cache — a stable, in-repo 128-bit digest built
+// from two independent FNV-1a streams, plus the Verilog source
+// canonicalization the result cache keys on.
+//
+// Design constraints (see DESIGN.md §9):
+//  * Stable across runs, platforms, and standard-library vendors: the cache
+//    persists to disk, so the digest is part of the on-disk contract. No
+//    std::hash, no pointer-derived state.
+//  * Cheap: hashing runs once per candidate on the eval hot path.
+//  * Not cryptographic: a 128-bit FNV-derived address is collision-safe at
+//    cache scale (birthday bound ~2^64 entries), not adversary-safe. Cache
+//    keys are derived from trusted local artifacts only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace haven::cache {
+
+// 128-bit content address. Ordered + hashable so it can key maps directly.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) { return !(a == b); }
+  friend bool operator<(const Digest& a, const Digest& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+// "0123456789abcdef..." 32-char lowercase hex form (artifact file names).
+std::string to_hex(const Digest& d);
+
+// Classic 64-bit FNV-1a over a byte string (offset basis 0xcbf29ce484222325,
+// prime 0x100000001b3). Exposed for tests and for payload checksums in the
+// artifact store.
+std::uint64_t fnv1a(std::string_view bytes);
+
+// Streaming 128-bit hasher: two FNV-1a accumulators with different offset
+// bases and a per-stream input whitening byte, each finalized with a
+// splitmix64-style avalanche. Field order matters: update calls are
+// length-prefixed internally, so ("ab","c") and ("a","bc") digest
+// differently.
+class Hasher {
+ public:
+  Hasher();
+
+  Hasher& bytes(std::string_view s);
+  Hasher& u64(std::uint64_t v);
+  Hasher& u32(std::uint32_t v) { return u64(v); }
+  Hasher& i32(std::int32_t v) { return u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  Hasher& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  // Finalize (non-destructive: the hasher can keep accumulating).
+  Digest digest() const;
+
+ private:
+  void feed(unsigned char c);
+
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+// Canonicalize Verilog source for content addressing: normalize CRLF/CR line
+// endings to LF, strip trailing spaces/tabs from every line, and trim
+// trailing blank lines (a single final newline remains). Purely lexical —
+// never changes program semantics — so byte-different but
+// rendering-identical candidates share one cache entry.
+std::string canonical_verilog(std::string_view source);
+
+}  // namespace haven::cache

@@ -1,0 +1,248 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace haven::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kArtifactMagic = 0x434e5648;  // "HVNC" little-endian
+// Fixed per-entry bookkeeping charge (list node, map slot, key) so that an
+// entry with a tiny payload still has nonzero weight against the byte budget.
+constexpr std::size_t kEntryOverhead = 64;
+
+std::size_t round_up_pow2(std::size_t v) {
+  if (v <= 1) return 1;
+  std::size_t p = 1;
+  while (p < v && p < (std::size_t{1} << 30)) p <<= 1;
+  return p;
+}
+
+std::size_t entry_weight(const std::string& payload) { return payload.size() + kEntryOverhead; }
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+// Header: magic u32, version u32, key.hi u64, key.lo u64, payload size u64,
+// payload FNV-1a checksum u64. All little-endian.
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8 + 8 + 8;
+
+// Process-wide counter making temp-file names unique across threads and
+// across ResultCache instances sharing one directory.
+std::atomic<std::uint64_t> g_tmp_counter{0};
+
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {
+  const std::size_t n = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
+  config_.shards = n;
+  shard_mask_ = n - 1;
+  shard_byte_budget_ = config_.max_bytes == 0 ? 0 : std::max<std::size_t>(1, config_.max_bytes / n);
+  shard_entry_budget_ = config_.max_entries == 0 ? 0 : std::max<std::size_t>(1, config_.max_entries / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::~ResultCache() = default;
+
+ResultCache::Shard& ResultCache::shard_for(const Digest& key) {
+  return *shards_[static_cast<std::size_t>(key.lo) & shard_mask_];
+}
+
+std::optional<std::string> ResultCache::lookup(const Digest& key) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+      ++shard.hits;
+      return it->second->payload;
+    }
+  }
+  if (disk_enabled()) {
+    std::optional<std::string> payload = read_artifact(key, shard);
+    if (payload.has_value()) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.hits;
+      ++shard.disk_hits;
+      insert_locked(shard, key, *payload);  // promote
+      return payload;
+    }
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const Digest& key, std::string payload) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.insertions;
+    insert_locked(shard, key, payload);
+  }
+  if (disk_enabled()) write_artifact(key, payload, shard);
+}
+
+void ResultCache::insert_locked(Shard& shard, const Digest& key, std::string payload) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Overwrite in place and touch.
+    shard.bytes -= entry_weight(it->second->payload);
+    it->second->payload = std::move(payload);
+    shard.bytes += entry_weight(it->second->payload);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(payload)});
+    shard.bytes += entry_weight(shard.lru.front().payload);
+    shard.index.emplace(key, shard.lru.begin());
+  }
+  // Evict LRU until within budget; never evict the entry just inserted.
+  while (shard.lru.size() > 1 &&
+         ((shard_byte_budget_ != 0 && shard.bytes > shard_byte_budget_) ||
+          (shard_entry_budget_ != 0 && shard.lru.size() > shard_entry_budget_))) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= entry_weight(victim.payload);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::clear_memory() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.disk_hits += shard->disk_hits;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.disk_writes += shard->disk_writes;
+    total.disk_errors += shard->disk_errors;
+    total.entries += static_cast<std::int64_t>(shard->lru.size());
+    total.bytes += static_cast<std::int64_t>(shard->bytes);
+  }
+  return total;
+}
+
+std::string ResultCache::artifact_path(const Digest& key) const {
+  if (config_.dir.empty()) return "";
+  return (fs::path(config_.dir) / (to_hex(key) + ".hvc")).string();
+}
+
+bool ResultCache::write_artifact(const Digest& key, std::string_view payload, Shard& shard) {
+  {
+    // Create the directory once; a failure (permissions, path is a file)
+    // disables persistence for this cache rather than failing inserts.
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (!dir_ready_) {
+      std::error_code ec;
+      fs::create_directories(config_.dir, ec);
+      dir_ready_ = true;
+      if (ec && !fs::is_directory(config_.dir, ec)) {
+        std::lock_guard<std::mutex> slock(shard.mu);
+        ++shard.disk_errors;
+        disk_disabled_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+  if (!disk_enabled()) return false;
+
+  std::string blob;
+  blob.reserve(kHeaderSize + payload.size());
+  put_u32(blob, kArtifactMagic);
+  put_u32(blob, kArtifactVersion);
+  put_u64(blob, key.hi);
+  put_u64(blob, key.lo);
+  put_u64(blob, payload.size());
+  put_u64(blob, fnv1a(payload));
+  blob.append(payload.data(), payload.size());
+
+  const std::string path = artifact_path(key);
+  const std::string tmp =
+      path + ".tmp" + std::to_string(g_tmp_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.write(blob.data(), static_cast<std::streamsize>(blob.size()))) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.disk_errors;
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.disk_errors;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.disk_writes;
+  return true;
+}
+
+std::optional<std::string> ResultCache::read_artifact(const Digest& key, Shard& shard) {
+  const std::string path = artifact_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // absent: a plain miss, not an error
+
+  std::string blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  auto reject = [&]() -> std::optional<std::string> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.disk_errors;
+    return std::nullopt;
+  };
+  if (blob.size() < kHeaderSize) return reject();
+  const char* p = blob.data();
+  if (get_u32(p) != kArtifactMagic) return reject();
+  if (get_u32(p + 4) != kArtifactVersion) return reject();
+  const Digest stored{get_u64(p + 8), get_u64(p + 16)};
+  if (stored != key) return reject();  // stale/renamed artifact
+  const std::uint64_t size = get_u64(p + 24);
+  const std::uint64_t checksum = get_u64(p + 32);
+  if (blob.size() - kHeaderSize != size) return reject();  // truncated/padded
+  std::string payload = blob.substr(kHeaderSize);
+  if (fnv1a(payload) != checksum) return reject();  // corrupt
+  return payload;
+}
+
+}  // namespace haven::cache

@@ -1,0 +1,161 @@
+// haven::cache — sharded, content-addressed result cache with an optional
+// persistent artifact store.
+//
+// The cache maps a 128-bit content Digest (see cache/hash.h) to an opaque
+// payload blob. It knows nothing about what the payload encodes: the eval
+// engine stores serialized candidate verdicts, but any deterministic
+// pipeline can memoize through it.
+//
+// Concurrency: the key space is striped over N independent shards, each a
+// mutex-guarded LRU list + hash map. Lookups and inserts take exactly one
+// shard lock; shards never lock each other, so the cache stays contention-
+// free under the ThreadPool's full fan-out (different keys on different
+// shards proceed in parallel).
+//
+// Capacity: per-shard byte and entry budgets (the configured totals divided
+// evenly). Inserting past a budget evicts least-recently-used entries from
+// that shard only. Eviction never touches the disk store: evicted entries
+// remain replayable from their artifact files.
+//
+// Persistence (CacheConfig::dir): every insert also writes one artifact file
+// `<32-hex-digest>.hvc` with a versioned header and a payload checksum; a
+// memory miss falls back to reading the artifact, promoting it back into
+// memory on success. Reads are tolerant in the PR-2 jsonl spirit: a corrupt,
+// truncated, wrong-version, or wrong-key file is counted in
+// CacheStats::disk_errors and treated as a miss — never fatal. Writes go to
+// a temp file and are renamed into place, so concurrent writers of the same
+// key are safe (last rename wins; contents are identical by construction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hash.h"
+
+namespace haven::cache {
+
+struct CacheConfig {
+  // Shard count; rounded up to a power of two, minimum 1.
+  std::size_t shards = 16;
+  // Total in-memory payload budget in bytes (split evenly across shards).
+  // 0 = entries only limited by max_entries.
+  std::size_t max_bytes = std::size_t{256} << 20;  // 256 MiB
+  // Total in-memory entry budget (split evenly across shards). 0 = no
+  // entry-count limit.
+  std::size_t max_entries = 0;
+  // Artifact directory. "" = in-memory only. Created on first use.
+  std::string dir;
+};
+
+// Monotonic counters + gauges, aggregated across shards on read. `hits`
+// counts both memory and disk hits (`disk_hits` is the disk-served subset).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t disk_hits = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t disk_writes = 0;
+  std::int64_t disk_errors = 0;  // unreadable/corrupt/stale artifacts skipped
+  std::int64_t entries = 0;      // gauge: live in-memory entries
+  std::int64_t bytes = 0;        // gauge: live in-memory payload bytes
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config = {});
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Fetch the payload for `key`: memory first, then (when configured) the
+  // artifact store. A disk hit is promoted into memory. std::nullopt = miss.
+  std::optional<std::string> lookup(const Digest& key);
+
+  // Store `payload` under `key` (overwriting any previous value), evicting
+  // LRU entries as needed, and persist an artifact when a dir is configured.
+  void insert(const Digest& key, std::string payload);
+
+  // Drop every in-memory entry (artifacts stay). Counts no evictions.
+  void clear_memory();
+
+  // Aggregate counters across all shards. Consistent per shard, not a
+  // cross-shard atomic snapshot — fine for telemetry.
+  CacheStats stats() const;
+
+  const CacheConfig& config() const { return config_; }
+
+  // Artifact file path for `key` ("" when no dir is configured). Exposed for
+  // tests and tooling; the layout (flat dir of <hex>.hvc files) is part of
+  // the on-disk contract.
+  std::string artifact_path(const Digest& key) const;
+
+  // On-disk format version. Bump on any artifact layout change: readers skip
+  // versions they do not understand.
+  static constexpr std::uint32_t kArtifactVersion = 1;
+
+ private:
+  struct Entry {
+    Digest key;
+    std::string payload;
+  };
+  // Map hash for Digest keys: fold the words to one u64. The map resolves
+  // fold collisions through Digest equality, so a fold collision costs a
+  // probe, never a wrong payload.
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const {
+      return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Digest, std::list<Entry>::iterator, DigestHash> index;
+    std::size_t bytes = 0;
+    // Shard-local counters (summed by stats()).
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t disk_hits = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    std::int64_t disk_writes = 0;
+    std::int64_t disk_errors = 0;
+  };
+
+  Shard& shard_for(const Digest& key);
+
+  // Insert into one shard's map/LRU (lock held by caller), evicting to
+  // budget. Returns evictions performed.
+  void insert_locked(Shard& shard, const Digest& key, std::string payload);
+
+  // Artifact IO. Return false on any error; read_artifact bumps disk_errors
+  // on corrupt/stale files (missing files are silent misses).
+  bool write_artifact(const Digest& key, std::string_view payload, Shard& shard);
+  std::optional<std::string> read_artifact(const Digest& key, Shard& shard);
+
+  // Disk store usable: a dir is configured and no unrecoverable setup error
+  // (e.g. the dir cannot be created) has disabled it.
+  bool disk_enabled() const {
+    return !config_.dir.empty() && !disk_disabled_.load(std::memory_order_relaxed);
+  }
+
+  CacheConfig config_;
+  std::size_t shard_mask_ = 0;
+  std::size_t shard_byte_budget_ = 0;   // 0 = unlimited
+  std::size_t shard_entry_budget_ = 0;  // 0 = unlimited
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool dir_ready_ = false;  // created lazily, sticky on failure
+  std::mutex dir_mu_;
+  std::atomic<bool> disk_disabled_{false};
+};
+
+}  // namespace haven::cache

@@ -1,0 +1,74 @@
+// Serialization and key derivation between the eval engine and the
+// haven::cache result cache.
+//
+// What is cached (see DESIGN.md §9 "Replay soundness"): everything the
+// candidate pipeline computes *after* generation — the compile verdict, the
+// lint findings, the triage decision, and the simulated functional verdict —
+// as a CachedVerdict. Generation itself (SI-CoT refinement + SimLlm
+// emission) always runs live: it is cheap, it is what produces the content
+// the key hashes, and it keeps the RNG stream position identical on hits and
+// misses.
+//
+// The key binds every input that can influence the cached stages:
+//   * the canonicalized candidate source (content addressing proper),
+//   * the task identity: id, golden source, and the full StimulusSpec,
+//   * the eval knobs that change verdicts or payload shape: sim step budget
+//     and lint mode (off / observe / triage),
+//   * the stimulus stream: the forked testbench Rng's state_hash(). Random
+//     stimulus makes the functional verdict depend on the vector stream, so
+//     two byte-identical candidates with different streams must NOT share an
+//     entry — replaying across streams would not be bit-identical. Within a
+//     fixed (seed, unit, attempt) derivation the stream is stable across
+//     runs, which is exactly the cross-run reuse the cache targets.
+//   * a schema version, bumped whenever the payload layout changes.
+//
+// Payloads are versioned little-endian binary; decode_verdict rejects (and
+// the engine then treats as a miss) anything malformed rather than throwing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/hash.h"
+#include "eval/task.h"
+#include "lint/lint.h"
+
+namespace haven::eval {
+
+// Bump when CachedVerdict's encoding or the key derivation changes; old
+// entries then miss instead of replaying garbage.
+inline constexpr std::uint32_t kVerdictSchemaVersion = 1;
+
+// The replayable outcome of one candidate's compile→lint→simulate stages.
+struct CachedVerdict {
+  bool syntax_ok = false;
+  bool func_ok = false;
+  bool triaged = false;    // failed by lint proof; simulation was skipped
+  bool simulated = false;  // the diff testbench actually ran
+  std::int32_t sim_vectors = 0;
+  std::vector<lint::Finding> findings;  // empty unless lint was enabled
+};
+
+std::string encode_verdict(const CachedVerdict& v);
+// Strict decode: any truncation, bad enum value, or version mismatch returns
+// false and leaves *out untouched enough to be discarded.
+bool decode_verdict(std::string_view payload, CachedVerdict* out);
+
+// Lint mode knob folded into the key: off / observe-only / triage.
+enum class CacheLintMode : std::uint8_t { kOff = 0, kObserve, kTriage };
+
+// Per-task key base, computed once per task per run: hashes the schema
+// version, task id, golden source (canonicalized), stimulus spec, sim step
+// budget, and lint mode.
+cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budget,
+                              CacheLintMode lint_mode);
+
+// Per-candidate key: the task seed + canonicalized candidate source + the
+// testbench stream digest.
+cache::Digest unit_cache_key(const cache::Digest& task_seed, std::string_view candidate_source,
+                             std::uint64_t tb_stream_hash);
+
+}  // namespace haven::eval

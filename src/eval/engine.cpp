@@ -8,7 +8,9 @@
 
 #include <thread>
 
+#include "cache/result_cache.h"
 #include "cot/sicot.h"
+#include "eval/cache_io.h"
 #include "eval/passk.h"
 #include "lint/lint.h"
 #include "logic/truth_table.h"
@@ -115,9 +117,18 @@ struct UnitOutcome {
   double lint_seconds = 0.0;
   double sim_seconds = 0.0;
   int attempts = 1;  // attempts consumed (1 = no retries)
+  bool cache_hit = false;  // verdict replayed from the result cache
   bool faulted = false;
   FaultKind fault_kind = FaultKind::kException;
   std::string fault_what;
+};
+
+// Per-task cache context shared read-only by the sample fan-out. Null cache
+// = caching off (the candidate pipeline is then identical to the uncached
+// engine).
+struct CacheRun {
+  cache::ResultCache* cache = nullptr;
+  cache::Digest task_seed;
 };
 
 // Per-task lint context prepared once before the sample fan-out: the parsed
@@ -146,7 +157,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                double temperature, bool use_sicot,
                                const llm::SimLlm* cot_model, util::Rng& rng,
                                UnitOutcome* stats, const util::Deadline& deadline,
-                               std::uint64_t step_budget, const LintRun* lint_run = nullptr) {
+                               std::uint64_t step_budget, const LintRun* lint_run = nullptr,
+                               const CacheRun* cache_run = nullptr) {
   CandidateOutcome outcome;
 
   const Clock::time_point gen_start = Clock::now();
@@ -164,6 +176,51 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
   outcome.source = model.generate(prompt, gen, rng);
   if (stats != nullptr) stats->generate_seconds = seconds_since(gen_start);
   deadline.check("generate");
+
+  // The testbench stream forks here, right after generation. It used to fork
+  // at simulation time, but no stage in between draws from `rng`, so the
+  // stream is bit-identical to the historical derivation — and forking early
+  // lets the cache key bind the stimulus stream before any cached stage.
+  util::Rng tb_rng = rng.fork();
+
+  // Result-cache lookup (content + task + knobs + stimulus stream): a hit
+  // replays the stored verdict and short-circuits compile/lint/simulate
+  // bit-identically; see DESIGN.md §9 for the soundness argument.
+  const bool caching = cache_run != nullptr && cache_run->cache != nullptr && stats != nullptr;
+  cache::Digest cache_key;
+  if (caching) {
+    cache_key = unit_cache_key(cache_run->task_seed, outcome.source, tb_rng.state_hash());
+    if (std::optional<std::string> payload = cache_run->cache->lookup(cache_key)) {
+      CachedVerdict v;
+      if (decode_verdict(*payload, &v)) {
+        outcome.syntax_ok = v.syntax_ok;
+        outcome.func_ok = v.func_ok;
+        stats->syntax_ok = v.syntax_ok;
+        stats->func_ok = v.func_ok;
+        stats->triaged = v.triaged;
+        stats->simulated = v.simulated;
+        stats->sim_vectors = v.sim_vectors;
+        stats->findings = std::move(v.findings);
+        stats->cache_hit = true;
+        return outcome;
+      }
+      // Undecodable payload (older schema, corrupt artifact): treat as a
+      // miss; the fresh verdict below overwrites the bad entry.
+    }
+  }
+  // Populate the cache at each completed exit. Faults throw past this, so
+  // only terminally successful pipelines are ever stored.
+  auto store = [&](const CandidateOutcome& oc) {
+    if (!caching) return;
+    CachedVerdict v;
+    v.syntax_ok = oc.syntax_ok;
+    v.func_ok = oc.func_ok;
+    v.triaged = stats->triaged;
+    v.simulated = stats->simulated;
+    v.sim_vectors = stats->sim_vectors;
+    v.findings = stats->findings;
+    cache_run->cache->insert(cache_key, encode_verdict(v));
+  };
 
   const Clock::time_point compile_start = Clock::now();
   util::maybe_inject(util::kSiteEvalCompile);
@@ -187,6 +244,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
       }
       stats->lint_seconds = seconds_since(lint_start);
     }
+    store(outcome);
     return outcome;
   }
 
@@ -213,6 +271,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
         // candidate as a functional failure without simulating.
         outcome.func_ok = false;
         if (stats != nullptr) stats->triaged = true;
+        store(outcome);
         return outcome;
       }
     } else if (stats != nullptr) {
@@ -221,7 +280,6 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
   }
 
   const Clock::time_point sim_start = Clock::now();
-  util::Rng tb_rng = rng.fork();
   sim::StimulusSpec stimulus = task.stimulus;
   if (step_budget != 0) stimulus.step_budget = step_budget;
   const sim::DiffResult diff =
@@ -238,6 +296,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     stats->simulated = true;
     stats->sim_vectors = diff.vectors;
   }
+  store(outcome);
   return outcome;
 }
 
@@ -332,6 +391,24 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     }
   }
 
+  // Per-task cache seeds: task identity + eval knobs hashed once, shared
+  // read-only by every worker. The per-candidate key then adds the
+  // candidate's content and its stimulus stream (see eval/cache_io.h).
+  cache::ResultCache* result_cache = request_.cache;
+  std::int64_t cache_evictions_before = 0;
+  std::vector<CacheRun> cache_runs(result_cache != nullptr ? n_tasks : 0);
+  if (result_cache != nullptr) {
+    const CacheLintMode lint_mode = request_.lint_triage ? CacheLintMode::kTriage
+                                    : lint_enabled       ? CacheLintMode::kObserve
+                                                         : CacheLintMode::kOff;
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      cache_runs[i].cache = result_cache;
+      cache_runs[i].task_seed =
+          task_cache_seed(suite.tasks[i], request_.sim_step_budget, lint_mode);
+    }
+    cache_evictions_before = result_cache->stats().evictions;
+  }
+
   // Work-unit index layout: temperature-major, then task, then sample.
   auto decode = [&](std::size_t unit, std::size_t& ti, std::size_t& task_i, int& s) {
     ti = unit / (n_tasks * n_samples);
@@ -376,7 +453,8 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       try {
         run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
                       rng, &stats, deadline, request_.sim_step_budget,
-                      lint_enabled ? &lint_run : nullptr);
+                      lint_enabled ? &lint_run : nullptr,
+                      result_cache != nullptr ? &cache_runs[task_i] : nullptr);
         return stats;
       } catch (const std::exception& e) {
         if (attempt < max_retries && request_.retry.should_retry(e)) {
@@ -481,17 +559,25 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       faults.push_back(make_fault(i, u));
       continue;
     }
-    counters.compile_failures += !u.syntax_ok;
-    counters.sim_mismatches += u.syntax_ok && !u.func_ok;
     counters.sicot_refinements += u.refined;
-    counters.lint_triaged += u.triaged;
-    counters.simulated += u.simulated;
-    counters.sim_vectors += u.sim_vectors;
     counters.lint_findings += static_cast<std::int64_t>(u.findings.size());
     counters.generate_seconds += u.generate_seconds;
     counters.compile_seconds += u.compile_seconds;
     counters.lint_seconds += u.lint_seconds;
     counters.sim_seconds += u.sim_seconds;
+    if (u.cache_hit) {
+      // A hit replays the verdict without running compile/lint/simulate: it
+      // lands in its own accounting bucket and nowhere else. The lint block
+      // below still runs — findings replay bit-identically from the cache.
+      ++counters.cache_hits;
+    } else {
+      if (result_cache != nullptr) ++counters.cache_misses;
+      counters.compile_failures += !u.syntax_ok;
+      counters.sim_mismatches += u.syntax_ok && !u.func_ok;
+      counters.lint_triaged += u.triaged;
+      counters.simulated += u.simulated;
+      counters.sim_vectors += u.sim_vectors;
+    }
 
     if (!lint_enabled) continue;
     bool flagged = false;
@@ -573,6 +659,12 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     // No temperatures configured: return an empty, but labelled, result.
     best.suite_name = suite.name;
     best.model_name = model.name();
+  }
+
+  if (result_cache != nullptr) {
+    const cache::CacheStats cs = result_cache->stats();
+    counters.cache_evictions = cs.evictions - cache_evictions_before;
+    counters.cache_bytes = cs.bytes;
   }
 
   counters.wall_seconds = seconds_since(wall_start);

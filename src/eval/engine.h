@@ -30,6 +30,16 @@
 //    Attempt k of a unit derives its RNG from (seed, unit, k) — attempt 0
 //    is bit-identical to the no-retry derivation, so enabling retries
 //    changes nothing on fault-free runs.
+//
+// Result caching (see DESIGN.md §9):
+//  * EvalRequest::cache memoizes the compile→lint→simulate stages per
+//    candidate, keyed on canonicalized content + task identity + eval knobs
+//    + the stimulus stream. A hit replays the stored verdict (including lint
+//    findings) bit-identically; verdicts, pass@k, and the lint block of a
+//    warm run equal the cold run's exactly, at any thread count. Hits land
+//    in EvalCounters::cache_hits, extending the accounting identity to
+//    candidates == unit_faults + compile_failures + lint_triaged + simulated
+//    + cache_hits.
 #pragma once
 
 #include <array>
@@ -42,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "eval/task.h"
 #include "lint/lint.h"
 #include "llm/simllm.h"
@@ -121,6 +132,19 @@ struct EvalCounters {
   std::int64_t lint_triaged = 0;       // candidates failed by proof, sim skipped
   std::int64_t simulated = 0;          // candidates that ran the diff testbench
   std::int64_t sim_vectors = 0;        // vectors/cycles actually compared
+  // Result-cache block (see DESIGN.md §9). With caching on, the accounting
+  // identity extends to
+  //   candidates == unit_faults + compile_failures + lint_triaged + simulated
+  //                 + cache_hits
+  // (a hit replays its verdict without touching the pipeline buckets), and
+  //   cache_hits + cache_misses == candidates - unit_faults.
+  // hits/misses are deterministic for a fixed seed at any thread count;
+  // evictions and bytes depend on insertion interleaving once the capacity
+  // binds, and on what earlier runs left in a shared cache.
+  std::int64_t cache_hits = 0;       // candidates replayed from the cache
+  std::int64_t cache_misses = 0;     // candidates that ran the pipeline (cache on)
+  std::int64_t cache_evictions = 0;  // LRU evictions during this run
+  std::int64_t cache_bytes = 0;      // resident payload bytes after the run
   double generate_seconds = 0.0;       // SI-CoT refine + candidate generation
   double compile_seconds = 0.0;        // syntax checking
   double lint_seconds = 0.0;           // static analysis (0 when lint is off)
@@ -233,6 +257,18 @@ class EvalRequest {
   // diff test fails — so pass/fail verdicts are unchanged while simulated
   // cycles drop. Implies `lint`.
   bool lint_triage = false;
+
+  // --- result cache ---------------------------------------------------------
+  // Content-addressed memoization of the compile→lint→simulate stages (see
+  // DESIGN.md §9). NON-OWNING: the caller keeps the cache alive for as long
+  // as this request (and any EvalEngine built from it) is used; null = off.
+  // A hit replays the stored verdict bit-identically — enabling the cache
+  // never changes SuiteResult verdicts, pass@k, or the lint block, only the
+  // counter breakdown (hits land in EvalCounters::cache_hits instead of the
+  // pipeline buckets) and wall time. The cache may be shared across engines,
+  // models, and suites: keys bind task identity, candidate content, knobs,
+  // and the stimulus stream, so unrelated runs cannot collide.
+  cache::ResultCache* cache = nullptr;
 
   // --- fault tolerance ------------------------------------------------------
   // Abort the whole run (throw EvalAborted, cancel the queue) on the first

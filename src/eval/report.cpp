@@ -42,7 +42,22 @@ std::string summarize(const EvalCounters& c) {
                          static_cast<long long>(c.simulated),
                          static_cast<long long>(c.sim_vectors), c.lint_seconds);
   }
+  if (c.cache_hits != 0 || c.cache_misses != 0) {
+    line += "; " + summarize_cache(c);
+  }
   return line;
+}
+
+std::string summarize_cache(const EvalCounters& c) {
+  const std::int64_t lookups = c.cache_hits + c.cache_misses;
+  if (lookups == 0) return "cache: off";
+  const double rate = 100.0 * static_cast<double>(c.cache_hits) / static_cast<double>(lookups);
+  return util::format("cache: %lld hits / %lld misses (%.1f%% hit rate), "
+                      "%lld evictions, %.1f KiB resident",
+                      static_cast<long long>(c.cache_hits),
+                      static_cast<long long>(c.cache_misses), rate,
+                      static_cast<long long>(c.cache_evictions),
+                      static_cast<double>(c.cache_bytes) / 1024.0);
 }
 
 std::string summarize(const LintSummary& lint) {

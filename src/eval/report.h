@@ -26,6 +26,11 @@ std::string summarize(const EvalCounters& counters);
 // axes with hits). Empty string when lint was not enabled.
 std::string summarize(const LintSummary& lint);
 
+// One-line result-cache block: hits/misses with hit rate, evictions, and
+// resident bytes. "cache: off" when the run had no cache attached (no
+// lookups happened).
+std::string summarize_cache(const EvalCounters& counters);
+
 // Machine-readable JSON for a lint-enabled run: the summary block (counters,
 // confusion, axis histogram, rule counts) plus every per-candidate finding,
 // in deterministic work-unit order.

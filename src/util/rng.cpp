@@ -67,4 +67,19 @@ Rng Rng::fork() {
   return child;
 }
 
+std::uint64_t Rng::state_hash() const {
+  // FNV-1a over the four state words; splitmix-style avalanche on top so
+  // near-identical states do not yield near-identical digests.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t s : state_) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (s >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
 }  // namespace haven::util

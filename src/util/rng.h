@@ -63,6 +63,12 @@ class Rng {
   // own stream so adding draws in one stage does not perturb another.
   Rng fork();
 
+  // Stable 64-bit digest of the current state. Does NOT advance the stream:
+  // two Rngs with equal state_hash() will produce identical draw sequences.
+  // Used by the result cache to make the stimulus stream part of the cache
+  // key without consuming it.
+  std::uint64_t state_hash() const;
+
  private:
   std::uint64_t state_[4]{};
 };

@@ -1,0 +1,409 @@
+// haven::cache core tests: digest stability, source canonicalization, the
+// sharded LRU (eviction order, capacity enforcement, concurrency), and the
+// on-disk artifact store (round-trip, tolerance to corrupt/stale files).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/hash.h"
+#include "cache/result_cache.h"
+
+namespace haven::cache {
+namespace {
+
+Digest key_of(std::string_view label) { return Hasher().bytes(label).digest(); }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// A scratch artifact directory under the test temp dir, unique per test.
+std::string scratch_dir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "haven_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// --- hashing ---------------------------------------------------------------
+
+TEST(CacheHash, Fnv1aMatchesKnownVectors) {
+  // Classic FNV-1a test vectors (offset basis and single-byte 'a').
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(CacheHash, DigestIsStableAndSensitive) {
+  const Digest d1 = Hasher().bytes("module m;").u64(7).boolean(true).digest();
+  const Digest d2 = Hasher().bytes("module m;").u64(7).boolean(true).digest();
+  EXPECT_EQ(d1, d2);
+
+  EXPECT_NE(d1, Hasher().bytes("module m;").u64(8).boolean(true).digest());
+  EXPECT_NE(d1, Hasher().bytes("module m;").u64(7).boolean(false).digest());
+  EXPECT_NE(d1, Hasher().bytes("module n;").u64(7).boolean(true).digest());
+}
+
+TEST(CacheHash, UpdatesAreLengthPrefixed) {
+  // ("ab","c") and ("a","bc") must not collide: field boundaries are part of
+  // the hashed stream.
+  const Digest d1 = Hasher().bytes("ab").bytes("c").digest();
+  const Digest d2 = Hasher().bytes("a").bytes("bc").digest();
+  EXPECT_NE(d1, d2);
+}
+
+TEST(CacheHash, DigestIsNonDestructive) {
+  Hasher h;
+  h.bytes("x");
+  const Digest first = h.digest();
+  EXPECT_EQ(first, h.digest());  // repeated finalization agrees
+  h.bytes("y");
+  EXPECT_NE(first, h.digest());  // and the stream keeps accumulating
+}
+
+TEST(CacheHash, ToHexIs32LowercaseChars) {
+  const std::string hex = to_hex(Digest{0x0123456789abcdefULL, 0xfedcba9876543210ULL});
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+}
+
+TEST(CacheHash, CanonicalVerilogNormalizesRendering) {
+  // CRLF/CR endings, trailing whitespace, and trailing blank lines all
+  // canonicalize away; the result keeps a single final newline.
+  const std::string canonical = canonical_verilog("module m;\nendmodule\n");
+  EXPECT_EQ(canonical_verilog("module m;\r\nendmodule\r\n"), canonical);
+  EXPECT_EQ(canonical_verilog("module m;\rendmodule\r"), canonical);
+  EXPECT_EQ(canonical_verilog("module m;  \t\nendmodule\n\n\n"), canonical);
+  EXPECT_EQ(canonical_verilog("module m;\nendmodule"), canonical);
+  // Leading/internal whitespace is semantic layout and survives.
+  EXPECT_NE(canonical_verilog("  module m;\nendmodule\n"), canonical);
+}
+
+// --- sharded LRU -----------------------------------------------------------
+
+TEST(ResultCache, InsertLookupRoundTrip) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.lookup(key_of("absent")).has_value());
+  cache.insert(key_of("k"), "payload");
+  const auto hit = cache.lookup(key_of("k"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload");
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.insertions, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_GT(s.bytes, 0);
+}
+
+TEST(ResultCache, OverwriteReplacesPayload) {
+  ResultCache cache;
+  cache.insert(key_of("k"), "old");
+  cache.insert(key_of("k"), "new-longer-payload");
+  EXPECT_EQ(*cache.lookup(key_of("k")), "new-longer-payload");
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(ResultCache, LruEvictionOrderRespectsTouches) {
+  CacheConfig config;
+  config.shards = 1;  // single shard so the LRU order is globally observable
+  config.max_entries = 3;
+  config.max_bytes = 0;
+  ResultCache cache(config);
+
+  cache.insert(key_of("k1"), "v1");
+  cache.insert(key_of("k2"), "v2");
+  cache.insert(key_of("k3"), "v3");
+  EXPECT_TRUE(cache.lookup(key_of("k1")).has_value());  // touch k1: now MRU
+  cache.insert(key_of("k4"), "v4");                     // evicts LRU = k2
+
+  EXPECT_TRUE(cache.lookup(key_of("k1")).has_value());
+  EXPECT_FALSE(cache.lookup(key_of("k2")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of("k3")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of("k4")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 3);
+}
+
+TEST(ResultCache, ByteCapacityIsEnforced) {
+  // Each entry weighs payload + 64 bytes of bookkeeping; budget 3 entries'
+  // worth and insert 10 — the shard must stay at/below budget throughout.
+  const std::size_t entry_weight = 100 + 64;
+  CacheConfig config;
+  config.shards = 1;
+  config.max_bytes = 3 * entry_weight;
+  ResultCache cache(config);
+
+  const std::string payload(100, 'x');
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(key_of("k" + std::to_string(i)), payload);
+    EXPECT_LE(static_cast<std::size_t>(cache.stats().bytes), config.max_bytes);
+  }
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 3);
+  EXPECT_EQ(s.evictions, 7);
+  // The survivors are the three most recent inserts.
+  EXPECT_TRUE(cache.lookup(key_of("k9")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of("k8")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of("k7")).has_value());
+  EXPECT_FALSE(cache.lookup(key_of("k6")).has_value());
+}
+
+TEST(ResultCache, OversizedPayloadStillInsertsAlone) {
+  // A payload bigger than the whole budget must not wedge the shard: it is
+  // admitted (evicting everything else), never evicted at insert time.
+  CacheConfig config;
+  config.shards = 1;
+  config.max_bytes = 128;
+  ResultCache cache(config);
+  cache.insert(key_of("big"), std::string(4096, 'x'));
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_TRUE(cache.lookup(key_of("big")).has_value());
+}
+
+TEST(ResultCache, ClearMemoryDropsEntriesWithoutEvictionCredit) {
+  ResultCache cache;
+  cache.insert(key_of("a"), "1");
+  cache.insert(key_of("b"), "2");
+  cache.clear_memory();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes, 0);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_FALSE(cache.lookup(key_of("a")).has_value());
+}
+
+// Concurrent hammer: T threads interleave inserts and lookups over a shared
+// key space. Asserts no lost updates (every lookup that hits sees the exact
+// payload written for that key) and exact hit+miss accounting.
+void hammer(int threads_n) {
+  CacheConfig config;
+  config.shards = 8;
+  ResultCache cache(config);
+
+  constexpr int kKeys = 64;
+  constexpr int kOpsPerThread = 2000;
+  auto payload_for = [](int k) { return "payload-" + std::to_string(k); };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(threads_n));
+  for (int t = 0; t < threads_n; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = (i * 31 + t * 17) % kKeys;
+        if (i % 3 == 0) {
+          cache.insert(key_of("hk" + std::to_string(k)), payload_for(k));
+        } else {
+          const auto hit = cache.lookup(key_of("hk" + std::to_string(k)));
+          if (hit.has_value()) {
+            EXPECT_EQ(*hit, payload_for(k));
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const CacheStats s = cache.stats();
+  // i % 3 == 0 on ceil(kOps/3) iterations per thread; the rest are lookups.
+  const std::int64_t inserts_per_thread = (kOpsPerThread + 2) / 3;
+  const std::int64_t lookups =
+      static_cast<std::int64_t>(threads_n) * (kOpsPerThread - inserts_per_thread);
+  EXPECT_EQ(s.hits + s.misses, lookups);
+  EXPECT_LE(s.entries, kKeys);
+  EXPECT_EQ(s.evictions, 0);  // well under the default budget
+  // Every key written is retrievable afterwards.
+  for (int k = 0; k < kKeys; ++k) {
+    const auto hit = cache.lookup(key_of("hk" + std::to_string(k)));
+    if (hit.has_value()) {
+      EXPECT_EQ(*hit, payload_for(k));
+    }
+  }
+}
+
+TEST(ResultCache, ConcurrentHammer1Thread) { hammer(1); }
+TEST(ResultCache, ConcurrentHammer4Threads) { hammer(4); }
+TEST(ResultCache, ConcurrentHammer16Threads) { hammer(16); }
+
+// --- artifact store --------------------------------------------------------
+
+TEST(ResultCache, DiskRoundTripAcrossInstances) {
+  const std::string dir = scratch_dir("roundtrip");
+  const Digest key = key_of("persisted");
+  {
+    CacheConfig config;
+    config.dir = dir;
+    ResultCache writer(config);
+    writer.insert(key, "durable payload");
+    EXPECT_EQ(writer.stats().disk_writes, 1);
+    EXPECT_TRUE(std::filesystem::exists(writer.artifact_path(key)));
+  }
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache reader(config);  // fresh instance, empty memory
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "durable payload");
+  const CacheStats s = reader.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.disk_hits, 1);
+  // The disk hit was promoted: the second lookup is served from memory.
+  EXPECT_TRUE(reader.lookup(key).has_value());
+  EXPECT_EQ(reader.stats().disk_hits, 1);
+  EXPECT_EQ(reader.stats().hits, 2);
+}
+
+TEST(ResultCache, EvictedEntryReplaysFromDisk) {
+  const std::string dir = scratch_dir("evicted");
+  CacheConfig config;
+  config.shards = 1;
+  config.max_entries = 1;
+  config.dir = dir;
+  ResultCache cache(config);
+  cache.insert(key_of("a"), "va");
+  cache.insert(key_of("b"), "vb");  // evicts "a" from memory, not from disk
+  EXPECT_EQ(cache.stats().evictions, 1);
+  const auto hit = cache.lookup(key_of("a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "va");
+  EXPECT_EQ(cache.stats().disk_hits, 1);
+}
+
+TEST(ResultCache, ArtifactPathIsHexNamedHvcFile) {
+  CacheConfig config;
+  config.dir = "/some/dir";
+  ResultCache cache(config);
+  const Digest key{0x1122334455667788ULL, 0x99aabbccddeeff00ULL};
+  EXPECT_EQ(cache.artifact_path(key),
+            "/some/dir/1122334455667788" "99aabbccddeeff00" ".hvc");
+  EXPECT_EQ(ResultCache().artifact_path(key), "");  // no dir configured
+}
+
+// Corrupt/stale artifacts are skipped (miss + disk_errors), never fatal.
+struct ArtifactTamperCase {
+  const char* name;
+  // Mutate the valid artifact bytes.
+  std::string (*tamper)(std::string bytes);
+};
+
+std::string make_artifact(const std::string& dir, const Digest& key,
+                          const std::string& payload) {
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache writer(config);
+  writer.insert(key, payload);
+  return writer.artifact_path(key);
+}
+
+TEST(ResultCache, CorruptArtifactIsSkipped) {
+  const std::string dir = scratch_dir("corrupt");
+  const Digest key = key_of("victim");
+  const std::string path = make_artifact(dir, key, "payload bytes");
+  std::string bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);  // flip payload bits
+  write_file(path, bytes);
+
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache reader(config);
+  EXPECT_FALSE(reader.lookup(key).has_value());
+  EXPECT_EQ(reader.stats().disk_errors, 1);
+  EXPECT_EQ(reader.stats().misses, 1);
+}
+
+TEST(ResultCache, TruncatedArtifactIsSkipped) {
+  const std::string dir = scratch_dir("truncated");
+  const Digest key = key_of("victim");
+  const std::string path = make_artifact(dir, key, "payload bytes");
+  std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() / 2));
+
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache reader(config);
+  EXPECT_FALSE(reader.lookup(key).has_value());
+  EXPECT_EQ(reader.stats().disk_errors, 1);
+}
+
+TEST(ResultCache, WrongVersionArtifactIsSkipped) {
+  const std::string dir = scratch_dir("version");
+  const Digest key = key_of("victim");
+  const std::string path = make_artifact(dir, key, "payload bytes");
+  std::string bytes = read_file(path);
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[4] = static_cast<char>(ResultCache::kArtifactVersion + 1);  // version word
+  write_file(path, bytes);
+
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache reader(config);
+  EXPECT_FALSE(reader.lookup(key).has_value());
+  EXPECT_EQ(reader.stats().disk_errors, 1);
+}
+
+TEST(ResultCache, WrongKeyArtifactIsSkipped) {
+  // An artifact renamed to another key's path (e.g. a botched manual copy)
+  // fails the embedded-key check.
+  const std::string dir = scratch_dir("wrongkey");
+  const Digest key = key_of("victim");
+  const std::string path = make_artifact(dir, key, "payload bytes");
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache reader(config);
+  const Digest other = key_of("other");
+  std::filesystem::copy_file(path, reader.artifact_path(other));
+  EXPECT_FALSE(reader.lookup(other).has_value());
+  EXPECT_EQ(reader.stats().disk_errors, 1);
+}
+
+TEST(ResultCache, EmptyArtifactIsSkipped) {
+  const std::string dir = scratch_dir("empty");
+  const Digest key = key_of("victim");
+  const std::string path = make_artifact(dir, key, "payload bytes");
+  write_file(path, "");
+
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache reader(config);
+  EXPECT_FALSE(reader.lookup(key).has_value());
+  EXPECT_EQ(reader.stats().disk_errors, 1);
+}
+
+TEST(ResultCache, MissingArtifactIsSilentMiss) {
+  const std::string dir = scratch_dir("missing");
+  CacheConfig config;
+  config.dir = dir;
+  ResultCache cache(config);
+  cache.insert(key_of("present"), "x");  // forces dir creation
+  EXPECT_FALSE(cache.lookup(key_of("absent")).has_value());
+  EXPECT_EQ(cache.stats().disk_errors, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(ResultCache, UncreatableDirDisablesDiskNotCache) {
+  // A dir that cannot be created (parent is a file) must not break the
+  // in-memory cache; disk just switches off.
+  const std::string parent = std::string(::testing::TempDir()) + "haven_cache_notadir";
+  write_file(parent, "i am a file");
+  CacheConfig config;
+  config.dir = parent + "/sub";
+  ResultCache cache(config);
+  cache.insert(key_of("k"), "v");
+  EXPECT_EQ(*cache.lookup(key_of("k")), "v");
+  EXPECT_EQ(cache.stats().disk_writes, 0);
+  std::remove(parent.c_str());
+}
+
+}  // namespace
+}  // namespace haven::cache
