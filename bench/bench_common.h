@@ -16,6 +16,7 @@
 #include "eval/engine.h"
 #include "eval/report.h"
 #include "eval/suites.h"
+#include "sim/backend.h"
 #include "util/fault.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -44,6 +45,9 @@ struct BenchArgs {
   int retries = 0;         // --retries=N transient-fault retry attempts
   bool fail_fast = false;  // --fail-fast: abort the suite on first unit fault
   std::uint64_t sim_step_budget = 0;  // --sim-budget=N per-simulation step cap
+  // --sim-backend=interp|compiled: simulator for the differential testbench.
+  // Verdict-identical either way (DESIGN.md §10); compiled is the default.
+  sim::SimBackend sim_backend = sim::kDefaultSimBackend;
   double inject = 0.0;     // --inject=P chaos-mode fault probability per site
   std::uint64_t inject_seed = 0xC7A05'FA17ULL;  // --inject-seed=N
   // Static-analysis knobs (see DESIGN.md §8 "Static analysis & triage").
@@ -103,6 +107,14 @@ struct BenchArgs {
         args.fail_fast = true;
       } else if (std::strncmp(argv[i], "--sim-budget=", 13) == 0) {
         args.sim_step_budget = std::strtoull(argv[i] + 13, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--sim-backend=", 14) == 0) {
+        if (auto b = sim::parse_backend(argv[i] + 14)) {
+          args.sim_backend = *b;
+        } else {
+          std::cerr << "unknown --sim-backend '" << (argv[i] + 14)
+                    << "' (want interp|compiled)\n";
+          std::exit(2);
+        }
       } else if (std::strncmp(argv[i], "--inject=", 9) == 0) {
         args.inject = std::atof(argv[i] + 9);
       } else if (std::strncmp(argv[i], "--inject-seed=", 14) == 0) {
@@ -138,6 +150,7 @@ struct BenchArgs {
     req.retry.max_retries = retries;
     req.fail_fast = fail_fast;
     req.sim_step_budget = sim_step_budget;
+    req.sim_backend = sim_backend;
     req.lint = lint;
     req.lint_triage = lint_triage;
     req.cache = result_cache.get();

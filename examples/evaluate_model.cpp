@@ -6,7 +6,7 @@
 //   $ ./build/examples/evaluate_model [--threads=N] [--deadline-ms=N]
 //       [--retries=N] [--fail-fast] [--inject=P] [--lint] [--lint-triage]
 //       [--lint-json] [--cache] [--cache-dir=PATH] [--cache-mb=N]
-//       [--no-cache] [--stats] [model-name ...]
+//       [--no-cache] [--sim-backend=interp|compiled] [--stats] [model-name ...]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -16,6 +16,7 @@
 #include "eval/report.h"
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
+#include "sim/backend.h"
 #include "util/fault.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   bool no_cache = false;
   std::string cache_dir;
   std::size_t cache_mb = 256;
+  sim::SimBackend sim_backend = sim::kDefaultSimBackend;
   bool stats = false;
   std::vector<std::string> models;
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +66,13 @@ int main(int argc, char** argv) {
       use_cache = true;
     } else if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
       cache_mb = static_cast<std::size_t>(std::strtoull(argv[i] + 11, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--sim-backend=", 14) == 0) {
+      if (auto b = sim::parse_backend(argv[i] + 14)) {
+        sim_backend = *b;
+      } else {
+        std::cerr << "unknown --sim-backend '" << (argv[i] + 14) << "' (want interp|compiled)\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
     } else {
@@ -98,6 +107,7 @@ int main(int argc, char** argv) {
   request.fail_fast = fail_fast;
   request.lint = lint;
   request.lint_triage = lint_triage;
+  request.sim_backend = sim_backend;
   if (caching) request.cache = &result_cache;
   request.on_progress = [](const eval::EvalProgress& p) {
     if (p.completed == p.total || p.completed % 200 == 0) {

@@ -143,6 +143,9 @@ cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budge
       .i32(s.random_vectors)
       .boolean(s.mid_test_reset)
       .u64(s.step_budget);
+  // StimulusSpec::backend is deliberately NOT hashed: the interpreter and the
+  // compiled simulator are verdict-identical (DESIGN.md §10), so a warm cache
+  // must keep replaying when the backend knob flips.
   h.u64(sim_step_budget);
   h.u64(static_cast<std::uint64_t>(lint_mode));
   return h.digest();

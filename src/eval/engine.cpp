@@ -157,7 +157,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                double temperature, bool use_sicot,
                                const llm::SimLlm* cot_model, util::Rng& rng,
                                UnitOutcome* stats, const util::Deadline& deadline,
-                               std::uint64_t step_budget, const LintRun* lint_run = nullptr,
+                               std::uint64_t step_budget, sim::SimBackend sim_backend,
+                               const LintRun* lint_run = nullptr,
                                const CacheRun* cache_run = nullptr) {
   CandidateOutcome outcome;
 
@@ -282,6 +283,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
   const Clock::time_point sim_start = Clock::now();
   sim::StimulusSpec stimulus = task.stimulus;
   if (step_budget != 0) stimulus.step_budget = step_budget;
+  stimulus.backend = sim_backend;
   const sim::DiffResult diff =
       (cand_ast_ready && lint_run != nullptr && lint_run->golden != nullptr)
           ? sim::run_diff_test(cand_parsed.file.modules.front(), &cand_parsed.file,
@@ -309,7 +311,7 @@ CandidateOutcome EvalEngine::check(const llm::SimLlm& model, const EvalTask& tas
                                       : util::Deadline::none();
   return run_candidate(model, task, temperature, request_.use_sicot,
                        request_.cot_model_ptr(), rng, nullptr, deadline,
-                       request_.sim_step_budget);
+                       request_.sim_step_budget, request_.sim_backend);
 }
 
 SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) const {
@@ -452,7 +454,7 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
                                           : util::Deadline::none();
       try {
         run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
-                      rng, &stats, deadline, request_.sim_step_budget,
+                      rng, &stats, deadline, request_.sim_step_budget, request_.sim_backend,
                       lint_enabled ? &lint_run : nullptr,
                       result_cache != nullptr ? &cache_runs[task_i] : nullptr);
         return stats;

@@ -281,6 +281,11 @@ class EvalRequest {
   // Per-simulation step budget forwarded to the differential testbench
   // (0 = unlimited; see StimulusSpec::step_budget).
   std::uint64_t sim_step_budget = 0;
+  // Simulator backend for the differential testbench (compiled bytecode by
+  // default; interpreter kept as the oracle). Backends are verdict-identical
+  // — DESIGN.md §10 — so this knob never changes SuiteResult verdicts,
+  // counters, or cache keys, only wall time.
+  sim::SimBackend sim_backend = sim::kDefaultSimBackend;
   // Retry policy for transient faults (injected faults by default). With
   // retry.max_retries = 0 nothing is ever retried.
   util::RetryPolicy retry;

@@ -1,0 +1,34 @@
+// One-shot compiler from an elaborated design to a flat bytecode Program
+// (see sim/program.h for the IR and executor, DESIGN.md §10 for the
+// equivalence argument).
+//
+// Lowering rules that preserve the interpreter's lazy-error contract:
+//  * references to undeclared identifiers, unsupported operators, and
+//    unsupported lvalue shapes compile to kThrow ops placed at the exact
+//    point the interpreter would fault, so designs that never execute the
+//    offending code behave identically;
+//  * ternaries whose branches are provably throw-free lower to a strict
+//    kSelect (both branches evaluated, branch-free); otherwise to the
+//    branchy form that evaluates exactly the branches the interpreter would;
+//  * literals and selects with out-of-range widths materialize lazily.
+//
+// Levelization: when every combinational process is a pure, throw-free,
+// path-independent function of signals it does not write (the precise
+// conditions are documented in DESIGN.md §10), the combinational graph is
+// topologically sorted and the active region executes each affected process
+// once in dependency order. Any violation — cycles, potential throws,
+// latch-shaped bodies, dynamic-index writes, multi-driven bits, NBAs or for
+// loops in comb processes, over-deep chains — falls back to the
+// interpreter-identical event-driven delta loop for the whole design.
+#pragma once
+
+#include "sim/elaborate.h"
+#include "sim/program.h"
+
+namespace haven::sim {
+
+// Throws ElabError for the same eager faults as the Simulator constructor
+// (an edge on an unknown signal); everything else stays lazy.
+Program compile(const ElabDesign& design);
+
+}  // namespace haven::sim

@@ -82,10 +82,10 @@ void Simulator::run_initial_blocks() {
   nba_queue_.clear();
 }
 
-void Simulator::poke(const std::string& input, std::uint64_t value) {
-  const std::size_t id = id_of(input);
+void Simulator::poke(SignalHandle h, std::uint64_t value) {
+  const std::size_t id = h.slot;
   if (!design_.signals[id].is_input)
-    throw ElabError("poke on non-input signal '" + input + "'");
+    throw ElabError("poke on non-input signal '" + design_.signals[id].name + "'");
   const Value v = Value::of(value, design_.signals[id].width);
   if (state_[id].identical(v)) return;
   state_[id] = v;
@@ -93,16 +93,22 @@ void Simulator::poke(const std::string& input, std::uint64_t value) {
   update(dirty);
 }
 
-void Simulator::poke_x(const std::string& input) {
-  const std::size_t id = id_of(input);
+void Simulator::poke_x(SignalHandle h) {
+  const std::size_t id = h.slot;
   if (!design_.signals[id].is_input)
-    throw ElabError("poke_x on non-input signal '" + input + "'");
+    throw ElabError("poke_x on non-input signal '" + design_.signals[id].name + "'");
   const Value v = Value::all_x(design_.signals[id].width);
   if (state_[id].identical(v)) return;
   state_[id] = v;
   std::set<std::size_t> dirty{id};
   update(dirty);
 }
+
+void Simulator::poke(const std::string& input, std::uint64_t value) {
+  poke(resolve(input), value);
+}
+
+void Simulator::poke_x(const std::string& input) { poke_x(resolve(input)); }
 
 Value Simulator::peek(const std::string& signal) const { return state_[id_of(signal)]; }
 

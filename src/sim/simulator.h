@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/backend.h"
 #include "sim/elaborate.h"
 #include "sim/value.h"
 
@@ -60,6 +61,16 @@ class Simulator {
 
   // Observe any signal.
   Value peek(const std::string& signal) const;
+
+  // Interned fast path: resolve a name once, then drive/observe through the
+  // handle with no per-call string-map lookup. Handles are plain signal ids,
+  // interchangeable with CompiledSimulator handles for the same design.
+  SignalHandle resolve(const std::string& name) const {
+    return SignalHandle{static_cast<std::uint32_t>(id_of(name))};
+  }
+  void poke(SignalHandle h, std::uint64_t value);
+  void poke_x(SignalHandle h);
+  Value peek(SignalHandle h) const { return state_[h.slot]; }
 
   // Convenience: full clock cycle on `clk` (0 then 1, settling after each).
   void clock_cycle(const std::string& clk = "clk");

@@ -1,8 +1,10 @@
 #include "sim/testbench.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
+#include "sim/program.h"
 #include "util/strings.h"
 #include "verilog/parser.h"
 
@@ -33,12 +35,50 @@ bool outputs_match(const Value& golden, const Value& dut, std::string* why,
   return false;
 }
 
+// Backend-erased simulator: exactly one of the two members is live. A plain
+// branch per call beats virtual dispatch here and keeps both concrete classes
+// free of vtables on their hot paths.
+class AnySim {
+ public:
+  AnySim(ElabDesign design, SimBackend backend, std::uint64_t step_budget) {
+    if (backend == SimBackend::kCompiled) {
+      comp_ = std::make_unique<CompiledSimulator>(design, step_budget);
+    } else {
+      interp_ = std::make_unique<Simulator>(std::move(design), step_budget);
+    }
+  }
+  SignalHandle resolve(const std::string& name) const {
+    return comp_ ? comp_->resolve(name) : interp_->resolve(name);
+  }
+  void poke(SignalHandle h, std::uint64_t v) {
+    if (comp_) {
+      comp_->poke(h, v);
+    } else {
+      interp_->poke(h, v);
+    }
+  }
+  Value peek(SignalHandle h) const { return comp_ ? comp_->peek(h) : interp_->peek(h); }
+  bool converged() const { return comp_ ? comp_->converged() : interp_->converged(); }
+
+ private:
+  std::unique_ptr<Simulator> interp_;
+  std::unique_ptr<CompiledSimulator> comp_;
+};
+
+// A named port resolved to its slot handle on both simulators: the string
+// lookup happens once per unit here, never per stimulus vector.
+struct PortPair {
+  std::string name;
+  int width = 0;
+  SignalHandle golden;
+  SignalHandle dut;
+};
+
 struct Harness {
-  Simulator golden;
-  Simulator dut;
-  std::vector<std::string> data_inputs;  // inputs except clock/reset
-  std::vector<int> data_widths;
-  std::vector<std::string> outputs;
+  AnySim golden;
+  AnySim dut;
+  std::vector<PortPair> data_inputs;  // inputs except clock/reset
+  std::vector<PortPair> outputs;
 };
 
 DiffResult interface_check(const Module& dut, const Module& golden) {
@@ -96,20 +136,27 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
       return result;
     }
 
-    Harness h{Simulator(std::move(golden_design), spec.step_budget),
-              Simulator(std::move(dut_design), spec.step_budget), {}, {}, {}};
+    Harness h{AnySim(std::move(golden_design), spec.backend, spec.step_budget),
+              AnySim(std::move(dut_design), spec.backend, spec.step_budget), {}, {}};
+    auto resolve_pair = [&](const std::string& name, int width) {
+      return PortPair{name, width, h.golden.resolve(name), h.dut.resolve(name)};
+    };
     for (const auto& p : golden_mod.ports) {
       if (p.dir == Dir::kOutput) {
-        h.outputs.push_back(p.name);
+        h.outputs.push_back(resolve_pair(p.name, p.width()));
       } else if (p.name != spec.clock && p.name != spec.reset) {
-        h.data_inputs.push_back(p.name);
-        h.data_widths.push_back(p.width());
+        h.data_inputs.push_back(resolve_pair(p.name, p.width()));
       }
     }
+    // Clock/reset handles are only resolved when the protocol drives them, so
+    // combinational specs keep working against clockless modules.
+    PortPair clock_pair, reset_pair;
+    if (spec.sequential) clock_pair = resolve_pair(spec.clock, 1);
+    if (spec.sequential && !spec.reset.empty()) reset_pair = resolve_pair(spec.reset, 1);
 
-    auto drive_both = [&](const std::string& name, std::uint64_t v) {
-      h.golden.poke(name, v);
-      h.dut.poke(name, v);
+    auto drive_both = [&](const PortPair& p, std::uint64_t v) {
+      h.golden.poke(p.golden, v);
+      h.dut.poke(p.dut, v);
     };
     // Strict comparison: DUT must match every golden-defined bit.
     auto compare_outputs = [&](const char* when) -> bool {
@@ -123,7 +170,7 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
       }
       for (const auto& out : h.outputs) {
         std::string why;
-        if (!outputs_match(h.golden.peek(out), h.dut.peek(out), &why, out)) {
+        if (!outputs_match(h.golden.peek(out.golden), h.dut.peek(out.dut), &why, out.name)) {
           result.reason = util::format("%s: %s", when, why.c_str());
           return false;
         }
@@ -131,26 +178,25 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
       return true;
     };
     auto randomize_inputs = [&]() {
-      for (std::size_t i = 0; i < h.data_inputs.size(); ++i) {
-        const int w = h.data_widths[i];
-        const std::uint64_t mask = w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
-        drive_both(h.data_inputs[i], rng.next() & mask);
+      for (const auto& in : h.data_inputs) {
+        const std::uint64_t mask =
+            in.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << in.width) - 1);
+        drive_both(in, rng.next() & mask);
       }
     };
 
     if (!spec.sequential) {
       int total_bits = 0;
-      for (int w : h.data_widths) total_bits += w;
+      for (const auto& in : h.data_inputs) total_bits += in.width;
       if (total_bits <= spec.max_exhaustive_bits && total_bits <= 20) {
         const std::uint64_t limit = std::uint64_t{1} << total_bits;
         for (std::uint64_t vec = 0; vec < limit; ++vec) {
           check_deadline("exhaustive vector sweep");
           std::uint64_t rest = vec;
-          for (std::size_t i = 0; i < h.data_inputs.size(); ++i) {
-            const int w = h.data_widths[i];
-            const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
-            drive_both(h.data_inputs[i], rest & mask);
-            rest >>= w;
+          for (const auto& in : h.data_inputs) {
+            const std::uint64_t mask = (std::uint64_t{1} << in.width) - 1;
+            drive_both(in, rest & mask);
+            rest >>= in.width;
           }
           ++result.vectors;
           if (!compare_outputs(util::format("vector %llu",
@@ -175,8 +221,8 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
     // drive random data each cycle; optionally re-assert mid-run.
     const std::uint64_t reset_on = spec.reset_active_low ? 0 : 1;
     const std::uint64_t reset_off = spec.reset_active_low ? 1 : 0;
-    drive_both(spec.clock, 0);
-    for (std::size_t i = 0; i < h.data_inputs.size(); ++i) drive_both(h.data_inputs[i], 0);
+    drive_both(clock_pair, 0);
+    for (const auto& in : h.data_inputs) drive_both(in, 0);
     // Lenient comparison for the pre-reset window: power-on X in the DUT is
     // not a functional error (real testbenches only sample after reset), but
     // *defined* disagreement — an async golden already reset while the DUT
@@ -187,11 +233,11 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
         return false;
       }
       for (const auto& out : h.outputs) {
-        const Value g = h.golden.peek(out);
-        const Value d = h.dut.peek(out);
+        const Value g = h.golden.peek(out.golden);
+        const Value d = h.dut.peek(out.dut);
         if (!g.is_fully_defined() || !d.is_fully_defined()) continue;
         std::string why;
-        if (!outputs_match(g, d, &why, out)) {
+        if (!outputs_match(g, d, &why, out.name)) {
           result.reason = util::format("%s: %s", when, why.c_str());
           return false;
         }
@@ -200,15 +246,15 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
     };
 
     if (!spec.reset.empty()) {
-      drive_both(spec.reset, reset_on);
+      drive_both(reset_pair, reset_on);
       ++result.vectors;
       if (!compare_defined_only("initial reset assertion")) return result;
       for (int c = 0; c < 2; ++c) {
-        drive_both(spec.clock, 0);
-        drive_both(spec.clock, 1);
+        drive_both(clock_pair, 0);
+        drive_both(clock_pair, 1);
       }
-      drive_both(spec.clock, 0);
-      drive_both(spec.reset, reset_off);
+      drive_both(clock_pair, 0);
+      drive_both(reset_pair, reset_off);
       ++result.vectors;
       if (!compare_outputs("after reset")) return result;
     }
@@ -223,20 +269,20 @@ DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
     for (int cycle = 0; cycle < spec.cycles; ++cycle) {
       check_deadline("cycle loop");
       if (cycle == reassert_a || cycle == reassert_b) {
-        drive_both(spec.reset, reset_on);
+        drive_both(reset_pair, reset_on);
         ++result.vectors;
         if (!compare_outputs("mid-test reset assertion")) return result;
       } else if ((cycle == reassert_a + 1 && reassert_a >= 0) ||
                  (cycle == reassert_b + 1 && reassert_b >= 0)) {
-        drive_both(spec.reset, reset_off);
+        drive_both(reset_pair, reset_off);
       }
       randomize_inputs();
-      drive_both(spec.clock, 0);
+      drive_both(clock_pair, 0);
       // Half-cycle comparison: a design hallucinated onto the wrong clock
       // edge updates here while the golden design does not.
       ++result.vectors;
       if (!compare_outputs(util::format("cycle %d (half)", cycle).c_str())) return result;
-      drive_both(spec.clock, 1);
+      drive_both(clock_pair, 1);
       ++result.vectors;
       if (!compare_outputs(util::format("cycle %d", cycle).c_str())) return result;
     }

@@ -28,6 +28,11 @@ struct StimulusSpec {
   // sim::BudgetExceeded out of the diff test, so a runaway candidate can
   // never pin a worker; the eval engine records it as a unit fault.
   std::uint64_t step_budget = 0;
+  // Which simulator executes both sides of the diff test. Backends are
+  // verdict-identical (DESIGN.md §10), so this is a pure performance knob;
+  // it is deliberately EXCLUDED from the eval result-cache key so a warm
+  // cache replays across backend switches (see eval/cache_io.cpp).
+  SimBackend backend = kDefaultSimBackend;
 };
 
 struct DiffResult {

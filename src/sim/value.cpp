@@ -1,52 +1,6 @@
 #include "sim/value.h"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace haven::sim {
-
-Value::Value(int width) : width_(width) {
-  if (width < 1 || width > 64) throw std::invalid_argument("Value: width out of range 1..64");
-  xz_ = mask();
-}
-
-std::uint64_t Value::mask() const {
-  return width_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width_) - 1);
-}
-
-void Value::normalize() {
-  const std::uint64_t m = mask();
-  xz_ &= m;
-  bits_ &= m & ~xz_;  // unknown bits carry no defined value
-}
-
-Value Value::of(std::uint64_t bits, int width) {
-  Value v(width);
-  v.bits_ = bits;
-  v.xz_ = 0;
-  v.normalize();
-  return v;
-}
-
-Value Value::with_xz(std::uint64_t bits, std::uint64_t xz, int width) {
-  Value v(width);
-  v.bits_ = bits;
-  v.xz_ = xz;
-  v.normalize();
-  return v;
-}
-
-bool Value::identical(const Value& o) const {
-  return width_ == o.width_ && bits_ == o.bits_ && xz_ == o.xz_;
-}
-
-Value Value::resized(int new_width) const {
-  Value v(new_width);
-  v.bits_ = bits_;
-  v.xz_ = xz_;
-  v.normalize();
-  return v;
-}
 
 std::string Value::to_string() const {
   std::string s = std::to_string(width_) + "'b";
@@ -55,193 +9,6 @@ std::string Value::to_string() const {
     else s += ((bits_ >> i) & 1u) ? '1' : '0';
   }
   return s;
-}
-
-namespace {
-int max_w(const Value& a, const Value& b) { return std::max(a.width(), b.width()); }
-}  // namespace
-
-Value v_and(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  const Value a = a0.resized(w), b = b0.resized(w);
-  // Bit is 0 if either side is a defined 0; unknown if both could be 1 and
-  // either is unknown.
-  const std::uint64_t zero_a = ~a.bits_ & ~a.xz_;
-  const std::uint64_t zero_b = ~b.bits_ & ~b.xz_;
-  const std::uint64_t known_zero = zero_a | zero_b;
-  const std::uint64_t known_one = (a.bits_ & ~a.xz_) & (b.bits_ & ~b.xz_);
-  const std::uint64_t unknown = ~(known_zero | known_one);
-  return Value::with_xz(known_one, unknown, w);
-}
-
-Value v_or(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  const Value a = a0.resized(w), b = b0.resized(w);
-  const std::uint64_t one_a = a.bits_ & ~a.xz_;
-  const std::uint64_t one_b = b.bits_ & ~b.xz_;
-  const std::uint64_t known_one = one_a | one_b;
-  const std::uint64_t known_zero = (~a.bits_ & ~a.xz_) & (~b.bits_ & ~b.xz_);
-  const std::uint64_t unknown = ~(known_zero | known_one);
-  return Value::with_xz(known_one, unknown, w);
-}
-
-Value v_xor(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  const Value a = a0.resized(w), b = b0.resized(w);
-  const std::uint64_t unknown = a.xz_ | b.xz_;
-  return Value::with_xz((a.bits_ ^ b.bits_) & ~unknown, unknown, w);
-}
-
-Value v_not(const Value& a) {
-  return Value::with_xz(~a.bits_ & ~a.xz_, a.xz_, a.width());
-}
-
-Value v_add(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  if (!a0.is_fully_defined() || !b0.is_fully_defined()) return Value::all_x(w);
-  return Value::of(a0.bits_ + b0.bits_, w);
-}
-
-Value v_sub(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  if (!a0.is_fully_defined() || !b0.is_fully_defined()) return Value::all_x(w);
-  return Value::of(a0.bits_ - b0.bits_, w);
-}
-
-Value v_mul(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  if (!a0.is_fully_defined() || !b0.is_fully_defined()) return Value::all_x(w);
-  return Value::of(a0.bits_ * b0.bits_, w);
-}
-
-Value v_div(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  if (!a0.is_fully_defined() || !b0.is_fully_defined() || b0.bits_ == 0) return Value::all_x(w);
-  return Value::of(a0.bits_ / b0.bits_, w);
-}
-
-Value v_mod(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  if (!a0.is_fully_defined() || !b0.is_fully_defined() || b0.bits_ == 0) return Value::all_x(w);
-  return Value::of(a0.bits_ % b0.bits_, w);
-}
-
-Value v_neg(const Value& a) {
-  if (!a.is_fully_defined()) return Value::all_x(a.width());
-  return Value::of(~a.bits_ + 1, a.width());
-}
-
-Value v_shl(const Value& a, const Value& b) {
-  if (!b.is_fully_defined()) return Value::all_x(a.width());
-  const std::uint64_t sh = b.bits_;
-  if (sh >= 64) return Value::of(0, a.width());
-  return Value::with_xz(a.bits_ << sh, a.xz_ << sh, a.width());
-}
-
-Value v_shr(const Value& a, const Value& b) {
-  if (!b.is_fully_defined()) return Value::all_x(a.width());
-  const std::uint64_t sh = b.bits_;
-  if (sh >= 64) return Value::of(0, a.width());
-  return Value::with_xz(a.bits_ >> sh, a.xz_ >> sh, a.width());
-}
-
-Value v_eq(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  const Value a = a0.resized(w), b = b0.resized(w);
-  // Definite 0 if any bit defined on both sides differs.
-  const std::uint64_t both_defined = ~a.xz_ & ~b.xz_;
-  if ((a.bits_ ^ b.bits_) & both_defined) return Value::of(0, 1);
-  if (a.xz_ | b.xz_) return Value::all_x(1);
-  return Value::of(1, 1);
-}
-
-Value v_neq(const Value& a, const Value& b) {
-  const Value e = v_eq(a, b);
-  if (!e.is_fully_defined()) return e;
-  return Value::of(e.bits_ ? 0 : 1, 1);
-}
-
-namespace {
-Value compare(const Value& a, const Value& b, bool (*cmp)(std::uint64_t, std::uint64_t)) {
-  if (!a.is_fully_defined() || !b.is_fully_defined()) return Value::all_x(1);
-  return Value::of(cmp(a.bits(), b.bits()) ? 1 : 0, 1);
-}
-}  // namespace
-
-Value v_lt(const Value& a, const Value& b) {
-  return compare(a, b, [](std::uint64_t x, std::uint64_t y) { return x < y; });
-}
-Value v_le(const Value& a, const Value& b) {
-  return compare(a, b, [](std::uint64_t x, std::uint64_t y) { return x <= y; });
-}
-Value v_gt(const Value& a, const Value& b) {
-  return compare(a, b, [](std::uint64_t x, std::uint64_t y) { return x > y; });
-}
-Value v_ge(const Value& a, const Value& b) {
-  return compare(a, b, [](std::uint64_t x, std::uint64_t y) { return x >= y; });
-}
-
-Value v_case_eq(const Value& a0, const Value& b0) {
-  const int w = max_w(a0, b0);
-  const Value a = a0.resized(w), b = b0.resized(w);
-  return Value::of(a.bits_ == b.bits_ && a.xz_ == b.xz_ ? 1 : 0, 1);
-}
-
-Value v_logical_not(const Value& a) {
-  if (a.bits_ != 0) return Value::of(0, 1);     // some defined 1 -> value nonzero
-  if (a.xz_ != 0) return Value::all_x(1);       // all-zero-or-unknown -> unknown
-  return Value::of(1, 1);
-}
-
-Value v_logical_and(const Value& a, const Value& b) {
-  const Value na = v_logical_not(a), nb = v_logical_not(b);
-  // a truthy <=> !a == 0.
-  auto truth = [](const Value& n) -> int {  // 1 true, 0 false, -1 unknown
-    if (!n.is_fully_defined()) return -1;
-    return n.bits() == 0 ? 1 : 0;
-  };
-  const int ta = truth(na), tb = truth(nb);
-  if (ta == 0 || tb == 0) return Value::of(0, 1);
-  if (ta == 1 && tb == 1) return Value::of(1, 1);
-  return Value::all_x(1);
-}
-
-Value v_logical_or(const Value& a, const Value& b) {
-  const Value na = v_logical_not(a), nb = v_logical_not(b);
-  auto truth = [](const Value& n) -> int {
-    if (!n.is_fully_defined()) return -1;
-    return n.bits() == 0 ? 1 : 0;
-  };
-  const int ta = truth(na), tb = truth(nb);
-  if (ta == 1 || tb == 1) return Value::of(1, 1);
-  if (ta == 0 && tb == 0) return Value::of(0, 1);
-  return Value::all_x(1);
-}
-
-Value v_red_and(const Value& a) {
-  // 0 if any defined 0 bit; else X if any unknown; else 1.
-  if ((~a.bits_ & ~a.xz_ & a.mask()) != 0) return Value::of(0, 1);
-  if (a.xz_ != 0) return Value::all_x(1);
-  return Value::of(1, 1);
-}
-
-Value v_red_or(const Value& a) {
-  if (a.bits_ != 0) return Value::of(1, 1);
-  if (a.xz_ != 0) return Value::all_x(1);
-  return Value::of(0, 1);
-}
-
-Value v_red_xor(const Value& a) {
-  if (a.xz_ != 0) return Value::all_x(1);
-  return Value::of(static_cast<std::uint64_t>(__builtin_popcountll(a.bits_) & 1), 1);
-}
-
-Value v_concat(const Value& hi, const Value& lo) {
-  const int w = hi.width() + lo.width();
-  if (w > 64) throw std::invalid_argument("v_concat: result wider than 64 bits");
-  Value v(w);
-  return Value::with_xz((hi.bits() << lo.width()) | lo.bits(),
-                        (hi.xz() << lo.width()) | lo.xz(), w);
 }
 
 }  // namespace haven::sim
