@@ -1,161 +1,43 @@
 // Shared helpers for the table/figure reproduction binaries.
+//
+// The flag grammar itself lives in eval::RequestOptions (src/eval/options.h)
+// and is shared with evaluate_model and the haven::serve front end; this
+// header only adds the bench-side conveniences (reporting, the BENCH_eval
+// recorder, paper-comparison cells).
 #pragma once
 
-#include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "cache/result_cache.h"
 #include "core/haven.h"
 #include "eval/engine.h"
+#include "eval/options.h"
 #include "eval/report.h"
 #include "eval/suites.h"
-#include "sim/backend.h"
-#include "util/fault.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace haven::bench {
 
-// Coarse progress printer for --progress: one line per ~10% of candidates.
-inline eval::ProgressCallback progress_printer() {
-  return [](const eval::EvalProgress& p) {
-    if (p.total == 0) return;
-    const std::size_t step = std::max<std::size_t>(std::size_t{1}, p.total / 10);
-    if (p.completed % step == 0 || p.completed == p.total) {
-      std::cerr << "    [" << p.completed << "/" << p.total << " candidates]\n";
-    }
-  };
-}
+using eval::progress_printer;
 
-struct BenchArgs {
-  bool fast = false;      // --fast: n=5, single temperature (CI-friendly)
-  bool progress = false;  // --progress: print candidate progress to stderr
-  int n_samples = 10;
-  int threads = 0;  // --threads=N (0 = hardware concurrency, 1 = serial)
-  std::vector<double> temperatures = {0.2, 0.5, 0.8};
-  // Fault-tolerance knobs (see DESIGN.md §7 "Failure semantics").
-  int deadline_ms = 0;     // --deadline-ms=N per-attempt wall-clock deadline
-  int retries = 0;         // --retries=N transient-fault retry attempts
-  bool fail_fast = false;  // --fail-fast: abort the suite on first unit fault
-  std::uint64_t sim_step_budget = 0;  // --sim-budget=N per-simulation step cap
-  // --sim-backend=interp|compiled: simulator for the differential testbench.
-  // Verdict-identical either way (DESIGN.md §10); compiled is the default.
-  sim::SimBackend sim_backend = sim::kDefaultSimBackend;
-  double inject = 0.0;     // --inject=P chaos-mode fault probability per site
-  std::uint64_t inject_seed = 0xC7A05'FA17ULL;  // --inject-seed=N
-  // Static-analysis knobs (see DESIGN.md §8 "Static analysis & triage").
-  bool lint = false;         // --lint: run haven::lint over every candidate
-  bool lint_triage = false;  // --lint-triage: skip sim on proven failures
-  bool lint_json = false;    // --lint-json: dump findings JSON to stdout
-  // Result-cache knobs (see DESIGN.md §9 "Result caching").
-  bool cache = false;         // --cache: in-memory result cache
-  bool no_cache = false;      // --no-cache: force caching off
-  std::string cache_dir;      // --cache-dir=PATH: persistent artifacts (implies --cache)
-  std::size_t cache_mb = 256;  // --cache-mb=N: in-memory payload budget
-  std::string bench_json;     // --bench-json=PATH: write a BENCH_eval.json record
-  // Built by parse() when caching is enabled and shared by every engine the
-  // bench constructs (one cache per process, one artifact dir on disk).
-  // shared_ptr because BenchArgs is copied by value.
-  std::shared_ptr<cache::ResultCache> result_cache;
+// Chaos-mode RAII behind --inject=P; see eval::ChaosScope.
+using Chaos = eval::ChaosScope;
 
+// The shared eval flag grammar plus bench-side reporting helpers. Benches
+// take no positional arguments; unknown flags (e.g. google-benchmark's
+// --benchmark_* family in micro_substrates) pass through untouched.
+struct BenchArgs : eval::RequestOptions {
   static BenchArgs parse(int argc, char** argv) {
+    std::vector<std::string> passthrough;
     BenchArgs args;
-    // Flags take "--flag=value"; --cache-dir/--cache-mb/--bench-json also
-    // accept a separate "--flag value" argument.
-    auto value_of = [&](const char* flag, int& i) -> const char* {
-      const std::size_t len = std::strlen(flag);
-      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') return argv[i] + len + 1;
-      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
-      return nullptr;
-    };
-    for (int i = 1; i < argc; ++i) {
-      if (const char* v = value_of("--cache-dir", i)) {
-        args.cache_dir = v;
-        args.cache = true;
-        continue;
-      }
-      if (const char* v = value_of("--cache-mb", i)) {
-        args.cache_mb = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-        continue;
-      }
-      if (const char* v = value_of("--bench-json", i)) {
-        args.bench_json = v;
-        continue;
-      }
-      if (std::strcmp(argv[i], "--fast") == 0) {
-        args.fast = true;
-        args.n_samples = 5;  // pass@5 needs k <= n
-        args.temperatures = {0.2};
-      } else if (std::strcmp(argv[i], "--progress") == 0) {
-        args.progress = true;
-      } else if (std::strcmp(argv[i], "--serial") == 0) {
-        args.threads = 1;
-      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-        args.threads = std::atoi(argv[i] + 10);
-      } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
-        args.deadline_ms = std::atoi(argv[i] + 14);
-      } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
-        args.retries = std::atoi(argv[i] + 10);
-      } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
-        args.fail_fast = true;
-      } else if (std::strncmp(argv[i], "--sim-budget=", 13) == 0) {
-        args.sim_step_budget = std::strtoull(argv[i] + 13, nullptr, 10);
-      } else if (std::strncmp(argv[i], "--sim-backend=", 14) == 0) {
-        if (auto b = sim::parse_backend(argv[i] + 14)) {
-          args.sim_backend = *b;
-        } else {
-          std::cerr << "unknown --sim-backend '" << (argv[i] + 14)
-                    << "' (want interp|compiled)\n";
-          std::exit(2);
-        }
-      } else if (std::strncmp(argv[i], "--inject=", 9) == 0) {
-        args.inject = std::atof(argv[i] + 9);
-      } else if (std::strncmp(argv[i], "--inject-seed=", 14) == 0) {
-        args.inject_seed = std::strtoull(argv[i] + 14, nullptr, 10);
-      } else if (std::strcmp(argv[i], "--lint") == 0) {
-        args.lint = true;
-      } else if (std::strcmp(argv[i], "--lint-triage") == 0) {
-        args.lint_triage = true;
-      } else if (std::strcmp(argv[i], "--lint-json") == 0) {
-        args.lint = true;
-        args.lint_json = true;
-      } else if (std::strcmp(argv[i], "--cache") == 0) {
-        args.cache = true;
-      } else if (std::strcmp(argv[i], "--no-cache") == 0) {
-        args.no_cache = true;
-      }
-    }
-    if (!args.no_cache && (args.cache || !args.cache_dir.empty())) {
-      cache::CacheConfig config;
-      config.max_bytes = args.cache_mb << 20;
-      config.dir = args.cache_dir;
-      args.result_cache = std::make_shared<cache::ResultCache>(config);
-    }
+    static_cast<eval::RequestOptions&>(args) =
+        eval::RequestOptions::parse(argc, argv, &passthrough);
     return args;
-  }
-
-  eval::EvalRequest request() const {
-    eval::EvalRequest req;
-    req.n_samples = n_samples;
-    req.temperatures = temperatures;
-    req.threads = threads;
-    req.deadline_ms = deadline_ms;
-    req.retry.max_retries = retries;
-    req.fail_fast = fail_fast;
-    req.sim_step_budget = sim_step_budget;
-    req.sim_backend = sim_backend;
-    req.lint = lint;
-    req.lint_triage = lint_triage;
-    req.cache = result_cache.get();
-    if (progress) req.on_progress = progress_printer();
-    return req;
   }
 
   // Print the lint summary (stderr) and, under --lint-json, the findings
@@ -171,44 +53,6 @@ struct BenchArgs {
     if (result_cache == nullptr) return;
     std::cerr << "  " << eval::summarize_cache(result.counters) << "\n";
   }
-
-  // request() with SI-CoT enabled. `cot_model` is non-owning: the caller
-  // keeps it alive for as long as the request/engine is used.
-  eval::EvalRequest sicot_request(const llm::SimLlm& cot_model) const {
-    eval::EvalRequest req = request();
-    req.use_sicot = true;
-    req.set_cot_model(cot_model);
-    return req;
-  }
-};
-
-// Chaos-mode RAII: when --inject=P was given, arms a FaultInjector at all
-// three injection sites and installs it for the lifetime of the bench run.
-// Prints the injection tally on teardown so chaos runs are auditable.
-struct Chaos {
-  util::FaultInjector injector;
-  bool armed = false;
-
-  explicit Chaos(const BenchArgs& args) : injector(args.inject_seed) {
-    if (args.inject <= 0.0) return;
-    injector.arm(util::kSiteLlmGenerate, args.inject);
-    injector.arm(util::kSiteEvalCompile, args.inject);
-    injector.arm(util::kSiteSimRun, args.inject);
-    injector.install();
-    armed = true;
-    std::cerr << "  [chaos] injecting faults at p=" << args.inject
-              << " per site (seed " << args.inject_seed << ")\n";
-  }
-  ~Chaos() {
-    if (!armed) return;
-    injector.uninstall();
-    std::cerr << "  [chaos] " << injector.total_injected() << " faults injected ("
-              << injector.injected(util::kSiteLlmGenerate) << " llm, "
-              << injector.injected(util::kSiteEvalCompile) << " compile, "
-              << injector.injected(util::kSiteSimRun) << " sim)\n";
-  }
-  Chaos(const Chaos&) = delete;
-  Chaos& operator=(const Chaos&) = delete;
 };
 
 // --bench-json recorder: accumulates finished suites and writes one
@@ -219,7 +63,7 @@ struct Chaos {
 // No-op when --bench-json was not given.
 class BenchRecorder {
  public:
-  BenchRecorder(std::string bench_name, const BenchArgs& args)
+  BenchRecorder(std::string bench_name, const eval::RequestOptions& args)
       : bench_(std::move(bench_name)),
         path_(args.bench_json),
         start_(std::chrono::steady_clock::now()) {}

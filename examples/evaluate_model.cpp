@@ -3,118 +3,56 @@
 // bench uses, at inspectable scale. Demonstrates the EvalEngine API:
 // threaded fan-out, progress callback, and the per-run counter block.
 //
-//   $ ./build/examples/evaluate_model [--threads=N] [--deadline-ms=N]
-//       [--retries=N] [--fail-fast] [--inject=P] [--lint] [--lint-triage]
-//       [--lint-json] [--cache] [--cache-dir=PATH] [--cache-mb=N]
-//       [--no-cache] [--sim-backend=interp|compiled] [--stats] [model-name ...]
-#include <cstdlib>
+// All eval knobs come from the shared flag grammar (eval::RequestOptions);
+// positional arguments name the models to evaluate.
+//
+//   $ ./build/examples/evaluate_model [eval flags] [--stats] [model-name ...]
 #include <cstring>
 #include <iostream>
 
 #include "cache/result_cache.h"
 #include "eval/engine.h"
+#include "eval/options.h"
 #include "eval/report.h"
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
-#include "sim/backend.h"
-#include "util/fault.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace haven;
 
-  int threads = 0;  // 0 = one worker per hardware thread
-  int deadline_ms = 0;
-  int retries = 0;
-  bool fail_fast = false;
-  double inject = 0.0;
-  bool lint = false;
-  bool lint_triage = false;
-  bool lint_json = false;
-  bool use_cache = false;
-  bool no_cache = false;
-  std::string cache_dir;
-  std::size_t cache_mb = 256;
-  sim::SimBackend sim_backend = sim::kDefaultSimBackend;
+  std::vector<std::string> leftover;
+  const eval::RequestOptions options = eval::RequestOptions::parse(argc, argv, &leftover);
+
   bool stats = false;
   std::vector<std::string> models;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
-      deadline_ms = std::atoi(argv[i] + 14);
-    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
-      retries = std::atoi(argv[i] + 10);
-    } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
-      fail_fast = true;
-    } else if (std::strncmp(argv[i], "--inject=", 9) == 0) {
-      inject = std::atof(argv[i] + 9);
-    } else if (std::strcmp(argv[i], "--lint") == 0) {
-      lint = true;
-    } else if (std::strcmp(argv[i], "--lint-triage") == 0) {
-      lint_triage = true;
-    } else if (std::strcmp(argv[i], "--lint-json") == 0) {
-      lint = true;
-      lint_json = true;
-    } else if (std::strcmp(argv[i], "--cache") == 0) {
-      use_cache = true;
-    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
-      no_cache = true;
-    } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
-      cache_dir = argv[i] + 12;
-      use_cache = true;
-    } else if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
-      cache_mb = static_cast<std::size_t>(std::strtoull(argv[i] + 11, nullptr, 10));
-    } else if (std::strncmp(argv[i], "--sim-backend=", 14) == 0) {
-      if (auto b = sim::parse_backend(argv[i] + 14)) {
-        sim_backend = *b;
-      } else {
-        std::cerr << "unknown --sim-backend '" << (argv[i] + 14) << "' (want interp|compiled)\n";
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
+  for (const std::string& arg : leftover) {
+    if (arg == "--stats") {
       stats = true;
+    } else if (util::starts_with(arg, "--")) {
+      std::cerr << "unknown flag '" << arg << "'\n"
+                << eval::RequestOptions::flag_help() << "\n"
+                << "plus: --stats; positional args name zoo models\n";
+      return 2;
     } else {
-      models.emplace_back(argv[i]);
+      models.push_back(arg);
     }
   }
   if (models.empty()) models = {"GPT-4", "RTLCoder-DeepSeek", "OriGen-DeepSeek"};
 
-  util::FaultInjector injector;
-  if (inject > 0.0) {
-    injector.arm(util::kSiteLlmGenerate, inject);
-    injector.arm(util::kSiteEvalCompile, inject);
-    injector.arm(util::kSiteSimRun, inject);
-    injector.install();
-  }
-
-  // One cache shared across all evaluated models; rerunning the binary with
-  // --cache-dir replays every verdict from the artifact store.
-  cache::CacheConfig cache_config;
-  cache_config.max_bytes = cache_mb << 20;
-  cache_config.dir = cache_dir;
-  cache::ResultCache result_cache(cache_config);
-  const bool caching = !no_cache && use_cache;
+  const eval::ChaosScope chaos(options);
 
   const eval::Suite suite = eval::build_rtllm();
-  eval::EvalRequest request;
-  request.n_samples = 10;
-  request.temperatures = {0.2, 0.5, 0.8};
-  request.threads = threads;
-  request.deadline_ms = deadline_ms;
-  request.retry.max_retries = retries;
-  request.fail_fast = fail_fast;
-  request.lint = lint;
-  request.lint_triage = lint_triage;
-  request.sim_backend = sim_backend;
-  if (caching) request.cache = &result_cache;
-  request.on_progress = [](const eval::EvalProgress& p) {
-    if (p.completed == p.total || p.completed % 200 == 0) {
-      std::cerr << "\r  " << p.completed << "/" << p.total << " candidates"
-                << (p.completed == p.total ? "\n" : "") << std::flush;
-    }
-  };
+  eval::EvalRequest request = options.request();
+  if (!options.progress) {
+    request.on_progress = [](const eval::EvalProgress& p) {
+      if (p.completed == p.total || p.completed % 200 == 0) {
+        std::cerr << "\r  " << p.completed << "/" << p.total << " candidates"
+                  << (p.completed == p.total ? "\n" : "") << std::flush;
+      }
+    };
+  }
   const eval::EvalEngine engine(request);
 
   util::TablePrinter table({"Model", "func p@1", "func p@5", "syntax p@5", "best T"});
@@ -133,13 +71,13 @@ int main(int argc, char** argv) {
     if (stats) std::cout << "  " << eval::summarize_cache(result.counters) << "\n";
     if (result.lint.enabled) {
       std::cout << "  " << eval::summarize(result.lint) << "\n";
-      if (lint_json) std::cout << eval::lint_json(result) << "\n";
+      if (options.lint_json) std::cout << eval::lint_json(result) << "\n";
     }
   }
   std::cout << "\n" << suite.name << " (" << suite.tasks.size() << " tasks, n="
             << request.n_samples << "):\n" << table.to_string();
-  if (stats && caching) {
-    const cache::CacheStats cs = result_cache.stats();
+  if (stats && options.result_cache != nullptr) {
+    const cache::CacheStats cs = options.result_cache->stats();
     std::cout << util::format(
         "cache totals: %lld hits (%lld from disk) / %lld misses, %lld insertions, "
         "%lld evictions, %lld disk writes, %lld disk errors, %lld entries / %.1f KiB "
@@ -149,10 +87,6 @@ int main(int argc, char** argv) {
         static_cast<long long>(cs.evictions), static_cast<long long>(cs.disk_writes),
         static_cast<long long>(cs.disk_errors), static_cast<long long>(cs.entries),
         static_cast<double>(cs.bytes) / 1024.0);
-  }
-  if (inject > 0.0) {
-    injector.uninstall();
-    std::cerr << "  [chaos] " << injector.total_injected() << " faults injected\n";
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <ctime>
@@ -67,6 +68,21 @@ int LintSummary::dominant_axis() const {
     }
   }
   return best;
+}
+
+bool counters_consistent(const EvalCounters& c) {
+  if (c.candidates !=
+      c.unit_faults + c.compile_failures + c.lint_triaged + c.simulated + c.cache_hits) {
+    return false;
+  }
+  if (c.deadline_exceeded + c.cycles_aborted > c.unit_faults) return false;
+  // With a cache attached every non-faulted unit is exactly one lookup; with
+  // no cache both counters stay zero (then the check is vacuous).
+  if (c.cache_hits + c.cache_misses != 0 &&
+      c.cache_hits + c.cache_misses != c.candidates - c.unit_faults) {
+    return false;
+  }
+  return true;
 }
 
 std::pair<int, int> SuiteResult::modality_pass(symbolic::Modality m) const {
@@ -505,22 +521,44 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     request_.on_progress(progress);
   };
 
-  const std::size_t requested_threads = request_.threads <= 0
-                                            ? util::ThreadPool::default_worker_count()
-                                            : static_cast<std::size_t>(request_.threads);
+  util::ThreadPool* external_pool = request_.pool;
+  const std::size_t requested_threads =
+      external_pool != nullptr ? external_pool->worker_count()
+      : request_.threads <= 0 ? util::ThreadPool::default_worker_count()
+                              : static_cast<std::size_t>(request_.threads);
   const std::size_t workers = std::min(requested_threads, total == 0 ? std::size_t{1} : total);
 
   std::vector<UnitOutcome> outcomes(total);
 
   // In fail_fast mode the first faulted unit (in index order) condemns the
   // run: queued-but-unstarted work is cancelled and EvalAborted is thrown.
-  auto abort_if_fail_fast = [&](std::size_t i, util::ThreadPool* pool) {
+  // An external (shared) pool is never cancelled — its queue carries other
+  // evaluations' work — so there the abort only stops collecting.
+  auto abort_if_fail_fast = [&](std::size_t i, util::ThreadPool* cancellable) {
     if (!request_.fail_fast || !outcomes[i].faulted) return;
-    if (pool != nullptr) pool->cancel();
+    if (cancellable != nullptr) cancellable->cancel();
     throw EvalAborted(make_fault(i, outcomes[i]));
   };
 
-  if (workers <= 1) {
+  // Fan the units out over `pool`, collecting strictly in index order: the
+  // reduction below (and the progress stream) must never observe completion
+  // order.
+  auto run_on_pool = [&](util::ThreadPool& pool, bool owned) {
+    std::vector<std::future<UnitOutcome>> futures;
+    futures.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      futures.push_back(pool.submit([&run_unit, i] { return run_unit(i); }));
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      outcomes[i] = futures[i].get();
+      abort_if_fail_fast(i, owned ? &pool : nullptr);
+      report_progress(i);
+    }
+  };
+
+  if (external_pool != nullptr) {
+    run_on_pool(*external_pool, /*owned=*/false);
+  } else if (workers <= 1) {
     for (std::size_t i = 0; i < total; ++i) {
       outcomes[i] = run_unit(i);
       abort_if_fail_fast(i, nullptr);
@@ -528,18 +566,7 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     }
   } else {
     util::ThreadPool pool(workers);
-    std::vector<std::future<UnitOutcome>> futures;
-    futures.reserve(total);
-    for (std::size_t i = 0; i < total; ++i) {
-      futures.push_back(pool.submit([&run_unit, i] { return run_unit(i); }));
-    }
-    // Collect strictly in index order: the reduction below (and the progress
-    // stream) must never observe completion order.
-    for (std::size_t i = 0; i < total; ++i) {
-      outcomes[i] = futures[i].get();
-      abort_if_fail_fast(i, &pool);
-      report_progress(i);
-    }
+    run_on_pool(pool, /*owned=*/true);
   }
 
   EvalCounters counters;
@@ -624,6 +651,11 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     }
   }
   lint_summary.findings = counters.lint_findings;
+
+  // The accounting identity is enforced HERE, once, where the buckets are
+  // filled (debug builds). Tests assert counters_consistent() on results
+  // instead of re-deriving the sum per call site.
+  assert(counters_consistent(counters) && "EvalCounters accounting identity violated");
 
   SuiteResult best;
   double best_pass1 = 0.0;

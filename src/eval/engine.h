@@ -60,9 +60,13 @@
 #include "util/retry.h"
 #include "util/rng.h"
 
+namespace haven::util {
+class ThreadPool;
+}
+
 namespace haven::eval {
 
-// Default run seed, shared with the legacy RunnerConfig ("HAVEN").
+// Default run seed ("HAVEN").
 inline constexpr std::uint64_t kDefaultEvalSeed = 0x484156454eULL;
 
 struct TaskResult {
@@ -154,6 +158,15 @@ struct EvalCounters {
   int threads_used = 1;
 };
 
+// THE accounting identity, asserted centrally by the reducer (debug builds)
+// and reusable by tests instead of re-deriving it per call site:
+//   candidates == unit_faults + compile_failures + lint_triaged + simulated
+//                 + cache_hits
+// plus the structural corollaries (fault sub-kinds never exceed unit_faults;
+// with a cache attached, hits + misses == candidates - unit_faults). Holds
+// at any thread count, injection rate, lint mode, and cache state.
+bool counters_consistent(const EvalCounters& c);
+
 // Run-wide lint aggregation (EvalRequest::lint / lint_triage). All tallies
 // cover non-faulted candidates across every temperature and are
 // deterministic for a fixed seed at any thread count.
@@ -229,8 +242,17 @@ struct EvalProgress {
 using ProgressCallback = std::function<void(const EvalProgress&)>;
 
 // Everything one evaluation run needs besides the model and the suite.
-// Grown out of the legacy RunnerConfig: adds `threads` and `on_progress`,
-// and replaces the raw CoT-model pointer with an optional-style accessor.
+// Fields are plain public data (aggregate-style assignment keeps working);
+// the chainable with_*() setters below are the equivalent builder surface,
+// bit-identical to field assignment, so a request can be composed inline
+// and embedded verbatim (e.g. in serve::EvalJob):
+//
+//   engine = EvalEngine(EvalRequest{}
+//                           .with_samples(5)
+//                           .with_temperature(0.2)
+//                           .with_threads(8)
+//                           .with_cache(&cache)
+//                           .with_lint_triage());
 class EvalRequest {
  public:
   int n_samples = 10;
@@ -238,8 +260,17 @@ class EvalRequest {
   bool use_sicot = false;
   std::uint64_t seed = kDefaultEvalSeed;
   // Worker threads for the sample fan-out: 0 = one per hardware thread,
-  // 1 = run serially on the calling thread (no pool).
+  // 1 = run serially on the calling thread (no pool). Ignored when an
+  // external `pool` is set.
   int threads = 0;
+  // External worker pool for the fan-out. NON-OWNING: the caller keeps the
+  // pool alive for as long as this request (and any engine built from it) is
+  // used; null = the engine spins up its own pool per evaluate() call.
+  // Sharing one pool across evaluations (the haven::serve daemon's mode)
+  // changes wall clock only, never results. Caveat: with a shared pool,
+  // fail_fast aborts by throwing without cancelling the pool's queue —
+  // cancel() would drop co-tenants' queued work.
+  util::ThreadPool* pool = nullptr;
   // Invoked on the calling thread after each unit is reduced, in index
   // order; leave empty for no progress reporting.
   ProgressCallback on_progress;
@@ -289,6 +320,40 @@ class EvalRequest {
   // Retry policy for transient faults (injected faults by default). With
   // retry.max_retries = 0 nothing is ever retried.
   util::RetryPolicy retry;
+
+  // --- chainable builder surface -------------------------------------------
+  // Each setter assigns the field of the same meaning and returns *this, so
+  // requests compose inline. Builder-built and field-assigned requests are
+  // bit-identical (regression-tested in serve_test).
+  EvalRequest& with_samples(int n) { n_samples = n; return *this; }
+  EvalRequest& with_temperatures(std::vector<double> temps) {
+    temperatures = std::move(temps);
+    return *this;
+  }
+  EvalRequest& with_temperature(double t) { temperatures = {t}; return *this; }
+  EvalRequest& with_sicot(bool on = true) { use_sicot = on; return *this; }
+  EvalRequest& with_seed(std::uint64_t s) { seed = s; return *this; }
+  EvalRequest& with_threads(int n) { threads = n; return *this; }
+  EvalRequest& with_pool(util::ThreadPool* p) { pool = p; return *this; }
+  EvalRequest& with_progress(ProgressCallback cb) {
+    on_progress = std::move(cb);
+    return *this;
+  }
+  EvalRequest& with_lint(bool on = true) { lint = on; return *this; }
+  EvalRequest& with_lint_triage(bool on = true) { lint_triage = on; return *this; }
+  EvalRequest& with_cache(cache::ResultCache* c) { cache = c; return *this; }
+  EvalRequest& with_fail_fast(bool on = true) { fail_fast = on; return *this; }
+  EvalRequest& with_deadline_ms(int ms) { deadline_ms = ms; return *this; }
+  EvalRequest& with_sim_budget(std::uint64_t steps) {
+    sim_step_budget = steps;
+    return *this;
+  }
+  EvalRequest& with_sim_backend(sim::SimBackend b) { sim_backend = b; return *this; }
+  EvalRequest& with_retries(int max_retries) {
+    retry.max_retries = max_retries;
+    return *this;
+  }
+  EvalRequest& with_cot_model(const llm::SimLlm& model) { return set_cot_model(model); }
 
   // CoT prompting model for SI-CoT. The reference is NON-OWNING: the caller
   // keeps the model alive for as long as this request (and any EvalEngine

@@ -1,0 +1,174 @@
+#include "eval/options.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "util/strings.h"
+
+namespace haven::eval {
+
+RequestOptions RequestOptions::parse(int argc, char** argv,
+                                     std::vector<std::string>* leftover) {
+  RequestOptions options;
+  auto usage_error = [&](const std::string& message) {
+    std::cerr << message << "\n" << flag_help() << "\n";
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    // "--flag=value" or "--flag value".
+    auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(arg, flag, len) != 0) return nullptr;
+      if (arg[len] == '=') return arg + len + 1;
+      if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    auto boolean = [&](const char* flag) { return std::strcmp(arg, flag) == 0; };
+
+    if (boolean("--fast")) {
+      options.fast = true;
+      options.n_samples = 5;  // pass@5 needs k <= n
+      options.temperatures = {0.2};
+    } else if (boolean("--progress")) {
+      options.progress = true;
+    } else if (boolean("--sicot")) {
+      options.use_sicot = true;
+    } else if (boolean("--serial")) {
+      options.threads = 1;
+    } else if (boolean("--fail-fast")) {
+      options.fail_fast = true;
+    } else if (boolean("--lint")) {
+      options.lint = true;
+    } else if (boolean("--lint-triage")) {
+      options.lint_triage = true;
+    } else if (boolean("--lint-json")) {
+      options.lint = true;
+      options.lint_json = true;
+    } else if (boolean("--cache")) {
+      options.cache = true;
+    } else if (boolean("--no-cache")) {
+      options.no_cache = true;
+    } else if (const char* v = value_of("--n")) {
+      options.n_samples = std::atoi(v);
+      if (options.n_samples <= 0) usage_error("--n wants a positive sample count");
+    } else if (const char* v = value_of("--temps")) {
+      options.temperatures.clear();
+      for (const std::string& field : util::split(v, ',')) {
+        if (util::trim(field).empty()) continue;
+        options.temperatures.push_back(std::atof(field.c_str()));
+      }
+      if (options.temperatures.empty()) usage_error("--temps wants e.g. 0.2,0.5,0.8");
+    } else if (const char* v = value_of("--seed")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--threads")) {
+      options.threads = std::atoi(v);
+    } else if (const char* v = value_of("--deadline-ms")) {
+      options.deadline_ms = std::atoi(v);
+    } else if (const char* v = value_of("--retries")) {
+      options.retries = std::atoi(v);
+    } else if (const char* v = value_of("--sim-budget")) {
+      options.sim_step_budget = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--sim-backend")) {
+      if (auto backend = sim::parse_backend(v)) {
+        options.sim_backend = *backend;
+      } else {
+        usage_error(std::string("unknown --sim-backend '") + v +
+                    "' (want interp|compiled)");
+      }
+    } else if (const char* v = value_of("--inject")) {
+      options.inject = std::atof(v);
+    } else if (const char* v = value_of("--inject-seed")) {
+      options.inject_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--cache-dir")) {
+      options.cache_dir = v;
+      options.cache = true;
+    } else if (const char* v = value_of("--cache-mb")) {
+      options.cache_mb = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value_of("--bench-json")) {
+      options.bench_json = v;
+    } else if (leftover != nullptr) {
+      leftover->push_back(arg);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      usage_error(std::string("unknown flag '") + arg + "'");
+    }
+    // Bare operands with no sink are silently ignored, matching the old
+    // per-bench parsers (benches take no positional arguments).
+  }
+  if (!options.no_cache && (options.cache || !options.cache_dir.empty())) {
+    cache::CacheConfig config;
+    config.max_bytes = options.cache_mb << 20;
+    config.dir = options.cache_dir;
+    options.result_cache = std::make_shared<cache::ResultCache>(config);
+  }
+  return options;
+}
+
+const char* RequestOptions::flag_help() {
+  return "eval flags: --fast --n=N --temps=a,b,c --seed=N --sicot --progress\n"
+         "            --threads=N --serial --deadline-ms=N --retries=N --fail-fast\n"
+         "            --sim-budget=N --sim-backend=interp|compiled\n"
+         "            --inject=P --inject-seed=N --lint --lint-triage --lint-json\n"
+         "            --cache --no-cache --cache-dir=PATH --cache-mb=N\n"
+         "            --bench-json=PATH";
+}
+
+EvalRequest RequestOptions::request() const {
+  EvalRequest req;
+  req.n_samples = n_samples;
+  req.temperatures = temperatures;
+  req.seed = seed;
+  req.use_sicot = use_sicot;
+  req.threads = threads;
+  req.deadline_ms = deadline_ms;
+  req.retry.max_retries = retries;
+  req.fail_fast = fail_fast;
+  req.sim_step_budget = sim_step_budget;
+  req.sim_backend = sim_backend;
+  req.lint = lint;
+  req.lint_triage = lint_triage;
+  req.cache = result_cache.get();
+  if (progress) req.on_progress = progress_printer();
+  return req;
+}
+
+EvalRequest RequestOptions::sicot_request(const llm::SimLlm& cot_model) const {
+  EvalRequest req = request();
+  req.use_sicot = true;
+  req.set_cot_model(cot_model);
+  return req;
+}
+
+ProgressCallback progress_printer() {
+  return [](const EvalProgress& p) {
+    if (p.total == 0) return;
+    const std::size_t step = std::max<std::size_t>(std::size_t{1}, p.total / 10);
+    if (p.completed % step == 0 || p.completed == p.total) {
+      std::cerr << "    [" << p.completed << "/" << p.total << " candidates]\n";
+    }
+  };
+}
+
+ChaosScope::ChaosScope(const RequestOptions& options) : injector_(options.inject_seed) {
+  if (options.inject <= 0.0) return;
+  injector_.arm(util::kSiteLlmGenerate, options.inject);
+  injector_.arm(util::kSiteEvalCompile, options.inject);
+  injector_.arm(util::kSiteSimRun, options.inject);
+  injector_.install();
+  armed_ = true;
+  std::cerr << "  [chaos] injecting faults at p=" << options.inject << " per site (seed "
+            << options.inject_seed << ")\n";
+}
+
+ChaosScope::~ChaosScope() {
+  if (!armed_) return;
+  injector_.uninstall();
+  std::cerr << "  [chaos] " << injector_.total_injected() << " faults injected ("
+            << injector_.injected(util::kSiteLlmGenerate) << " llm, "
+            << injector_.injected(util::kSiteEvalCompile) << " compile, "
+            << injector_.injected(util::kSiteSimRun) << " sim)\n";
+}
+
+}  // namespace haven::eval

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "eval/runner.h"
+#include "eval/engine.h"
 
 namespace haven::eval {
 

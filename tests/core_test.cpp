@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/haven.h"
-#include "eval/runner.h"
+#include "eval/engine.h"
 #include "eval/suites.h"
 #include "verilog/analyzer.h"
 
@@ -101,20 +101,14 @@ TEST(HavenPipeline, SiCotDisabledPassesPromptThrough) {
 // HaVen pipeline beats its base model on the human-style benchmark.
 TEST(HavenIntegration, HavenBeatsBaseModelOnHumanSuite) {
   const HavenPipeline pipe = HavenPipeline::build(small_config(llm::kBaseCodeQwen));
-  eval::RunnerConfig rc;
-  rc.n_samples = 3;
-  rc.temperatures = {0.2};
+  const eval::EvalRequest base_req = eval::EvalRequest{}.with_samples(3).with_temperature(0.2);
   const eval::Suite human = eval::build_verilogeval_human();
 
   const eval::SuiteResult base_result =
-      eval::run_suite(llm::make_model(llm::kBaseCodeQwen), human, rc);
-  eval::EvalRequest haven_req;
-  haven_req.n_samples = rc.n_samples;
-  haven_req.temperatures = rc.temperatures;
-  haven_req.use_sicot = true;
-  haven_req.set_cot_model(pipe.cot_model());
+      eval::EvalEngine(base_req).evaluate(llm::make_model(llm::kBaseCodeQwen), human);
   const eval::SuiteResult haven_result =
-      eval::EvalEngine(haven_req).evaluate(pipe.codegen_model(), human);
+      eval::EvalEngine(eval::EvalRequest(base_req).with_sicot().with_cot_model(pipe.cot_model()))
+          .evaluate(pipe.codegen_model(), human);
 
   EXPECT_GT(haven_result.pass_at(1), base_result.pass_at(1) + 0.15);
 }

@@ -50,8 +50,7 @@ void expect_backend_identical(const SuiteResult& a, const SuiteResult& b) {
 }
 
 void expect_accounting_identity(const EvalCounters& c) {
-  EXPECT_EQ(c.candidates, c.unit_faults + c.compile_failures + c.lint_triaged +
-                              c.simulated + c.cache_hits);
+  EXPECT_TRUE(counters_consistent(c));
 }
 
 EvalRequest backend_request(sim::SimBackend backend, std::uint64_t seed) {

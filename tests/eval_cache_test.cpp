@@ -56,12 +56,10 @@ void expect_same_lint(const SuiteResult& a, const SuiteResult& b) {
   }
 }
 
-// The extended accounting identity (engine.h EvalCounters doc): every
-// candidate is exactly one of faulted / compile-failed / triaged / simulated
-// / replayed-from-cache.
+// The extended accounting identity, via the engine's own central check
+// (counters_consistent) instead of re-deriving it here.
 void expect_accounting_identity(const EvalCounters& c) {
-  EXPECT_EQ(c.candidates, c.unit_faults + c.compile_failures + c.lint_triaged +
-                              c.simulated + c.cache_hits);
+  EXPECT_TRUE(counters_consistent(c));
 }
 
 EvalRequest base_request(int threads, cache::ResultCache* cache) {

@@ -4,9 +4,9 @@
 
 #include "eval/engine.h"
 #include "eval/report.h"
-#include "eval/runner.h"
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
+#include "util/thread_pool.h"
 
 namespace haven::eval {
 namespace {
@@ -56,36 +56,38 @@ TEST(EvalEngine, SerialAndParallelRunsAreBitIdentical) {
   EXPECT_EQ(b.counters.threads_used, 8);
 }
 
-// The legacy free function is a wrapper over the engine and must agree with
-// it exactly (it is also how pre-redesign results stay reproducible).
-TEST(EvalEngine, LegacyRunSuiteWrapperMatchesEngine) {
+// An external (shared) worker pool is a pure scheduling knob: results are
+// bit-identical to an engine-owned pool and to the serial path. This is the
+// seam the haven::serve daemon runs every evaluation through.
+TEST(EvalEngine, ExternalPoolIsBitIdenticalToOwnedPool) {
   const llm::SimLlm model = llm::make_model("CodeQwen");
   const Suite suite = small_rtllm(8);
 
-  RunnerConfig config;
-  config.n_samples = 3;
-  config.temperatures = {0.2, 0.5};
-  config.threads = 1;
-  const SuiteResult legacy = run_suite(model, suite, config);
+  const EvalRequest request = EvalRequest{}.with_samples(3).with_temperatures({0.2, 0.5});
+  const SuiteResult serial =
+      EvalEngine(EvalRequest(request).with_threads(1)).evaluate(model, suite);
 
-  EvalRequest request;
-  request.n_samples = 3;
-  request.temperatures = {0.2, 0.5};
-  request.threads = 4;
-  const SuiteResult engine = EvalEngine(request).evaluate(model, suite);
+  util::ThreadPool shared_pool(4);
+  const SuiteResult pooled =
+      EvalEngine(EvalRequest(request).with_pool(&shared_pool)).evaluate(model, suite);
 
-  expect_same_result(legacy, engine);
+  expect_same_result(serial, pooled);
+  EXPECT_EQ(pooled.counters.threads_used, 4);
+  // The pool survives the evaluation and can host another run (the serve
+  // daemon reuses one pool for its whole lifetime).
+  const SuiteResult again =
+      EvalEngine(EvalRequest(request).with_pool(&shared_pool)).evaluate(model, suite);
+  expect_same_result(serial, again);
 }
 
-TEST(EvalEngine, CheckMatchesLegacyCheckCandidate) {
+TEST(EvalEngine, CheckIsDeterministicForAFixedRngSeed) {
   const llm::SimLlm model = llm::make_model("GPT-4");
   const Suite suite = small_rtllm(1);
 
   util::Rng rng_a(123);
   util::Rng rng_b(123);
   const CandidateOutcome a = EvalEngine().check(model, suite.tasks.front(), 0.5, rng_a);
-  const CandidateOutcome b =
-      check_candidate(model, suite.tasks.front(), 0.5, false, nullptr, rng_b);
+  const CandidateOutcome b = EvalEngine().check(model, suite.tasks.front(), 0.5, rng_b);
   EXPECT_EQ(a.source, b.source);
   EXPECT_EQ(a.syntax_ok, b.syntax_ok);
   EXPECT_EQ(a.func_ok, b.func_ok);

@@ -1,7 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "eval/engine.h"
+#include "eval/passk.h"
 #include "eval/report.h"
-#include "eval/runner.h"
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
 #include "verilog/analyzer.h"
@@ -109,27 +110,23 @@ TEST(Suites, SequentialTasksCarryResetProtocol) {
   }
 }
 
-// --- runner -----------------------------------------------------------------------
+// --- engine -----------------------------------------------------------------------
 
-TEST(Runner, PerfectModelScoresFullMarks) {
+TEST(Engine, PerfectModelScoresFullMarks) {
   llm::HallucinationProfile zero;
   const llm::SimLlm model("Perfect", zero.scaled(0.0));
-  RunnerConfig config;
-  config.n_samples = 2;
-  config.temperatures = {0.2};
-  const SuiteResult result = run_suite(model, build_rtllm(), config);
+  const EvalEngine engine(EvalRequest{}.with_samples(2).with_temperature(0.2));
+  const SuiteResult result = engine.evaluate(model, build_rtllm());
   EXPECT_DOUBLE_EQ(result.pass_at(1), 1.0);
   EXPECT_DOUBLE_EQ(result.syntax_pass_at(1), 1.0);
 }
 
-TEST(Runner, IsDeterministicAcrossRuns) {
+TEST(Engine, IsDeterministicAcrossRuns) {
   const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
-  RunnerConfig config;
-  config.n_samples = 3;
-  config.temperatures = {0.2};
+  const EvalEngine engine(EvalRequest{}.with_samples(3).with_temperature(0.2));
   const Suite suite = build_rtllm();
-  const SuiteResult a = run_suite(model, suite, config);
-  const SuiteResult b = run_suite(model, suite, config);
+  const SuiteResult a = engine.evaluate(model, suite);
+  const SuiteResult b = engine.evaluate(model, suite);
   ASSERT_EQ(a.per_task.size(), b.per_task.size());
   for (std::size_t i = 0; i < a.per_task.size(); ++i) {
     EXPECT_EQ(a.per_task[i].func_pass, b.per_task[i].func_pass);
@@ -137,34 +134,30 @@ TEST(Runner, IsDeterministicAcrossRuns) {
   }
 }
 
-TEST(Runner, FuncPassImpliesSyntaxPass) {
+TEST(Engine, FuncPassImpliesSyntaxPass) {
   const llm::SimLlm model = llm::make_model("GPT-3.5");
-  RunnerConfig config;
-  config.n_samples = 4;
-  config.temperatures = {0.2};
-  const SuiteResult result = run_suite(model, build_rtllm(), config);
+  const EvalEngine engine(EvalRequest{}.with_samples(4).with_temperature(0.2));
+  const SuiteResult result = engine.evaluate(model, build_rtllm());
   for (const auto& task : result.per_task) {
     EXPECT_LE(task.func_pass, task.syntax_pass);
     EXPECT_LE(task.syntax_pass, task.n);
   }
 }
 
-TEST(Runner, StrongerModelBeatsWeakerOnAverage) {
-  RunnerConfig config;
-  config.n_samples = 4;
-  config.temperatures = {0.2};
+TEST(Engine, StrongerModelBeatsWeakerOnAverage) {
+  const EvalEngine engine(EvalRequest{}.with_samples(4).with_temperature(0.2));
   const Suite human = build_verilogeval_human();
-  const SuiteResult strong = run_suite(llm::make_model("OriGen-DeepSeek"), human, config);
-  const SuiteResult weak = run_suite(llm::make_model("CodeLlama"), human, config);
+  const SuiteResult strong = engine.evaluate(llm::make_model("OriGen-DeepSeek"), human);
+  const SuiteResult weak = engine.evaluate(llm::make_model("CodeLlama"), human);
   EXPECT_GT(strong.pass_at(1), weak.pass_at(1));
 }
 
-TEST(Runner, CheckCandidateReportsSource) {
+TEST(Engine, CheckReportsSource) {
   const llm::SimLlm model = llm::make_model("GPT-4");
   const Suite suite = build_rtllm();
   util::Rng rng(1);
   const CandidateOutcome outcome =
-      check_candidate(model, suite.tasks.front(), 0.2, false, nullptr, rng);
+      EvalEngine().check(model, suite.tasks.front(), 0.2, rng);
   EXPECT_FALSE(outcome.source.empty());
   if (outcome.func_ok) {
     EXPECT_TRUE(outcome.syntax_ok);

@@ -4,7 +4,7 @@
 // whole reproduction honest.
 #include <gtest/gtest.h>
 
-#include "eval/runner.h"
+#include "eval/engine.h"
 #include "eval/suites.h"
 #include "llm/codegen.h"
 #include "llm/model_zoo.h"
@@ -91,15 +91,14 @@ TEST(CrossValidation, SyntaxAxisDrivesSyntaxMetric) {
 
   eval::Suite suite = eval::build_rtllm();
   suite.tasks.resize(8);
-  eval::RunnerConfig rc;
-  rc.n_samples = 3;
-  rc.temperatures = {1.0};  // full stochastic strength: axis fires always
+  // Full stochastic strength (T = 1.0): the axis fires always.
+  const eval::EvalEngine engine(eval::EvalRequest{}.with_samples(3).with_temperature(1.0));
 
-  const eval::SuiteResult bad_result = eval::run_suite(bad, suite, rc);
+  const eval::SuiteResult bad_result = engine.evaluate(bad, suite);
   EXPECT_DOUBLE_EQ(bad_result.syntax_pass_at(1), 0.0);
   EXPECT_DOUBLE_EQ(bad_result.pass_at(1), 0.0);
 
-  const eval::SuiteResult good_result = eval::run_suite(good, suite, rc);
+  const eval::SuiteResult good_result = engine.evaluate(good, suite);
   EXPECT_DOUBLE_EQ(good_result.syntax_pass_at(1), 1.0);
   EXPECT_DOUBLE_EQ(good_result.pass_at(1), 1.0);
 }
@@ -126,11 +125,9 @@ TEST(CrossValidation, SuiteLevelMonotonicityOfFineTuning) {
 
   eval::Suite suite = eval::build_verilogeval_human();
   suite.tasks.resize(60);
-  eval::RunnerConfig rc;
-  rc.n_samples = 3;
-  rc.temperatures = {0.2};
-  const double base_pass = eval::run_suite(base, suite, rc).pass_at(1);
-  const double tuned_pass = eval::run_suite(tuned, suite, rc).pass_at(1);
+  const eval::EvalEngine engine(eval::EvalRequest{}.with_samples(3).with_temperature(0.2));
+  const double base_pass = engine.evaluate(base, suite).pass_at(1);
+  const double tuned_pass = engine.evaluate(tuned, suite).pass_at(1);
   EXPECT_GT(tuned_pass, base_pass);
 }
 
