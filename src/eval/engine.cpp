@@ -533,7 +533,8 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
   // In fail_fast mode the first faulted unit (in index order) condemns the
   // run: queued-but-unstarted work is cancelled and EvalAborted is thrown.
   // An external (shared) pool is never cancelled — its queue carries other
-  // evaluations' work — so there the abort only stops collecting.
+  // evaluations' work — so there the abort waits out the remaining units
+  // (see run_on_pool) instead of dropping them.
   auto abort_if_fail_fast = [&](std::size_t i, util::ThreadPool* cancellable) {
     if (!request_.fail_fast || !outcomes[i].faulted) return;
     if (cancellable != nullptr) cancellable->cancel();
@@ -549,10 +550,21 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     for (std::size_t i = 0; i < total; ++i) {
       futures.push_back(pool.submit([&run_unit, i] { return run_unit(i); }));
     }
-    for (std::size_t i = 0; i < total; ++i) {
-      outcomes[i] = futures[i].get();
-      abort_if_fail_fast(i, owned ? &pool : nullptr);
-      report_progress(i);
+    try {
+      for (std::size_t i = 0; i < total; ++i) {
+        outcomes[i] = futures[i].get();
+        abort_if_fail_fast(i, owned ? &pool : nullptr);
+        report_progress(i);
+      }
+    } catch (...) {
+      // Every queued task captures this stack frame; on a shared pool they
+      // would keep running after it unwinds. Block on each outstanding
+      // future (cancelled tasks are already ready with a broken promise) so
+      // no task can outlive the frame, then let the abort out.
+      for (std::future<UnitOutcome>& future : futures) {
+        if (future.valid()) future.wait();
+      }
+      throw;
     }
   };
 

@@ -1,9 +1,13 @@
 #include "serve/protocol.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "eval/suites.h"
@@ -26,16 +30,50 @@ bool build_suite(const std::string& name, eval::Suite* out) {
 
 std::string result_line(const std::string& id_field, const eval::SuiteResult& result,
                         bool coalesced) {
-  // pass@k needs k <= n for every task; clamp the reported pass@5 to the
-  // smallest sample count so low-n service jobs still get a defined value.
+  // pass@k needs k <= n for every task; clamp k to the smallest sample count
+  // so low-n service jobs still get a defined value, and label the field
+  // with the k actually reported (pass2= for the default n=2 job, never a
+  // pass@2 value masquerading as pass5=).
   int k = 5;
   for (const eval::TaskResult& task : result.per_task) k = std::min(k, task.n);
   k = std::max(k, 1);
   return util::format(
-      "RESULT %s done pass1=%.6f pass5=%.6f candidates=%lld coalesced=%d verdict=%s",
-      id_field.c_str(), result.pass_at(1), result.pass_at(k),
+      "RESULT %s done pass1=%.6f pass%d=%.6f candidates=%lld coalesced=%d verdict=%s",
+      id_field.c_str(), result.pass_at(1), k, result.pass_at(k),
       static_cast<long long>(result.counters.candidates), coalesced ? 1 : 0,
       cache::to_hex(verdict_digest(result)).c_str());
+}
+
+// Strict numeric knob parsing: the whole value must be consumed and errno
+// clean, so "n=abc" is an ERR instead of a silent zero-unit job.
+bool parse_i64(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_f64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -65,36 +103,57 @@ bool parse_job(const std::string& tenant, const std::string& model_name,
     }
     const std::string key = knob.substr(0, eq);
     const std::string value = knob.substr(eq + 1);
+    auto bad = [&](const char* want) {
+      *error = "knob '" + key + "' wants " + want + ", got '" + value + "'";
+      return false;
+    };
+    constexpr long long kIntMax = std::numeric_limits<int>::max();
+    long long i = 0;
+    std::uint64_t u = 0;
     if (key == "n") {
-      job.request.n_samples = std::atoi(value.c_str());
+      if (!parse_i64(value, &i) || i < 1 || i > kIntMax) return bad("an integer >= 1");
+      job.request.n_samples = static_cast<int>(i);
     } else if (key == "temps") {
-      job.request.temperatures.clear();
+      std::vector<double> temps;
       for (const std::string& field : util::split(value, ',')) {
-        if (!util::trim(field).empty()) {
-          job.request.temperatures.push_back(std::atof(field.c_str()));
-        }
+        const std::string trimmed{util::trim(field)};
+        if (trimmed.empty()) continue;
+        double t = 0.0;
+        if (!parse_f64(trimmed, &t)) return bad("a comma-separated list of numbers");
+        temps.push_back(t);
       }
+      if (temps.empty()) return bad("a comma-separated list of numbers");
+      job.request.temperatures = std::move(temps);
     } else if (key == "seed") {
-      job.request.seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64(value, &u)) return bad("an unsigned integer");
+      job.request.seed = u;
     } else if (key == "tasks") {
-      const std::size_t limit = std::strtoull(value.c_str(), nullptr, 10);
-      if (job.suite.tasks.size() > limit) job.suite.tasks.resize(limit);
+      if (!parse_u64(value, &u) || u < 1) return bad("an integer >= 1");
+      if (job.suite.tasks.size() > u) job.suite.tasks.resize(u);
     } else if (key == "sicot") {
-      job.request.use_sicot = std::atoi(value.c_str()) != 0;
+      if (!parse_i64(value, &i) || (i != 0 && i != 1)) return bad("0 or 1");
+      job.request.use_sicot = i != 0;
     } else if (key == "lint") {
-      job.request.lint = std::atoi(value.c_str()) != 0;
+      if (!parse_i64(value, &i) || (i != 0 && i != 1)) return bad("0 or 1");
+      job.request.lint = i != 0;
     } else if (key == "triage") {
-      job.request.lint_triage = std::atoi(value.c_str()) != 0;
+      if (!parse_i64(value, &i) || (i != 0 && i != 1)) return bad("0 or 1");
+      job.request.lint_triage = i != 0;
     } else if (key == "deadline") {
-      job.deadline_ms = std::atoi(value.c_str());
+      if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("milliseconds >= 0");
+      job.deadline_ms = static_cast<int>(i);
     } else if (key == "unit-deadline") {
-      job.request.deadline_ms = std::atoi(value.c_str());
+      if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("milliseconds >= 0");
+      job.request.deadline_ms = static_cast<int>(i);
     } else if (key == "budget") {
-      job.request.sim_step_budget = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64(value, &u)) return bad("an unsigned integer");
+      job.request.sim_step_budget = u;
     } else if (key == "retries") {
-      job.request.retry.max_retries = std::atoi(value.c_str());
+      if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("an integer >= 0");
+      job.request.retry.max_retries = static_cast<int>(i);
     } else if (key == "fail-fast") {
-      job.request.fail_fast = std::atoi(value.c_str()) != 0;
+      if (!parse_i64(value, &i) || (i != 0 && i != 1)) return bad("0 or 1");
+      job.request.fail_fast = i != 0;
     } else {
       *error = "unknown knob '" + key + "'";
       return false;

@@ -7,8 +7,10 @@
 //       -> JOB <id> queued|coalesced|done
 //       -> JOB <id> rejected <reason>
 //   WAIT <id>|*
-//       -> RESULT <id> done pass1=<f> pass5=<f> candidates=<n>
+//       -> RESULT <id> done pass1=<f> pass<k>=<f> candidates=<n>
 //                  coalesced=<0|1> verdict=<32-hex>
+//          (k = min(5, smallest per-task n): the label always names the k
+//           actually reported, e.g. pass2= for the default n=2 job)
 //       -> RESULT <id> failed|rejected|expired <reason>
 //   ONESHOT <model> <suite> [k=v ...]
 //       -> RESULT oneshot done pass1=... verdict=<32-hex>
@@ -23,7 +25,8 @@
 //        sicot=<0|1> lint=<0|1> triage=<0|1> deadline=<job ms>
 //        unit-deadline=<ms> budget=<sim steps> retries=<n> fail-fast=<0|1>
 // Suites: machine | human | v2 | rtllm | symbolic44.
-// Unknown commands/models/suites/knobs answer "ERR <reason>" and the session
+// Unknown commands/models/suites/knobs — and malformed or out-of-range knob
+// values (e.g. n=abc, tasks=0) — answer "ERR <reason>" and the session
 // continues.
 #pragma once
 
@@ -57,7 +60,8 @@ class LineServer {
 };
 
 // Build an EvalJob from protocol operands. Returns false (with *error set)
-// on an unknown model/suite/knob. Exposed for serve_test.
+// on an unknown model/suite/knob or a malformed/out-of-range knob value.
+// Exposed for serve_test.
 bool parse_job(const std::string& tenant, const std::string& model_name,
                const std::string& suite_name,
                const std::vector<std::string>& knobs, EvalJob* out, std::string* error);

@@ -159,6 +159,11 @@ bool TokenBucket::try_acquire(double now) {
   return false;
 }
 
+bool TokenBucket::idle(double now) const {
+  if (burst_ <= 0.0 || !primed_) return true;
+  return tokens_ + rate_ * std::max(0.0, now - last_) >= burst_;
+}
+
 // --- JobTicket --------------------------------------------------------------
 
 namespace {
@@ -277,8 +282,14 @@ JobTicket Server::submit(EvalJob job) {
 
   auto [bucket, inserted] = buckets_.try_emplace(
       state->job.tenant, TokenBucket(config_.tenant_rate, config_.tenant_burst));
-  (void)inserted;
-  if (!bucket->second.try_acquire(now())) {
+  const bool acquired = bucket->second.try_acquire(state->submit_time);
+  // Bound the bucket map before (possibly) rejecting, so hostile tenant-name
+  // churn cannot grow it without limit. `bucket` is invalid past this point.
+  if (inserted && config_.tenant_bucket_capacity > 0 &&
+      buckets_.size() > config_.tenant_bucket_capacity) {
+    prune_buckets_locked(state->submit_time);
+  }
+  if (!acquired) {
     return reject("tenant '" + state->job.tenant + "' rate-limited");
   }
 
@@ -432,6 +443,24 @@ void Server::memo_insert_locked(const cache::Digest& digest,
   }
 }
 
+void Server::prune_buckets_locked(double now) {
+  // An idle bucket is indistinguishable from a freshly constructed one, so
+  // dropping it loses no admission state.
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    it = it->second.idle(now) ? buckets_.erase(it) : std::next(it);
+  }
+  // Past the hard cap, shed the coldest buckets. Eviction is permissive —
+  // the tenant comes back to a fresh full burst — which bounds memory under
+  // tenant-name churn without penalizing well-behaved tenants.
+  while (buckets_.size() > config_.tenant_bucket_capacity) {
+    auto coldest = buckets_.begin();
+    for (auto it = std::next(buckets_.begin()); it != buckets_.end(); ++it) {
+      if (it->second.last_seen() < coldest->second.last_seen()) coldest = it;
+    }
+    buckets_.erase(coldest);
+  }
+}
+
 void Server::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   accepting_ = false;
@@ -463,6 +492,11 @@ void Server::stop() {
 ServeCounters Server::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
+}
+
+std::size_t Server::tenant_bucket_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
 }
 
 double Server::estimate_seconds(std::size_t units) const {

@@ -156,6 +156,13 @@ class TokenBucket {
   // Take one token at time `now` (seconds, monotonic); false = rate-limited.
   bool try_acquire(double now);
   double tokens() const { return tokens_; }
+  // True when a refill at `now` returns the bucket to full burst (or
+  // limiting is disabled): no admission state distinguishes it from a
+  // freshly constructed bucket, so it can be dropped and rebuilt on demand.
+  bool idle(double now) const;
+  // Time of the last try_acquire (0 before the first): the eviction key for
+  // the server's bucket-map cap.
+  double last_seen() const { return last_; }
 
  private:
   double rate_;
@@ -172,6 +179,11 @@ struct ServerConfig {
   // `tenant_rate`/s; one token per submission. tenant_burst <= 0 = no limit.
   double tenant_rate = 0.0;
   double tenant_burst = 0.0;
+  // Hard cap on tracked tenant buckets, so memory stays bounded under
+  // hostile tenant-name churn. Idle (refilled-to-burst) buckets are shed
+  // first; past the cap the coldest bucket is evicted, returning that
+  // tenant to a fresh full burst. 0 = unbounded.
+  std::size_t tenant_bucket_capacity = 1024;
   // Completed-result memo (digest -> SuiteResult) LRU capacity, in entries.
   std::size_t memo_capacity = 64;
   // Backlog estimator: EWMA over observed per-unit seconds. The initial
@@ -214,6 +226,8 @@ class Server {
   // Current backlog estimate for a hypothetical job of `units` work units,
   // in seconds (0 when the estimator is uncalibrated).
   double estimate_seconds(std::size_t units) const;
+  // Tenant buckets currently tracked (bounded by tenant_bucket_capacity).
+  std::size_t tenant_bucket_count() const;
 
   const cache::ResultCache* cache() const { return cache_.get(); }
   std::size_t pool_width() const { return pool_->worker_count(); }
@@ -223,6 +237,8 @@ class Server {
   void finish_running_marker(const std::shared_ptr<detail::JobState>& state);
   // Requires mutex_ held.
   void memo_insert_locked(const cache::Digest& digest, const eval::SuiteResult& result);
+  // Requires mutex_ held. Sheds idle buckets, then enforces the hard cap.
+  void prune_buckets_locked(double now);
   double now() const { return clock_(); }
 
   ServerConfig config_;

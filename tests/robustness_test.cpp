@@ -4,7 +4,9 @@
 // never throw regardless of prompt or profile.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "eval/engine.h"
@@ -14,6 +16,7 @@
 #include "llm/simllm.h"
 #include "sim/testbench.h"
 #include "util/fault.h"
+#include "util/thread_pool.h"
 #include "verilog/analyzer.h"
 #include "verilog/parser.h"
 
@@ -353,6 +356,37 @@ TEST(FaultTolerance, FailFastAbortsOnFirstFault) {
     EXPECT_EQ(e.fault().kind, eval::FaultKind::kInjected);
     EXPECT_FALSE(e.fault().task_id.empty());
   }
+}
+
+TEST(FaultTolerance, FailFastOnSharedPoolDrainsBeforeUnwinding) {
+  // Regression: with an external (shared) pool, the EvalAborted throw used
+  // to unwind evaluate()'s frame while queued units still referenced it —
+  // a use-after-free once the pool ran them (the serve daemon's fail-fast=1
+  // path). The abort must wait out every outstanding unit first. One worker
+  // plus a fault site deep in the unit (after generate + compile) keeps a
+  // long tail of tasks queued when the first outcome condemns the run.
+  util::ThreadPool pool(1);
+  util::FaultInjector injector(0xC405);
+  injector.arm(util::kSiteSimRun, 1.0);  // every unit faults at simulation
+  injector.install();
+  eval::EvalRequest request;
+  request.n_samples = 4;
+  request.temperatures = {0.2};
+  request.pool = &pool;
+  request.fail_fast = true;
+  request.retry.max_retries = 0;
+  EXPECT_THROW(eval::EvalEngine(request).evaluate(llm::make_model("GPT-4"), tiny_rtllm(8)),
+               eval::EvalAborted);
+  // Every unit ran to completion before the abort escaped (a shared pool is
+  // never cancelled): a unit still in flight would keep firing the injector,
+  // so the count must be quiescent once evaluate() has returned...
+  const std::int64_t injected_at_return = injector.total_injected();
+  EXPECT_GT(injected_at_return, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(injector.total_injected(), injected_at_return);
+  injector.uninstall();
+  // ...and the pool stays usable for unrelated work.
+  EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
 }
 
 }  // namespace

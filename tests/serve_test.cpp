@@ -88,6 +88,19 @@ TEST(TokenBucket, NonPositiveBurstDisablesLimiting) {
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_acquire(0.0));
 }
 
+TEST(TokenBucket, IdleMeansRefilledToFullBurst) {
+  TokenBucket fresh(/*rate=*/1.0, /*burst=*/2.0);
+  EXPECT_TRUE(fresh.idle(0.0));  // untouched = indistinguishable from new
+  TokenBucket bucket(/*rate=*/1.0, /*burst=*/2.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.idle(0.0));   // a token is spent
+  EXPECT_FALSE(bucket.idle(0.5));   // refill not complete yet
+  EXPECT_TRUE(bucket.idle(1.0));    // refilled to burst
+  TokenBucket unlimited(/*rate=*/0.0, /*burst=*/0.0);
+  EXPECT_TRUE(unlimited.try_acquire(0.0));
+  EXPECT_TRUE(unlimited.idle(0.0));  // limiting disabled = stateless
+}
+
 // --- counters ---------------------------------------------------------------
 
 TEST(ServeCounters, ConsistencyHelperChecksTheIdentity) {
@@ -282,6 +295,29 @@ TEST(Serve, TenantRateLimitsAreIndependentUnderSaturation) {
   EXPECT_TRUE(serve_counters_consistent(server.stats()));
 }
 
+TEST(Serve, TenantBucketMapStaysBoundedUnderNameChurn) {
+  ServerConfig config;
+  config.threads = 2;
+  config.tenant_rate = 0.0;  // rate 0: spent buckets never refill to idle
+  config.tenant_burst = 1.0;
+  config.tenant_bucket_capacity = 4;
+  config.clock = [] { return 0.0; };
+  Server server(config);
+
+  // 100 distinct (hostile/random) tenant names: without eviction this map
+  // would grow one bucket per name forever. Identical jobs, so all but the
+  // first coalesce — the bucket is still created per tenant before that.
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 100; ++i) {
+    tickets.push_back(server.submit(make_job(util::format("churn-%d", i), 0xC0, 2)));
+  }
+  EXPECT_LE(server.tenant_bucket_count(), 4u);
+
+  server.drain();
+  for (const JobTicket& t : tickets) EXPECT_TRUE(is_terminal(t.wait()));
+  EXPECT_TRUE(serve_counters_consistent(server.stats()));
+}
+
 TEST(Serve, RejectsInfeasibleDeadlinesUpfront) {
   ServerConfig config;
   config.threads = 2;
@@ -448,7 +484,13 @@ TEST(LineProtocol, CoalescedAndOneshotVerdictsAreBitIdentical) {
   std::vector<std::string> verdicts;
   for (const std::string& line : lines) {
     const std::size_t at = line.find("verdict=");
-    if (at != std::string::npos) verdicts.push_back(line.substr(at));
+    if (at != std::string::npos) {
+      verdicts.push_back(line.substr(at));
+      // n=2 jobs report pass@2 under its own name — never a clamped value
+      // masquerading as pass5=.
+      EXPECT_NE(line.find("pass2="), std::string::npos) << line;
+      EXPECT_EQ(line.find("pass5="), std::string::npos) << line;
+    }
   }
   ASSERT_EQ(verdicts.size(), 3u);  // oneshot + two tenant results
   EXPECT_EQ(verdicts[0], verdicts[1]);
@@ -473,6 +515,7 @@ TEST(LineProtocol, RejectsUnknownModelsSuitesAndKnobs) {
       "SUBMIT t NotAModel rtllm\n"
       "SUBMIT t CodeQwen not-a-suite\n"
       "SUBMIT t CodeQwen rtllm bogus=1\n"
+      "SUBMIT t CodeQwen rtllm n=abc\n"
       "FROB\n"
       "WAIT 99\n"
       "QUIT\n");
@@ -481,11 +524,30 @@ TEST(LineProtocol, RejectsUnknownModelsSuitesAndKnobs) {
   line_server.run();
 
   const std::vector<std::string> lines = util::split_lines(out.str());
-  ASSERT_EQ(lines.size(), 5u);
+  ASSERT_EQ(lines.size(), 6u);
   for (const std::string& line : lines) EXPECT_EQ(line.rfind("ERR", 0), 0u) << line;
   // A malformed session never touches the server proper.
   const ServeCounters stats = server.stats();
   EXPECT_EQ(stats.submitted, 0);
+}
+
+TEST(LineProtocol, RejectsMalformedAndOutOfRangeKnobValues) {
+  const std::vector<std::vector<std::string>> bad_knobs = {
+      {"n=abc"},      {"n=0"},          {"n=-3"},        {"n="},
+      {"temps=x"},    {"temps="},       {"temps=0.2,y"},
+      {"seed=-1"},    {"seed=12z"},
+      {"tasks=0"},    {"tasks=many"},
+      {"sicot=2"},    {"lint=maybe"},   {"triage=-1"},   {"fail-fast=yes"},
+      {"deadline=5s"},{"deadline=-1"},  {"unit-deadline=1.5"},
+      {"budget=-1"},  {"retries=-2"},   {"retries=two"},
+  };
+  for (const std::vector<std::string>& knobs : bad_knobs) {
+    EvalJob job;
+    std::string error;
+    EXPECT_FALSE(parse_job("t", "CodeQwen", "rtllm", knobs, &job, &error))
+        << "knob accepted: " << knobs.front();
+    EXPECT_NE(error.find("knob"), std::string::npos) << error;
+  }
 }
 
 TEST(LineProtocol, ParseJobAppliesKnobs) {
