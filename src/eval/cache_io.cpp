@@ -70,7 +70,8 @@ std::string encode_verdict(const CachedVerdict& v) {
   std::string out;
   put_u32(out, kVerdictSchemaVersion);
   const std::uint8_t flags = static_cast<std::uint8_t>(
-      (v.syntax_ok ? 1 : 0) | (v.func_ok ? 2 : 0) | (v.triaged ? 4 : 0) | (v.simulated ? 8 : 0));
+      (v.syntax_ok ? 1 : 0) | (v.func_ok ? 2 : 0) | (v.triaged ? 4 : 0) | (v.simulated ? 8 : 0) |
+      (v.proved ? 0x10 : 0) | (v.prove_fallback ? 0x20 : 0));
   put_u8(out, flags);
   put_i32(out, v.sim_vectors);
   put_u32(out, static_cast<std::uint32_t>(v.findings.size()));
@@ -92,12 +93,14 @@ bool decode_verdict(std::string_view payload, CachedVerdict* out) {
   std::uint32_t version = 0;
   if (!r.u32(&version) || version != kVerdictSchemaVersion) return false;
   std::uint8_t flags = 0;
-  if (!r.u8(&flags) || (flags & ~0x0fu) != 0) return false;
+  if (!r.u8(&flags) || (flags & ~0x3fu) != 0) return false;
   CachedVerdict v;
   v.syntax_ok = (flags & 1) != 0;
   v.func_ok = (flags & 2) != 0;
   v.triaged = (flags & 4) != 0;
   v.simulated = (flags & 8) != 0;
+  v.proved = (flags & 0x10) != 0;
+  v.prove_fallback = (flags & 0x20) != 0;
   if (!r.i32(&v.sim_vectors)) return false;
   std::uint32_t count = 0;
   if (!r.u32(&count)) return false;
@@ -128,7 +131,7 @@ bool decode_verdict(std::string_view payload, CachedVerdict* out) {
 }
 
 cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budget,
-                              CacheLintMode lint_mode) {
+                              CacheLintMode lint_mode, bool prove, std::uint64_t prove_budget) {
   cache::Hasher h;
   h.u32(kVerdictSchemaVersion);
   h.bytes(task.id);
@@ -148,6 +151,12 @@ cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budge
   // must keep replaying when the backend knob flips.
   h.u64(sim_step_budget);
   h.u64(static_cast<std::uint64_t>(lint_mode));
+  // The prove knobs are hashed at request level, not per-task eligibility:
+  // a proven entry replays different counter flags than a simulated one, so
+  // prove on/off (and different budgets) must key distinct entries even
+  // though their verdicts are identical.
+  h.boolean(prove);
+  h.u64(prove_budget);
   return h.digest();
 }
 

@@ -12,8 +12,10 @@
 // The key binds every input that can influence the cached stages:
 //   * the canonicalized candidate source (content addressing proper),
 //   * the task identity: id, golden source, and the full StimulusSpec,
-//   * the eval knobs that change verdicts or payload shape: sim step budget
-//     and lint mode (off / observe / triage),
+//   * the eval knobs that change verdicts or payload shape: sim step budget,
+//     lint mode (off / observe / triage), and the prove knobs (on/off +
+//     node budget — verdicts are identical either way, but the replayed
+//     counter flags are not, so the configs must not share entries),
 //   * the stimulus stream: the forked testbench Rng's state_hash(). Random
 //     stimulus makes the functional verdict depend on the vector stream, so
 //     two byte-identical candidates with different streams must NOT share an
@@ -40,14 +42,17 @@ namespace haven::eval {
 
 // Bump when CachedVerdict's encoding or the key derivation changes; old
 // entries then miss instead of replaying garbage.
-inline constexpr std::uint32_t kVerdictSchemaVersion = 1;
+inline constexpr std::uint32_t kVerdictSchemaVersion = 2;
 
-// The replayable outcome of one candidate's compile→lint→simulate stages.
+// The replayable outcome of one candidate's compile→lint→prove→simulate
+// stages.
 struct CachedVerdict {
   bool syntax_ok = false;
   bool func_ok = false;
   bool triaged = false;    // failed by lint proof; simulation was skipped
   bool simulated = false;  // the diff testbench actually ran
+  bool proved = false;     // verdict decided by haven::prove; sim skipped
+  bool prove_fallback = false;  // prove attempted, deferred to simulation
   std::int32_t sim_vectors = 0;
   std::vector<lint::Finding> findings;  // empty unless lint was enabled
 };
@@ -62,9 +67,11 @@ enum class CacheLintMode : std::uint8_t { kOff = 0, kObserve, kTriage };
 
 // Per-task key base, computed once per task per run: hashes the schema
 // version, task id, golden source (canonicalized), stimulus spec, sim step
-// budget, and lint mode.
+// budget, lint mode, and the prove knobs (request-level: hashed whether or
+// not the task itself turns out to be provable).
 cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budget,
-                              CacheLintMode lint_mode);
+                              CacheLintMode lint_mode, bool prove = false,
+                              std::uint64_t prove_budget = 0);
 
 // Per-candidate key: the task seed + canonicalized candidate source + the
 // testbench stream digest.

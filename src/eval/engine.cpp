@@ -15,6 +15,7 @@
 #include "eval/passk.h"
 #include "lint/lint.h"
 #include "logic/truth_table.h"
+#include "prove/prove.h"
 #include "sim/elaborate.h"
 #include "sim/testbench.h"
 #include "util/fault.h"
@@ -71,11 +72,13 @@ int LintSummary::dominant_axis() const {
 }
 
 bool counters_consistent(const EvalCounters& c) {
-  if (c.candidates !=
-      c.unit_faults + c.compile_failures + c.lint_triaged + c.simulated + c.cache_hits) {
+  if (c.candidates != c.unit_faults + c.compile_failures + c.lint_triaged + c.proven_equiv +
+                          c.proven_inequiv + c.simulated + c.cache_hits) {
     return false;
   }
   if (c.deadline_exceeded + c.cycles_aborted > c.unit_faults) return false;
+  // Every fallback reached the testbench by definition.
+  if (c.prove_fallback > c.simulated) return false;
   // With a cache attached every non-faulted unit is exactly one lookup; with
   // no cache both counters stay zero (then the check is vacuous).
   if (c.cache_hits + c.cache_misses != 0 &&
@@ -125,12 +128,15 @@ struct UnitOutcome {
   bool func_ok = false;
   bool refined = false;
   bool triaged = false;    // failed by lint proof, simulation skipped
+  bool proved = false;     // verdict decided by haven::prove, sim skipped
+  bool prove_fallback = false;  // prove attempted, deferred to simulation
   bool simulated = false;  // the diff testbench actually ran
   int sim_vectors = 0;     // vectors/cycles the diff testbench compared
   std::vector<lint::Finding> findings;  // only when lint is enabled
   double generate_seconds = 0.0;
   double compile_seconds = 0.0;
   double lint_seconds = 0.0;
+  double prove_seconds = 0.0;
   double sim_seconds = 0.0;
   int attempts = 1;  // attempts consumed (1 = no retries)
   bool cache_hit = false;  // verdict replayed from the result cache
@@ -157,6 +163,15 @@ struct LintRun {
   bool triage = false;
 };
 
+// Per-task prove context prepared once before the sample fan-out. A null
+// golden means the task is outside the provable fragment (sequential, sweep
+// too wide, golden doesn't lower, or a step budget is in force): every
+// candidate simulates as before, with no fallback counted.
+struct ProveRun {
+  const verilog::ParseOutput* golden = nullptr;
+  prove::ProveOptions opts;
+};
+
 FaultKind classify_fault(const std::exception& e) {
   if (dynamic_cast<const util::InjectedFault*>(&e) != nullptr) return FaultKind::kInjected;
   if (dynamic_cast<const util::DeadlineExceeded*>(&e) != nullptr) return FaultKind::kDeadline;
@@ -175,7 +190,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                UnitOutcome* stats, const util::Deadline& deadline,
                                std::uint64_t step_budget, sim::SimBackend sim_backend,
                                const LintRun* lint_run = nullptr,
-                               const CacheRun* cache_run = nullptr) {
+                               const CacheRun* cache_run = nullptr,
+                               const ProveRun* prove_run = nullptr) {
   CandidateOutcome outcome;
 
   const Clock::time_point gen_start = Clock::now();
@@ -215,6 +231,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
         stats->syntax_ok = v.syntax_ok;
         stats->func_ok = v.func_ok;
         stats->triaged = v.triaged;
+        stats->proved = v.proved;
+        stats->prove_fallback = v.prove_fallback;
         stats->simulated = v.simulated;
         stats->sim_vectors = v.sim_vectors;
         stats->findings = std::move(v.findings);
@@ -233,6 +251,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     v.syntax_ok = oc.syntax_ok;
     v.func_ok = oc.func_ok;
     v.triaged = stats->triaged;
+    v.proved = stats->proved;
+    v.prove_fallback = stats->prove_fallback;
     v.simulated = stats->simulated;
     v.sim_vectors = stats->sim_vectors;
     v.findings = stats->findings;
@@ -265,9 +285,11 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     return outcome;
   }
 
+  const bool prove_active = prove_run != nullptr && prove_run->golden != nullptr;
+
   // Lint the compiled candidate against the reference profile. Draws nothing
   // from `rng` (determinism contract) and parses the candidate exactly once;
-  // the parsed AST feeds the simulator below.
+  // the parsed AST feeds the prover and the simulator below.
   verilog::ParseOutput cand_parsed;
   bool cand_ast_ready = false;
   if (lint_run != nullptr) {
@@ -294,17 +316,54 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     } else if (stats != nullptr) {
       stats->lint_seconds = seconds_since(lint_start);
     }
+  } else if (prove_active) {
+    // Lint is off but the prover needs the AST; the parse is charged to the
+    // prove stage.
+    const Clock::time_point parse_start = Clock::now();
+    cand_parsed = verilog::parse_source(outcome.source);
+    cand_ast_ready = cand_parsed.ok() && !cand_parsed.file.modules.empty();
+    if (stats != nullptr) stats->prove_seconds += seconds_since(parse_start);
+  }
+
+  // Formal equivalence fast-path (DESIGN.md §12), after lint triage — a
+  // candidate with a proven lint failure counts once, under lint_triaged —
+  // and before simulation. A proven verdict is bit-identical to the diff
+  // testbench's by construction; anything else falls through to it.
+  if (prove_active && cand_ast_ready) {
+    const Clock::time_point prove_start = Clock::now();
+    const prove::ProveResult proof = prove::prove_equivalence(
+        cand_parsed.file.modules.front(), &cand_parsed.file,
+        prove_run->golden->file.modules.front(), &prove_run->golden->file, task.stimulus,
+        prove_run->opts);
+    if (stats != nullptr) stats->prove_seconds += seconds_since(prove_start);
+    deadline.check("prove");
+    if (proof.status == prove::ProveStatus::kEquivalent ||
+        proof.status == prove::ProveStatus::kInequivalent) {
+      outcome.func_ok = proof.status == prove::ProveStatus::kEquivalent;
+      if (stats != nullptr) {
+        stats->func_ok = outcome.func_ok;
+        stats->proved = true;
+      }
+      store(outcome);
+      return outcome;
+    }
+    // kUnsupported / kBudgetExceeded: defer to the testbench.
+    if (stats != nullptr) stats->prove_fallback = true;
   }
 
   const Clock::time_point sim_start = Clock::now();
   sim::StimulusSpec stimulus = task.stimulus;
   if (step_budget != 0) stimulus.step_budget = step_budget;
   stimulus.backend = sim_backend;
+  const verilog::ParseOutput* golden_ast =
+      lint_run != nullptr && lint_run->golden != nullptr ? lint_run->golden
+      : prove_active                                     ? prove_run->golden
+                                                         : nullptr;
   const sim::DiffResult diff =
-      (cand_ast_ready && lint_run != nullptr && lint_run->golden != nullptr)
+      (cand_ast_ready && golden_ast != nullptr)
           ? sim::run_diff_test(cand_parsed.file.modules.front(), &cand_parsed.file,
-                               lint_run->golden->file.modules.front(),
-                               &lint_run->golden->file, stimulus, tb_rng, &deadline)
+                               golden_ast->file.modules.front(), &golden_ast->file, stimulus,
+                               tb_rng, &deadline)
           : sim::run_diff_test(outcome.source, task.golden_source, stimulus, tb_rng,
                                &deadline);
   outcome.func_ok = diff.passed;
@@ -422,9 +481,44 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     for (std::size_t i = 0; i < n_tasks; ++i) {
       cache_runs[i].cache = result_cache;
       cache_runs[i].task_seed =
-          task_cache_seed(suite.tasks[i], request_.sim_step_budget, lint_mode);
+          task_cache_seed(suite.tasks[i], request_.sim_step_budget, lint_mode, request_.prove,
+                          request_.prove_budget);
     }
     cache_evictions_before = result_cache->stats().evictions;
+  }
+
+  // Per-task prove context: eligibility decided once per task, shared
+  // read-only by every worker. Eligibility is structural (combinational spec,
+  // sweep fits, golden lowers, no step budget in force — a budget-blown sim
+  // must still surface as a unit fault); the dry run is unbudgeted so that a
+  // small request budget exhausts per candidate, counted under
+  // prove_fallback, instead of silently disabling the task.
+  const bool prove_enabled = request_.prove;
+  prove::ProveOptions prove_opts;
+  prove_opts.node_budget = request_.prove_budget;
+  std::vector<ProveRun> prove_runs(prove_enabled ? n_tasks : 0);
+  std::vector<verilog::ParseOutput> prove_goldens(prove_enabled ? n_tasks : 0);
+  if (prove_enabled) {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      const EvalTask& task = suite.tasks[i];
+      prove_runs[i].opts = prove_opts;
+      if (request_.sim_step_budget != 0 || task.stimulus.step_budget != 0) continue;
+      const verilog::ParseOutput* golden = nullptr;
+      if (lint_enabled && goldens[i].usable) {
+        golden = &goldens[i].parsed;
+      } else if (!lint_enabled) {
+        prove_goldens[i] = verilog::parse_source(task.golden_source);
+        if (prove_goldens[i].ok() && !prove_goldens[i].file.modules.empty()) {
+          golden = &prove_goldens[i];
+        }
+      }
+      if (golden == nullptr) continue;
+      if (!prove::golden_provable(golden->file.modules.front(), &golden->file, task.stimulus,
+                                  prove::ProveOptions{0})) {
+        continue;
+      }
+      prove_runs[i].golden = golden;
+    }
   }
 
   // Work-unit index layout: temperature-major, then task, then sample.
@@ -472,7 +566,8 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
         run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
                       rng, &stats, deadline, request_.sim_step_budget, request_.sim_backend,
                       lint_enabled ? &lint_run : nullptr,
-                      result_cache != nullptr ? &cache_runs[task_i] : nullptr);
+                      result_cache != nullptr ? &cache_runs[task_i] : nullptr,
+                      prove_enabled ? &prove_runs[task_i] : nullptr);
         return stats;
       } catch (const std::exception& e) {
         if (attempt < max_retries && request_.retry.should_retry(e)) {
@@ -605,6 +700,7 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
     counters.generate_seconds += u.generate_seconds;
     counters.compile_seconds += u.compile_seconds;
     counters.lint_seconds += u.lint_seconds;
+    counters.prove_seconds += u.prove_seconds;
     counters.sim_seconds += u.sim_seconds;
     if (u.cache_hit) {
       // A hit replays the verdict without running compile/lint/simulate: it
@@ -616,6 +712,9 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       counters.compile_failures += !u.syntax_ok;
       counters.sim_mismatches += u.syntax_ok && !u.func_ok;
       counters.lint_triaged += u.triaged;
+      counters.proven_equiv += u.proved && u.func_ok;
+      counters.proven_inequiv += u.proved && !u.func_ok;
+      counters.prove_fallback += u.prove_fallback;
       counters.simulated += u.simulated;
       counters.sim_vectors += u.sim_vectors;
     }

@@ -136,6 +136,16 @@ struct EvalCounters {
   std::int64_t lint_triaged = 0;       // candidates failed by proof, sim skipped
   std::int64_t simulated = 0;          // candidates that ran the diff testbench
   std::int64_t sim_vectors = 0;        // vectors/cycles actually compared
+  // Formal equivalence fast-path block (see DESIGN.md §12). With proving on,
+  // the accounting identity extends to
+  //   candidates == unit_faults + compile_failures + lint_triaged
+  //                 + proven_equiv + proven_inequiv + simulated + cache_hits
+  // (a proven candidate's verdict is decided with zero simulation; an
+  // unsupported or budget-blown proof falls back to the testbench, counted
+  // under both prove_fallback and simulated).
+  std::int64_t proven_equiv = 0;    // candidates proven equivalent (func pass)
+  std::int64_t proven_inequiv = 0;  // candidates proven inequivalent (func fail)
+  std::int64_t prove_fallback = 0;  // prove attempts that deferred to simulation
   // Result-cache block (see DESIGN.md §9). With caching on, the accounting
   // identity extends to
   //   candidates == unit_faults + compile_failures + lint_triaged + simulated
@@ -152,6 +162,7 @@ struct EvalCounters {
   double generate_seconds = 0.0;       // SI-CoT refine + candidate generation
   double compile_seconds = 0.0;        // syntax checking
   double lint_seconds = 0.0;           // static analysis (0 when lint is off)
+  double prove_seconds = 0.0;          // equivalence proving (0 when prove off)
   double sim_seconds = 0.0;            // differential simulation
   double wall_seconds = 0.0;           // whole-run wall clock
   double cpu_seconds = 0.0;            // whole-run process CPU time
@@ -160,11 +171,12 @@ struct EvalCounters {
 
 // THE accounting identity, asserted centrally by the reducer (debug builds)
 // and reusable by tests instead of re-deriving it per call site:
-//   candidates == unit_faults + compile_failures + lint_triaged + simulated
-//                 + cache_hits
+//   candidates == unit_faults + compile_failures + lint_triaged
+//                 + proven_equiv + proven_inequiv + simulated + cache_hits
 // plus the structural corollaries (fault sub-kinds never exceed unit_faults;
-// with a cache attached, hits + misses == candidates - unit_faults). Holds
-// at any thread count, injection rate, lint mode, and cache state.
+// prove_fallback never exceeds simulated; with a cache attached,
+// hits + misses == candidates - unit_faults). Holds at any thread count,
+// injection rate, lint mode, prove mode, and cache state.
 bool counters_consistent(const EvalCounters& c);
 
 // Run-wide lint aggregation (EvalRequest::lint / lint_triage). All tallies
@@ -182,7 +194,8 @@ struct LintSummary {
   // Lint-vs-simulation confusion over compiled, non-faulted candidates:
   // "positive" = lint predicted functional failure; ground truth = the diff
   // testbench verdict (triaged candidates count as true positives — their
-  // failure is proven, see DESIGN.md §8).
+  // failure is proven, see DESIGN.md §8; proven-inequivalent candidates from
+  // the haven::prove fast-path count the same way).
   std::int64_t true_positives = 0;
   std::int64_t false_positives = 0;
   std::int64_t false_negatives = 0;
@@ -289,6 +302,24 @@ class EvalRequest {
   // cycles drop. Implies `lint`.
   bool lint_triage = false;
 
+  // --- formal equivalence fast-path ----------------------------------------
+  // Decide combinational candidates by combinational equivalence checking
+  // (haven::prove, DESIGN.md §12) instead of simulation wherever that is
+  // sound: the task is combinational, its exhaustive input sweep fits, the
+  // golden module lowers cleanly, and no per-unit step budget is in force.
+  // A proven verdict is bit-identical to the simulated one by construction;
+  // anything the prover cannot mirror exactly falls back to the testbench.
+  // Enabling prove therefore never changes SuiteResult verdicts, pass@k, or
+  // the lint block — only the counter breakdown (proven_equiv /
+  // proven_inequiv / prove_fallback) and wall time. Ordering with lint_triage:
+  // a candidate with a proven lint failure is triaged first and never reaches
+  // the prover (it counts once, under lint_triaged).
+  bool prove = false;
+  // Hard node budget shared by one proof attempt's AIG, BDD, and fallback
+  // sweep (= prove::kDefaultNodeBudget; 0 = unbounded). Exhausting it defers
+  // the candidate to simulation, counted under prove_fallback.
+  std::uint64_t prove_budget = std::uint64_t{1} << 20;
+
   // --- result cache ---------------------------------------------------------
   // Content-addressed memoization of the compile→lint→simulate stages (see
   // DESIGN.md §9). NON-OWNING: the caller keeps the cache alive for as long
@@ -341,6 +372,11 @@ class EvalRequest {
   }
   EvalRequest& with_lint(bool on = true) { lint = on; return *this; }
   EvalRequest& with_lint_triage(bool on = true) { lint_triage = on; return *this; }
+  EvalRequest& with_prove(bool on = true) { prove = on; return *this; }
+  EvalRequest& with_prove_budget(std::uint64_t nodes) {
+    prove_budget = nodes;
+    return *this;
+  }
   EvalRequest& with_cache(cache::ResultCache* c) { cache = c; return *this; }
   EvalRequest& with_fail_fast(bool on = true) { fail_fast = on; return *this; }
   EvalRequest& with_deadline_ms(int ms) { deadline_ms = ms; return *this; }
@@ -392,9 +428,9 @@ class EvalEngine {
 
   // Generate and check a single candidate with the request's SI-CoT
   // settings, drawing from the caller's rng. Exposed for tests, examples,
-  // and microbenchmarks. Lint/triage settings are ignored here (building a
-  // reference profile is evaluate()'s per-task job); the verdict is always
-  // the simulated one.
+  // and microbenchmarks. Lint/triage and prove settings are ignored here
+  // (building a reference profile / deciding prove eligibility is
+  // evaluate()'s per-task job); the verdict is always the simulated one.
   CandidateOutcome check(const llm::SimLlm& model, const EvalTask& task, double temperature,
                          util::Rng& rng) const;
 

@@ -47,6 +47,10 @@ RequestOptions RequestOptions::parse(int argc, char** argv,
     } else if (boolean("--lint-json")) {
       options.lint = true;
       options.lint_json = true;
+    } else if (boolean("--prove")) {
+      options.prove = true;
+    } else if (boolean("--no-prove")) {
+      options.no_prove = true;
     } else if (boolean("--cache")) {
       options.cache = true;
     } else if (boolean("--no-cache")) {
@@ -75,9 +79,11 @@ RequestOptions RequestOptions::parse(int argc, char** argv,
       if (auto backend = sim::parse_backend(v)) {
         options.sim_backend = *backend;
       } else {
-        usage_error(std::string("unknown --sim-backend '") + v +
-                    "' (want interp|compiled)");
+        usage_error(std::string("unknown --sim-backend '") + v + "' (want " +
+                    std::string(sim::kBackendValues) + ")");
       }
+    } else if (const char* v = value_of("--prove-budget")) {
+      options.prove_budget = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--inject")) {
       options.inject = std::atof(v);
     } else if (const char* v = value_of("--inject-seed")) {
@@ -111,6 +117,7 @@ const char* RequestOptions::flag_help() {
          "            --threads=N --serial --deadline-ms=N --retries=N --fail-fast\n"
          "            --sim-budget=N --sim-backend=interp|compiled\n"
          "            --inject=P --inject-seed=N --lint --lint-triage --lint-json\n"
+         "            --prove --no-prove --prove-budget=N\n"
          "            --cache --no-cache --cache-dir=PATH --cache-mb=N\n"
          "            --bench-json=PATH";
 }
@@ -129,6 +136,8 @@ EvalRequest RequestOptions::request() const {
   req.sim_backend = sim_backend;
   req.lint = lint;
   req.lint_triage = lint_triage;
+  req.prove = prove && !no_prove;
+  req.prove_budget = prove_budget;
   req.cache = result_cache.get();
   if (progress) req.on_progress = progress_printer();
   return req;

@@ -47,6 +47,10 @@ struct RequestOptions {
   bool lint = false;         // --lint
   bool lint_triage = false;  // --lint-triage
   bool lint_json = false;    // --lint-json (implies --lint)
+  // Formal equivalence fast-path knobs (DESIGN.md §12).
+  bool prove = false;     // --prove
+  bool no_prove = false;  // --no-prove: force proving off
+  std::uint64_t prove_budget = std::uint64_t{1} << 20;  // --prove-budget=N (0 = unbounded)
   // Result-cache knobs (DESIGN.md §9).
   bool cache = false;          // --cache: in-memory result cache
   bool no_cache = false;       // --no-cache: force caching off

@@ -42,6 +42,13 @@ std::string summarize(const EvalCounters& c) {
                          static_cast<long long>(c.simulated),
                          static_cast<long long>(c.sim_vectors), c.lint_seconds);
   }
+  if (c.proven_equiv != 0 || c.proven_inequiv != 0 || c.prove_fallback != 0 ||
+      c.prove_seconds != 0.0) {
+    line += util::format("; prove %lld equiv + %lld inequiv / %lld fallback, prove %.2fs",
+                         static_cast<long long>(c.proven_equiv),
+                         static_cast<long long>(c.proven_inequiv),
+                         static_cast<long long>(c.prove_fallback), c.prove_seconds);
+  }
   if (c.cache_hits != 0 || c.cache_misses != 0) {
     line += "; " + summarize_cache(c);
   }

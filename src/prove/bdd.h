@@ -1,0 +1,77 @@
+// Complement-edge reduced-ordered BDDs for the equivalence verdict
+// (DESIGN.md §12). The prover folds the miscompare AIG cone bottom-up
+// through land(); canonicity of the complemented-else-edge form makes the
+// final check a single reference comparison against kFalseRef.
+//
+// Variable order is the AIG primary-input order, which the prover allocates
+// as the golden module's data-input ports LSB-first — the same bit layout
+// the exhaustive testbench sweep uses for its vector counter.
+//
+// Node allocation charges the shared prove::Budget; a blow-up throws
+// BudgetExceededError and the prover falls back to the 64-lane cofactor
+// sweep (and from there, to simulation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prove/aig.h"
+
+namespace haven::prove {
+
+class Bdd {
+ public:
+  // Reference: node id << 1 | complement. Node 0 is the single terminal
+  // (TRUE); FALSE is its complement.
+  using Ref = std::uint32_t;
+  static constexpr Ref kTrueRef = 0;
+  static constexpr Ref kFalseRef = 1;
+  static Ref lnot(Ref f) { return f ^ 1u; }
+
+  explicit Bdd(Budget* budget) : budget_(budget) {
+    nodes_.push_back(Node{kTermVar, kTrueRef, kTrueRef});
+  }
+
+  // The single-variable function v.
+  Ref var(std::uint32_t v) { return mk(v, kTrueRef, kFalseRef); }
+
+  Ref land(Ref f, Ref g);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  static constexpr std::uint32_t kTermVar = ~std::uint32_t{0};
+
+  struct Node {
+    std::uint32_t var = kTermVar;
+    Ref hi = kTrueRef;
+    Ref lo = kTrueRef;  // invariant: never complemented (canonical form)
+  };
+
+  struct UniqueKey {
+    std::uint32_t var;
+    Ref hi, lo;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueHash {
+    std::size_t operator()(const UniqueKey& k) const {
+      std::uint64_t h = (std::uint64_t{k.var} + 1) * 0x9e3779b97f4a7c15ULL;
+      h ^= ((std::uint64_t{k.hi} << 32) | k.lo) * 0xda942042e4dd58b5ULL;
+      h ^= h >> 29;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 32;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  Ref mk(std::uint32_t v, Ref hi, Ref lo);
+  std::uint32_t var_of(Ref r) const { return nodes_[r >> 1].var; }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, std::uint32_t, UniqueHash> unique_;
+  std::unordered_map<std::uint64_t, Ref> and_cache_;
+  Budget* budget_;
+};
+
+}  // namespace haven::prove

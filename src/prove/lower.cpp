@@ -1,0 +1,1106 @@
+// Dual-rail symbolic lowering (lower.h, DESIGN.md §12). Every rule here
+// mirrors a specific construct in sim/simulator.cpp or sim/value.h; where the
+// correspondence is not obvious a comment names the mirrored behaviour. The
+// cardinal rule: when the settled state cannot be reproduced bit-identically
+// as a pure function of the swept inputs, throw UnsupportedError — never
+// approximate.
+#include "prove/lower.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "sim/value.h"
+#include "verilog/ast.h"
+
+namespace haven::prove {
+namespace {
+
+using sim::ElabDesign;
+using sim::ElabProcess;
+using sim::ProcessKind;
+using sim::Value;
+using verilog::CaseKind;
+using verilog::ExprKind;
+using verilog::ExprPtr;
+using verilog::StmtKind;
+using verilog::StmtPtr;
+
+// Mirrors simulator.cpp's loop cap; exceeding it there flags non-convergence,
+// here it forces the simulation fallback which reproduces that flag.
+constexpr int kMaxLoopIterations = 1 << 16;
+// Strictly below the simulator's kMaxDeltaCycles so an acyclic design we
+// accept can never be one the simulator fails to settle.
+constexpr int kMaxCombDepth = 990;
+
+[[noreturn]] void unsupported(const std::string& reason) { throw UnsupportedError(reason); }
+
+int checked_width(int w) {
+  if (w < 1 || w > 64) unsupported("vector width outside 1..64");
+  return w;
+}
+
+class Lowerer {
+ public:
+  Lowerer(Aig* aig, const ElabDesign& design,
+          const std::map<std::string, std::vector<Lit>>& input_vars)
+      : aig_(aig), budget_(aig->budget()), design_(design), input_vars_(input_vars) {}
+
+  std::vector<Word> run();
+
+ private:
+  // Per-activation shadow state of one combinational process. kBottom = not
+  // yet assigned this activation, kVal = assigned, kPoison = assigned on some
+  // but not all paths (a latch if it survives to commit).
+  enum class BState : unsigned char { kBottom, kPoison, kVal };
+  struct OBit {
+    BState st = BState::kBottom;
+    Bit bit;
+  };
+  using Overlay = std::map<std::size_t, std::vector<OBit>>;
+  struct NbaWrite {
+    std::size_t id;
+    int hi, lo;
+    Word value;
+  };
+
+  struct Ctx {
+    bool initial = false;
+    Overlay overlay;                       // comb mode: targets of the process
+    std::vector<NbaWrite>* nba = nullptr;  // initial mode: queued NBAs
+    // Bits the active process may ever write (per target signal); reading a
+    // still-kBottom bit inside this mask would observe the previous
+    // activation, which a single pass cannot model.
+    const std::map<std::size_t, std::uint64_t>* write_masks = nullptr;
+  };
+
+  // --- word helpers ---------------------------------------------------------
+  Lit land(Lit a, Lit b) { return aig_->land(a, b); }
+  Lit lor(Lit a, Lit b) { return aig_->lor(a, b); }
+  Lit lxor(Lit a, Lit b) { return aig_->lxor(a, b); }
+  Lit lmux(Lit s, Lit t, Lit f) { return aig_->lmux(s, t, f); }
+
+  static Word all_x(int w) { return Word(checked_width(w)); }
+
+  Word from_value(const Value& v) const {
+    Word w(v.width());
+    for (int i = 0; i < v.width(); ++i) {
+      if ((v.xz() >> i) & 1)
+        w.bits[static_cast<std::size_t>(i)] = Bit{kFalse, kTrue};
+      else
+        w.bits[static_cast<std::size_t>(i)] = Bit{((v.bits() >> i) & 1) ? kTrue : kFalse, kFalse};
+    }
+    return w;
+  }
+
+  static bool word_const(const Word& w, Value* out) {
+    std::uint64_t bits = 0, xz = 0;
+    for (int i = 0; i < w.width(); ++i) {
+      const Bit& b = w.bits[static_cast<std::size_t>(i)];
+      if ((b.v != kFalse && b.v != kTrue) || (b.x != kFalse && b.x != kTrue)) return false;
+      if (b.v == kTrue) bits |= std::uint64_t{1} << i;
+      if (b.x == kTrue) xz |= std::uint64_t{1} << i;
+    }
+    *out = Value::with_xz(bits, xz, w.width());
+    return true;
+  }
+
+  // Zero-extend or truncate, mirroring Value::resized.
+  static Word resized(const Word& w, int nw) {
+    checked_width(nw);
+    Word out(nw);
+    for (int i = 0; i < nw; ++i)
+      out.bits[static_cast<std::size_t>(i)] =
+          i < w.width() ? w.bits[static_cast<std::size_t>(i)] : Bit{kFalse, kFalse};
+    return out;
+  }
+
+  Lit any_x(const Word& w) {
+    Lit a = kFalse;
+    for (const Bit& b : w.bits) a = lor(a, b.x);
+    return a;
+  }
+  Lit any_v(const Word& w) {
+    Lit a = kFalse;
+    for (const Bit& b : w.bits) a = lor(a, b.v);
+    return a;
+  }
+  // Value::truthy(): fully defined and nonzero.
+  Lit truthy_lit(const Word& w) { return land(any_v(w), lit_not(any_x(w))); }
+
+  std::vector<Lit> vplane(const Word& w, int nw) {
+    std::vector<Lit> out(static_cast<std::size_t>(nw), kFalse);
+    for (int i = 0; i < nw && i < w.width(); ++i)
+      out[static_cast<std::size_t>(i)] = w.bits[static_cast<std::size_t>(i)].v;
+    return out;
+  }
+
+  // All-or-nothing X gate used by arithmetic: any unknown input bit makes the
+  // whole result X (v_add/v_sub/v_mul/v_neg).
+  Word guard(Lit ax, const std::vector<Lit>& vbits) {
+    Word out(static_cast<int>(vbits.size()));
+    const Lit def = lit_not(ax);
+    for (std::size_t i = 0; i < vbits.size(); ++i) out.bits[i] = Bit{land(def, vbits[i]), ax};
+    return out;
+  }
+  Word guard1(Lit ax, Lit v) { return guard(ax, {v}); }
+
+  std::vector<Lit> ripple_add(const std::vector<Lit>& a, const std::vector<Lit>& b, Lit cin) {
+    std::vector<Lit> s(a.size(), kFalse);
+    Lit c = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Lit axb = lxor(a[i], b[i]);
+      s[i] = lxor(axb, c);
+      c = lor(land(a[i], b[i]), land(c, axb));
+    }
+    return s;
+  }
+
+  // Value-plane equality of `idx` with constant k. Only meaningful in
+  // contexts guarded by "idx fully defined".
+  Lit eq_const(const Word& idx, std::uint64_t k) {
+    const int w = idx.width();
+    if (w < 64 && (k >> w) != 0) return kFalse;
+    Lit acc = kTrue;
+    for (int i = 0; i < w; ++i) {
+      const Lit bit = idx.bits[static_cast<std::size_t>(i)].v;
+      acc = land(acc, ((k >> i) & 1) ? bit : lit_not(bit));
+    }
+    return acc;
+  }
+
+  // --- operator kernels (symbolic mirrors of the v_* functions) -------------
+  Word w_and(const Word& a0, const Word& b0) {
+    const int w = std::max(a0.width(), b0.width());
+    const Word a = resized(a0, w), b = resized(b0, w);
+    Word out(w);
+    for (int i = 0; i < w; ++i) {
+      const Bit &ab = a.bits[static_cast<std::size_t>(i)], &bb = b.bits[static_cast<std::size_t>(i)];
+      const Lit zero = lor(land(lit_not(ab.v), lit_not(ab.x)), land(lit_not(bb.v), lit_not(bb.x)));
+      const Lit one = land(ab.v, bb.v);
+      out.bits[static_cast<std::size_t>(i)] = Bit{one, lit_not(lor(zero, one))};
+    }
+    return out;
+  }
+
+  Word w_or(const Word& a0, const Word& b0) {
+    const int w = std::max(a0.width(), b0.width());
+    const Word a = resized(a0, w), b = resized(b0, w);
+    Word out(w);
+    for (int i = 0; i < w; ++i) {
+      const Bit &ab = a.bits[static_cast<std::size_t>(i)], &bb = b.bits[static_cast<std::size_t>(i)];
+      const Lit one = lor(ab.v, bb.v);
+      const Lit zero = land(land(lit_not(ab.v), lit_not(ab.x)), land(lit_not(bb.v), lit_not(bb.x)));
+      out.bits[static_cast<std::size_t>(i)] = Bit{one, lit_not(lor(zero, one))};
+    }
+    return out;
+  }
+
+  Word w_xor(const Word& a0, const Word& b0) {
+    const int w = std::max(a0.width(), b0.width());
+    const Word a = resized(a0, w), b = resized(b0, w);
+    Word out(w);
+    for (int i = 0; i < w; ++i) {
+      const Bit &ab = a.bits[static_cast<std::size_t>(i)], &bb = b.bits[static_cast<std::size_t>(i)];
+      const Lit x = lor(ab.x, bb.x);
+      out.bits[static_cast<std::size_t>(i)] = Bit{land(lxor(ab.v, bb.v), lit_not(x)), x};
+    }
+    return out;
+  }
+
+  Word w_not(const Word& a) {
+    Word out(a.width());
+    for (int i = 0; i < a.width(); ++i) {
+      const Bit& ab = a.bits[static_cast<std::size_t>(i)];
+      out.bits[static_cast<std::size_t>(i)] = Bit{land(lit_not(ab.v), lit_not(ab.x)), ab.x};
+    }
+    return out;
+  }
+
+  Word w_add(const Word& a, const Word& b) {
+    const int w = std::max(a.width(), b.width());
+    const Lit ax = lor(any_x(a), any_x(b));
+    return guard(ax, ripple_add(vplane(a, w), vplane(b, w), kFalse));
+  }
+
+  Word w_sub(const Word& a, const Word& b) {
+    const int w = std::max(a.width(), b.width());
+    const Lit ax = lor(any_x(a), any_x(b));
+    std::vector<Lit> nb = vplane(b, w);
+    for (Lit& l : nb) l = lit_not(l);
+    return guard(ax, ripple_add(vplane(a, w), nb, kTrue));
+  }
+
+  Word w_mul(const Word& a, const Word& b) {
+    const int w = std::max(a.width(), b.width());
+    const Lit ax = lor(any_x(a), any_x(b));
+    const std::vector<Lit> va = vplane(a, w), vb = vplane(b, w);
+    std::vector<Lit> acc(static_cast<std::size_t>(w), kFalse);
+    for (int i = 0; i < w; ++i) {
+      if (vb[static_cast<std::size_t>(i)] == kFalse) continue;
+      std::vector<Lit> row(static_cast<std::size_t>(w), kFalse);
+      for (int j = i; j < w; ++j)
+        row[static_cast<std::size_t>(j)] =
+            land(vb[static_cast<std::size_t>(i)], va[static_cast<std::size_t>(j - i)]);
+      acc = ripple_add(acc, row, kFalse);
+    }
+    return guard(ax, acc);
+  }
+
+  Word w_neg(const Word& a) {
+    const int w = a.width();
+    std::vector<Lit> na = vplane(a, w);
+    for (Lit& l : na) l = lit_not(l);
+    return guard(any_x(a), ripple_add(na, std::vector<Lit>(static_cast<std::size_t>(w), kFalse), kTrue));
+  }
+
+  Word w_shift(const Word& a, const Word& b, bool left) {
+    const int w = a.width();
+    const Lit bx = any_x(b);
+    if (bx == kTrue) return all_x(w);
+    std::vector<Lit> rv(static_cast<std::size_t>(w), kFalse), rx(static_cast<std::size_t>(w), kFalse);
+    for (int k = 0; k < w; ++k) {
+      const Lit eq = eq_const(b, static_cast<std::uint64_t>(k));
+      if (eq == kFalse) continue;
+      for (int j = 0; j < w; ++j) {
+        const int src = left ? j - k : j + k;
+        if (src < 0 || src >= w) continue;
+        const Bit& sb = a.bits[static_cast<std::size_t>(src)];
+        rv[static_cast<std::size_t>(j)] = lor(rv[static_cast<std::size_t>(j)], land(eq, sb.v));
+        rx[static_cast<std::size_t>(j)] = lor(rx[static_cast<std::size_t>(j)], land(eq, sb.x));
+      }
+    }
+    // Shift counts >= w (including >= 64) match no eq term: a defined zero,
+    // exactly v_shl/v_shr's masked result.
+    Word out(w);
+    for (int j = 0; j < w; ++j)
+      out.bits[static_cast<std::size_t>(j)] =
+          Bit{land(lit_not(bx), rv[static_cast<std::size_t>(j)]), lor(bx, rx[static_cast<std::size_t>(j)])};
+    return out;
+  }
+
+  Word w_eq(const Word& a0, const Word& b0) {
+    const int w = std::max(a0.width(), b0.width());
+    const Word a = resized(a0, w), b = resized(b0, w);
+    Lit mismatch = kFalse, anyx = kFalse;
+    for (int i = 0; i < w; ++i) {
+      const Bit &ab = a.bits[static_cast<std::size_t>(i)], &bb = b.bits[static_cast<std::size_t>(i)];
+      mismatch = lor(mismatch, land(land(lit_not(ab.x), lit_not(bb.x)), lxor(ab.v, bb.v)));
+      anyx = lor(anyx, lor(ab.x, bb.x));
+    }
+    Word out(1);
+    out.bits[0] = Bit{land(lit_not(mismatch), lit_not(anyx)), land(lit_not(mismatch), anyx)};
+    return out;
+  }
+
+  Word w_neq(const Word& a, const Word& b) {
+    const Word e = w_eq(a, b);
+    Word out(1);
+    out.bits[0] = Bit{land(lit_not(e.bits[0].v), lit_not(e.bits[0].x)), e.bits[0].x};
+    return out;
+  }
+
+  Word w_case_eq(const Word& a0, const Word& b0, bool negate) {
+    const int w = std::max(a0.width(), b0.width());
+    const Word a = resized(a0, w), b = resized(b0, w);
+    Lit same = kTrue;
+    for (int i = 0; i < w; ++i) {
+      const Bit &ab = a.bits[static_cast<std::size_t>(i)], &bb = b.bits[static_cast<std::size_t>(i)];
+      same = land(same, land(lit_not(lxor(ab.v, bb.v)), lit_not(lxor(ab.x, bb.x))));
+    }
+    Word out(1);
+    out.bits[0] = Bit{negate ? lit_not(same) : same, kFalse};
+    return out;
+  }
+
+  enum class Cmp { kLt, kLe, kGt, kGe };
+  Word w_cmp(const Word& a, const Word& b, Cmp cmp) {
+    const Lit anyx = lor(any_x(a), any_x(b));
+    const int w = std::max(a.width(), b.width());
+    const std::vector<Lit> va = vplane(a, w), vb = vplane(b, w);
+    Lit lt = kFalse, eqp = kTrue;
+    for (int i = w - 1; i >= 0; --i) {
+      lt = lor(lt, land(eqp, land(lit_not(va[static_cast<std::size_t>(i)]), vb[static_cast<std::size_t>(i)])));
+      eqp = land(eqp, lit_not(lxor(va[static_cast<std::size_t>(i)], vb[static_cast<std::size_t>(i)])));
+    }
+    const Lit le = lor(lt, eqp);
+    Lit r = kFalse;
+    switch (cmp) {
+      case Cmp::kLt: r = lt; break;
+      case Cmp::kLe: r = le; break;
+      case Cmp::kGt: r = lit_not(le); break;
+      case Cmp::kGe: r = lit_not(lt); break;
+    }
+    return guard1(anyx, r);
+  }
+
+  Word w_logical_not(const Word& a) {
+    const Lit one = any_v(a), x = any_x(a);
+    Word out(1);
+    out.bits[0] = Bit{land(lit_not(one), lit_not(x)), land(lit_not(one), x)};
+    return out;
+  }
+
+  Word w_logical_bin(const Word& a, const Word& b, bool is_and) {
+    const Lit at = any_v(a), bt = any_v(b);
+    const Lit af = land(lit_not(at), lit_not(any_x(a)));
+    const Lit bf = land(lit_not(bt), lit_not(any_x(b)));
+    Lit v, zero;
+    if (is_and) {
+      v = land(at, bt);
+      zero = lor(af, bf);
+    } else {
+      v = lor(at, bt);
+      zero = land(af, bf);
+    }
+    Word out(1);
+    out.bits[0] = Bit{v, land(lit_not(v), lit_not(zero))};
+    return out;
+  }
+
+  Word w_red_and(const Word& a) {
+    Lit def0 = kFalse;
+    for (const Bit& b : a.bits) def0 = lor(def0, land(lit_not(b.v), lit_not(b.x)));
+    const Lit x = any_x(a);
+    Word out(1);
+    out.bits[0] = Bit{land(lit_not(def0), lit_not(x)), land(lit_not(def0), x)};
+    return out;
+  }
+
+  Word w_red_or(const Word& a) {
+    const Lit one = any_v(a), x = any_x(a);
+    Word out(1);
+    out.bits[0] = Bit{one, land(lit_not(one), x)};
+    return out;
+  }
+
+  Word w_red_xor(const Word& a) {
+    const Lit x = any_x(a);
+    Lit parity = kFalse;
+    for (const Bit& b : a.bits) parity = lxor(parity, b.v);
+    return guard1(x, parity);
+  }
+
+  Word w_concat(const Word& hi, const Word& lo) {
+    if (hi.width() + lo.width() > 64) unsupported("concatenation wider than 64 bits");
+    Word out(hi.width() + lo.width());
+    for (int i = 0; i < lo.width(); ++i) out.bits[static_cast<std::size_t>(i)] = lo.bits[static_cast<std::size_t>(i)];
+    for (int i = 0; i < hi.width(); ++i)
+      out.bits[static_cast<std::size_t>(lo.width() + i)] = hi.bits[static_cast<std::size_t>(i)];
+    return out;
+  }
+
+  // --- signal reads ---------------------------------------------------------
+  std::size_t lookup(const std::string& name) const {
+    const auto it = design_.signal_ids.find(name);
+    if (it == design_.signal_ids.end()) unsupported("undeclared identifier '" + name + "'");
+    return it->second;
+  }
+
+  Bit read_bit(std::size_t id, int j, Ctx& ctx) {
+    if (!ctx.initial) {
+      const auto it = ctx.overlay.find(id);
+      if (it != ctx.overlay.end()) {
+        const OBit& ob = it->second[static_cast<std::size_t>(j)];
+        if (ob.st == BState::kVal) return ob.bit;
+        if (ob.st == BState::kPoison) unsupported("reads a conditionally-assigned target");
+        // kBottom: sound only for bits this process can never write — those
+        // settle at the pre-activation state. A writable bit would observe
+        // the previous activation, which one pass cannot model.
+        const auto mit = ctx.write_masks->find(id);
+        if (mit != ctx.write_masks->end() && ((mit->second >> j) & 1))
+          unsupported("reads its own target before assigning it");
+      }
+    }
+    return state_[id].bits[static_cast<std::size_t>(j)];
+  }
+
+  Word read_signal(std::size_t id, Ctx& ctx) {
+    const int sw = design_.signals[id].width;
+    Word out(sw);
+    for (int j = 0; j < sw; ++j) out.bits[static_cast<std::size_t>(j)] = read_bit(id, j, ctx);
+    return out;
+  }
+
+  // --- expression evaluation (mirror of Simulator::eval) --------------------
+  Word eval(const ExprPtr& e, Ctx& ctx) {
+    budget_->charge();
+    if (!e) unsupported("null expression");
+    switch (e->kind) {
+      case ExprKind::kNumber: {
+        const auto& n = e->number;
+        checked_width(n.width);
+        return from_value(Value::with_xz(n.value, n.xz_mask, n.width));
+      }
+      case ExprKind::kIdent:
+        return read_signal(lookup(e->ident), ctx);
+      case ExprKind::kBitSelect: {
+        const std::size_t id = lookup(e->ident);
+        const int sw = design_.signals[id].width;
+        const Word idx = eval(e->operands[0], ctx);
+        Value iv;
+        if (word_const(idx, &iv)) {
+          if (!iv.is_fully_defined()) return all_x(1);
+          if (iv.bits() >= static_cast<std::uint64_t>(sw)) return all_x(1);
+          Word out(1);
+          out.bits[0] = read_bit(id, static_cast<int>(iv.bits()), ctx);
+          return out;
+        }
+        // Symbolic index: one-hot select over every bit, X when the index is
+        // unknown or out of range (Simulator::eval kBitSelect).
+        const Word base = read_signal(id, ctx);
+        const Lit defined = lit_not(any_x(idx));
+        Lit sel_v = kFalse, sel_def = kFalse;
+        for (int j = 0; j < sw; ++j) {
+          const Lit eq = eq_const(idx, static_cast<std::uint64_t>(j));
+          sel_v = lor(sel_v, land(eq, base.bits[static_cast<std::size_t>(j)].v));
+          sel_def = lor(sel_def, land(eq, lit_not(base.bits[static_cast<std::size_t>(j)].x)));
+        }
+        Word out(1);
+        out.bits[0] = Bit{land(defined, sel_v), lit_not(land(defined, sel_def))};
+        return out;
+      }
+      case ExprKind::kPartSelect: {
+        const std::size_t id = lookup(e->ident);
+        const int sw = design_.signals[id].width;
+        const int hi = std::max(e->msb, e->lsb), lo = std::min(e->msb, e->lsb);
+        const int w = checked_width(hi - lo + 1);
+        if (lo >= sw) return all_x(w);
+        Word out(w);
+        for (int j = 0; j < w; ++j) {
+          const int sj = lo + j;
+          out.bits[static_cast<std::size_t>(j)] =
+              (sj >= 0 && sj < sw) ? read_bit(id, sj, ctx) : Bit{kFalse, kFalse};
+        }
+        return out;
+      }
+      case ExprKind::kUnary: {
+        const Word a = eval(e->operands[0], ctx);
+        const std::string& op = e->op;
+        if (op == "~") return w_not(a);
+        if (op == "!") return w_logical_not(a);
+        if (op == "-") return w_neg(a);
+        if (op == "&") return w_red_and(a);
+        if (op == "|") return w_red_or(a);
+        if (op == "^") return w_red_xor(a);
+        if (op == "~&") return w_not(w_red_and(a));
+        if (op == "~|") return w_not(w_red_or(a));
+        if (op == "~^" || op == "^~") return w_not(w_red_xor(a));
+        unsupported("unsupported unary operator '" + op + "'");
+      }
+      case ExprKind::kBinary: {
+        const Word a = eval(e->operands[0], ctx);
+        const Word b = eval(e->operands[1], ctx);
+        const std::string& op = e->op;
+        if (op == "&") return w_and(a, b);
+        if (op == "|") return w_or(a, b);
+        if (op == "^") return w_xor(a, b);
+        if (op == "~^" || op == "^~") return w_not(w_xor(a, b));
+        if (op == "~&") return w_not(w_and(a, b));
+        if (op == "~|") return w_not(w_or(a, b));
+        if (op == "+") return w_add(a, b);
+        if (op == "-") return w_sub(a, b);
+        if (op == "*") return w_mul(a, b);
+        if (op == "/" || op == "%" || op == "**") {
+          // No symbolic division: require constants and defer to the exact
+          // Value kernels (which also own the divide-by-zero => X rule).
+          Value av, bv;
+          if (!word_const(a, &av) || !word_const(b, &bv))
+            unsupported("non-constant operand to '" + op + "'");
+          if (op == "/") return from_value(v_div(av, bv));
+          if (op == "%") return from_value(v_mod(av, bv));
+          if (!av.is_fully_defined() || !bv.is_fully_defined())
+            return from_value(Value::all_x(av.width()));
+          std::uint64_t r = 1;  // simulator.cpp's ** loop, verbatim
+          for (std::uint64_t i = 0; i < bv.bits() && i < 64; ++i) r *= av.bits();
+          return from_value(Value::of(r, av.width()));
+        }
+        if (op == "<<" || op == "<<<") return w_shift(a, b, /*left=*/true);
+        if (op == ">>" || op == ">>>") return w_shift(a, b, /*left=*/false);
+        if (op == "==") return w_eq(a, b);
+        if (op == "!=") return w_neq(a, b);
+        if (op == "===") return w_case_eq(a, b, false);
+        if (op == "!==") return w_case_eq(a, b, true);
+        if (op == "<") return w_cmp(a, b, Cmp::kLt);
+        if (op == "<=") return w_cmp(a, b, Cmp::kLe);
+        if (op == ">") return w_cmp(a, b, Cmp::kGt);
+        if (op == ">=") return w_cmp(a, b, Cmp::kGe);
+        if (op == "&&") return w_logical_bin(a, b, /*is_and=*/true);
+        if (op == "||") return w_logical_bin(a, b, /*is_and=*/false);
+        unsupported("unsupported binary operator '" + op + "'");
+      }
+      case ExprKind::kTernary: {
+        const Word c = eval(e->operands[0], ctx);
+        const Lit t_lit = truthy_lit(c);
+        const Lit u_lit = any_x(c);
+        // Constant conditions take exactly one branch, like the simulator —
+        // the untaken branch is never evaluated (it may not even be legal).
+        if (t_lit == kTrue) return eval(e->operands[1], ctx);
+        if (t_lit == kFalse && u_lit == kFalse) return eval(e->operands[2], ctx);
+        const Word t = eval(e->operands[1], ctx);
+        const Word f = eval(e->operands[2], ctx);
+        if (u_lit == kTrue) {
+          // Constant unknown condition: bitwise branch merge at max width.
+          const int w = std::max(t.width(), f.width());
+          const Word tr = resized(t, w), fr = resized(f, w);
+          Word out(w);
+          for (int i = 0; i < w; ++i) {
+            const Bit &tb = tr.bits[static_cast<std::size_t>(i)], &fb = fr.bits[static_cast<std::size_t>(i)];
+            const Lit agree = land(lit_not(lxor(tb.v, fb.v)), land(lit_not(tb.x), lit_not(fb.x)));
+            out.bits[static_cast<std::size_t>(i)] = Bit{land(tb.v, agree), lit_not(agree)};
+          }
+          return out;
+        }
+        // Symbolic condition: the simulator's result width depends on which
+        // branch is taken, so unequal widths cannot be modelled.
+        if (t.width() != f.width())
+          unsupported("ternary branches of different widths under a symbolic condition");
+        Word out(t.width());
+        for (int i = 0; i < t.width(); ++i) {
+          const Bit &tb = t.bits[static_cast<std::size_t>(i)], &fb = f.bits[static_cast<std::size_t>(i)];
+          const Lit agree = land(lit_not(lxor(tb.v, fb.v)), land(lit_not(tb.x), lit_not(fb.x)));
+          const Lit merged_v = land(tb.v, agree);
+          const Lit merged_x = lit_not(agree);
+          out.bits[static_cast<std::size_t>(i)] =
+              Bit{lmux(t_lit, tb.v, lmux(u_lit, merged_v, fb.v)),
+                  lmux(t_lit, tb.x, lmux(u_lit, merged_x, fb.x))};
+        }
+        return out;
+      }
+      case ExprKind::kConcat: {
+        Word acc = eval(e->operands[0], ctx);
+        for (std::size_t i = 1; i < e->operands.size(); ++i)
+          acc = w_concat(acc, eval(e->operands[i], ctx));
+        return acc;
+      }
+      case ExprKind::kReplicate: {
+        const Word inner = eval(e->operands[0], ctx);
+        if (e->repeat * static_cast<std::uint64_t>(inner.width()) > 64)
+          unsupported("replication wider than 64 bits");
+        Word acc = inner;  // repeat == 0 returns the inner value, like eval()
+        for (std::uint64_t i = 1; i < e->repeat; ++i) acc = w_concat(acc, inner);
+        return acc;
+      }
+    }
+    unsupported("corrupt expression node");
+  }
+
+  // --- statements (mirror of Simulator::exec_stmt / assign_lvalue) ----------
+  Overlay merge(Lit sel, Overlay a, Overlay b) {
+    if (sel == kTrue) return a;
+    if (sel == kFalse) return b;
+    for (auto& [id, bits] : a) {
+      auto& other = b.at(id);
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        OBit& ab = bits[i];
+        const OBit& bb = other[i];
+        if (ab.st == BState::kVal && bb.st == BState::kVal) {
+          ab.bit.v = lmux(sel, ab.bit.v, bb.bit.v);
+          ab.bit.x = lmux(sel, ab.bit.x, bb.bit.x);
+        } else if (!(ab.st == BState::kBottom && bb.st == BState::kBottom)) {
+          ab.st = BState::kPoison;
+        }
+      }
+    }
+    return a;
+  }
+
+  void write_field(std::size_t id, int lo, int hi, const Word& vv, Ctx& ctx) {
+    const int sw = design_.signals[id].width;
+    if (ctx.initial) {
+      for (int j = std::max(lo, 0); j <= hi && j < sw; ++j)
+        state_[id].bits[static_cast<std::size_t>(j)] = vv.bits[static_cast<std::size_t>(j - lo)];
+      return;
+    }
+    auto it = ctx.overlay.find(id);
+    if (it == ctx.overlay.end()) unsupported("write to a signal outside the process target set");
+    for (int j = std::max(lo, 0); j <= hi && j < sw; ++j)
+      it->second[static_cast<std::size_t>(j)] = OBit{BState::kVal, vv.bits[static_cast<std::size_t>(j - lo)]};
+  }
+
+  void symbolic_bit_write(std::size_t id, const Word& idx, const Word& v, Ctx& ctx) {
+    auto it = ctx.overlay.find(id);
+    if (it == ctx.overlay.end()) unsupported("write to a signal outside the process target set");
+    const int sw = design_.signals[id].width;
+    for (int j = 0; j < sw; ++j)
+      if (it->second[static_cast<std::size_t>(j)].st != BState::kVal)
+        unsupported("non-constant bit-select write to a partially-assigned signal");
+    const Word vv = resized(v, 1);
+    // An unknown index writes nothing; otherwise exactly the selected bit is
+    // replaced (assign_lvalue kBitSelect).
+    const Lit defined = lit_not(any_x(idx));
+    for (int j = 0; j < sw; ++j) {
+      const Lit cond = land(defined, eq_const(idx, static_cast<std::uint64_t>(j)));
+      Bit& old = it->second[static_cast<std::size_t>(j)].bit;
+      old.v = lmux(cond, vv.bits[0].v, old.v);
+      old.x = lmux(cond, vv.bits[0].x, old.x);
+    }
+  }
+
+  void assign_lvalue(const ExprPtr& lhs, const Word& v, bool nonblocking, Ctx& ctx) {
+    if (!lhs) unsupported("null lvalue");
+    if (lhs->kind == ExprKind::kConcat) {
+      int total = 0;
+      std::vector<int> widths;
+      for (const auto& part : lhs->operands) {
+        int w = 1;
+        if (part->kind == ExprKind::kIdent) {
+          w = design_.signals[lookup(part->ident)].width;
+        } else if (part->kind == ExprKind::kBitSelect) {
+          w = 1;
+        } else if (part->kind == ExprKind::kPartSelect) {
+          w = std::abs(part->msb - part->lsb) + 1;
+        } else {
+          unsupported("unsupported concat lvalue part");
+        }
+        widths.push_back(w);
+        total += w;
+      }
+      const Word vv = resized(v, total);
+      int offset = total;
+      for (std::size_t i = 0; i < lhs->operands.size(); ++i) {
+        offset -= widths[i];
+        Word slice(widths[i]);
+        for (int j = 0; j < widths[i]; ++j)
+          slice.bits[static_cast<std::size_t>(j)] = vv.bits[static_cast<std::size_t>(offset + j)];
+        assign_lvalue(lhs->operands[i], slice, nonblocking, ctx);
+      }
+      return;
+    }
+
+    const std::size_t id = lookup(lhs->ident);
+    const int sw = design_.signals[id].width;
+    int hi = 0, lo = 0;
+    if (lhs->kind == ExprKind::kIdent) {
+      hi = sw - 1;
+      lo = 0;
+    } else if (lhs->kind == ExprKind::kBitSelect) {
+      const Word idx = eval(lhs->operands[0], ctx);
+      Value iv;
+      if (!word_const(idx, &iv)) {
+        if (ctx.initial || nonblocking) unsupported("symbolic bit-select assignment target");
+        symbolic_bit_write(id, idx, v, ctx);
+        return;
+      }
+      if (!iv.is_fully_defined()) return;  // x index: no assignment
+      if (iv.bits() >= static_cast<std::uint64_t>(sw)) return;
+      hi = lo = static_cast<int>(iv.bits());
+    } else if (lhs->kind == ExprKind::kPartSelect) {
+      hi = std::max(lhs->msb, lhs->lsb);
+      lo = std::min(lhs->msb, lhs->lsb);
+    } else {
+      unsupported("unsupported lvalue");
+    }
+
+    const Word vv = resized(v, hi - lo + 1);
+    if (nonblocking) {
+      ctx.nba->push_back(NbaWrite{id, hi, lo, vv});
+      return;
+    }
+    write_field(id, lo, hi, vv, ctx);
+  }
+
+  Lit match_lit(const Word& subject, const ExprPtr& label, CaseKind kind, Ctx& ctx) {
+    const Word lv = eval(label, ctx);
+    const int w = std::max(subject.width(), lv.width());
+    const Word sv = resized(subject, w), lr = resized(lv, w);
+    Lit m = kTrue;
+    for (int i = 0; i < w; ++i) {
+      const Bit &sb = sv.bits[static_cast<std::size_t>(i)], &lb = lr.bits[static_cast<std::size_t>(i)];
+      Lit wildcard = kFalse;
+      if (kind == CaseKind::kCasez) wildcard = lb.x;
+      else if (kind == CaseKind::kCasex) wildcard = lor(lb.x, sb.x);
+      const Lit same = land(lit_not(lxor(sb.v, lb.v)), lit_not(lxor(sb.x, lb.x)));
+      m = land(m, lor(wildcard, same));
+    }
+    return m;
+  }
+
+  void exec_stmt(const StmtPtr& s, Ctx& ctx) {
+    if (!s) return;
+    budget_->charge();
+    switch (s->kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : s->stmts) exec_stmt(c, ctx);
+        return;
+      case StmtKind::kBlockingAssign:
+        assign_lvalue(s->lhs, eval(s->rhs, ctx), /*nonblocking=*/false, ctx);
+        return;
+      case StmtKind::kNonblockingAssign:
+        if (!ctx.initial) unsupported("nonblocking assignment in a combinational process");
+        assign_lvalue(s->lhs, eval(s->rhs, ctx), /*nonblocking=*/true, ctx);
+        return;
+      case StmtKind::kIf: {
+        const Word c = eval(s->cond, ctx);
+        const Lit t_lit = truthy_lit(c);
+        // Unknown conditions branch false (Simulator::exec_stmt kIf uses
+        // truthy()), so the two-way split is exact.
+        if (t_lit == kTrue) {
+          exec_stmt(s->then_branch, ctx);
+          return;
+        }
+        if (t_lit == kFalse) {
+          exec_stmt(s->else_branch, ctx);
+          return;
+        }
+        if (ctx.initial) unsupported("symbolic branch in an initial block");
+        Overlay saved = ctx.overlay;
+        exec_stmt(s->then_branch, ctx);
+        Overlay then_env = std::move(ctx.overlay);
+        ctx.overlay = std::move(saved);
+        exec_stmt(s->else_branch, ctx);
+        ctx.overlay = merge(t_lit, std::move(then_env), std::move(ctx.overlay));
+        return;
+      }
+      case StmtKind::kCase: {
+        exec_case(s, ctx);
+        return;
+      }
+      case StmtKind::kFor: {
+        assign_lvalue(s->lhs, eval(s->rhs, ctx), /*nonblocking=*/false, ctx);
+        int iterations = 0;
+        for (;;) {
+          const Word c = eval(s->cond, ctx);
+          Value cv;
+          if (!word_const(c, &cv)) unsupported("non-constant for-loop condition");
+          if (!cv.truthy()) break;
+          if (++iterations > kMaxLoopIterations) unsupported("for-loop iteration limit exceeded");
+          exec_stmt(s->body, ctx);
+          assign_lvalue(s->step_lhs, eval(s->step_rhs, ctx), /*nonblocking=*/false, ctx);
+        }
+        return;
+      }
+    }
+    unsupported("corrupt statement node");
+  }
+
+  void exec_case(const StmtPtr& s, Ctx& ctx) {
+    const Word subject = eval(s->cond, ctx);
+    const verilog::CaseItem* default_item = nullptr;
+    struct Arm {
+      Lit m;
+      const verilog::CaseItem* item;
+    };
+    std::vector<Arm> arms;
+    bool saturated = false;
+    for (const auto& item : s->case_items) {
+      if (item.labels.empty()) {
+        default_item = &item;  // last default wins, like the simulator's scan
+        continue;
+      }
+      Lit m = kFalse;
+      for (const auto& label : item.labels) {
+        m = lor(m, match_lit(subject, label, s->case_kind, ctx));
+        if (m == kTrue) break;  // the simulator stops at the first match
+      }
+      if (m == kFalse) continue;  // provably never taken
+      arms.push_back(Arm{m, &item});
+      if (m == kTrue) {
+        saturated = true;  // later items (and a later default) are unreachable
+        break;
+      }
+    }
+
+    if (arms.empty()) {
+      if (default_item) exec_stmt(default_item->body, ctx);
+      return;
+    }
+    if (arms.size() == 1 && arms[0].m == kTrue) {
+      exec_stmt(arms[0].item->body, ctx);
+      return;
+    }
+    if (ctx.initial) unsupported("symbolic case selection in an initial block");
+
+    // Priority chain m1 ? A1 : (m2 ? A2 : ... : default), built back to
+    // front. Each arm executes against the pre-case overlay; non-matching
+    // vectors fall through to whatever the tail produced.
+    const Overlay incoming = ctx.overlay;
+    if (saturated) {
+      ctx.overlay = incoming;  // tail unreachable: placeholder, merged away by m == kTrue
+    } else if (default_item) {
+      exec_stmt(default_item->body, ctx);
+    }
+    for (auto it = arms.rbegin(); it != arms.rend(); ++it) {
+      Overlay tail = std::move(ctx.overlay);
+      ctx.overlay = incoming;
+      exec_stmt(it->item->body, ctx);
+      ctx.overlay = merge(it->m, std::move(ctx.overlay), std::move(tail));
+    }
+  }
+
+  // --- static analysis over process bodies ----------------------------------
+  static void expr_idents(const ExprPtr& e, std::set<std::string>* out) {
+    if (!e) return;
+    if (e->kind == ExprKind::kIdent || e->kind == ExprKind::kBitSelect ||
+        e->kind == ExprKind::kPartSelect) {
+      out->insert(e->ident);
+    }
+    for (const auto& op : e->operands) expr_idents(op, out);
+  }
+
+  // Identifiers read by lvalue index expressions (everything a continuous
+  // assignment reads that is NOT in its elaborated read set).
+  static void lvalue_index_reads(const ExprPtr& lhs, std::set<std::string>* out) {
+    if (!lhs) return;
+    if (lhs->kind == ExprKind::kConcat) {
+      for (const auto& part : lhs->operands) lvalue_index_reads(part, out);
+      return;
+    }
+    if (lhs->kind == ExprKind::kBitSelect) expr_idents(lhs->operands[0], out);
+  }
+
+  void lvalue_targets(const ExprPtr& lhs, bool strict,
+                      std::map<std::size_t, std::uint64_t>* masks) const {
+    if (!lhs) {
+      if (strict) unsupported("null lvalue");
+      return;
+    }
+    if (lhs->kind == ExprKind::kConcat) {
+      for (const auto& part : lhs->operands) lvalue_targets(part, strict, masks);
+      return;
+    }
+    if (lhs->kind != ExprKind::kIdent && lhs->kind != ExprKind::kBitSelect &&
+        lhs->kind != ExprKind::kPartSelect) {
+      if (strict) unsupported("unsupported lvalue");
+      return;
+    }
+    const auto it = design_.signal_ids.find(lhs->ident);
+    if (it == design_.signal_ids.end()) {
+      if (strict) unsupported("assignment to undeclared identifier '" + lhs->ident + "'");
+      return;
+    }
+    const int sw = design_.signals[it->second].width;
+    const std::uint64_t full = sw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << sw) - 1);
+    std::uint64_t mask = full;
+    if (lhs->kind == ExprKind::kPartSelect) {
+      const int lo = std::clamp(std::min(lhs->msb, lhs->lsb), 0, 63);
+      const int hi = std::min({std::max(lhs->msb, lhs->lsb), sw - 1, 63});
+      mask = hi < lo ? 0
+                     : ((hi - lo + 1 >= 64 ? ~std::uint64_t{0}
+                                           : ((std::uint64_t{1} << (hi - lo + 1)) - 1))
+                        << lo);
+    }
+    // kBitSelect keeps the full mask: the index is not known statically.
+    (*masks)[it->second] |= mask;
+  }
+
+  void collect_targets(const StmtPtr& s, bool strict, std::map<std::size_t, std::uint64_t>* masks,
+                       bool* has_nba) const {
+    if (!s) return;
+    switch (s->kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : s->stmts) collect_targets(c, strict, masks, has_nba);
+        return;
+      case StmtKind::kBlockingAssign:
+        lvalue_targets(s->lhs, strict, masks);
+        return;
+      case StmtKind::kNonblockingAssign:
+        *has_nba = true;
+        lvalue_targets(s->lhs, strict, masks);
+        return;
+      case StmtKind::kIf:
+        collect_targets(s->then_branch, strict, masks, has_nba);
+        collect_targets(s->else_branch, strict, masks, has_nba);
+        return;
+      case StmtKind::kCase:
+        for (const auto& item : s->case_items) collect_targets(item.body, strict, masks, has_nba);
+        return;
+      case StmtKind::kFor:
+        lvalue_targets(s->lhs, strict, masks);
+        lvalue_targets(s->step_lhs, strict, masks);
+        collect_targets(s->body, strict, masks, has_nba);
+        return;
+    }
+  }
+
+  Aig* aig_;
+  Budget* budget_;
+  const ElabDesign& design_;
+  const std::map<std::string, std::vector<Lit>>& input_vars_;
+  std::vector<Word> state_;
+};
+
+std::vector<Word> Lowerer::run() {
+  // 1. Power-on: every signal all-X (Simulator constructor).
+  state_.reserve(design_.signals.size());
+  for (const auto& sig : design_.signals) state_.push_back(all_x(checked_width(sig.width)));
+
+  // 2. Initial blocks in process order, then their queued NBAs commit
+  // immediately (Simulator::run_initial_blocks).
+  {
+    std::vector<NbaWrite> nba;
+    Ctx ictx;
+    ictx.initial = true;
+    ictx.nba = &nba;
+    for (const auto& p : design_.processes)
+      if (p.kind == ProcessKind::kInitial && p.body) exec_stmt(p.body, ictx);
+    for (const auto& w : nba) write_field(w.id, w.lo, w.hi, w.value, ictx);
+  }
+
+  // 3. Classify processes. A comb/cont-assign process executes iff at least
+  // one of its read-set names is a known signal (the constructor seeds every
+  // signal dirty, and comb_watchers are built from known names only).
+  struct CombProc {
+    std::size_t pi = 0;
+    std::map<std::size_t, std::uint64_t> writes;
+    std::set<std::size_t> reads;
+  };
+  std::vector<CombProc> comb;
+  std::set<std::size_t> edge_ids;
+  std::map<std::size_t, std::uint64_t> clocked_writes;
+  for (std::size_t pi = 0; pi < design_.processes.size(); ++pi) {
+    const ElabProcess& p = design_.processes[pi];
+    if (p.kind == ProcessKind::kInitial) continue;
+    if (p.kind == ProcessKind::kClocked) {
+      for (const auto& e : p.edges) {
+        const auto it = design_.signal_ids.find(e.signal);
+        // The simulator throws ElabError at construction for this; fall back
+        // so it reproduces the fault.
+        if (it == design_.signal_ids.end()) unsupported("edge on unknown signal '" + e.signal + "'");
+        edge_ids.insert(it->second);
+      }
+      bool nba = false;
+      collect_targets(p.body, /*strict=*/false, &clocked_writes, &nba);
+      continue;
+    }
+    bool watched = false;
+    CombProc cp;
+    cp.pi = pi;
+    for (const auto& name : p.read_set) {
+      const auto it = design_.signal_ids.find(name);
+      if (it != design_.signal_ids.end()) {
+        watched = true;
+        cp.reads.insert(it->second);
+      }
+    }
+    if (!watched) continue;  // never triggered: targets keep initial values
+    std::set<std::string> needed;
+    if (p.kind == ProcessKind::kComb) {
+      if (!p.body) continue;
+      bool has_nba = false;
+      collect_targets(p.body, /*strict=*/true, &cp.writes, &has_nba);
+      // A comb-queued NBA only commits when a clocked process fires, which
+      // never happens in the designs we accept.
+      if (has_nba) unsupported("nonblocking assignment in a combinational process");
+      needed = sim::statement_read_set(p.body);
+    } else {  // kContAssign
+      lvalue_targets(p.lhs, /*strict=*/true, &cp.writes);
+      expr_idents(p.rhs, &needed);
+      lvalue_index_reads(p.lhs, &needed);
+    }
+    // Sensitivity completeness: every signal the process reads must also
+    // retrigger it, or the settled value depends on event order.
+    for (const auto& n : needed)
+      if (design_.signal_ids.contains(n) && !p.read_set.contains(n))
+        unsupported("incomplete sensitivity list");
+    comb.push_back(std::move(cp));
+  }
+
+  // 4. Single combinational driver per signal, and never an input port
+  // (poking would race the driver).
+  std::map<std::size_t, std::size_t> writer;  // signal id -> comb index
+  for (std::size_t ci = 0; ci < comb.size(); ++ci) {
+    for (const auto& [id, mask] : comb[ci].writes) {
+      (void)mask;
+      if (design_.signals[id].is_input) unsupported("combinational process drives an input port");
+      if (!writer.emplace(id, ci).second) unsupported("signal has multiple combinational drivers");
+    }
+  }
+
+  // 5. Clocked processes must never fire: their edge signals have to be
+  // static after construction. Initial-only writes are fine — the edge
+  // baseline is captured after initial blocks run.
+  for (const std::size_t id : edge_ids) {
+    if (input_vars_.contains(design_.signals[id].name)) unsupported("clock edge on a swept input");
+    if (writer.contains(id)) unsupported("clock edge on a combinationally driven signal");
+    if (clocked_writes.contains(id)) unsupported("clock edge on a clocked-process target");
+  }
+
+  // 6. Bind the swept inputs. The harness pokes Value::of(slice, elab width),
+  // so bits above the port width are defined zeros.
+  for (const auto& [name, vars] : input_vars_) {
+    const auto it = design_.signal_ids.find(name);
+    if (it == design_.signal_ids.end()) unsupported("swept input '" + name + "' is not a signal");
+    const std::size_t id = it->second;
+    const int sw = design_.signals[id].width;
+    Word w(sw);
+    for (int i = 0; i < sw; ++i)
+      w.bits[static_cast<std::size_t>(i)] =
+          static_cast<std::size_t>(i) < vars.size() ? Bit{vars[static_cast<std::size_t>(i)], kFalse}
+                                                    : Bit{kFalse, kFalse};
+    state_[id] = w;
+  }
+
+  // 7. Topological order over the writer -> reader dependency graph. A cycle
+  // or excessive depth may not settle within the simulator's delta budget.
+  const std::size_t n = comb.size();
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    std::set<std::size_t> preds;
+    for (const std::size_t rid : comb[ci].reads) {
+      const auto wit = writer.find(rid);
+      if (wit != writer.end() && wit->second != ci) preds.insert(wit->second);
+    }
+    for (const std::size_t p : preds) {
+      succ[p].push_back(ci);
+      ++indeg[ci];
+    }
+  }
+  std::vector<std::size_t> order;
+  std::vector<int> depth(n, 0);
+  std::set<std::size_t> ready;
+  for (std::size_t ci = 0; ci < n; ++ci)
+    if (indeg[ci] == 0) ready.insert(ci);
+  while (!ready.empty()) {
+    const std::size_t ci = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(ci);
+    for (const std::size_t s : succ[ci]) {
+      depth[s] = std::max(depth[s], depth[ci] + 1);
+      if (--indeg[s] == 0) ready.insert(s);
+    }
+  }
+  if (order.size() != n) unsupported("combinational dependency cycle");
+  for (const int d : depth)
+    if (d > kMaxCombDepth) unsupported("combinational depth exceeds the delta-cycle budget");
+
+  // 8. Evaluate each process once in dependency order, committing its overlay
+  // before any reader runs. One pass equals the simulator's fixpoint because
+  // every accepted process is a pure function of already-final values.
+  for (const std::size_t ci : order) {
+    const ElabProcess& p = design_.processes[comb[ci].pi];
+    Ctx ctx;
+    ctx.write_masks = &comb[ci].writes;
+    for (const auto& [id, mask] : comb[ci].writes) {
+      (void)mask;
+      ctx.overlay.emplace(id, std::vector<OBit>(static_cast<std::size_t>(design_.signals[id].width)));
+    }
+    if (p.kind == ProcessKind::kContAssign)
+      assign_lvalue(p.lhs, eval(p.rhs, ctx), /*nonblocking=*/false, ctx);
+    else
+      exec_stmt(p.body, ctx);
+    for (const auto& [id, bits] : ctx.overlay) {
+      for (std::size_t j = 0; j < bits.size(); ++j) {
+        if (bits[j].st == BState::kVal)
+          state_[id].bits[j] = bits[j].bit;
+        else if (bits[j].st == BState::kPoison)
+          unsupported("signal latches: assigned on some but not all paths");
+        // kBottom: never written this activation, keeps its settled value.
+      }
+    }
+  }
+  return std::move(state_);
+}
+
+}  // namespace
+
+std::vector<Word> lower_design(Aig* aig, const sim::ElabDesign& design,
+                               const std::map<std::string, std::vector<Lit>>& input_vars) {
+  return Lowerer(aig, design, input_vars).run();
+}
+
+}  // namespace haven::prove

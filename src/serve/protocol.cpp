@@ -12,6 +12,7 @@
 
 #include "eval/suites.h"
 #include "llm/model_zoo.h"
+#include "sim/backend.h"
 #include "util/strings.h"
 
 namespace haven::serve {
@@ -148,6 +149,20 @@ bool parse_job(const std::string& tenant, const std::string& model_name,
     } else if (key == "budget") {
       if (!parse_u64(value, &u)) return bad("an unsigned integer");
       job.request.sim_step_budget = u;
+    } else if (key == "backend") {
+      // Validated, never silently defaulted: an unknown backend is an ERR
+      // naming the accepted values, same policy as every other knob.
+      if (const auto backend = sim::parse_backend(value)) {
+        job.request.sim_backend = *backend;
+      } else {
+        return bad(std::string(sim::kBackendValues).c_str());
+      }
+    } else if (key == "prove") {
+      if (!parse_i64(value, &i) || (i != 0 && i != 1)) return bad("0 or 1");
+      job.request.prove = i != 0;
+    } else if (key == "prove-budget") {
+      if (!parse_u64(value, &u)) return bad("an unsigned integer");
+      job.request.prove_budget = u;
     } else if (key == "retries") {
       if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("an integer >= 0");
       job.request.retry.max_retries = static_cast<int>(i);

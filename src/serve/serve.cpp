@@ -101,7 +101,8 @@ cache::Digest job_digest(const llm::SimLlm& model, const eval::Suite& suite,
   h.bytes(suite.name);
   h.u64(suite.tasks.size());
   for (const eval::EvalTask& task : suite.tasks) {
-    const cache::Digest seed = eval::task_cache_seed(task, request.sim_step_budget, lint_mode);
+    const cache::Digest seed = eval::task_cache_seed(task, request.sim_step_budget, lint_mode,
+                                                     request.prove, request.prove_budget);
     h.u64(seed.hi).u64(seed.lo);
     h.bytes(task.prompt);
     h.u32(static_cast<std::uint32_t>(task.modality));
@@ -114,6 +115,11 @@ cache::Digest job_digest(const llm::SimLlm& model, const eval::Suite& suite,
   h.boolean(request.use_sicot);
   h.u64(request.seed);
   h.boolean(request.lint).boolean(request.lint_triage);
+  // prove is result-affecting in the counter/coalescing sense: two jobs that
+  // differ only in prove mode report different counter breakdowns, so they
+  // must not coalesce (verdicts, by contract, are identical either way).
+  h.boolean(request.prove);
+  h.u64(request.prove_budget);
   h.i32(request.deadline_ms);
   h.u64(request.sim_step_budget);
   h.u32(static_cast<std::uint32_t>(request.sim_backend));

@@ -31,8 +31,13 @@ constexpr const char* backend_name(SimBackend b) {
   return b == SimBackend::kInterpreter ? "interp" : "compiled";
 }
 
-// Parse a --sim-backend= value ("interp"/"interpreter" or "compiled");
-// nullopt on anything else.
+// Canonical list of accepted backend spellings. Every surface that rejects a
+// backend value (eval::RequestOptions, the serve line protocol) names these
+// in its error message, so the valid set is stated in exactly one place.
+inline constexpr std::string_view kBackendValues = "interp|interpreter|compiled|compile";
+
+// Parse a --sim-backend= value ("interp"/"interpreter" or "compiled"/
+// "compile"; keep kBackendValues in sync); nullopt on anything else.
 inline std::optional<SimBackend> parse_backend(std::string_view name) {
   if (name == "interp" || name == "interpreter") return SimBackend::kInterpreter;
   if (name == "compiled" || name == "compile") return SimBackend::kCompiled;

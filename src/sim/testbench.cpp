@@ -81,7 +81,9 @@ struct Harness {
   std::vector<PortPair> outputs;
 };
 
-DiffResult interface_check(const Module& dut, const Module& golden) {
+}  // namespace
+
+DiffResult check_interface(const Module& dut, const Module& golden) {
   DiffResult r;
   for (const auto& gp : golden.ports) {
     const verilog::Port* dp = dut.find_port(gp.name);
@@ -109,13 +111,11 @@ DiffResult interface_check(const Module& dut, const Module& golden) {
   return r;
 }
 
-}  // namespace
-
 DiffResult run_diff_test(const Module& dut_mod, const SourceFile* dut_file,
                          const Module& golden_mod, const SourceFile* golden_file,
                          const StimulusSpec& spec, util::Rng& rng,
                          const util::Deadline* deadline) {
-  DiffResult iface = interface_check(dut_mod, golden_mod);
+  DiffResult iface = check_interface(dut_mod, golden_mod);
   if (!iface.passed) return iface;
 
   // Watchdog: checked between vectors/cycles; sim::BudgetExceeded and

@@ -41,6 +41,12 @@ struct DiffResult {
   int vectors = 0;     // vectors or cycles actually compared
 };
 
+// Structural port-interface comparison (names, directions, widths against the
+// golden module's ports). Shared by the diff harness and the haven::prove
+// equivalence fast-path so an interface mismatch yields the same functional
+// failure, with the same reason string, on either verdict path.
+DiffResult check_interface(const verilog::Module& dut, const verilog::Module& golden);
+
 // Compare candidate `dut` against `golden`. The respective SourceFiles
 // provide instance definitions (may be null). Any elaboration failure,
 // interface mismatch, non-convergence, or output divergence fails the test

@@ -15,6 +15,7 @@
 #include "llm/model_zoo.h"
 #include "serve/protocol.h"
 #include "serve/serve.h"
+#include "sim/backend.h"
 #include "util/strings.h"
 
 namespace haven::serve {
@@ -145,6 +146,12 @@ TEST(JobDigest, IgnoresSchedulingKnobsAndBindsResultKnobs) {
       d0);
   EXPECT_NE(job_digest(base.model, base.suite, eval::EvalRequest(base.request).with_lint()),
             d0);
+  EXPECT_NE(job_digest(base.model, base.suite, eval::EvalRequest(base.request).with_prove()),
+            d0);
+  // prove_budget only matters once prove is on — and then it must bind.
+  EXPECT_NE(job_digest(base.model, base.suite,
+                       eval::EvalRequest(base.request).with_prove().with_prove_budget(64)),
+            job_digest(base.model, base.suite, eval::EvalRequest(base.request).with_prove()));
   // And so must the model identity.
   EXPECT_NE(job_digest(llm::make_model("CodeQwen"), base.suite, base.request), d0);
 }
@@ -540,6 +547,8 @@ TEST(LineProtocol, RejectsMalformedAndOutOfRangeKnobValues) {
       {"sicot=2"},    {"lint=maybe"},   {"triage=-1"},   {"fail-fast=yes"},
       {"deadline=5s"},{"deadline=-1"},  {"unit-deadline=1.5"},
       {"budget=-1"},  {"retries=-2"},   {"retries=two"},
+      {"backend=verilator"}, {"backend="},
+      {"prove=2"},    {"prove=yes"},    {"prove-budget=-1"}, {"prove-budget=lots"},
   };
   for (const std::vector<std::string>& knobs : bad_knobs) {
     EvalJob job;
@@ -548,6 +557,12 @@ TEST(LineProtocol, RejectsMalformedAndOutOfRangeKnobValues) {
         << "knob accepted: " << knobs.front();
     EXPECT_NE(error.find("knob"), std::string::npos) << error;
   }
+  // An unknown backend is an ERR that teaches the caller the accepted values
+  // instead of silently falling back to the default simulator.
+  EvalJob job;
+  std::string error;
+  EXPECT_FALSE(parse_job("t", "CodeQwen", "rtllm", {{"backend=verilator"}}, &job, &error));
+  EXPECT_NE(error.find(std::string(sim::kBackendValues)), std::string::npos) << error;
 }
 
 TEST(LineProtocol, ParseJobAppliesKnobs) {
@@ -556,7 +571,8 @@ TEST(LineProtocol, ParseJobAppliesKnobs) {
   ASSERT_TRUE(parse_job("t", "CodeQwen", "human",
                         {"n=4", "temps=0.2,0.8", "seed=7", "tasks=5", "lint=1",
                          "triage=1", "deadline=1500", "unit-deadline=200",
-                         "budget=1000", "retries=2", "fail-fast=1"},
+                         "budget=1000", "backend=compiled", "prove=1",
+                         "prove-budget=4096", "retries=2", "fail-fast=1"},
                         &job, &error))
       << error;
   EXPECT_EQ(job.suite.tasks.size(), 5u);
@@ -568,6 +584,9 @@ TEST(LineProtocol, ParseJobAppliesKnobs) {
   EXPECT_EQ(job.deadline_ms, 1500);
   EXPECT_EQ(job.request.deadline_ms, 200);
   EXPECT_EQ(job.request.sim_step_budget, 1000u);
+  EXPECT_EQ(job.request.sim_backend, sim::SimBackend::kCompiled);
+  EXPECT_TRUE(job.request.prove);
+  EXPECT_EQ(job.request.prove_budget, 4096u);
   EXPECT_EQ(job.request.retry.max_retries, 2);
   EXPECT_TRUE(job.request.fail_fast);
   EXPECT_EQ(job_units(job), 2u * 5u * 4u);
