@@ -1,5 +1,6 @@
 #include "eval/cache_io.h"
 
+#include <bit>
 #include <cstring>
 
 namespace haven::eval {
@@ -66,9 +67,9 @@ class Reader {
 
 }  // namespace
 
-std::string encode_verdict(const CachedVerdict& v) {
+std::string encode_verdict(const CachedVerdict& v, bool extended) {
   std::string out;
-  put_u32(out, kVerdictSchemaVersion);
+  put_u32(out, extended ? kVerdictSchemaVersionExtended : kVerdictSchemaVersion);
   const std::uint8_t flags = static_cast<std::uint8_t>(
       (v.syntax_ok ? 1 : 0) | (v.func_ok ? 2 : 0) | (v.triaged ? 4 : 0) | (v.simulated ? 8 : 0) |
       (v.proved ? 0x10 : 0) | (v.prove_fallback ? 0x20 : 0));
@@ -85,13 +86,17 @@ std::string encode_verdict(const CachedVerdict& v) {
     put_str(out, f.diag.message);
     put_str(out, f.diag.rule);
   }
+  if (extended) put_str(out, v.fail_reason);
   return out;
 }
 
 bool decode_verdict(std::string_view payload, CachedVerdict* out) {
   Reader r(payload);
   std::uint32_t version = 0;
-  if (!r.u32(&version) || version != kVerdictSchemaVersion) return false;
+  if (!r.u32(&version) ||
+      (version != kVerdictSchemaVersion && version != kVerdictSchemaVersionExtended)) {
+    return false;
+  }
   std::uint8_t flags = 0;
   if (!r.u8(&flags) || (flags & ~0x3fu) != 0) return false;
   CachedVerdict v;
@@ -125,13 +130,15 @@ bool decode_verdict(std::string_view payload, CachedVerdict* out) {
     if (!r.str(&f.diag.message) || !r.str(&f.diag.rule)) return false;
     v.findings.push_back(std::move(f));
   }
+  if (version == kVerdictSchemaVersionExtended && !r.str(&v.fail_reason)) return false;
   if (!r.exhausted()) return false;  // trailing bytes = corruption
   *out = std::move(v);
   return true;
 }
 
 cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budget,
-                              CacheLintMode lint_mode, bool prove, std::uint64_t prove_budget) {
+                              CacheLintMode lint_mode, bool prove, std::uint64_t prove_budget,
+                              const repair::RepairPolicy* repair) {
   cache::Hasher h;
   h.u32(kVerdictSchemaVersion);
   h.bytes(task.id);
@@ -157,6 +164,18 @@ cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budge
   // though their verdicts are identical.
   h.boolean(prove);
   h.u64(prove_budget);
+  // The repair knobs are bound ONLY when the loop is enabled: a hinted round
+  // replays different counter flags and an extended (v3) payload, so repair
+  // configs must key distinct entries — while the disabled default hashes
+  // nothing, keeping repair-off digests bit-identical to the pre-repair
+  // engine's.
+  if (repair != nullptr && repair->enabled()) {
+    h.bytes("repair");
+    h.i32(repair->max_rounds);
+    h.i32(repair->attempt_budget);
+    h.boolean(repair->stop_on_pass);
+    h.u64(std::bit_cast<std::uint64_t>(repair->efficacy));
+  }
   return h.digest();
 }
 

@@ -37,12 +37,18 @@
 #include "cache/hash.h"
 #include "eval/task.h"
 #include "lint/lint.h"
+#include "repair/repair.h"
 
 namespace haven::eval {
 
 // Bump when CachedVerdict's encoding or the key derivation changes; old
 // entries then miss instead of replaying garbage.
 inline constexpr std::uint32_t kVerdictSchemaVersion = 2;
+// Extended payload carrying the failure witness (fail_reason), written only
+// for repair-enabled runs — their key space is disjoint (task_cache_seed
+// binds the repair knobs when enabled), so repair-off runs keep writing and
+// replaying byte-identical v2 entries. decode_verdict accepts both.
+inline constexpr std::uint32_t kVerdictSchemaVersionExtended = 3;
 
 // The replayable outcome of one candidate's compile→lint→prove→simulate
 // stages.
@@ -55,9 +61,15 @@ struct CachedVerdict {
   bool prove_fallback = false;  // prove attempted, deferred to simulation
   std::int32_t sim_vectors = 0;
   std::vector<lint::Finding> findings;  // empty unless lint was enabled
+  // Failure witness (diff miscompare / prove witness), replayed so a warm
+  // repair loop distills bit-identical hints. Only round-trips through the
+  // extended encoding; always "" for v2 payloads.
+  std::string fail_reason;
 };
 
-std::string encode_verdict(const CachedVerdict& v);
+// `extended` selects the v3 layout (appends fail_reason); the default v2
+// encoding is byte-identical to the pre-repair engine's.
+std::string encode_verdict(const CachedVerdict& v, bool extended = false);
 // Strict decode: any truncation, bad enum value, or version mismatch returns
 // false and leaves *out untouched enough to be discarded.
 bool decode_verdict(std::string_view payload, CachedVerdict* out);
@@ -68,10 +80,14 @@ enum class CacheLintMode : std::uint8_t { kOff = 0, kObserve, kTriage };
 // Per-task key base, computed once per task per run: hashes the schema
 // version, task id, golden source (canonicalized), stimulus spec, sim step
 // budget, lint mode, and the prove knobs (request-level: hashed whether or
-// not the task itself turns out to be provable).
+// not the task itself turns out to be provable). The repair policy is bound
+// ONLY when enabled — a null/disabled policy contributes nothing, so
+// repair-off digests are bit-identical to the pre-repair engine's and keep
+// hitting warm caches it wrote.
 cache::Digest task_cache_seed(const EvalTask& task, std::uint64_t sim_step_budget,
                               CacheLintMode lint_mode, bool prove = false,
-                              std::uint64_t prove_budget = 0);
+                              std::uint64_t prove_budget = 0,
+                              const repair::RepairPolicy* repair = nullptr);
 
 // Per-candidate key: the task seed + canonicalized candidate source + the
 // testbench stream digest.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <ctime>
 #include <future>
 
@@ -19,6 +20,7 @@
 #include "sim/elaborate.h"
 #include "sim/testbench.h"
 #include "util/fault.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 #include "verilog/analyzer.h"
 #include "verilog/parser.h"
@@ -71,21 +73,62 @@ int LintSummary::dominant_axis() const {
   return best;
 }
 
-bool counters_consistent(const EvalCounters& c) {
-  if (c.candidates != c.unit_faults + c.compile_failures + c.lint_triaged + c.proven_equiv +
-                          c.proven_inequiv + c.simulated + c.cache_hits) {
-    return false;
+bool counters_consistent(const EvalCounters& c) { return counters_inconsistency(c).empty(); }
+
+std::string counters_inconsistency(const EvalCounters& c) {
+  std::string out;
+  auto violated = [&](const std::string& term) {
+    if (!out.empty()) out += "; ";
+    out += term;
+  };
+  const std::int64_t passes = c.candidates + c.repair_rounds;
+  const std::int64_t buckets = c.unit_faults + c.compile_failures + c.lint_triaged +
+                               c.proven_equiv + c.proven_inequiv + c.simulated + c.cache_hits;
+  if (passes != buckets) {
+    violated(util::format(
+        "candidates + repair_rounds (%lld + %lld = %lld) != unit_faults + compile_failures + "
+        "lint_triaged + proven_equiv + proven_inequiv + simulated + cache_hits "
+        "(%lld + %lld + %lld + %lld + %lld + %lld + %lld = %lld)",
+        static_cast<long long>(c.candidates), static_cast<long long>(c.repair_rounds),
+        static_cast<long long>(passes), static_cast<long long>(c.unit_faults),
+        static_cast<long long>(c.compile_failures), static_cast<long long>(c.lint_triaged),
+        static_cast<long long>(c.proven_equiv), static_cast<long long>(c.proven_inequiv),
+        static_cast<long long>(c.simulated), static_cast<long long>(c.cache_hits),
+        static_cast<long long>(buckets)));
   }
-  if (c.deadline_exceeded + c.cycles_aborted > c.unit_faults) return false;
+  if (c.deadline_exceeded + c.cycles_aborted > c.unit_faults) {
+    violated(util::format(
+        "deadline_exceeded + cycles_aborted (%lld + %lld) > unit_faults (%lld)",
+        static_cast<long long>(c.deadline_exceeded), static_cast<long long>(c.cycles_aborted),
+        static_cast<long long>(c.unit_faults)));
+  }
   // Every fallback reached the testbench by definition.
-  if (c.prove_fallback > c.simulated) return false;
-  // With a cache attached every non-faulted unit is exactly one lookup; with
+  if (c.prove_fallback > c.simulated) {
+    violated(util::format("prove_fallback (%lld) > simulated (%lld)",
+                          static_cast<long long>(c.prove_fallback),
+                          static_cast<long long>(c.simulated)));
+  }
+  // With a cache attached every non-faulted pass is exactly one lookup; with
   // no cache both counters stay zero (then the check is vacuous).
   if (c.cache_hits + c.cache_misses != 0 &&
-      c.cache_hits + c.cache_misses != c.candidates - c.unit_faults) {
-    return false;
+      c.cache_hits + c.cache_misses != passes - c.unit_faults) {
+    violated(util::format(
+        "cache_hits + cache_misses (%lld + %lld = %lld) != candidates + repair_rounds - "
+        "unit_faults (%lld)",
+        static_cast<long long>(c.cache_hits), static_cast<long long>(c.cache_misses),
+        static_cast<long long>(c.cache_hits + c.cache_misses),
+        static_cast<long long>(passes - c.unit_faults)));
   }
-  return true;
+  // A unit with >= 1 repair round terminates as exactly one of repaired /
+  // exhausted / passed-round-0-anyway (stop_on_pass = false burns rounds
+  // after a pass), and contributes at least one round.
+  if (c.repaired_pass + c.repair_exhausted > c.repair_rounds) {
+    violated(util::format(
+        "repaired_pass + repair_exhausted (%lld + %lld) > repair_rounds (%lld)",
+        static_cast<long long>(c.repaired_pass), static_cast<long long>(c.repair_exhausted),
+        static_cast<long long>(c.repair_rounds)));
+  }
+  return out;
 }
 
 std::pair<int, int> SuiteResult::modality_pass(symbolic::Modality m) const {
@@ -122,7 +165,9 @@ double seconds_since(Clock::time_point start) {
 }
 
 // One (temperature, task, sample) work unit's result plus stage timings and
-// the fault record when the unit terminally failed.
+// the fault record when the unit terminally failed. With repair enabled a
+// unit runs the candidate pipeline several times; the verdict-carrying pass
+// fills the flags below and every superseded pass folds into `prior`.
 struct UnitOutcome {
   bool syntax_ok = false;
   bool func_ok = false;
@@ -133,6 +178,10 @@ struct UnitOutcome {
   bool simulated = false;  // the diff testbench actually ran
   int sim_vectors = 0;     // vectors/cycles the diff testbench compared
   std::vector<lint::Finding> findings;  // only when lint is enabled
+  // Failure witness of this pass: the first diff-sim miscompare or the prove
+  // inequivalence witness ("" when passing / compile-failed / triaged).
+  // Feeds repair::FeedbackBuilder and replays from the extended cache.
+  std::string fail_reason;
   double generate_seconds = 0.0;
   double compile_seconds = 0.0;
   double lint_seconds = 0.0;
@@ -143,14 +192,34 @@ struct UnitOutcome {
   bool faulted = false;
   FaultKind fault_kind = FaultKind::kException;
   std::string fault_what;
+  // Self-repair bookkeeping (all zero when repair is off).
+  int repair_rounds = 0;          // repair passes this unit ran
+  bool repaired = false;          // failed round 0, some repair round passed
+  bool repair_exhausted = false;  // ran >= 1 round, final verdict still fails
+  // Pipeline-bucket contributions of the superseded (non-verdict) passes,
+  // folded by the unit so the reducer keeps one accounting site.
+  struct PriorPasses {
+    std::int64_t compile_failures = 0;
+    std::int64_t sim_mismatches = 0;
+    std::int64_t lint_triaged = 0;
+    std::int64_t proven_equiv = 0;
+    std::int64_t proven_inequiv = 0;
+    std::int64_t prove_fallback = 0;
+    std::int64_t simulated = 0;
+    std::int64_t sim_vectors = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+  } prior;
 };
 
 // Per-task cache context shared read-only by the sample fan-out. Null cache
 // = caching off (the candidate pipeline is then identical to the uncached
-// engine).
+// engine). `extended` selects the v3 verdict payload carrying fail_reason
+// (repair-enabled runs only; their task seeds already key a disjoint space).
 struct CacheRun {
   cache::ResultCache* cache = nullptr;
   cache::Digest task_seed;
+  bool extended = false;
 };
 
 // Per-task lint context prepared once before the sample fan-out: the parsed
@@ -183,7 +252,9 @@ FaultKind classify_fault(const std::exception& e) {
 // generate, compile-check, differential simulation. The draw order against
 // `rng` is part of the determinism contract — do not reorder. Neither the
 // deadline checks nor the injection hook draw from `rng`, so enabling them
-// never perturbs results.
+// never perturbs results. A non-null `damping` routes generation through
+// generate_with_hints (repair rounds); round 0 and repair-off runs pass null
+// and take the byte-identical generate() path.
 CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                double temperature, bool use_sicot,
                                const llm::SimLlm* cot_model, util::Rng& rng,
@@ -191,7 +262,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
                                std::uint64_t step_budget, sim::SimBackend sim_backend,
                                const LintRun* lint_run = nullptr,
                                const CacheRun* cache_run = nullptr,
-                               const ProveRun* prove_run = nullptr) {
+                               const ProveRun* prove_run = nullptr,
+                               const llm::AxisDamping* damping = nullptr) {
   CandidateOutcome outcome;
 
   const Clock::time_point gen_start = Clock::now();
@@ -206,7 +278,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
 
   llm::GenerationConfig gen;
   gen.temperature = temperature;
-  outcome.source = model.generate(prompt, gen, rng);
+  outcome.source = damping != nullptr ? model.generate_with_hints(prompt, gen, *damping, rng)
+                                      : model.generate(prompt, gen, rng);
   if (stats != nullptr) stats->generate_seconds = seconds_since(gen_start);
   deadline.check("generate");
 
@@ -236,6 +309,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
         stats->simulated = v.simulated;
         stats->sim_vectors = v.sim_vectors;
         stats->findings = std::move(v.findings);
+        stats->fail_reason = std::move(v.fail_reason);
         stats->cache_hit = true;
         return outcome;
       }
@@ -256,7 +330,8 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     v.simulated = stats->simulated;
     v.sim_vectors = stats->sim_vectors;
     v.findings = stats->findings;
-    cache_run->cache->insert(cache_key, encode_verdict(v));
+    v.fail_reason = stats->fail_reason;
+    cache_run->cache->insert(cache_key, encode_verdict(v, cache_run->extended));
   };
 
   const Clock::time_point compile_start = Clock::now();
@@ -343,6 +418,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
       if (stats != nullptr) {
         stats->func_ok = outcome.func_ok;
         stats->proved = true;
+        if (!outcome.func_ok) stats->fail_reason = proof.reason;
       }
       store(outcome);
       return outcome;
@@ -372,6 +448,7 @@ CandidateOutcome run_candidate(const llm::SimLlm& model, const EvalTask& task,
     stats->func_ok = outcome.func_ok;
     stats->simulated = true;
     stats->sim_vectors = diff.vectors;
+    if (!diff.passed) stats->fail_reason = diff.reason;
   }
   store(outcome);
   return outcome;
@@ -482,7 +559,8 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       cache_runs[i].cache = result_cache;
       cache_runs[i].task_seed =
           task_cache_seed(suite.tasks[i], request_.sim_step_budget, lint_mode, request_.prove,
-                          request_.prove_budget);
+                          request_.prove_budget, &request_.repair);
+      cache_runs[i].extended = request_.repair.enabled();
     }
     cache_evictions_before = result_cache->stats().evictions;
   }
@@ -548,17 +626,24 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       lint_run.golden = &goldens[task_i].parsed;
     }
     lint_run.triage = request_.lint_triage;
+    const repair::RepairPolicy& policy = request_.repair;
+    const repair::FeedbackBuilder feedback;
     UnitOutcome stats;
     for (int attempt = 0;; ++attempt) {
       stats = UnitOutcome{};  // drop partial stage results of a failed attempt
       stats.attempts = attempt + 1;
-      util::Rng rng(task_seed[task_i] ^
-                    (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1)) ^
-                    static_cast<std::uint64_t>(temperature * 4096) ^
-                    (0xda942042e4dd58b5ULL * static_cast<std::uint64_t>(attempt)));
+      // Round 0 uses this seed unmodified (the legacy derivation, bit for
+      // bit); repair round r >= 1 XORs in a per-round term below.
+      const std::uint64_t unit_seed =
+          task_seed[task_i] ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1)) ^
+          static_cast<std::uint64_t>(temperature * 4096) ^
+          (0xda942042e4dd58b5ULL * static_cast<std::uint64_t>(attempt));
+      util::Rng rng(unit_seed);
       util::FaultInjector::ScopedContext fault_context(
           request_.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(unit) + 1)) ^
           (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(attempt) + 1)));
+      // One deadline per attempt, covering every repair round of the attempt:
+      // repair stretches a candidate's work, it does not extend its time box.
       const util::Deadline deadline = request_.deadline_ms > 0
                                           ? util::Deadline::after_ms(request_.deadline_ms)
                                           : util::Deadline::none();
@@ -568,7 +653,97 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
                       lint_enabled ? &lint_run : nullptr,
                       result_cache != nullptr ? &cache_runs[task_i] : nullptr,
                       prove_enabled ? &prove_runs[task_i] : nullptr);
-        return stats;
+        if (!policy.enabled()) return stats;
+
+        // Closed-loop self-repair (DESIGN.md §13): distill the latest pass's
+        // failure evidence into a hint, damp the hinted axes, regenerate.
+        // Round r's RNG depends only on (unit_seed, r), and its hint only on
+        // rounds 0..r-1, so round sequences are prefix-stable across
+        // max_rounds settings — pass@k is monotone in rounds by construction.
+        // A fault inside any round retries the whole unit like before.
+        std::vector<UnitOutcome> rounds;
+        auto last = [&]() -> const UnitOutcome& {
+          return rounds.empty() ? stats : rounds.back();
+        };
+        while (policy.admits_round(static_cast<int>(rounds.size()),
+                                   1 + static_cast<int>(rounds.size()))) {
+          const UnitOutcome& prev = last();
+          if (policy.stop_on_pass && prev.func_ok) break;
+          repair::Evidence evidence;
+          evidence.passed = prev.func_ok;
+          evidence.compile_failed = !prev.syntax_ok;
+          evidence.lint_triaged = prev.triaged;
+          evidence.proven_inequiv = prev.proved && !prev.func_ok;
+          evidence.sim_mismatch = prev.simulated && !prev.func_ok;
+          evidence.findings = &prev.findings;
+          evidence.fail_reason = prev.fail_reason;
+          const llm::AxisDamping damping =
+              repair::damping_for(feedback.distill(evidence), policy.efficacy);
+          const std::uint64_t round = static_cast<std::uint64_t>(rounds.size()) + 1;
+          util::Rng round_rng(unit_seed ^ (0x8bb84b93962eacc9ULL * round));
+          UnitOutcome pass;
+          run_candidate(model, suite.tasks[task_i], temperature, request_.use_sicot, cot_model,
+                        round_rng, &pass, deadline, request_.sim_step_budget,
+                        request_.sim_backend, lint_enabled ? &lint_run : nullptr,
+                        result_cache != nullptr ? &cache_runs[task_i] : nullptr,
+                        prove_enabled ? &prove_runs[task_i] : nullptr, &damping);
+          rounds.push_back(std::move(pass));
+        }
+        if (rounds.empty()) return stats;
+
+        // Merge: the verdict is the first passing pass (else the last). The
+        // merged outcome carries that pass's flags/findings/witness; every
+        // superseded pass folds its pipeline buckets into `prior` so the
+        // reducer's accounting identity extends exactly by repair_rounds.
+        std::vector<UnitOutcome*> passes;
+        passes.reserve(rounds.size() + 1);
+        passes.push_back(&stats);
+        for (UnitOutcome& r : rounds) passes.push_back(&r);
+        std::size_t verdict_i = passes.size() - 1;
+        for (std::size_t p = 0; p < passes.size(); ++p) {
+          if (passes[p]->func_ok) {
+            verdict_i = p;
+            break;
+          }
+        }
+        const bool round0_refined = stats.refined;
+        double gen_s = 0, comp_s = 0, lint_s = 0, prove_s = 0, sim_s = 0;
+        for (const UnitOutcome* p : passes) {
+          gen_s += p->generate_seconds;
+          comp_s += p->compile_seconds;
+          lint_s += p->lint_seconds;
+          prove_s += p->prove_seconds;
+          sim_s += p->sim_seconds;
+        }
+        UnitOutcome merged = std::move(*passes[verdict_i]);
+        for (std::size_t p = 0; p < passes.size(); ++p) {
+          if (p == verdict_i) continue;
+          const UnitOutcome& pass = *passes[p];
+          if (pass.cache_hit) {
+            ++merged.prior.cache_hits;
+          } else {
+            if (result_cache != nullptr) ++merged.prior.cache_misses;
+            merged.prior.compile_failures += !pass.syntax_ok;
+            merged.prior.sim_mismatches += pass.syntax_ok && !pass.func_ok;
+            merged.prior.lint_triaged += pass.triaged;
+            merged.prior.proven_equiv += pass.proved && pass.func_ok;
+            merged.prior.proven_inequiv += pass.proved && !pass.func_ok;
+            merged.prior.prove_fallback += pass.prove_fallback;
+            merged.prior.simulated += pass.simulated;
+            merged.prior.sim_vectors += pass.sim_vectors;
+          }
+        }
+        merged.refined = round0_refined;
+        merged.attempts = attempt + 1;
+        merged.generate_seconds = gen_s;
+        merged.compile_seconds = comp_s;
+        merged.lint_seconds = lint_s;
+        merged.prove_seconds = prove_s;
+        merged.sim_seconds = sim_s;
+        merged.repair_rounds = static_cast<int>(rounds.size());
+        merged.repaired = merged.func_ok && verdict_i >= 1;
+        merged.repair_exhausted = !merged.func_ok;
+        return merged;
       } catch (const std::exception& e) {
         if (attempt < max_retries && request_.retry.should_retry(e)) {
           const int backoff = request_.retry.backoff_ms(attempt);
@@ -718,6 +893,21 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
       counters.simulated += u.simulated;
       counters.sim_vectors += u.sim_vectors;
     }
+    // Superseded repair passes (folded by the unit) land in the same buckets
+    // as live passes, extending the identity's LHS by exactly repair_rounds.
+    counters.compile_failures += u.prior.compile_failures;
+    counters.sim_mismatches += u.prior.sim_mismatches;
+    counters.lint_triaged += u.prior.lint_triaged;
+    counters.proven_equiv += u.prior.proven_equiv;
+    counters.proven_inequiv += u.prior.proven_inequiv;
+    counters.prove_fallback += u.prior.prove_fallback;
+    counters.simulated += u.prior.simulated;
+    counters.sim_vectors += u.prior.sim_vectors;
+    counters.cache_hits += u.prior.cache_hits;
+    counters.cache_misses += u.prior.cache_misses;
+    counters.repair_rounds += u.repair_rounds;
+    counters.repaired_pass += u.repaired;
+    counters.repair_exhausted += u.repair_exhausted;
 
     if (!lint_enabled) continue;
     bool flagged = false;
@@ -765,8 +955,14 @@ SuiteResult EvalEngine::evaluate(const llm::SimLlm& model, const Suite& suite) c
 
   // The accounting identity is enforced HERE, once, where the buckets are
   // filled (debug builds). Tests assert counters_consistent() on results
-  // instead of re-deriving the sum per call site.
-  assert(counters_consistent(counters) && "EvalCounters accounting identity violated");
+  // instead of re-deriving the sum per call site; the diagnostic names the
+  // specific violated term(s) so a broken build fails loudly, not opaquely.
+#ifndef NDEBUG
+  if (const std::string broken = counters_inconsistency(counters); !broken.empty()) {
+    std::fprintf(stderr, "EvalCounters accounting identity violated: %s\n", broken.c_str());
+    assert(false && "EvalCounters accounting identity violated");
+  }
+#endif
 
   SuiteResult best;
   double best_pass1 = 0.0;

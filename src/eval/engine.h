@@ -56,6 +56,7 @@
 #include "eval/task.h"
 #include "lint/lint.h"
 #include "llm/simllm.h"
+#include "repair/repair.h"
 #include "symbolic/modality.h"
 #include "util/retry.h"
 #include "util/rng.h"
@@ -146,6 +147,19 @@ struct EvalCounters {
   std::int64_t proven_equiv = 0;    // candidates proven equivalent (func pass)
   std::int64_t proven_inequiv = 0;  // candidates proven inequivalent (func fail)
   std::int64_t prove_fallback = 0;  // prove attempts that deferred to simulation
+  // Self-repair block (see DESIGN.md §13). Each repair round is one extra
+  // pass of the candidate pipeline, so with repair enabled the accounting
+  // identity extends on the LEFT side:
+  //   candidates + repair_rounds == unit_faults + compile_failures
+  //                 + lint_triaged + proven_equiv + proven_inequiv
+  //                 + simulated + cache_hits
+  // (every pass — round 0 or repair round — lands in exactly one pipeline
+  // bucket; a faulted unit discards its partial repair tallies and counts
+  // under unit_faults alone). Corollary:
+  //   repaired_pass + repair_exhausted <= repair_rounds.
+  std::int64_t repair_rounds = 0;     // repair passes run (0 when repair off)
+  std::int64_t repaired_pass = 0;     // candidates that failed round 0, then passed
+  std::int64_t repair_exhausted = 0;  // candidates still failing after >= 1 round
   // Result-cache block (see DESIGN.md §9). With caching on, the accounting
   // identity extends to
   //   candidates == unit_faults + compile_failures + lint_triaged + simulated
@@ -171,13 +185,24 @@ struct EvalCounters {
 
 // THE accounting identity, asserted centrally by the reducer (debug builds)
 // and reusable by tests instead of re-deriving it per call site:
-//   candidates == unit_faults + compile_failures + lint_triaged
-//                 + proven_equiv + proven_inequiv + simulated + cache_hits
+//   candidates + repair_rounds == unit_faults + compile_failures
+//                 + lint_triaged + proven_equiv + proven_inequiv
+//                 + simulated + cache_hits
 // plus the structural corollaries (fault sub-kinds never exceed unit_faults;
 // prove_fallback never exceeds simulated; with a cache attached,
-// hits + misses == candidates - unit_faults). Holds at any thread count,
-// injection rate, lint mode, prove mode, and cache state.
+// hits + misses == candidates + repair_rounds - unit_faults;
+// repaired_pass + repair_exhausted never exceed repair_rounds). Holds at any
+// thread count, injection rate, lint mode, prove mode, repair policy, and
+// cache state. With repair off, repair_rounds == 0 and the identity is
+// exactly the historical one.
 bool counters_consistent(const EvalCounters& c);
+
+// Diagnosable form of the same check: "" when every term holds, otherwise a
+// semicolon-separated list naming each violated identity/corollary with the
+// expected and actual values — so an accounting regression introduced by a
+// new pipeline stage is readable straight off the test log instead of a
+// bare boolean.
+std::string counters_inconsistency(const EvalCounters& c);
 
 // Run-wide lint aggregation (EvalRequest::lint / lint_triage). All tallies
 // cover non-faulted candidates across every temperature and are
@@ -320,6 +345,20 @@ class EvalRequest {
   // the candidate to simulation, counted under prove_fallback.
   std::uint64_t prove_budget = std::uint64_t{1} << 20;
 
+  // --- closed-loop self-repair ---------------------------------------------
+  // Bounded per-candidate repair loop (haven::repair, DESIGN.md §13): when a
+  // candidate's verdict fails, its evidence (lint findings, sim mismatch
+  // counterexample, prove witness, compile diagnostics) is distilled into a
+  // RepairHint and the candidate is regenerated with the hinted
+  // HallucinationProfile axes damped, up to repair.max_rounds times. Round 0
+  // is bit-identical to the single-shot run (base RNG derivation untouched);
+  // each repair round forks a fresh deterministic RNG from
+  // (seed, unit, attempt, round), so pass@k is monotonically non-decreasing
+  // in max_rounds and results stay thread-count invariant. The default
+  // (max_rounds = 0) leaves every verdict, counter, and cache digest
+  // bit-identical to the pre-repair engine.
+  repair::RepairPolicy repair;
+
   // --- result cache ---------------------------------------------------------
   // Content-addressed memoization of the compile→lint→simulate stages (see
   // DESIGN.md §9). NON-OWNING: the caller keeps the cache alive for as long
@@ -377,6 +416,19 @@ class EvalRequest {
     prove_budget = nodes;
     return *this;
   }
+  EvalRequest& with_repair(const repair::RepairPolicy& policy) {
+    repair = policy;
+    return *this;
+  }
+  EvalRequest& with_repair_rounds(int rounds) { repair.max_rounds = rounds; return *this; }
+  EvalRequest& with_repair_budget(int generations) {
+    repair.attempt_budget = generations;
+    return *this;
+  }
+  EvalRequest& with_repair_efficacy(double efficacy) {
+    repair.efficacy = efficacy;
+    return *this;
+  }
   EvalRequest& with_cache(cache::ResultCache* c) { cache = c; return *this; }
   EvalRequest& with_fail_fast(bool on = true) { fail_fast = on; return *this; }
   EvalRequest& with_deadline_ms(int ms) { deadline_ms = ms; return *this; }
@@ -428,9 +480,10 @@ class EvalEngine {
 
   // Generate and check a single candidate with the request's SI-CoT
   // settings, drawing from the caller's rng. Exposed for tests, examples,
-  // and microbenchmarks. Lint/triage and prove settings are ignored here
-  // (building a reference profile / deciding prove eligibility is
-  // evaluate()'s per-task job); the verdict is always the simulated one.
+  // and microbenchmarks. Lint/triage, prove, and repair settings are ignored
+  // here (building a reference profile / deciding prove eligibility /
+  // driving the repair loop is evaluate()'s per-task job); the verdict is
+  // always the single-shot simulated one.
   CandidateOutcome check(const llm::SimLlm& model, const EvalTask& task, double temperature,
                          util::Rng& rng) const;
 

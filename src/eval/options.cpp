@@ -8,6 +8,221 @@
 #include "util/strings.h"
 
 namespace haven::eval {
+namespace {
+
+// One entry per flag: the spec both drives parse() and renders the help
+// text, so a flag and its documentation cannot drift apart. `value` is the
+// placeholder shown in help (null = boolean flag). `apply` mutates the
+// options; it reports malformed values by filling *error and returning
+// false (parse() turns that into a usage error, exit 2).
+struct FlagSpec {
+  const char* name;   // including the leading "--"
+  const char* value;  // e.g. "N"; nullptr for boolean flags
+  const char* help;   // one-line description for --help
+  bool (*apply)(RequestOptions& o, const char* v, std::string* error);
+};
+
+const FlagSpec kFlags[] = {
+    {"--fast", nullptr, "CI-friendly protocol: n=5, single temperature 0.2",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.fast = true;
+       o.n_samples = 5;  // pass@5 needs k <= n
+       o.temperatures = {0.2};
+       return true;
+     }},
+    {"--n", "N", "samples per task (pass@k needs k <= n)",
+     [](RequestOptions& o, const char* v, std::string* error) {
+       o.n_samples = std::atoi(v);
+       if (o.n_samples <= 0) {
+         *error = "--n wants a positive sample count";
+         return false;
+       }
+       return true;
+     }},
+    {"--temps", "a,b,c", "sampling temperatures to sweep",
+     [](RequestOptions& o, const char* v, std::string* error) {
+       o.temperatures.clear();
+       for (const std::string& field : util::split(v, ',')) {
+         if (util::trim(field).empty()) continue;
+         o.temperatures.push_back(std::atof(field.c_str()));
+       }
+       if (o.temperatures.empty()) {
+         *error = "--temps wants e.g. 0.2,0.5,0.8";
+         return false;
+       }
+       return true;
+     }},
+    {"--seed", "N", "base evaluation seed",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.seed = std::strtoull(v, nullptr, 10);
+       return true;
+     }},
+    {"--sicot", nullptr, "refine prompts through the SI-CoT pipeline",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.use_sicot = true;
+       return true;
+     }},
+    {"--progress", nullptr, "coarse progress lines on stderr",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.progress = true;
+       return true;
+     }},
+    {"--threads", "N", "worker threads (0 = one per hardware thread)",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.threads = std::atoi(v);
+       return true;
+     }},
+    {"--serial", nullptr, "single-threaded evaluation (= --threads=1)",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.threads = 1;
+       return true;
+     }},
+    {"--deadline-ms", "N", "per-attempt wall-clock deadline (0 = none)",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.deadline_ms = std::atoi(v);
+       return true;
+     }},
+    {"--retries", "N", "transient-fault retries per work unit",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.retries = std::atoi(v);
+       return true;
+     }},
+    {"--fail-fast", nullptr, "abort the run on the first faulted unit",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.fail_fast = true;
+       return true;
+     }},
+    {"--sim-budget", "N", "simulation step budget per candidate (0 = unbounded)",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.sim_step_budget = std::strtoull(v, nullptr, 10);
+       return true;
+     }},
+    {"--sim-backend", "interp|compiled", "simulator backend (verdict-identical)",
+     [](RequestOptions& o, const char* v, std::string* error) {
+       if (auto backend = sim::parse_backend(v)) {
+         o.sim_backend = *backend;
+         return true;
+       }
+       *error = std::string("unknown --sim-backend '") + v + "' (want " +
+                std::string(sim::kBackendValues) + ")";
+       return false;
+     }},
+    {"--inject", "P", "chaos-mode fault probability per site",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.inject = std::atof(v);
+       return true;
+     }},
+    {"--inject-seed", "N", "chaos-mode injection seed",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.inject_seed = std::strtoull(v, nullptr, 10);
+       return true;
+     }},
+    {"--lint", nullptr, "lint candidates against the golden reference profile",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.lint = true;
+       return true;
+     }},
+    {"--lint-triage", nullptr, "skip simulation when lint proves failure",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.lint_triage = true;
+       return true;
+     }},
+    {"--lint-json", nullptr, "emit per-candidate findings as JSON (implies --lint)",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.lint = true;
+       o.lint_json = true;
+       return true;
+     }},
+    {"--prove", nullptr, "formal equivalence fast-path before simulation",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.prove = true;
+       return true;
+     }},
+    {"--no-prove", nullptr, "force proving off",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.no_prove = true;
+       return true;
+     }},
+    {"--prove-budget", "N", "BDD node budget per proof (0 = unbounded)",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.prove_budget = std::strtoull(v, nullptr, 10);
+       return true;
+     }},
+    {"--repair-rounds", "N", "self-repair rounds per failed candidate (0 = off)",
+     [](RequestOptions& o, const char* v, std::string* error) {
+       o.repair_rounds = std::atoi(v);
+       if (o.repair_rounds < 0) {
+         *error = "--repair-rounds wants an integer >= 0";
+         return false;
+       }
+       return true;
+     }},
+    {"--repair-budget", "N", "total generations per candidate incl. round 0 (0 = rounds only)",
+     [](RequestOptions& o, const char* v, std::string* error) {
+       o.repair_budget = std::atoi(v);
+       if (o.repair_budget < 0) {
+         *error = "--repair-budget wants an integer >= 0";
+         return false;
+       }
+       return true;
+     }},
+    {"--repair-efficacy", "F", "repair feedback efficacy factor in [0,1]",
+     [](RequestOptions& o, const char* v, std::string* error) {
+       o.repair_efficacy = std::atof(v);
+       if (o.repair_efficacy < 0.0 || o.repair_efficacy > 1.0) {
+         *error = "--repair-efficacy wants a number in [0, 1]";
+         return false;
+       }
+       return true;
+     }},
+    {"--cache", nullptr, "in-memory result cache",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.cache = true;
+       return true;
+     }},
+    {"--no-cache", nullptr, "force caching off",
+     [](RequestOptions& o, const char*, std::string*) {
+       o.no_cache = true;
+       return true;
+     }},
+    {"--cache-dir", "PATH", "persistent cache artifact directory (implies --cache)",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.cache_dir = v;
+       o.cache = true;
+       return true;
+     }},
+    {"--cache-mb", "N", "result-cache budget in MiB",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.cache_mb = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+       return true;
+     }},
+    {"--bench-json", "PATH", "append a machine-readable run record",
+     [](RequestOptions& o, const char* v, std::string*) {
+       o.bench_json = v;
+       return true;
+     }},
+};
+
+std::string render_flag(const FlagSpec& spec) {
+  std::string s = spec.name;
+  if (spec.value != nullptr) {
+    s += "=";
+    s += spec.value;
+  }
+  return s;
+}
+
+// Full per-flag listing behind --help.
+std::string help_text() {
+  std::string out = "Evaluation flags (one grammar for every eval front end):\n";
+  for (const FlagSpec& spec : kFlags) {
+    out += util::format("  %-28s %s\n", render_flag(spec).c_str(), spec.help);
+  }
+  out += util::format("  %-28s %s\n", "--help", "print this help and exit");
+  return out;
+}
+
+}  // namespace
 
 RequestOptions RequestOptions::parse(int argc, char** argv,
                                      std::vector<std::string>* leftover) {
@@ -18,83 +233,34 @@ RequestOptions RequestOptions::parse(int argc, char** argv,
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    // "--flag=value" or "--flag value".
-    auto value_of = [&](const char* flag) -> const char* {
-      const std::size_t len = std::strlen(flag);
-      if (std::strncmp(arg, flag, len) != 0) return nullptr;
-      if (arg[len] == '=') return arg + len + 1;
-      if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
-      return nullptr;
-    };
-    auto boolean = [&](const char* flag) { return std::strcmp(arg, flag) == 0; };
-
-    if (boolean("--fast")) {
-      options.fast = true;
-      options.n_samples = 5;  // pass@5 needs k <= n
-      options.temperatures = {0.2};
-    } else if (boolean("--progress")) {
-      options.progress = true;
-    } else if (boolean("--sicot")) {
-      options.use_sicot = true;
-    } else if (boolean("--serial")) {
-      options.threads = 1;
-    } else if (boolean("--fail-fast")) {
-      options.fail_fast = true;
-    } else if (boolean("--lint")) {
-      options.lint = true;
-    } else if (boolean("--lint-triage")) {
-      options.lint_triage = true;
-    } else if (boolean("--lint-json")) {
-      options.lint = true;
-      options.lint_json = true;
-    } else if (boolean("--prove")) {
-      options.prove = true;
-    } else if (boolean("--no-prove")) {
-      options.no_prove = true;
-    } else if (boolean("--cache")) {
-      options.cache = true;
-    } else if (boolean("--no-cache")) {
-      options.no_cache = true;
-    } else if (const char* v = value_of("--n")) {
-      options.n_samples = std::atoi(v);
-      if (options.n_samples <= 0) usage_error("--n wants a positive sample count");
-    } else if (const char* v = value_of("--temps")) {
-      options.temperatures.clear();
-      for (const std::string& field : util::split(v, ',')) {
-        if (util::trim(field).empty()) continue;
-        options.temperatures.push_back(std::atof(field.c_str()));
-      }
-      if (options.temperatures.empty()) usage_error("--temps wants e.g. 0.2,0.5,0.8");
-    } else if (const char* v = value_of("--seed")) {
-      options.seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value_of("--threads")) {
-      options.threads = std::atoi(v);
-    } else if (const char* v = value_of("--deadline-ms")) {
-      options.deadline_ms = std::atoi(v);
-    } else if (const char* v = value_of("--retries")) {
-      options.retries = std::atoi(v);
-    } else if (const char* v = value_of("--sim-budget")) {
-      options.sim_step_budget = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value_of("--sim-backend")) {
-      if (auto backend = sim::parse_backend(v)) {
-        options.sim_backend = *backend;
+    if (std::strcmp(arg, "--help") == 0) {
+      std::cout << help_text();
+      std::exit(0);
+    }
+    const FlagSpec* matched = nullptr;
+    const char* value = nullptr;
+    for (const FlagSpec& spec : kFlags) {
+      const std::size_t len = std::strlen(spec.name);
+      if (std::strncmp(arg, spec.name, len) != 0) continue;
+      if (spec.value == nullptr) {
+        // Boolean flags match exactly; "--flag=x" is not a boolean match.
+        if (arg[len] != '\0') continue;
+        matched = &spec;
+      } else if (arg[len] == '=') {
+        matched = &spec;
+        value = arg + len + 1;
+      } else if (arg[len] == '\0') {
+        if (i + 1 >= argc) usage_error(std::string(spec.name) + " wants a value");
+        matched = &spec;
+        value = argv[++i];
       } else {
-        usage_error(std::string("unknown --sim-backend '") + v + "' (want " +
-                    std::string(sim::kBackendValues) + ")");
+        continue;  // shared prefix of a longer flag (e.g. "--n" vs "--no-cache")
       }
-    } else if (const char* v = value_of("--prove-budget")) {
-      options.prove_budget = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value_of("--inject")) {
-      options.inject = std::atof(v);
-    } else if (const char* v = value_of("--inject-seed")) {
-      options.inject_seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value_of("--cache-dir")) {
-      options.cache_dir = v;
-      options.cache = true;
-    } else if (const char* v = value_of("--cache-mb")) {
-      options.cache_mb = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value_of("--bench-json")) {
-      options.bench_json = v;
+      break;
+    }
+    if (matched != nullptr) {
+      std::string error;
+      if (!matched->apply(options, value, &error)) usage_error(error);
     } else if (leftover != nullptr) {
       leftover->push_back(arg);
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -113,13 +279,22 @@ RequestOptions RequestOptions::parse(int argc, char** argv,
 }
 
 const char* RequestOptions::flag_help() {
-  return "eval flags: --fast --n=N --temps=a,b,c --seed=N --sicot --progress\n"
-         "            --threads=N --serial --deadline-ms=N --retries=N --fail-fast\n"
-         "            --sim-budget=N --sim-backend=interp|compiled\n"
-         "            --inject=P --inject-seed=N --lint --lint-triage --lint-json\n"
-         "            --prove --no-prove --prove-budget=N\n"
-         "            --cache --no-cache --cache-dir=PATH --cache-mb=N\n"
-         "            --bench-json=PATH";
+  // Compact wrapped summary for usage errors, rendered from the same table.
+  static const std::string text = [] {
+    std::string out = "eval flags:";
+    std::size_t column = out.size();
+    for (const FlagSpec& spec : kFlags) {
+      const std::string flag = render_flag(spec);
+      if (column + 1 + flag.size() > 78) {
+        out += "\n           ";
+        column = 11;
+      }
+      out += " " + flag;
+      column += 1 + flag.size();
+    }
+    return out;
+  }();
+  return text.c_str();
 }
 
 EvalRequest RequestOptions::request() const {
@@ -138,6 +313,9 @@ EvalRequest RequestOptions::request() const {
   req.lint_triage = lint_triage;
   req.prove = prove && !no_prove;
   req.prove_budget = prove_budget;
+  req.repair.max_rounds = repair_rounds;
+  req.repair.attempt_budget = repair_budget;
+  req.repair.efficacy = repair_efficacy;
   req.cache = result_cache.get();
   if (progress) req.on_progress = progress_printer();
   return req;

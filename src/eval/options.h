@@ -51,6 +51,10 @@ struct RequestOptions {
   bool prove = false;     // --prove
   bool no_prove = false;  // --no-prove: force proving off
   std::uint64_t prove_budget = std::uint64_t{1} << 20;  // --prove-budget=N (0 = unbounded)
+  // Closed-loop self-repair knobs (DESIGN.md §13).
+  int repair_rounds = 0;         // --repair-rounds=N (0 = repair off, the default)
+  int repair_budget = 0;         // --repair-budget=N generations incl. round 0 (0 = rounds only)
+  double repair_efficacy = 0.65; // --repair-efficacy=F in [0,1]
   // Result-cache knobs (DESIGN.md §9).
   bool cache = false;          // --cache: in-memory result cache
   bool no_cache = false;       // --no-cache: force caching off
@@ -64,11 +68,13 @@ struct RequestOptions {
 
   // Parse argv. Unknown arguments go to *leftover when provided (in argv
   // order); otherwise unknown "--flags" are a usage error. Malformed values
-  // (e.g. a bad --sim-backend) always error out with exit code 2.
+  // (e.g. a bad --sim-backend) always error out with exit code 2. "--help"
+  // prints the full per-flag help (rendered from the same flag-spec table
+  // that drives parsing, so the two cannot drift) and exits 0.
   static RequestOptions parse(int argc, char** argv,
                               std::vector<std::string>* leftover = nullptr);
 
-  // One-line flag summary for usage messages.
+  // One-line flag summary for usage messages (rendered from the flag table).
   static const char* flag_help();
 
   // The fully-formed request these options describe.

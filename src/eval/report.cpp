@@ -49,6 +49,12 @@ std::string summarize(const EvalCounters& c) {
                          static_cast<long long>(c.proven_inequiv),
                          static_cast<long long>(c.prove_fallback), c.prove_seconds);
   }
+  if (c.repair_rounds != 0 || c.repaired_pass != 0 || c.repair_exhausted != 0) {
+    line += util::format("; repair %lld rounds, %lld repaired / %lld exhausted",
+                         static_cast<long long>(c.repair_rounds),
+                         static_cast<long long>(c.repaired_pass),
+                         static_cast<long long>(c.repair_exhausted));
+  }
   if (c.cache_hits != 0 || c.cache_misses != 0) {
     line += "; " + summarize_cache(c);
   }

@@ -21,6 +21,8 @@
 // produces realistic pass@1 vs pass@5 gaps.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <string>
 
 #include "llm/task_spec.h"
@@ -69,6 +71,29 @@ constexpr int kNumHalluAxes = 11;
 
 std::string hallu_axis_name(HalluAxis axis);
 double profile_axis(const HallucinationProfile& p, HalluAxis axis);
+
+// Per-axis multiplicative damping applied to a HallucinationProfile at
+// generation time. This is how structured repair feedback reaches the model:
+// haven::repair distills a failed candidate's evidence into per-axis scale
+// factors in [0, 1] and SimLlm::generate_with_hints() multiplies each axis
+// probability by its factor. The all-ones identity() damping is *exactly*
+// the undamped path (p * 1.0 == p bit for bit), so a hinted generation with
+// an empty hint is bit-identical to generate().
+struct AxisDamping {
+  std::array<double, kNumHalluAxes> scale;
+
+  AxisDamping() { scale.fill(1.0); }
+  static AxisDamping identity() { return AxisDamping{}; }
+
+  double of(HalluAxis axis) const { return scale[static_cast<std::size_t>(axis)]; }
+  void set(HalluAxis axis, double factor) { scale[static_cast<std::size_t>(axis)] = factor; }
+  bool is_identity() const {
+    for (double s : scale) {
+      if (s != 1.0) return false;
+    }
+    return true;
+  }
+};
 
 // Fault-injection site for forcing an axis ("hallu." + hallu_axis_name):
 // arming it with probability 1 (or 0) on an installed util::FaultInjector

@@ -114,6 +114,17 @@ std::string SimLlm::fallback_module(const ParsedInstruction& parsed, const std::
 
 std::string SimLlm::generate(const std::string& prompt, const GenerationConfig& config,
                              util::Rng& rng) const {
+  return generate_impl(prompt, config, nullptr, rng);
+}
+
+std::string SimLlm::generate_with_hints(const std::string& prompt,
+                                        const GenerationConfig& config,
+                                        const AxisDamping& damping, util::Rng& rng) const {
+  return generate_impl(prompt, config, &damping, rng);
+}
+
+std::string SimLlm::generate_impl(const std::string& prompt, const GenerationConfig& config,
+                                  const AxisDamping* damping, util::Rng& rng) const {
   // Chaos hook: a real inference backend fails here (timeout, OOM, truncated
   // response); the injected stand-in lets the eval harness prove it survives.
   util::maybe_inject(util::kSiteLlmGenerate);
@@ -128,7 +139,11 @@ std::string SimLlm::generate(const std::string& prompt, const GenerationConfig& 
   // SI-CoT re-phrasing changes the axis *probabilities*, not the coin.
   const std::uint64_t task_key = spec.fingerprint();
 
+  // Repair damping multiplies into each axis's scale. With no damping (or
+  // the identity) the multiplication is exact (scale * 1.0 == scale), so the
+  // undamped path is bit-identical to the historical generate().
   auto fired = [&](HalluAxis axis, double scale = 1.0) {
+    if (damping != nullptr) scale *= damping->of(axis);
     return draw_axis(axis, task_key, difficulty, t, rng, scale);
   };
 

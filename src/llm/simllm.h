@@ -46,6 +46,16 @@ class SimLlm {
   std::string generate(const std::string& prompt, const GenerationConfig& config,
                        util::Rng& rng) const;
 
+  // Generate with structured repair feedback: every hallucination-axis draw
+  // is scaled by `damping` (haven::repair distills failure evidence into the
+  // per-axis factors). The identity damping reproduces generate() bit for
+  // bit — same rng draw sequence, same output — so round 0 of a repair loop
+  // and a repair-disabled run cannot diverge. Models an LLM that actually
+  // reads the feedback: axes named in the hint fire less often, scaled by
+  // the policy's repair-efficacy factor.
+  std::string generate_with_hints(const std::string& prompt, const GenerationConfig& config,
+                                  const AxisDamping& damping, util::Rng& rng) const;
+
   // Draw one hallucination axis. The systematic part is keyed on `key`
   // (normally the parsed TaskSpec fingerprint: whether the model "knows the
   // pattern" is a property of the task, not of the prompt's spelling, so
@@ -63,6 +73,8 @@ class SimLlm {
   std::uint64_t prompt_hash(const std::string& prompt) const;
 
  private:
+  std::string generate_impl(const std::string& prompt, const GenerationConfig& config,
+                            const AxisDamping* damping, util::Rng& rng) const;
   std::string fallback_module(const ParsedInstruction& parsed, const std::string& prompt,
                               util::Rng& rng) const;
 

@@ -1,0 +1,129 @@
+#include "repair/repair.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace haven::repair {
+
+namespace {
+
+// Per-severity evidence strength of a lint finding. Warnings and errors are
+// the analyzer's real predictions; notes are style-grade observations that
+// still deserve a nudge.
+double finding_weight(const lint::Finding& f) {
+  return f.diag.severity == verilog::Severity::kNote ? 0.3 : 1.0;
+}
+
+}  // namespace
+
+std::string RepairHint::summary() const {
+  if (empty() && counterexample.empty()) return "repair hint: (empty)";
+  std::string out = "repair hint:";
+  if (compile_failed) out += " compile-failed";
+  if (lint_triaged) out += " lint-triaged";
+  if (proven_inequiv) out += " proven-inequiv";
+  if (sim_mismatch) out += " sim-mismatch";
+  if (!axes.empty()) {
+    out += " axes=[";
+    bool first = true;
+    for (const AxisHint& a : axes) {
+      if (!first) out += " ";
+      first = false;
+      out += util::format("%s(%.2f)", llm::hallu_axis_name(a.axis).c_str(), a.weight);
+      if (a.findings > 1) out += util::format("x%d", a.findings);
+    }
+    out += "]";
+  }
+  if (!counterexample.empty()) out += " witness='" + counterexample + "'";
+  return out;
+}
+
+RepairHint FeedbackBuilder::distill(const Evidence& e) const {
+  RepairHint hint;
+  // A passing candidate has nothing to repair: the empty hint maps to the
+  // identity damping, so post-pass rounds (stop_on_pass = false) regenerate
+  // undamped.
+  if (e.passed) return hint;
+
+  hint.compile_failed = e.compile_failed;
+  hint.lint_triaged = e.lint_triaged;
+  hint.proven_inequiv = e.proven_inequiv;
+  hint.sim_mismatch = e.sim_mismatch;
+
+  double weight[llm::kNumHalluAxes] = {};
+  int count[llm::kNumHalluAxes] = {};
+  std::string detail[llm::kNumHalluAxes];
+  auto bump = [&](llm::HalluAxis axis, double w, const std::string& why) {
+    const int a = static_cast<int>(axis);
+    weight[a] = std::max(weight[a], w);
+    if (detail[a].empty() && !why.empty()) detail[a] = why;
+  };
+
+  // Lint findings carry the sharpest attribution: each is already keyed to a
+  // Table-II axis by the rule that produced it.
+  bool lint_attributed = false;
+  if (e.findings != nullptr) {
+    for (const lint::Finding& f : *e.findings) {
+      const double w = finding_weight(f);
+      lint_attributed |= w >= 1.0;
+      ++count[static_cast<int>(f.axis)];
+      bump(f.axis, w, f.diag.rule + ": " + f.diag.message);
+    }
+  }
+
+  // A compile failure without an attributed syntax finding (lint off) is
+  // still a syntax-class signal.
+  if (e.compile_failed && weight[static_cast<int>(llm::HalluAxis::kKnowSyntax)] <= 0.0) {
+    bump(llm::HalluAxis::kKnowSyntax, 1.0, "candidate does not compile");
+  }
+
+  // Failure witness: the first sim mismatch counterexample or the prove
+  // inequivalence witness. Interface trouble (the diff harness names the
+  // offending port) reads as misalignment; a concrete value miscompare
+  // without lint attribution implicates the logic axes first, the symbolic
+  // misread axes second.
+  if (!e.fail_reason.empty()) {
+    hint.counterexample.assign(e.fail_reason.data(), e.fail_reason.size());
+    if (hint.counterexample.find("port") != std::string::npos) {
+      bump(llm::HalluAxis::kMisalignment, 1.0, "interface mismatch: " + hint.counterexample);
+      bump(llm::HalluAxis::kComprehension, 0.5, "interface mismatch");
+    } else if (!lint_attributed) {
+      bump(llm::HalluAxis::kLogicExpression, 0.6, "value miscompare: " + hint.counterexample);
+      bump(llm::HalluAxis::kLogicCorner, 0.6, "");
+      bump(llm::HalluAxis::kLogicInstruction, 0.6, "");
+      bump(llm::HalluAxis::kSymTruthTable, 0.4, "");
+      bump(llm::HalluAxis::kSymWaveform, 0.4, "");
+      bump(llm::HalluAxis::kSymStateDiagram, 0.4, "");
+    }
+  } else if ((e.sim_mismatch || e.proven_inequiv) && !lint_attributed) {
+    // Functional failure with neither witness text nor lint attribution:
+    // same logic-first nudge, no detail to quote.
+    bump(llm::HalluAxis::kLogicExpression, 0.6, "functional mismatch");
+    bump(llm::HalluAxis::kLogicCorner, 0.6, "");
+    bump(llm::HalluAxis::kLogicInstruction, 0.6, "");
+  }
+
+  for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+    if (weight[a] <= 0.0) continue;
+    AxisHint ah;
+    ah.axis = static_cast<llm::HalluAxis>(a);
+    ah.weight = std::min(1.0, weight[a]);
+    ah.findings = count[a];
+    ah.detail = std::move(detail[a]);
+    hint.axes.push_back(std::move(ah));
+    hint.axis_mask |= std::uint32_t{1} << a;
+  }
+  return hint;
+}
+
+llm::AxisDamping damping_for(const RepairHint& hint, double efficacy) {
+  llm::AxisDamping damping;  // identity
+  const double e = std::clamp(efficacy, 0.0, 1.0);
+  for (const AxisHint& a : hint.axes) {
+    damping.set(a.axis, std::clamp(1.0 - e * std::min(1.0, a.weight), 0.0, 1.0));
+  }
+  return damping;
+}
+
+}  // namespace haven::repair

@@ -1,0 +1,122 @@
+// haven::repair — closed-loop self-repair for generated candidates.
+//
+// The paper mitigates hallucinations by aligning the model itself
+// (fine-tuning on the Table-II taxonomy); HDLCoRe shows the complementary
+// training-free route: self-verification plus structured feedback at
+// generation time. This subsystem is that loop's policy-and-feedback half:
+//
+//   generate --> lint/prove --> [failed?] --> distill RepairHint --> damp the
+//   hinted axes --> regenerate --> simulate --> ...
+//
+// * FeedbackBuilder::distill turns one failed candidate's evidence — lint
+//   findings (already attributed to a hallucination axis), the first sim
+//   mismatch counterexample, a prove inequivalence witness, compile
+//   diagnostics — into a structured RepairHint: per-axis weights plus the
+//   witness text.
+// * damping_for converts a hint into an llm::AxisDamping: each hinted axis's
+//   probability is multiplied by (1 - efficacy * weight), modeling an LLM
+//   that actually reads the feedback. An empty hint yields the identity
+//   damping, which is bit-identical to an unhinted generation.
+// * RepairPolicy bounds the loop: max rounds per candidate, a total
+//   generation budget, stop-on-pass, and the efficacy factor. The engine
+//   derives every repair round's RNG deterministically from
+//   (seed, unit, attempt, round) with round 0 using the unmodified base
+//   derivation — so a repair-disabled run is bit-identical to the
+//   pre-repair engine, and round sequences are prefix-stable across
+//   different max_rounds settings (pass@k is monotone in rounds by
+//   construction). See DESIGN.md §13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.h"
+#include "llm/hallucination.h"
+
+namespace haven::repair {
+
+// Everything the eval engine knows about one failed candidate's verdict,
+// handed to FeedbackBuilder::distill. Pointers/views are non-owning and need
+// only outlive the distill call.
+struct Evidence {
+  bool passed = false;          // verdict passed: distills to an empty hint
+  bool compile_failed = false;  // rejected by the compile gate
+  bool lint_triaged = false;    // failed by a proven lint finding
+  bool proven_inequiv = false;  // haven::prove found a witness
+  bool sim_mismatch = false;    // the diff testbench found a counterexample
+  // Lint findings of the candidate (null or empty when lint was off).
+  const std::vector<lint::Finding>* findings = nullptr;
+  // Failure witness text: the first diff-sim mismatch ("vector N: output
+  // 'y': golden=... dut=...", interface mismatches name the port) or the
+  // prove inequivalence witness assignment. Empty when neither applies.
+  std::string_view fail_reason;
+};
+
+// One hinted axis: which taxonomy class the evidence implicates, how
+// strongly, and why.
+struct AxisHint {
+  llm::HalluAxis axis = llm::HalluAxis::kKnowSyntax;
+  double weight = 0.0;  // in (0, 1]: damping strength for this axis
+  int findings = 0;     // lint findings attributed to this axis
+  std::string detail;   // first attributed finding ("rule: message"), or ""
+};
+
+// The structured feedback for one repair round.
+struct RepairHint {
+  std::vector<AxisHint> axes;   // sorted by axis id; only weights > 0
+  std::uint32_t axis_mask = 0;  // bit per llm::HalluAxis in `axes`
+  bool compile_failed = false;
+  bool lint_triaged = false;
+  bool proven_inequiv = false;
+  bool sim_mismatch = false;
+  // First mismatch counterexample / inequivalence witness, verbatim.
+  std::string counterexample;
+
+  bool empty() const { return axes.empty(); }
+  // One-line human-readable rendering for logs and progress streams.
+  std::string summary() const;
+};
+
+// Distills verdict evidence into a RepairHint. Stateless; the class exists
+// so callers can hold one builder per engine and future heuristics can gain
+// configuration without touching call sites.
+class FeedbackBuilder {
+ public:
+  RepairHint distill(const Evidence& evidence) const;
+};
+
+// Bounds for the per-candidate repair loop. All knobs are result-affecting:
+// the engine folds them into verdict cache digests and serve::job_digest
+// whenever enabled() — and into nothing when disabled, so the default policy
+// leaves every digest bit-identical to the pre-repair engine.
+struct RepairPolicy {
+  // Repair rounds per failed candidate (0 = repair off, the default).
+  int max_rounds = 0;
+  // Total generations per candidate including round 0 (0 = bounded only by
+  // max_rounds). A budget of 1 admits no repair rounds.
+  int attempt_budget = 0;
+  // Stop as soon as a round passes (default). When false the loop keeps
+  // burning rounds for curve measurement; the verdict stays the first
+  // passing round's (pass@k remains monotone in rounds either way).
+  bool stop_on_pass = true;
+  // Calibrated repair-efficacy factor in [0, 1]: how much of a hinted axis's
+  // probability the feedback removes (axis scale = 1 - efficacy * weight).
+  double efficacy = 0.65;
+
+  bool enabled() const { return max_rounds > 0; }
+  // Repair rounds the budget admits after `generations` completed passes.
+  bool admits_round(int rounds_done, int generations) const {
+    if (rounds_done >= max_rounds) return false;
+    return attempt_budget <= 0 || generations < attempt_budget;
+  }
+};
+
+// Convert a hint into generation-time damping:
+//   scale[axis] = clamp(1 - efficacy * min(1, weight), 0, 1)
+// for every hinted axis, identity elsewhere. An empty hint returns the exact
+// identity damping (bit-identical generation).
+llm::AxisDamping damping_for(const RepairHint& hint, double efficacy);
+
+}  // namespace haven::repair

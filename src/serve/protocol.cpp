@@ -163,6 +163,25 @@ bool parse_job(const std::string& tenant, const std::string& model_name,
     } else if (key == "prove-budget") {
       if (!parse_u64(value, &u)) return bad("an unsigned integer");
       job.request.prove_budget = u;
+    } else if (key == "repair") {
+      // repair=1 turns the loop on with the default round count unless
+      // repair-rounds= already picked one; repair=0 forces it off.
+      if (!parse_i64(value, &i) || (i != 0 && i != 1)) return bad("0 or 1");
+      if (i == 0) {
+        job.request.repair.max_rounds = 0;
+      } else if (job.request.repair.max_rounds == 0) {
+        job.request.repair.max_rounds = 2;
+      }
+    } else if (key == "repair-rounds") {
+      if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("an integer >= 0");
+      job.request.repair.max_rounds = static_cast<int>(i);
+    } else if (key == "repair-budget") {
+      if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("an integer >= 0");
+      job.request.repair.attempt_budget = static_cast<int>(i);
+    } else if (key == "repair-efficacy") {
+      double f = 0.0;
+      if (!parse_f64(value, &f) || f < 0.0 || f > 1.0) return bad("a number in [0, 1]");
+      job.request.repair.efficacy = f;
     } else if (key == "retries") {
       if (!parse_i64(value, &i) || i < 0 || i > kIntMax) return bad("an integer >= 0");
       job.request.retry.max_retries = static_cast<int>(i);
@@ -276,14 +295,18 @@ void LineServer::handle(const std::string& line) {
   }
 
   if (command == "STATS") {
+    // Field names and order are part of the wire contract (tests parse this
+    // line golden); append, never reorder.
     const ServeCounters c = server_.stats();
     out_ << util::format(
         "STATS submitted=%lld admitted=%lld coalesced=%lld rejected=%lld "
-        "expired=%lld completed=%lld failed=%lld",
+        "expired=%lld completed=%lld failed=%lld repair-rounds=%lld repaired=%lld "
+        "repair-exhausted=%lld",
         static_cast<long long>(c.submitted), static_cast<long long>(c.admitted),
         static_cast<long long>(c.coalesced), static_cast<long long>(c.rejected),
         static_cast<long long>(c.expired), static_cast<long long>(c.completed),
-        static_cast<long long>(c.failed))
+        static_cast<long long>(c.failed), static_cast<long long>(c.repair_rounds),
+        static_cast<long long>(c.repaired_pass), static_cast<long long>(c.repair_exhausted))
          << "\n";
     return;
   }

@@ -39,13 +39,16 @@ using detail::JobState;
 // --- counters / small helpers ----------------------------------------------
 
 bool serve_counters_consistent(const ServeCounters& c) {
-  const std::int64_t values[] = {c.submitted, c.admitted, c.coalesced, c.rejected,
-                                 c.expired,   c.completed, c.failed};
+  const std::int64_t values[] = {c.submitted,     c.admitted,      c.coalesced,
+                                 c.rejected,      c.expired,       c.completed,
+                                 c.failed,        c.repair_rounds, c.repaired_pass,
+                                 c.repair_exhausted};
   for (std::int64_t v : values) {
     if (v < 0) return false;
   }
   if (c.submitted != c.admitted + c.coalesced + c.rejected) return false;
   if (c.expired + c.completed + c.failed > c.admitted) return false;
+  if (c.repaired_pass + c.repair_exhausted > c.repair_rounds) return false;
   return true;
 }
 
@@ -101,8 +104,9 @@ cache::Digest job_digest(const llm::SimLlm& model, const eval::Suite& suite,
   h.bytes(suite.name);
   h.u64(suite.tasks.size());
   for (const eval::EvalTask& task : suite.tasks) {
-    const cache::Digest seed = eval::task_cache_seed(task, request.sim_step_budget, lint_mode,
-                                                     request.prove, request.prove_budget);
+    const cache::Digest seed =
+        eval::task_cache_seed(task, request.sim_step_budget, lint_mode, request.prove,
+                              request.prove_budget, &request.repair);
     h.u64(seed.hi).u64(seed.lo);
     h.bytes(task.prompt);
     h.u32(static_cast<std::uint32_t>(task.modality));
@@ -120,6 +124,15 @@ cache::Digest job_digest(const llm::SimLlm& model, const eval::Suite& suite,
   // must not coalesce (verdicts, by contract, are identical either way).
   h.boolean(request.prove);
   h.u64(request.prove_budget);
+  // Repair knobs bind only when the loop is enabled — the disabled default
+  // hashes nothing, so repair-off digests (and their coalescing decisions)
+  // stay bit-identical to the pre-repair service.
+  if (request.repair.enabled()) {
+    h.bytes("repair");
+    h.i32(request.repair.max_rounds).i32(request.repair.attempt_budget);
+    h.boolean(request.repair.stop_on_pass);
+    h.u64(std::bit_cast<std::uint64_t>(request.repair.efficacy));
+  }
   h.i32(request.deadline_ms);
   h.u64(request.sim_step_budget);
   h.u32(static_cast<std::uint32_t>(request.sim_backend));
@@ -407,6 +420,11 @@ void Server::dispatcher_loop() {
       inflight_.erase(state->digest);
       if (ok) {
         ++counters_.completed;
+        // Fresh computations only: coalesced/memoized replays reuse this
+        // result without re-running the repair loop.
+        counters_.repair_rounds += result.counters.repair_rounds;
+        counters_.repaired_pass += result.counters.repaired_pass;
+        counters_.repair_exhausted += result.counters.repair_exhausted;
         if (state->units > 0 && elapsed > 0.0) {
           const double per_unit = elapsed / static_cast<double>(state->units);
           unit_seconds_ewma_ = unit_seconds_ewma_ <= 0.0

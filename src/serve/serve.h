@@ -65,7 +65,10 @@ namespace haven::serve {
 // Service-level accounting. Identity (serve_counters_consistent):
 //   submitted == admitted + coalesced + rejected
 // and expired + completed + failed <= admitted (== once drained: every
-// admitted job reaches exactly one terminal bucket).
+// admitted job reaches exactly one terminal bucket). The repair tallies
+// aggregate the engine's per-job EvalCounters over completed computations
+// (coalesced/memoized replays do not double-count) and obey
+//   repaired_pass + repair_exhausted <= repair_rounds.
 struct ServeCounters {
   std::int64_t submitted = 0;  // submit() calls
   std::int64_t admitted = 0;   // fresh computations queued
@@ -74,6 +77,9 @@ struct ServeCounters {
   std::int64_t expired = 0;    // admitted, but deadline lapsed before dispatch
   std::int64_t completed = 0;  // admitted computations that finished
   std::int64_t failed = 0;     // admitted computations that threw
+  std::int64_t repair_rounds = 0;     // engine repair passes across completions
+  std::int64_t repaired_pass = 0;     // candidates rescued by the repair loop
+  std::int64_t repair_exhausted = 0;  // candidates that exhausted their rounds
 };
 
 bool serve_counters_consistent(const ServeCounters& c);

@@ -1,0 +1,293 @@
+// Engine-level contract tests for the closed-loop self-repair subsystem
+// (DESIGN.md §13): round-0 bit-identity with repair off, monotone pass@k in
+// rounds, the extended accounting identity, thread invariance, cache replay,
+// and digest separation between repair configs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "eval/cache_io.h"
+#include "eval/engine.h"
+#include "eval/suites.h"
+#include "llm/model_zoo.h"
+#include "util/fault.h"
+
+namespace haven::eval {
+namespace {
+
+Suite small_symbolic(std::size_t n_tasks) {
+  Suite suite = build_symbolic44();
+  if (suite.tasks.size() > n_tasks) suite.tasks.resize(n_tasks);
+  return suite;
+}
+
+void expect_same_result(const SuiteResult& a, const SuiteResult& b) {
+  ASSERT_EQ(a.per_task.size(), b.per_task.size());
+  for (std::size_t i = 0; i < a.per_task.size(); ++i) {
+    EXPECT_EQ(a.per_task[i].task_id, b.per_task[i].task_id);
+    EXPECT_EQ(a.per_task[i].syntax_pass, b.per_task[i].syntax_pass);
+    EXPECT_EQ(a.per_task[i].func_pass, b.per_task[i].func_pass);
+  }
+}
+
+// A failure-prone protocol so the repair loop has work to do.
+EvalRequest hot_request() {
+  EvalRequest request;
+  request.n_samples = 4;
+  request.temperatures = {0.8};
+  return request;
+}
+
+// The headline acceptance criterion: with repair disabled (the default),
+// verdicts and every deterministic counter are bit-identical to a request
+// that never heard of repair.
+TEST(EvalRepair, DisabledRepairIsBitIdenticalToDefault) {
+  const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
+  const Suite suite = small_symbolic(6);
+
+  const SuiteResult plain = EvalEngine(hot_request()).evaluate(model, suite);
+  const SuiteResult zero =
+      EvalEngine(hot_request().with_repair_rounds(0)).evaluate(model, suite);
+
+  expect_same_result(plain, zero);
+  EXPECT_EQ(plain.counters.candidates, zero.counters.candidates);
+  EXPECT_EQ(plain.counters.compile_failures, zero.counters.compile_failures);
+  EXPECT_EQ(plain.counters.sim_mismatches, zero.counters.sim_mismatches);
+  EXPECT_EQ(zero.counters.repair_rounds, 0);
+  EXPECT_EQ(zero.counters.repaired_pass, 0);
+  EXPECT_EQ(zero.counters.repair_exhausted, 0);
+  EXPECT_TRUE(counters_consistent(zero.counters));
+}
+
+// pass@k is monotone in rounds by construction (prefix-stable round
+// sequences), and the verdict ledger balances exactly: every extra pass a
+// higher-round run earns is a counted repaired_pass.
+TEST(EvalRepair, PassRateIsMonotoneInRoundsAndLedgerBalances) {
+  const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
+  const Suite suite = small_symbolic(6);
+
+  std::vector<SuiteResult> by_rounds;
+  for (int rounds = 0; rounds <= 3; ++rounds) {
+    by_rounds.push_back(
+        EvalEngine(hot_request().with_repair_rounds(rounds)).evaluate(model, suite));
+  }
+  std::int64_t base_pass = 0;
+  for (const TaskResult& t : by_rounds[0].per_task) base_pass += t.func_pass;
+
+  for (std::size_t r = 1; r < by_rounds.size(); ++r) {
+    EXPECT_GE(by_rounds[r].pass_at(1) + 1e-12, by_rounds[r - 1].pass_at(1));
+    // Per-task monotone too, not just in aggregate.
+    for (std::size_t i = 0; i < by_rounds[r].per_task.size(); ++i) {
+      EXPECT_GE(by_rounds[r].per_task[i].func_pass, by_rounds[r - 1].per_task[i].func_pass);
+    }
+    std::int64_t pass = 0;
+    for (const TaskResult& t : by_rounds[r].per_task) pass += t.func_pass;
+    EXPECT_EQ(pass, base_pass + by_rounds[r].counters.repaired_pass);
+    EXPECT_TRUE(counters_consistent(by_rounds[r].counters));
+  }
+  // The protocol is hot enough that repair actually rescues something.
+  EXPECT_GT(by_rounds[3].counters.repaired_pass, 0);
+  EXPECT_GT(by_rounds[3].counters.repair_rounds, 0);
+}
+
+// stop_on_pass=false burns every admitted round for curve measurement, but
+// the verdict stays the first passing round's: results are bit-identical.
+TEST(EvalRepair, StopOnPassOnlyChangesWorkNotVerdicts) {
+  const llm::SimLlm model = llm::make_model("GPT-4o-mini");
+  const Suite suite = small_symbolic(5);
+
+  repair::RepairPolicy eager;
+  eager.max_rounds = 2;
+  repair::RepairPolicy thorough = eager;
+  thorough.stop_on_pass = false;
+
+  const SuiteResult a = EvalEngine(hot_request().with_repair(eager)).evaluate(model, suite);
+  const SuiteResult b =
+      EvalEngine(hot_request().with_repair(thorough)).evaluate(model, suite);
+  expect_same_result(a, b);
+  // Without early stop every non-faulted unit runs exactly max_rounds rounds.
+  EXPECT_EQ(b.counters.repair_rounds,
+            (b.counters.candidates - b.counters.unit_faults) * 2);
+  EXPECT_GE(b.counters.repair_rounds, a.counters.repair_rounds);
+  EXPECT_EQ(a.counters.repaired_pass, b.counters.repaired_pass);
+  EXPECT_TRUE(counters_consistent(b.counters));
+}
+
+// attempt_budget counts generations including round 0: a budget of 1 admits
+// no repair, reproducing the rounds=0 run bit for bit.
+TEST(EvalRepair, AttemptBudgetOfOneDisablesRepair) {
+  const llm::SimLlm model = llm::make_model("CodeQwen");
+  const Suite suite = small_symbolic(5);
+
+  const SuiteResult zero =
+      EvalEngine(hot_request().with_repair_rounds(0)).evaluate(model, suite);
+  const SuiteResult budgeted =
+      EvalEngine(hot_request().with_repair_rounds(3).with_repair_budget(1))
+          .evaluate(model, suite);
+  expect_same_result(zero, budgeted);
+  EXPECT_EQ(budgeted.counters.repair_rounds, 0);
+}
+
+// The determinism contract extends through repair: thread count changes
+// wall-clock, never verdicts or repair tallies.
+TEST(EvalRepair, RepairRunsAreThreadInvariant) {
+  const llm::SimLlm model = llm::make_model("GPT-4o-mini");
+  const Suite suite = small_symbolic(6);
+
+  const EvalRequest request = hot_request().with_repair_rounds(2);
+  const SuiteResult serial =
+      EvalEngine(EvalRequest(request).with_threads(1)).evaluate(model, suite);
+  const SuiteResult parallel =
+      EvalEngine(EvalRequest(request).with_threads(8)).evaluate(model, suite);
+
+  expect_same_result(serial, parallel);
+  EXPECT_EQ(serial.counters.repair_rounds, parallel.counters.repair_rounds);
+  EXPECT_EQ(serial.counters.repaired_pass, parallel.counters.repaired_pass);
+  EXPECT_EQ(serial.counters.repair_exhausted, parallel.counters.repair_exhausted);
+  EXPECT_EQ(serial.counters.simulated, parallel.counters.simulated);
+  EXPECT_EQ(serial.counters.cache_hits, parallel.counters.cache_hits);
+}
+
+// Chaos: injected faults + retries + repair keep the extended accounting
+// identity at any thread count. A faulted unit discards its repair tallies.
+TEST(EvalRepair, ChaosRunsKeepTheExtendedIdentity) {
+  const llm::SimLlm model = llm::make_model("DeepSeek-Coder");
+  const Suite suite = small_symbolic(6);
+
+  util::FaultInjector injector(0xC7A05);
+  injector.arm(util::kSiteLlmGenerate, 0.08);
+  injector.arm(util::kSiteEvalCompile, 0.08);
+  injector.arm(util::kSiteSimRun, 0.08);
+  injector.install();
+
+  EvalRequest request = hot_request().with_repair_rounds(2);
+  request.retry.max_retries = 1;
+  const SuiteResult serial =
+      EvalEngine(EvalRequest(request).with_threads(1)).evaluate(model, suite);
+  const SuiteResult parallel =
+      EvalEngine(EvalRequest(request).with_threads(8)).evaluate(model, suite);
+  injector.uninstall();
+
+  EXPECT_GT(serial.counters.unit_faults + serial.counters.retries, 0);
+  EXPECT_TRUE(counters_consistent(serial.counters));
+  EXPECT_TRUE(counters_consistent(parallel.counters));
+  expect_same_result(serial, parallel);
+  EXPECT_EQ(serial.counters.repair_rounds, parallel.counters.repair_rounds);
+  EXPECT_EQ(serial.counters.repaired_pass, parallel.counters.repaired_pass);
+}
+
+// A warm cache replays repair-enabled verdicts (including the fail_reason
+// witness that feeds hint distillation) bit-identically: second run all hits,
+// same verdicts, same repair tallies.
+TEST(EvalRepair, WarmCacheReplaysRepairRunsBitIdentically) {
+  const llm::SimLlm model = llm::make_model("RTLCoder-DeepSeek");
+  const Suite suite = small_symbolic(6);
+  cache::ResultCache cache(cache::CacheConfig{});
+
+  EvalRequest request = hot_request().with_repair_rounds(2).with_cache(&cache);
+  const SuiteResult cold = EvalEngine(request).evaluate(model, suite);
+  const SuiteResult warm = EvalEngine(request).evaluate(model, suite);
+
+  expect_same_result(cold, warm);
+  EXPECT_EQ(cold.counters.cache_hits, 0);
+  EXPECT_GT(warm.counters.cache_hits, 0);
+  EXPECT_EQ(warm.counters.cache_misses, 0);
+  // Replayed evidence distills to the same hints, so the loop shape matches.
+  EXPECT_EQ(cold.counters.repair_rounds, warm.counters.repair_rounds);
+  EXPECT_EQ(cold.counters.repaired_pass, warm.counters.repaired_pass);
+  EXPECT_EQ(cold.counters.repair_exhausted, warm.counters.repair_exhausted);
+  EXPECT_TRUE(counters_consistent(warm.counters));
+}
+
+// Digest separation: repair configs must not share cache entries with each
+// other or with repair-off runs — but a disabled policy binds nothing, so
+// repair-off digests match the legacy (policy-less) derivation exactly.
+TEST(EvalRepair, TaskCacheSeedSeparatesRepairConfigs) {
+  const Suite suite = small_symbolic(1);
+  const EvalTask& task = suite.tasks.front();
+
+  const cache::Digest legacy = task_cache_seed(task, 0, CacheLintMode::kOff);
+  repair::RepairPolicy off;
+  const cache::Digest with_off = task_cache_seed(task, 0, CacheLintMode::kOff, false, 0, &off);
+  EXPECT_EQ(legacy.hi, with_off.hi);
+  EXPECT_EQ(legacy.lo, with_off.lo);
+
+  repair::RepairPolicy two;
+  two.max_rounds = 2;
+  const cache::Digest with_two = task_cache_seed(task, 0, CacheLintMode::kOff, false, 0, &two);
+  EXPECT_FALSE(with_two.hi == legacy.hi && with_two.lo == legacy.lo);
+
+  repair::RepairPolicy three = two;
+  three.max_rounds = 3;
+  const cache::Digest with_three =
+      task_cache_seed(task, 0, CacheLintMode::kOff, false, 0, &three);
+  EXPECT_FALSE(with_three.hi == with_two.hi && with_three.lo == with_two.lo);
+
+  repair::RepairPolicy soft = two;
+  soft.efficacy = 0.5;
+  const cache::Digest with_soft =
+      task_cache_seed(task, 0, CacheLintMode::kOff, false, 0, &soft);
+  EXPECT_FALSE(with_soft.hi == with_two.hi && with_soft.lo == with_two.lo);
+}
+
+// The extended (v3) verdict payload round-trips fail_reason; the default v2
+// encoding stays byte-identical to the pre-repair layout and decodes with an
+// empty witness.
+TEST(EvalRepair, ExtendedVerdictPayloadRoundTripsFailReason) {
+  CachedVerdict v;
+  v.syntax_ok = true;
+  v.simulated = true;
+  v.sim_vectors = 17;
+  v.fail_reason = "vector 3: output 'q': golden=1 dut=0";
+
+  const std::string extended = encode_verdict(v, /*extended=*/true);
+  CachedVerdict back;
+  ASSERT_TRUE(decode_verdict(extended, &back));
+  EXPECT_EQ(back.fail_reason, v.fail_reason);
+  EXPECT_EQ(back.sim_vectors, 17);
+
+  const std::string plain = encode_verdict(v, /*extended=*/false);
+  CachedVerdict legacy;
+  ASSERT_TRUE(decode_verdict(plain, &legacy));
+  EXPECT_TRUE(legacy.fail_reason.empty());
+  EXPECT_LT(plain.size(), extended.size());
+
+  // Truncating the extended payload's witness is corruption, not data.
+  std::string truncated = extended;
+  truncated.resize(truncated.size() - 3);
+  CachedVerdict junk;
+  EXPECT_FALSE(decode_verdict(truncated, &junk));
+}
+
+// Satellite: a broken identity names the violated term(s) with expected vs
+// actual values instead of a bare boolean.
+TEST(EvalRepair, CountersInconsistencyNamesTheBrokenTerm) {
+  EvalCounters ok;
+  EXPECT_TRUE(counters_inconsistency(ok).empty());
+  EXPECT_TRUE(counters_consistent(ok));
+
+  EvalCounters broken;
+  broken.candidates = 3;  // three candidates, zero buckets
+  const std::string main_term = counters_inconsistency(broken);
+  EXPECT_NE(main_term.find("candidates + repair_rounds"), std::string::npos);
+  EXPECT_NE(main_term.find("3"), std::string::npos);
+  EXPECT_FALSE(counters_consistent(broken));
+
+  EvalCounters over;
+  over.repair_rounds = 1;
+  over.repaired_pass = 2;
+  const std::string repair_term = counters_inconsistency(over);
+  EXPECT_NE(repair_term.find("repaired_pass + repair_exhausted"), std::string::npos);
+
+  EvalCounters cachey;
+  cachey.candidates = 2;
+  cachey.simulated = 2;
+  cachey.cache_hits = 1;
+  cachey.cache_misses = 2;  // 3 lookups for 2 passes
+  const std::string cache_term = counters_inconsistency(cachey);
+  EXPECT_NE(cache_term.find("cache_hits + cache_misses"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace haven::eval

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "llm/hallucination.h"
+#include "llm/model_zoo.h"
+#include "llm/simllm.h"
+#include "repair/repair.h"
+#include "util/rng.h"
+
+namespace haven::repair {
+namespace {
+
+lint::Finding finding(llm::HalluAxis axis, verilog::Severity severity,
+                      const std::string& message) {
+  lint::Finding f;
+  f.axis = axis;
+  f.diag.severity = severity;
+  f.diag.message = message;
+  f.diag.rule = "test-rule";
+  return f;
+}
+
+TEST(AxisDamping, DefaultIsIdentity) {
+  const llm::AxisDamping damping;
+  EXPECT_TRUE(damping.is_identity());
+  for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+    EXPECT_EQ(damping.of(static_cast<llm::HalluAxis>(a)), 1.0);
+  }
+}
+
+TEST(AxisDamping, SetBreaksIdentity) {
+  llm::AxisDamping damping;
+  damping.set(llm::HalluAxis::kLogicCorner, 0.4);
+  EXPECT_FALSE(damping.is_identity());
+  EXPECT_EQ(damping.of(llm::HalluAxis::kLogicCorner), 0.4);
+  EXPECT_EQ(damping.of(llm::HalluAxis::kKnowSyntax), 1.0);
+}
+
+TEST(FeedbackBuilder, PassingEvidenceDistillsToEmptyHint) {
+  Evidence evidence;
+  evidence.passed = true;
+  const RepairHint hint = FeedbackBuilder{}.distill(evidence);
+  EXPECT_TRUE(hint.empty());
+  EXPECT_EQ(hint.axis_mask, 0u);
+  EXPECT_TRUE(damping_for(hint, 0.65).is_identity());
+}
+
+TEST(FeedbackBuilder, LintFindingsAttributeTheirAxes) {
+  const std::vector<lint::Finding> findings = {
+      finding(llm::HalluAxis::kKnowConvention, verilog::Severity::kWarning, "bad convention"),
+      finding(llm::HalluAxis::kKnowConvention, verilog::Severity::kError, "worse convention"),
+      finding(llm::HalluAxis::kLogicCorner, verilog::Severity::kNote, "note only"),
+  };
+  Evidence evidence;
+  evidence.sim_mismatch = true;
+  evidence.findings = &findings;
+  const RepairHint hint = FeedbackBuilder{}.distill(evidence);
+  ASSERT_FALSE(hint.empty());
+  EXPECT_TRUE(hint.sim_mismatch);
+  EXPECT_NE(hint.axis_mask & (1u << static_cast<int>(llm::HalluAxis::kKnowConvention)), 0u);
+  // Axes arrive sorted by axis id and carry per-axis finding counts.
+  for (std::size_t i = 1; i < hint.axes.size(); ++i) {
+    EXPECT_LT(static_cast<int>(hint.axes[i - 1].axis), static_cast<int>(hint.axes[i].axis));
+  }
+  for (const AxisHint& axis : hint.axes) {
+    EXPECT_GT(axis.weight, 0.0);
+    EXPECT_LE(axis.weight, 1.0);
+    if (axis.axis == llm::HalluAxis::kKnowConvention) {
+      EXPECT_EQ(axis.findings, 2);
+      EXPECT_FALSE(axis.detail.empty());
+    }
+  }
+}
+
+TEST(FeedbackBuilder, CompileFailureImplicatesSyntaxAxis) {
+  Evidence evidence;
+  evidence.compile_failed = true;
+  const RepairHint hint = FeedbackBuilder{}.distill(evidence);
+  ASSERT_FALSE(hint.empty());
+  EXPECT_TRUE(hint.compile_failed);
+  EXPECT_NE(hint.axis_mask & (1u << static_cast<int>(llm::HalluAxis::kKnowSyntax)), 0u);
+}
+
+TEST(FeedbackBuilder, PortMismatchWitnessImplicatesMisalignment) {
+  Evidence evidence;
+  evidence.sim_mismatch = true;
+  evidence.fail_reason = "port 'y' missing on dut";
+  const RepairHint hint = FeedbackBuilder{}.distill(evidence);
+  ASSERT_FALSE(hint.empty());
+  EXPECT_EQ(hint.counterexample, "port 'y' missing on dut");
+  EXPECT_NE(hint.axis_mask & (1u << static_cast<int>(llm::HalluAxis::kMisalignment)), 0u);
+}
+
+TEST(FeedbackBuilder, UnattributedMismatchSpreadsOverLogicAndSymbolicAxes) {
+  Evidence evidence;
+  evidence.sim_mismatch = true;
+  evidence.fail_reason = "vector 3: output 'q': golden=1 dut=0";
+  const RepairHint hint = FeedbackBuilder{}.distill(evidence);
+  ASSERT_FALSE(hint.empty());
+  EXPECT_NE(hint.axis_mask & (1u << static_cast<int>(llm::HalluAxis::kLogicExpression)), 0u);
+  EXPECT_NE(hint.axis_mask & (1u << static_cast<int>(llm::HalluAxis::kSymTruthTable)), 0u);
+  EXPECT_FALSE(hint.summary().empty());
+}
+
+TEST(DampingFor, ScalesHintedAxesAndClampsEfficacy) {
+  RepairHint hint;
+  AxisHint axis;
+  axis.axis = llm::HalluAxis::kLogicExpression;
+  axis.weight = 1.0;
+  hint.axes.push_back(axis);
+  hint.axis_mask = 1u << static_cast<int>(llm::HalluAxis::kLogicExpression);
+
+  const llm::AxisDamping half = damping_for(hint, 0.5);
+  EXPECT_DOUBLE_EQ(half.of(llm::HalluAxis::kLogicExpression), 0.5);
+  EXPECT_DOUBLE_EQ(half.of(llm::HalluAxis::kLogicCorner), 1.0);
+
+  // Efficacy outside [0, 1] clamps instead of producing negative scales.
+  const llm::AxisDamping over = damping_for(hint, 2.0);
+  EXPECT_DOUBLE_EQ(over.of(llm::HalluAxis::kLogicExpression), 0.0);
+  const llm::AxisDamping under = damping_for(hint, -1.0);
+  EXPECT_TRUE(under.is_identity());
+}
+
+TEST(RepairPolicy, DisabledByDefaultAndAdmissionRespectsBudget) {
+  const RepairPolicy off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.admits_round(0, 1));
+
+  RepairPolicy policy;
+  policy.max_rounds = 3;
+  EXPECT_TRUE(policy.enabled());
+  EXPECT_TRUE(policy.admits_round(0, 1));
+  EXPECT_TRUE(policy.admits_round(2, 3));
+  EXPECT_FALSE(policy.admits_round(3, 4));  // rounds exhausted
+
+  policy.attempt_budget = 2;  // round 0 + one repair generation
+  EXPECT_TRUE(policy.admits_round(0, 1));
+  EXPECT_FALSE(policy.admits_round(1, 2));  // budget exhausted before rounds
+
+  policy.attempt_budget = 1;  // budget admits no repair at all
+  EXPECT_FALSE(policy.admits_round(0, 1));
+}
+
+// Identity damping must be invisible to generation: same prompt, same rng,
+// bit-identical output. This is the exactness round 0 and repair-off runs
+// rely on.
+TEST(GenerateWithHints, IdentityDampingIsBitIdenticalToGenerate) {
+  const llm::SimLlm model = llm::make_model("CodeQwen");
+  llm::GenerationConfig config;
+  config.temperature = 0.8;
+  const std::string prompt =
+      "Implement a module named adder with ports a, b and output sum: sum = a + b";
+
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  const std::string plain = model.generate(prompt, config, rng_a);
+  const std::string hinted =
+      model.generate_with_hints(prompt, config, llm::AxisDamping::identity(), rng_b);
+  EXPECT_EQ(plain, hinted);
+  EXPECT_EQ(rng_a.next(), rng_b.next());  // identical stream positions too
+}
+
+// Damping an axis to zero must lower that hallucination's incidence over many
+// draws (it multiplies the per-axis probability).
+TEST(GenerateWithHints, FullDampingNeverIncreasesHallucinationIncidence) {
+  const llm::SimLlm model = llm::make_model("GPT-3.5");
+  llm::GenerationConfig config;
+  config.temperature = 0.9;
+  llm::AxisDamping damping;
+  for (int a = 0; a < llm::kNumHalluAxes; ++a) {
+    damping.set(static_cast<llm::HalluAxis>(a), 0.0);
+  }
+
+  const std::string prompt =
+      "Implement a module named parity with input d and output p: p = d[0] ^ d[1]";
+  int plain_differs = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    util::Rng rng_a(seed);
+    util::Rng rng_b(seed);
+    const std::string plain = model.generate(prompt, config, rng_a);
+    const std::string damped = model.generate_with_hints(prompt, config, damping, rng_b);
+    plain_differs += plain != damped;
+  }
+  // With every axis damped to zero at temperature 0.9, at least one of the 32
+  // seeds must have hallucinated in the plain path and not in the damped one.
+  EXPECT_GT(plain_differs, 0);
+}
+
+}  // namespace
+}  // namespace haven::repair

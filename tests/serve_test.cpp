@@ -549,6 +549,9 @@ TEST(LineProtocol, RejectsMalformedAndOutOfRangeKnobValues) {
       {"budget=-1"},  {"retries=-2"},   {"retries=two"},
       {"backend=verilator"}, {"backend="},
       {"prove=2"},    {"prove=yes"},    {"prove-budget=-1"}, {"prove-budget=lots"},
+      {"repair=2"},   {"repair=yes"},   {"repair-rounds=-1"}, {"repair-rounds=x"},
+      {"repair-budget=-1"}, {"repair-efficacy=1.5"}, {"repair-efficacy=-0.1"},
+      {"repair-efficacy=abc"},
   };
   for (const std::vector<std::string>& knobs : bad_knobs) {
     EvalJob job;
@@ -590,6 +593,111 @@ TEST(LineProtocol, ParseJobAppliesKnobs) {
   EXPECT_EQ(job.request.retry.max_retries, 2);
   EXPECT_TRUE(job.request.fail_fast);
   EXPECT_EQ(job_units(job), 2u * 5u * 4u);
+}
+
+TEST(LineProtocol, ParseJobAppliesRepairKnobs) {
+  EvalJob job;
+  std::string error;
+  ASSERT_TRUE(parse_job("t", "CodeQwen", "rtllm",
+                        {"repair-rounds=3", "repair-budget=2", "repair-efficacy=0.5"},
+                        &job, &error))
+      << error;
+  EXPECT_EQ(job.request.repair.max_rounds, 3);
+  EXPECT_EQ(job.request.repair.attempt_budget, 2);
+  EXPECT_DOUBLE_EQ(job.request.repair.efficacy, 0.5);
+
+  // repair=1 is a shorthand that picks the default round count only when
+  // repair-rounds= hasn't chosen one; repair=0 forces the loop off.
+  EvalJob on;
+  ASSERT_TRUE(parse_job("t", "CodeQwen", "rtllm", {"repair=1"}, &on, &error)) << error;
+  EXPECT_EQ(on.request.repair.max_rounds, 2);
+  EvalJob keep;
+  ASSERT_TRUE(parse_job("t", "CodeQwen", "rtllm", {"repair-rounds=5", "repair=1"}, &keep,
+                        &error))
+      << error;
+  EXPECT_EQ(keep.request.repair.max_rounds, 5);
+  EvalJob off;
+  ASSERT_TRUE(parse_job("t", "CodeQwen", "rtllm", {"repair-rounds=5", "repair=0"}, &off,
+                        &error))
+      << error;
+  EXPECT_EQ(off.request.repair.max_rounds, 0);
+  EXPECT_FALSE(off.request.repair.enabled());
+}
+
+// The STATS line is a wire contract: fields are appended, never reordered, so
+// a golden parse pins the exact names and order (including the repair
+// counters this change appended).
+TEST(LineProtocol, StatsLineMatchesTheGoldenFieldOrder) {
+  Server server{ServerConfig{}};
+  std::istringstream in("STATS\nQUIT\n");
+  std::ostringstream out;
+  LineServer line_server(server, in, out);
+  line_server.run();
+
+  const std::vector<std::string> lines = util::split_lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "STATS submitted=0 admitted=0 coalesced=0 rejected=0 expired=0 "
+            "completed=0 failed=0 repair-rounds=0 repaired=0 repair-exhausted=0");
+}
+
+// Repair tallies aggregate into STATS from completed computations, and STATS
+// stays well-formed after DRAIN (regression: draining must not reset or
+// corrupt the counter snapshot).
+TEST(LineProtocol, StatsAggregatesRepairCountersAndSurvivesDrain) {
+  Server server{ServerConfig{}};
+  std::istringstream in(
+      "SUBMIT t RTLCoder-DeepSeek rtllm tasks=3 n=2 temps=0.8 repair-rounds=2\n"
+      "WAIT *\n"
+      "STATS\n"
+      "DRAIN\n"
+      "STATS\n"
+      "QUIT\n");
+  std::ostringstream out;
+  LineServer line_server(server, in, out);
+  line_server.run();
+
+  std::vector<std::string> stats_lines;
+  for (const std::string& line : util::split_lines(out.str())) {
+    if (line.rfind("STATS", 0) == 0) stats_lines.push_back(line);
+  }
+  ASSERT_EQ(stats_lines.size(), 2u);
+  // Identical snapshots: DRAIN finished the backlog before the first STATS
+  // already, so the second must reproduce it verbatim.
+  EXPECT_EQ(stats_lines[0], stats_lines[1]);
+  EXPECT_NE(stats_lines[0].find("completed=1"), std::string::npos) << stats_lines[0];
+  EXPECT_NE(stats_lines[0].find(" repair-rounds="), std::string::npos) << stats_lines[0];
+
+  const ServeCounters stats = server.stats();
+  EXPECT_TRUE(serve_counters_consistent(stats));
+  EXPECT_GT(stats.repair_rounds, 0);
+  EXPECT_LE(stats.repaired_pass + stats.repair_exhausted, stats.repair_rounds);
+}
+
+// Digest separation for the repair knobs: a disabled policy binds nothing
+// (repair-off jobs keep coalescing with pre-repair peers), while distinct
+// enabled configs never share a computation.
+TEST(JobDigest, BindsRepairKnobsOnlyWhenEnabled) {
+  const EvalJob base = make_job("t");
+  const cache::Digest d0 = job_digest(base.model, base.suite, base.request);
+
+  eval::EvalRequest off = base.request;
+  off.repair.efficacy = 0.25;  // knobs on a disabled loop are inert
+  off.repair.attempt_budget = 7;
+  EXPECT_EQ(job_digest(base.model, base.suite, off), d0);
+
+  const cache::Digest two = job_digest(
+      base.model, base.suite, eval::EvalRequest(base.request).with_repair_rounds(2));
+  EXPECT_NE(two, d0);
+  EXPECT_NE(job_digest(base.model, base.suite,
+                       eval::EvalRequest(base.request).with_repair_rounds(3)),
+            two);
+  EXPECT_NE(job_digest(base.model, base.suite,
+                       eval::EvalRequest(base.request).with_repair_rounds(2).with_repair_efficacy(0.5)),
+            two);
+  EXPECT_NE(job_digest(base.model, base.suite,
+                       eval::EvalRequest(base.request).with_repair_rounds(2).with_repair_budget(4)),
+            two);
 }
 
 }  // namespace
